@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation C — bandwidth sensitivity.
+ *
+ * The paper evaluates two points (T1 and 28.8K modem). This ablation
+ * sweeps the link cost between (and beyond) them to expose the full
+ * shape: on fast links programs are execution-bound and non-strict
+ * execution saves little; as the link slows the win grows toward the
+ * transfer-dominated asymptote where total time approaches the
+ * transfer of just the *needed* first-use prefix instead of the whole
+ * program.
+ */
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace nse;
+
+int
+main()
+{
+    benchHeader("Ablation C",
+                "Normalized execution time (% of strict) vs link cost "
+                "(cycles/byte); parallel limit 4, Test ordering, data "
+                "partitioning on");
+
+    const double sweeps[] = {500,   1'500,  3'815,   12'000,
+                             40'000, 134'698, 400'000};
+
+    Table t({"Program", "cpb 500", "cpb 1.5K", "cpb 3815 (T1)",
+             "cpb 12K", "cpb 40K", "cpb 134698 (modem)", "cpb 400K"});
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<double> sums(7, 0.0);
+    for (BenchEntry &e : entries) {
+        std::vector<std::string> row{e.workload.name};
+        size_t col = 0;
+        for (double cpb : sweeps) {
+            LinkModel link{"sweep", cpb};
+            SimConfig strict;
+            strict.mode = SimConfig::Mode::Strict;
+            strict.link = link;
+            SimResult base = e.sim->run(strict);
+            SimConfig cfg;
+            cfg.mode = SimConfig::Mode::Parallel;
+            cfg.ordering = OrderingSource::Test;
+            cfg.link = link;
+            cfg.parallelLimit = 4;
+            cfg.dataPartition = true;
+            double pct = normalizedPct(e.sim->run(cfg), base);
+            sums[col++] += pct;
+            row.push_back(fmtF(pct, 1));
+        }
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> avg{"AVG"};
+    for (double s : sums)
+        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 1));
+    t.addRow(std::move(avg));
+
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment binaries: each bench/ target
+ * regenerates one of the paper's tables or figures and prints it in
+ * the paper's row/column shape (absolute numbers reflect our
+ * substrate; the shapes are what reproduce).
+ */
+
+#ifndef NSE_BENCH_BENCH_COMMON_H
+#define NSE_BENCH_BENCH_COMMON_H
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+
+/** A workload together with its lazily shared simulator. */
+struct BenchEntry
+{
+    Workload workload;
+    std::unique_ptr<Simulator> sim;
+};
+
+/** Build all six workloads with ready simulators. */
+inline std::vector<BenchEntry>
+benchWorkloads()
+{
+    std::vector<BenchEntry> out;
+    for (Workload &w : allWorkloads()) {
+        BenchEntry e;
+        e.workload = std::move(w);
+        out.push_back(std::move(e));
+    }
+    for (BenchEntry &e : out) {
+        e.sim = std::make_unique<Simulator>(
+            e.workload.program, e.workload.natives,
+            e.workload.trainInput, e.workload.testInput);
+    }
+    return out;
+}
+
+/** Print a bench header naming the paper artifact being reproduced. */
+inline void
+benchHeader(const std::string &artifact, const std::string &caption)
+{
+    std::cout << "==== " << artifact << " ====\n"
+              << caption << "\n\n";
+}
+
+} // namespace nse
+
+#endif // NSE_BENCH_BENCH_COMMON_H

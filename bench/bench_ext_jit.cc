@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Extension — the paper's future work (§8): overlapping *compilation*
+ * with transfer. "If compilation can take place as the class files are
+ * being transferred, then the latency of transfer and compilation can
+ * overlap."
+ *
+ * We model a JIT whose compile cost is proportional to method code
+ * size and compare three policies on each benchmark:
+ *
+ *   strict+JIT     transfer everything, then compile each method at
+ *                  its first use (classic JIT on a strict loader);
+ *   lazy JIT       non-strict interleaved transfer; compile at first
+ *                  use (stall = arrival wait + compile);
+ *   eager JIT      non-strict transfer with a background compiler
+ *                  that compiles each method the moment it arrives —
+ *                  first use waits only for max(arrival, compile
+ *                  completion), so compilation hides under transfer
+ *                  and execution.
+ *
+ * Expected shape: eager JIT recovers most of the compile time on slow
+ * links (compilation fully hidden under the modem transfer), while on
+ * fast links it degenerates toward lazy JIT.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+#include "transfer/engine.h"
+#include "vm/interpreter.h"
+
+using namespace nse;
+
+namespace
+{
+
+/** Cycles to JIT-compile a method (cost per code byte). */
+constexpr uint64_t kCompilePerByte = 2'000;
+
+uint64_t
+compileCost(const MethodInfo &m)
+{
+    return kCompilePerByte * m.code.size();
+}
+
+enum class JitPolicy
+{
+    StrictLazy,
+    NonStrictLazy,
+    NonStrictEager,
+};
+
+uint64_t
+runJit(BenchEntry &e, const LinkModel &link, JitPolicy policy)
+{
+    Simulator &sim = *e.sim;
+    const FirstUseOrder &order = sim.ordering(OrderingSource::Test);
+    TransferLayout layout =
+        makeInterleavedLayout(e.workload.program, order, nullptr);
+
+    if (policy == JitPolicy::StrictLazy) {
+        // Full transfer, then execution with compile-at-first-use.
+        uint64_t transfer = static_cast<uint64_t>(
+            std::ceil(static_cast<double>(layout.totalBytes) *
+                      link.cyclesPerByte));
+        Vm vm(e.workload.program, e.workload.natives,
+              e.workload.testInput);
+        vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+            return clock + compileCost(e.workload.program.method(id));
+        });
+        return transfer + vm.run().clock;
+    }
+
+    TransferEngine engine(link.cyclesPerByte, 1);
+    engine.addStream(layout.streams[0].name,
+                     layout.streams[0].totalBytes);
+    engine.scheduleStart(0, 0);
+
+    // Background compiler state for the eager policy: methods compile
+    // in arrival order on one compiler thread.
+    // compileDone[m] = max(arrival_m, compiler-free time) + cost.
+    std::map<MethodId, uint64_t> compile_done;
+    if (policy == JitPolicy::NonStrictEager) {
+        uint64_t compiler_free = 0;
+        for (const MethodId &id : order.order) {
+            uint64_t arrival = static_cast<uint64_t>(
+                std::ceil(static_cast<double>(
+                              layout.of(id).availOffset) *
+                          link.cyclesPerByte));
+            uint64_t begin = std::max(arrival, compiler_free);
+            compiler_free =
+                begin + compileCost(e.workload.program.method(id));
+            compile_done[id] = compiler_free;
+        }
+    }
+
+    Vm vm(e.workload.program, e.workload.natives, e.workload.testInput);
+    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+        uint64_t ready =
+            engine.waitFor(0, layout.of(id).availOffset, clock);
+        if (policy == JitPolicy::NonStrictLazy)
+            return ready + compileCost(e.workload.program.method(id));
+        // Eager: the background compiler may already be done.
+        return std::max(ready, compile_done[id]);
+    });
+    return vm.run().clock;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Extension (paper section 8)",
+                "Overlapping JIT compilation with transfer: total "
+                "cycles normalized to strict+JIT (interleaved "
+                "transfer, Test ordering)");
+
+    Table t({"Program", "T1 Lazy", "T1 Eager", "Modem Lazy",
+             "Modem Eager"});
+    std::vector<double> sums(4, 0.0);
+    std::vector<BenchEntry> entries = benchWorkloads();
+    for (BenchEntry &e : entries) {
+        std::vector<std::string> row{e.workload.name};
+        size_t col = 0;
+        for (const LinkModel &link : {kT1Link, kModemLink}) {
+            double base = static_cast<double>(
+                runJit(e, link, JitPolicy::StrictLazy));
+            for (JitPolicy p : {JitPolicy::NonStrictLazy,
+                                JitPolicy::NonStrictEager}) {
+                double pct =
+                    100.0 * static_cast<double>(runJit(e, link, p)) /
+                    base;
+                sums[col++] += pct;
+                row.push_back(fmtF(pct, 1));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> avg{"AVG"};
+    for (double s : sums)
+        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 1));
+    t.addRow(std::move(avg));
+
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension — procedure splitting (paper §4's unimplemented option).
+ *
+ * TestDes is the paper's cautionary tale: its first procedure is most
+ * of its first class file, so method-level non-strictness barely
+ * improves its invocation latency (Table 4: 1%). The paper notes the
+ * fix — "large procedures can still benefit by using the compiler to
+ * break the procedure up into smaller procedures" — without building
+ * it. This bench runs our splitting pass (restructure/split) at a 2 KB
+ * method threshold and reports, per workload, invocation latency and
+ * normalized total time before and after splitting (interleaved
+ * transfer, Test ordering, modem link).
+ *
+ * Expected shape: TestDes's invocation latency collapses once its
+ * giant main is fragmented; already-small-method programs are
+ * unchanged.
+ */
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+#include "restructure/split.h"
+
+using namespace nse;
+
+namespace
+{
+
+struct Row
+{
+    uint64_t invocation;
+    double normalized;
+};
+
+Row
+measure(const Workload &w)
+{
+    Simulator sim(w.program, w.natives, w.trainInput, w.testInput);
+    SimConfig strict;
+    strict.mode = SimConfig::Mode::Strict;
+    strict.link = kModemLink;
+    SimResult base = sim.run(strict);
+
+    Row row;
+    row.invocation = sim.nonStrictInvocationLatency(kModemLink, false);
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Interleaved;
+    cfg.ordering = OrderingSource::Test;
+    cfg.link = kModemLink;
+    row.normalized = normalizedPct(sim.run(cfg), base);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Extension (paper section 4)",
+                "Procedure splitting at a 2KB method threshold: "
+                "non-strict invocation latency (Mcycles, modem) and "
+                "normalized time (interleaved, Test ordering)");
+
+    Table t({"Program", "Tails Added", "Latency Before M",
+             "Latency After M", "Norm Before", "Norm After"});
+
+    for (const std::string name :
+         {"BIT", "Hanoi", "JavaCup", "Jess", "JHLZip", "TestDes"}) {
+        Workload plain = makeWorkload(name);
+        Row before = measure(plain);
+
+        Workload split_wl = makeWorkload(name);
+        SplitStats stats = splitLargeMethods(split_wl.program, 2'048);
+        Row after = measure(split_wl);
+
+        t.addRow({name, std::to_string(stats.tailsCreated),
+                  fmtMillions(before.invocation),
+                  fmtMillions(after.invocation),
+                  fmtF(before.normalized, 1), fmtF(after.normalized, 1)});
+    }
+
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: summary of average normalized execution
+ * time across the six programs. Bars: parallel file transfer (limit
+ * 4), parallel + data partitioning, interleaved transfer, interleaved
+ * + data partitioning; grouped by ordering (SCG/Train/Test) for each
+ * link. Printed as the data series behind the figure plus an ASCII
+ * rendition.
+ */
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace nse;
+
+int
+main()
+{
+    benchHeader("Figure 6",
+                "Average normalized execution time (% of strict) — "
+                "the paper's summary bar chart as data + ASCII bars");
+
+    const OrderingSource orders[] = {OrderingSource::Static,
+                                     OrderingSource::Train,
+                                     OrderingSource::Test};
+    const LinkModel links[] = {kT1Link, kModemLink};
+    struct Series
+    {
+        const char *name;
+        SimConfig::Mode mode;
+        bool partition;
+    };
+    const Series series[] = {
+        {"Parallel File Transfer", SimConfig::Mode::Parallel, false},
+        {"PFT Data Partitioned", SimConfig::Mode::Parallel, true},
+        {"Interleaved File Transfer", SimConfig::Mode::Interleaved,
+         false},
+        {"IFT Data Partitioned", SimConfig::Mode::Interleaved, true},
+    };
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+
+    Table t({"Series", "T1 SCG", "T1 Train", "T1 Test", "Modem SCG",
+             "Modem Train", "Modem Test"});
+    std::map<std::string, std::vector<double>> values;
+
+    for (const Series &sr : series) {
+        std::vector<std::string> row{sr.name};
+        for (const LinkModel &link : links) {
+            for (OrderingSource ord : orders) {
+                double sum = 0;
+                for (BenchEntry &e : entries) {
+                    SimConfig strict;
+                    strict.mode = SimConfig::Mode::Strict;
+                    strict.link = link;
+                    SimResult base = e.sim->run(strict);
+                    SimConfig cfg;
+                    cfg.mode = sr.mode;
+                    cfg.ordering = ord;
+                    cfg.link = link;
+                    cfg.parallelLimit = 4;
+                    cfg.dataPartition = sr.partition;
+                    sum += normalizedPct(e.sim->run(cfg), base);
+                }
+                double avg = sum / static_cast<double>(entries.size());
+                values[sr.name].push_back(avg);
+                row.push_back(fmtF(avg, 1));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+
+    std::cout << t.render() << "\n";
+
+    // ASCII bars, grouped like the paper's figure.
+    const char *group_names[] = {"T1 SCG",    "T1 Train",   "T1 Test",
+                                 "Modem SCG", "Modem Train", "Modem Test"};
+    for (int g = 0; g < 6; ++g) {
+        std::cout << group_names[g] << "\n";
+        for (const Series &sr : series) {
+            double v = values[sr.name][static_cast<size_t>(g)];
+            int width = static_cast<int>(v / 2.0 + 0.5);
+            std::cout << "  " << std::string(static_cast<size_t>(width),
+                                             '#')
+                      << " " << fmtF(v, 1) << "  " << sr.name << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Table 10: normalized execution time with global
+ * data partitioned into per-method GMDs, for parallel file transfer
+ * (limit four, as the paper fixes) and interleaved file transfer, on
+ * both links and all three orderings.
+ */
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace nse;
+
+int
+main()
+{
+    benchHeader("Table 10",
+                "Normalized execution time (% of strict) with global "
+                "data partitioning; parallel transfer uses limit 4");
+
+    const OrderingSource orders[] = {OrderingSource::Static,
+                                     OrderingSource::Train,
+                                     OrderingSource::Test};
+    const LinkModel links[] = {kT1Link, kModemLink};
+    const SimConfig::Mode modes[] = {SimConfig::Mode::Parallel,
+                                     SimConfig::Mode::Interleaved};
+
+    Table t({"Program", "PFT T1 SCG", "PFT T1 Train", "PFT T1 Test",
+             "PFT Mod SCG", "PFT Mod Train", "PFT Mod Test",
+             "IFT T1 SCG", "IFT T1 Train", "IFT T1 Test", "IFT Mod SCG",
+             "IFT Mod Train", "IFT Mod Test"});
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<double> sums(12, 0.0);
+    for (BenchEntry &e : entries) {
+        std::vector<std::string> row{e.workload.name};
+        size_t col = 0;
+        for (SimConfig::Mode mode : modes) {
+            for (const LinkModel &link : links) {
+                SimConfig strict;
+                strict.mode = SimConfig::Mode::Strict;
+                strict.link = link;
+                SimResult base = e.sim->run(strict);
+                for (OrderingSource ord : orders) {
+                    SimConfig cfg;
+                    cfg.mode = mode;
+                    cfg.ordering = ord;
+                    cfg.link = link;
+                    cfg.parallelLimit = 4;
+                    cfg.dataPartition = true;
+                    double pct = normalizedPct(e.sim->run(cfg), base);
+                    sums[col++] += pct;
+                    row.push_back(fmtF(pct, 0));
+                }
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> avg{"AVG"};
+    for (double s : sums)
+        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 0));
+    t.addRow(std::move(avg));
+
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Table 3 (base case statistics): per-program CPI,
+ * execution cycles, and — for the T1 and modem links — transfer
+ * cycles, total strict-execution cycles, and the percentage of strict
+ * execution spent transferring. This is the baseline every other
+ * experiment normalizes against.
+ */
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace nse;
+
+namespace
+{
+
+void
+linkColumns(Simulator &sim, const LinkModel &link, Table &table,
+            const std::string &name, double cpi, uint64_t exec)
+{
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Strict;
+    cfg.link = link;
+    SimResult r = sim.run(cfg);
+    table.addRow({
+        name,
+        fmtF(cpi, 0),
+        fmtMillions(exec),
+        fmtMillions(r.transferCycles),
+        fmtMillions(r.totalCycles),
+        fmtF(100.0 * static_cast<double>(r.transferCycles) /
+                 static_cast<double>(r.totalCycles),
+             1),
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Table 3",
+                "Base case statistics per link (cycles in millions; "
+                "strict = full transfer then execution)");
+
+    Table t1({"Program", "CPI", "Exe Cycles M", "Transfer Cycles M",
+              "Total Strict M", "% Transfer"});
+    Table modem({"Program", "CPI", "Exe Cycles M", "Transfer Cycles M",
+                 "Total Strict M", "% Transfer"});
+
+    double cpi_sum = 0;
+    int n = 0;
+    for (BenchEntry &e : benchWorkloads()) {
+        const VmResult &exec = e.sim->testProfile().result;
+        linkColumns(*e.sim, kT1Link, t1, e.workload.name, exec.cpi(),
+                    exec.execCycles);
+        linkColumns(*e.sim, kModemLink, modem, e.workload.name,
+                    exec.cpi(), exec.execCycles);
+        cpi_sum += exec.cpi();
+        ++n;
+    }
+
+    std::cout << "--- T1 link (3,815 cycles/byte) ---\n"
+              << t1.render() << "\n"
+              << "--- Modem link (134,698 cycles/byte) ---\n"
+              << modem.render() << "\nAVG CPI: " << fmtF(cpi_sum / n, 0)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the effect of non-strict execution and
+ * program restructuring on invocation latency. For each link: cycles
+ * (millions) until execution begins under strict execution (first
+ * class file fully transferred), non-strict execution (global data +
+ * first procedure transferred), and non-strict with global-data
+ * partitioning (needed-first chunk + main's GMD + main transferred),
+ * with percent decreases in parentheses.
+ */
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace nse;
+
+namespace
+{
+
+std::string
+withPct(uint64_t cycles, uint64_t strict)
+{
+    double pct = 100.0 *
+                 (static_cast<double>(strict) -
+                  static_cast<double>(cycles)) /
+                 static_cast<double>(strict);
+    return cat(fmtMillions(cycles), " (", fmtF(pct, 0), ")");
+}
+
+void
+linkTable(std::vector<BenchEntry> &entries, const LinkModel &link)
+{
+    Table t({"Program", "Strict M", "NonStrict M (%dec)",
+             "Data Part. M (%dec)"});
+    uint64_t sum_strict = 0;
+    double sum_ns_pct = 0, sum_dp_pct = 0;
+    for (BenchEntry &e : entries) {
+        uint64_t strict = e.sim->strictInvocationLatency(link);
+        uint64_t ns = e.sim->nonStrictInvocationLatency(link, false);
+        uint64_t dp = e.sim->nonStrictInvocationLatency(link, true);
+        t.addRow({e.workload.name, fmtMillions(strict),
+                  withPct(ns, strict), withPct(dp, strict)});
+        sum_strict += strict;
+        sum_ns_pct += 100.0 * (1.0 - static_cast<double>(ns) / strict);
+        sum_dp_pct += 100.0 * (1.0 - static_cast<double>(dp) / strict);
+    }
+    double n = static_cast<double>(entries.size());
+    t.addRow({"AVG", fmtMillions(sum_strict / entries.size()),
+              cat("(", fmtF(sum_ns_pct / n, 0), ")"),
+              cat("(", fmtF(sum_dp_pct / n, 0), ")")});
+    std::cout << "--- " << link.name << " link ---\n" << t.render()
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Table 4",
+                "Invocation latency: strict vs non-strict vs "
+                "non-strict + data partitioning");
+    std::vector<BenchEntry> entries = benchWorkloads();
+    linkTable(entries, kT1Link);
+    linkTable(entries, kModemLink);
+    return 0;
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Reproduces paper Table 5: normalized execution time for parallel
+ * file transfer on the T1 link (orderings x concurrency limits).
+ */
+
+#include "bench/parallel_table.h"
+
+int
+main()
+{
+    return nse::runParallelTable(nse::kT1Link);
+}

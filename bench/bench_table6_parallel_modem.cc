@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Reproduces paper Table 6: normalized execution time for parallel
+ * file transfer on the 28.8K modem link (orderings x limits).
+ */
+
+#include "bench/parallel_table.h"
+
+int
+main()
+{
+    return nse::runParallelTable(nse::kModemLink);
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Table 7: normalized execution time for interleaved
+ * file transfer (the single virtual file), for both links and the
+ * three orderings.
+ */
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace nse;
+
+int
+main()
+{
+    benchHeader("Table 7",
+                "Normalized execution time (% of strict) for "
+                "interleaved file transfer");
+
+    const OrderingSource orders[] = {OrderingSource::Static,
+                                     OrderingSource::Train,
+                                     OrderingSource::Test};
+    const LinkModel links[] = {kT1Link, kModemLink};
+
+    Table t({"Program", "T1 SCG", "T1 Train", "T1 Test", "Modem SCG",
+             "Modem Train", "Modem Test"});
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<double> sums(6, 0.0);
+    for (BenchEntry &e : entries) {
+        std::vector<std::string> row{e.workload.name};
+        size_t col = 0;
+        for (const LinkModel &link : links) {
+            SimConfig strict;
+            strict.mode = SimConfig::Mode::Strict;
+            strict.link = link;
+            SimResult base = e.sim->run(strict);
+            for (OrderingSource ord : orders) {
+                SimConfig cfg;
+                cfg.mode = SimConfig::Mode::Interleaved;
+                cfg.ordering = ord;
+                cfg.link = link;
+                double pct = normalizedPct(e.sim->run(cfg), base);
+                sums[col++] += pct;
+                row.push_back(fmtF(pct, 0));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+
+    std::vector<std::string> avg{"AVG"};
+    for (double s : sums)
+        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 0));
+    t.addRow(std::move(avg));
+
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Table 9: class-file data split into local (in
+ * methods) vs global data, and the global data further broken into
+ * the share needed before execution, the share that can travel with
+ * methods (GMDs of executed methods), and the unused share.
+ */
+
+#include "bench/bench_common.h"
+#include "classfile/writer.h"
+#include "report/table.h"
+
+using namespace nse;
+
+int
+main()
+{
+    benchHeader("Table 9",
+                "Local vs global data, and the global-data split into "
+                "needed-first / in-methods / unused (test-input run)");
+
+    Table t({"Program", "Local Data KB", "Global Data KB",
+             "% Needed First", "% In Methods", "% Unused"});
+
+    double sums[5] = {0, 0, 0, 0, 0};
+    std::vector<BenchEntry> entries = benchWorkloads();
+    for (BenchEntry &e : entries) {
+        const Program &prog = e.workload.program;
+
+        uint64_t local = 0;
+        for (uint16_t c = 0; c < prog.classCount(); ++c)
+            local += layoutOf(prog.classAt(c)).localDataBytes;
+
+        const DataPartition &part =
+            e.sim->partition(OrderingSource::Test);
+
+        std::set<MethodId> executed;
+        for (auto &[id, mp] : e.sim->testProfile().methods)
+            executed.insert(id);
+        GlobalDataUsage usage = analyzeUsage(prog, part, executed);
+
+        t.addRow({e.workload.name, fmtKb(local, 1),
+                  fmtKb(usage.total(), 1),
+                  fmtF(usage.pctNeededFirst(), 0),
+                  fmtF(usage.pctInMethods(), 0),
+                  fmtF(usage.pctUnused(), 0)});
+        sums[0] += static_cast<double>(local) / 1024.0;
+        sums[1] += static_cast<double>(usage.total()) / 1024.0;
+        sums[2] += usage.pctNeededFirst();
+        sums[3] += usage.pctInMethods();
+        sums[4] += usage.pctUnused();
+    }
+    double n = static_cast<double>(entries.size());
+    t.addRow({"AVG", fmtF(sums[0] / n, 1), fmtF(sums[1] / n, 1),
+              fmtF(sums[2] / n, 0), fmtF(sums[3] / n, 0),
+              fmtF(sums[4] / n, 0)});
+
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared driver for Tables 5 and 6 (parallel file transfer, one table
+ * per link): normalized execution time for orderings {SCG, Train,
+ * Test} x concurrent-transfer limits {1, 2, 4, unlimited}.
+ */
+
+#ifndef NSE_BENCH_PARALLEL_TABLE_H
+#define NSE_BENCH_PARALLEL_TABLE_H
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+namespace nse
+{
+
+inline int
+runParallelTable(const LinkModel &link)
+{
+    benchHeader(cat("Table ", link.cyclesPerByte < 10000 ? 5 : 6),
+                cat("Normalized execution time (% of strict) for "
+                    "parallel file transfer on the ",
+                    link.name,
+                    " link; orderings SCG/Train/Test, limits "
+                    "1/2/4/unlimited"));
+
+    const int limits[] = {1, 2, 4, -1};
+    const OrderingSource orders[] = {OrderingSource::Static,
+                                     OrderingSource::Train,
+                                     OrderingSource::Test};
+
+    Table t({"Program", "SCG 1", "SCG 2", "SCG 4", "SCG Inf", "Train 1",
+             "Train 2", "Train 4", "Train Inf", "Test 1", "Test 2",
+             "Test 4", "Test Inf"});
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<double> sums(12, 0.0);
+    for (BenchEntry &e : entries) {
+        SimConfig strict;
+        strict.mode = SimConfig::Mode::Strict;
+        strict.link = link;
+        SimResult base = e.sim->run(strict);
+
+        std::vector<std::string> row{e.workload.name};
+        size_t col = 0;
+        for (OrderingSource ord : orders) {
+            for (int limit : limits) {
+                SimConfig cfg;
+                cfg.mode = SimConfig::Mode::Parallel;
+                cfg.ordering = ord;
+                cfg.link = link;
+                cfg.parallelLimit = limit;
+                double pct = normalizedPct(e.sim->run(cfg), base);
+                sums[col++] += pct;
+                row.push_back(fmtF(pct, 0));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+
+    std::vector<std::string> avg{"AVG"};
+    for (double s : sums)
+        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 0));
+    t.addRow(std::move(avg));
+
+    std::cout << t.render();
+    return 0;
+}
+
+} // namespace nse
+
+#endif // NSE_BENCH_PARALLEL_TABLE_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Non-strict loader demo: streams a restructured class file through
+ * the StreamingLoader at modem pace, printing the moment the global
+ * data verifies and each method becomes executable — the mechanism
+ * behind every simulation in this repository, running for real on
+ * actual wire bytes.
+ *
+ * Usage:  ./build/examples/nonstrict_loader [workload]
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/first_use.h"
+#include "classfile/writer.h"
+#include "restructure/reorder.h"
+#include "vm/streaming_loader.h"
+#include "workloads/workload.h"
+
+using namespace nse;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "Hanoi";
+    Workload w = makeWorkload(name);
+
+    // Restructure the entry class into first-use order and serialize.
+    FirstUseOrder order = staticFirstUse(w.program);
+    auto per_class = order.perClassOrder(w.program);
+    auto entry_idx = static_cast<uint16_t>(
+        w.program.classIndex(w.program.entryClass()));
+    ClassFile entry = reorderClassFile(w.program.classAt(entry_idx),
+                                       per_class[entry_idx]);
+    SerializedClass sc = writeClassFile(entry);
+
+    std::cout << "streaming " << entry.name() << " ("
+              << sc.bytes.size() << " bytes, "
+              << entry.methods.size()
+              << " methods) over a 28.8K modem...\n\n";
+
+    constexpr double kModemCyclesPerByte = 134'698.0;
+    constexpr double kCpuHz = 500e6;
+    constexpr size_t kChunk = 64; // bytes per network burst
+
+    StreamingLoader loader;
+    bool announced_global = false;
+    size_t announced_methods = 0;
+    for (size_t off = 0; off < sc.bytes.size(); off += kChunk) {
+        size_t n = std::min(kChunk, sc.bytes.size() - off);
+        loader.feed(sc.bytes.data() + off, n);
+        double t = static_cast<double>(off + n) * kModemCyclesPerByte /
+                   kCpuHz;
+
+        if (loader.globalDataVerified() && !announced_global) {
+            announced_global = true;
+            std::cout << std::fixed << std::setprecision(3) << "t=" << t
+                      << "s  global data verified ("
+                      << loader.globalDataEnd() << " bytes): class "
+                      << loader.classFile().name() << ", "
+                      << loader.methodsDeclared()
+                      << " methods declared\n";
+        }
+        while (announced_methods < loader.methodsReady()) {
+            const ClassFile &cf = loader.classFile();
+            std::cout << "t=" << std::setprecision(3) << t
+                      << "s  method ready: "
+                      << cf.methodName(cf.methods[announced_methods])
+                      << " (stream offset "
+                      << loader.methodEndOffset(announced_methods)
+                      << ")"
+                      << (announced_methods == 0
+                              ? "   <-- execution may begin here"
+                              : "")
+                      << "\n";
+            ++announced_methods;
+        }
+    }
+    std::cout << "\ncomplete: " << loader.methodsReady() << "/"
+              << loader.methodsDeclared()
+              << " methods loaded; a strict loader would have "
+                 "started execution only now.\n";
+    return loader.complete() ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Restructuring tool: the deployable half of the system — takes a
+ * program, profiles it on a train input, rewrites every class file
+ * into first-use order (the paper's Figure 3), and emits the
+ * serialized before/after class files plus a layout report. The
+ * round trip (write -> parse -> verify -> execute) proves the
+ * restructured files are behaviourally identical.
+ *
+ * Usage:  ./build/examples/restructure_tool [workload] [outdir]
+ */
+
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/first_use.h"
+#include "classfile/parser.h"
+#include "classfile/writer.h"
+#include "profile/first_use_profile.h"
+#include "program/archive.h"
+#include "restructure/reorder.h"
+#include "vm/interpreter.h"
+#include "vm/verifier.h"
+#include "workloads/workload.h"
+
+using namespace nse;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "JHLZip";
+    std::filesystem::path outdir =
+        argc > 2 ? argv[2] : "restructured_out";
+
+    Workload w = makeWorkload(name);
+
+    // Profile on the train input; complete with the static estimate.
+    FirstUseProfile profile =
+        profileRun(w.program, w.natives, w.trainInput);
+    FirstUseOrder order = completeWithStatic(w.program, profile.order);
+    std::cout << "profiled " << profile.order.size()
+              << " first uses on the train input; "
+              << (order.order.size() - order.usedCount)
+              << " methods placed by the static estimator\n";
+
+    // Rewrite and emit both versions as loadable archives.
+    Program written = reorderProgram(w.program, order);
+    saveProgram(w.program, outdir / "original");
+    saveProgram(written, outdir / "restructured");
+    std::cout << "wrote " << w.program.classCount()
+              << " class files (+manifest) to " << outdir
+              << "/{original,restructured}\n";
+
+    // Disk round trip: load the restructured archive back and verify.
+    Program restructured = loadProgram(outdir / "restructured");
+    const ClassFile &entry =
+        restructured.classByName(w.program.entryClass());
+    std::cout << "reloaded " << restructured.classCount()
+              << " classes; " << entry.name() << "'s first method is "
+              << entry.methodName(entry.methods.front()) << "\n";
+
+    Verifier verifier(restructured);
+    verifier.verifyAll();
+
+    // Behavioural equivalence on the *test* input.
+    Vm before(w.program, w.natives, w.testInput);
+    Vm after(restructured, w.natives, w.testInput);
+    VmResult a = before.run();
+    VmResult b = after.run();
+    std::cout << "execution equivalence on the test input: "
+              << (a.output == b.output ? "outputs identical"
+                                       : "MISMATCH!")
+              << " (" << a.bytecodes << " bytecodes)\n";
+
+    // Layout report for the entry class.
+    ClassFileLayout orig_layout =
+        layoutOf(w.program.classByName(w.program.entryClass()));
+    ClassFileLayout new_layout = layoutOf(entry);
+    std::cout << "\nentry class layout (bytes):\n"
+              << "  global data: " << orig_layout.globalDataEnd
+              << " (unchanged: " << new_layout.globalDataEnd << ")\n"
+              << "  first method now ends at "
+              << new_layout.methods.front().end << " vs "
+              << orig_layout.methods.front().end
+              << " before — that is all a non-strict loader needs to "
+                 "start executing\n";
+    return a.output == b.output ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+#include "analysis/first_use.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/cfg.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** Interprocedural modified-DFS driver. */
+class StaticEstimator
+{
+  public:
+    explicit StaticEstimator(const Program &prog) : prog_(prog) {}
+
+    std::vector<MethodId>
+    run()
+    {
+        visitMethod(prog_.entry());
+        return std::move(order_);
+    }
+
+  private:
+    void
+    visitMethod(MethodId id)
+    {
+        if (!visited_.insert(id).second)
+            return;
+        order_.push_back(id);
+        if (prog_.method(id).isNative())
+            return;
+        traverse(buildCfg(prog_, id));
+    }
+
+    void
+    traverse(const Cfg &cfg)
+    {
+        // Explicit DFS stack plus the paper's placeholder stack of
+        // (loop-exit block, loop header) pairs: an exit is deferred
+        // until control returns to its loop's header via the back
+        // edge — i.e. until the blocks inside the loop have been
+        // searched for calls.
+        std::vector<uint32_t> stack{0};
+        std::vector<std::pair<uint32_t, uint32_t>> deferred;
+        std::vector<bool> seen(cfg.blocks.size(), false);
+
+        auto release = [&](uint32_t header) {
+            // Move exits of this loop onto the DFS stack.
+            for (size_t i = deferred.size(); i-- > 0;) {
+                if (deferred[i].second == header) {
+                    stack.push_back(deferred[i].first);
+                    deferred.erase(deferred.begin() +
+                                   static_cast<long>(i));
+                }
+            }
+        };
+
+        while (!stack.empty() || !deferred.empty()) {
+            uint32_t blk;
+            if (!stack.empty()) {
+                blk = stack.back();
+                stack.pop_back();
+            } else {
+                blk = deferred.back().first;
+                deferred.pop_back();
+            }
+            if (seen[blk])
+                continue;
+            seen[blk] = true;
+
+            // The order calls are first encountered is the predicted
+            // first-use order: descend into callees immediately.
+            for (auto &[target, is_virtual] : cfg.blocks[blk].calls)
+                visitMethod(target);
+
+            // Partition successors: a back edge completes its loop and
+            // releases the loop's deferred exits; loop-exit edges are
+            // deferred with their header; forward edges are prioritised
+            // by the number of static loops below them.
+            std::vector<uint32_t> forward;
+            for (uint32_t succ : cfg.blocks[blk].succs) {
+                if (cfg.isBackEdge(blk, succ)) {
+                    release(succ);
+                    continue;
+                }
+                if (seen[succ])
+                    continue;
+                if (cfg.loopDepth[succ] < cfg.loopDepth[blk]) {
+                    deferred.emplace_back(succ, cfg.innerHeader[blk]);
+                } else {
+                    forward.push_back(succ);
+                }
+            }
+            // Push lowest-priority first so the loop-richest path pops
+            // first (the paper's forward-branch heuristic).
+            std::stable_sort(forward.begin(), forward.end(),
+                             [&](uint32_t a, uint32_t b) {
+                                 return cfg.loopsBelow[a] <
+                                        cfg.loopsBelow[b];
+                             });
+            for (uint32_t succ : forward)
+                stack.push_back(succ);
+        }
+    }
+
+    const Program &prog_;
+    std::set<MethodId> visited_;
+    std::vector<MethodId> order_;
+};
+
+} // namespace
+
+std::vector<std::vector<uint16_t>>
+FirstUseOrder::perClassOrder(const Program &prog) const
+{
+    std::vector<std::vector<uint16_t>> per_class(prog.classCount());
+    for (const MethodId &id : order)
+        per_class[id.classIdx].push_back(id.methodIdx);
+    return per_class;
+}
+
+std::vector<std::vector<size_t>>
+FirstUseOrder::ranks(const Program &prog) const
+{
+    std::vector<std::vector<size_t>> rank(prog.classCount());
+    for (uint16_t c = 0; c < prog.classCount(); ++c)
+        rank[c].assign(prog.classAt(c).methods.size(), SIZE_MAX);
+    for (size_t i = 0; i < order.size(); ++i)
+        rank[order[i].classIdx][order[i].methodIdx] = i;
+    return rank;
+}
+
+FirstUseOrder
+staticFirstUse(const Program &prog)
+{
+    StaticEstimator estimator(prog);
+    FirstUseOrder out;
+    out.order = estimator.run();
+    out.usedCount = out.order.size();
+
+    // Methods unreachable from the entry transfer last, program order.
+    std::set<MethodId> placed(out.order.begin(), out.order.end());
+    prog.forEachMethod([&](MethodId id, const ClassFile &,
+                           const MethodInfo &) {
+        if (!placed.count(id))
+            out.order.push_back(id);
+    });
+    return out;
+}
+
+FirstUseOrder
+completeWithStatic(const Program &prog, std::vector<MethodId> partial)
+{
+    FirstUseOrder out;
+    out.order = std::move(partial);
+    out.usedCount = out.order.size();
+    std::set<MethodId> placed(out.order.begin(), out.order.end());
+    FirstUseOrder fallback = staticFirstUse(prog);
+    for (const MethodId &id : fallback.order) {
+        if (!placed.count(id)) {
+            out.order.push_back(id);
+            placed.insert(id);
+        }
+    }
+    NSE_ASSERT(out.order.size() == prog.methodCount(),
+               "first-use order does not cover the program");
+    return out;
+}
+
+} // namespace nse

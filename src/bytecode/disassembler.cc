@@ -1,0 +1,50 @@
+#include "bytecode/disassembler.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace nse
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const auto &info = opcodeInfo(inst.op);
+    std::ostringstream os;
+    os << std::setw(5) << inst.offset << ": " << info.name;
+    switch (info.operand) {
+      case OperandKind::None:
+        break;
+      case OperandKind::ImmI8:
+      case OperandKind::ImmI32:
+        os << " " << inst.operand;
+        break;
+      case OperandKind::Local:
+        os << " slot=" << inst.operand;
+        break;
+      case OperandKind::CpIdx:
+        os << " cp#" << inst.operand;
+        break;
+      case OperandKind::Branch:
+        os << " -> " << inst.operand;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const std::vector<Instruction> &insts)
+{
+    std::ostringstream os;
+    for (const auto &inst : insts)
+        os << disassemble(inst) << "\n";
+    return os.str();
+}
+
+std::string
+disassembleCode(const std::vector<uint8_t> &code)
+{
+    return disassemble(decodeCode(code));
+}
+
+} // namespace nse

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Human-readable listings of bytecode streams, used by the examples and
+ * by test diagnostics.
+ */
+
+#ifndef NSE_BYTECODE_DISASSEMBLER_H
+#define NSE_BYTECODE_DISASSEMBLER_H
+
+#include <string>
+#include <vector>
+
+#include "bytecode/instruction.h"
+
+namespace nse
+{
+
+/** Render one instruction as "offset: MNEMONIC operand". */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole instruction sequence, one instruction per line. */
+std::string disassemble(const std::vector<Instruction> &insts);
+
+/** Decode and render an encoded bytecode stream. */
+std::string disassembleCode(const std::vector<uint8_t> &code);
+
+} // namespace nse
+
+#endif // NSE_BYTECODE_DISASSEMBLER_H

@@ -1,0 +1,79 @@
+#include "bytecode/opcode.h"
+
+#include <array>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+#define NSE_OPCODE_INFO(name, kind, cost) \
+    OpcodeInfo{#name, OperandKind::kind, cost},
+    NSE_OPCODE_LIST(NSE_OPCODE_INFO)
+#undef NSE_OPCODE_INFO
+}};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    NSE_ASSERT(idx < kNumOpcodes, "opcode out of range: ", idx);
+    return kOpcodeTable[idx];
+}
+
+bool
+isValidOpcode(uint8_t raw)
+{
+    return raw < kNumOpcodes;
+}
+
+size_t
+encodedSize(Opcode op)
+{
+    switch (opcodeInfo(op).operand) {
+      case OperandKind::None:
+        return 1;
+      case OperandKind::ImmI8:
+        return 2;
+      case OperandKind::ImmI32:
+        return 5;
+      case OperandKind::Local:
+      case OperandKind::CpIdx:
+      case OperandKind::Branch:
+        return 3;
+    }
+    panic("unreachable operand kind");
+}
+
+bool
+isBranch(Opcode op)
+{
+    return opcodeInfo(op).operand == OperandKind::Branch;
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    return isBranch(op) && op != Opcode::GOTO;
+}
+
+bool
+isReturn(Opcode op)
+{
+    return op == Opcode::RETURN || op == Opcode::IRETURN ||
+           op == Opcode::ARETURN;
+}
+
+bool
+isInvoke(Opcode op)
+{
+    return op == Opcode::INVOKESTATIC || op == Opcode::INVOKEVIRTUAL;
+}
+
+} // namespace nse

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The bytecode instruction set of the mobile-program substrate.
+ *
+ * The ISA is a JVM-flavoured stack machine: integer arithmetic,
+ * reference-typed object/array operations, class-file constant-pool
+ * addressing, and static/virtual invocation. Each opcode carries at most
+ * one operand, whose encoding is described by its OperandKind.
+ *
+ * Per-opcode cycle costs model an interpreter on the paper's 500 MHz
+ * Alpha: tens of cycles of dispatch/execute per bytecode, with calls,
+ * allocation, and field traffic costing more. Workloads add native-call
+ * costs on top, which is how the paper's per-program CPI spread
+ * (82..3830) arises.
+ */
+
+#ifndef NSE_BYTECODE_OPCODE_H
+#define NSE_BYTECODE_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace nse
+{
+
+/** How an opcode's single operand is encoded in the instruction stream. */
+enum class OperandKind : uint8_t
+{
+    None,   ///< no operand
+    ImmI8,  ///< 8-bit signed immediate
+    ImmI32, ///< 32-bit signed immediate
+    Local,  ///< u16 local-variable slot index
+    CpIdx,  ///< u16 constant-pool index
+    Branch, ///< u16 absolute bytecode offset within the method
+};
+
+/**
+ * Opcode list as an X-macro: NSE_OPCODE(mnemonic, operand kind,
+ * interpreter cycle cost). Order defines the binary encoding.
+ */
+#define NSE_OPCODE_LIST(X)                                                   \
+    X(NOP,          None,   25)                                              \
+    X(PUSH_I8,      ImmI8,  30)                                              \
+    X(PUSH_I32,     ImmI32, 32)                                              \
+    X(LDC,          CpIdx,  44)                                              \
+    X(ACONST_NULL,  None,   30)                                              \
+    X(ILOAD,        Local,  34)                                              \
+    X(ISTORE,       Local,  34)                                              \
+    X(ALOAD,        Local,  34)                                              \
+    X(ASTORE,       Local,  34)                                              \
+    X(POP,          None,   28)                                              \
+    X(DUP,          None,   30)                                              \
+    X(DUP_X1,       None,   34)                                              \
+    X(SWAP,         None,   32)                                              \
+    X(IADD,         None,   33)                                              \
+    X(ISUB,         None,   33)                                              \
+    X(IMUL,         None,   40)                                              \
+    X(IDIV,         None,   72)                                              \
+    X(IREM,         None,   74)                                              \
+    X(INEG,         None,   31)                                              \
+    X(ISHL,         None,   34)                                              \
+    X(ISHR,         None,   34)                                              \
+    X(IUSHR,        None,   34)                                              \
+    X(IAND,         None,   33)                                              \
+    X(IOR,          None,   33)                                              \
+    X(IXOR,         None,   33)                                              \
+    X(IFEQ,         Branch, 42)                                              \
+    X(IFNE,         Branch, 42)                                              \
+    X(IFLT,         Branch, 42)                                              \
+    X(IFGE,         Branch, 42)                                              \
+    X(IFGT,         Branch, 42)                                              \
+    X(IFLE,         Branch, 42)                                              \
+    X(IF_ICMPEQ,    Branch, 46)                                              \
+    X(IF_ICMPNE,    Branch, 46)                                              \
+    X(IF_ICMPLT,    Branch, 46)                                              \
+    X(IF_ICMPGE,    Branch, 46)                                              \
+    X(IF_ICMPGT,    Branch, 46)                                              \
+    X(IF_ICMPLE,    Branch, 46)                                              \
+    X(IF_ACMPEQ,    Branch, 46)                                              \
+    X(IF_ACMPNE,    Branch, 46)                                              \
+    X(IFNULL,       Branch, 42)                                              \
+    X(IFNONNULL,    Branch, 42)                                              \
+    X(GOTO,         Branch, 38)                                              \
+    X(INVOKESTATIC, CpIdx,  210)                                             \
+    X(INVOKEVIRTUAL,CpIdx,  260)                                             \
+    X(RETURN,       None,   110)                                             \
+    X(IRETURN,      None,   112)                                             \
+    X(ARETURN,      None,   112)                                             \
+    X(NEW,          CpIdx,  320)                                             \
+    X(NEWARRAY,     None,   300)                                             \
+    X(ANEWARRAY,    None,   310)                                             \
+    X(IALOAD,       None,   52)                                              \
+    X(IASTORE,      None,   54)                                              \
+    X(AALOAD,       None,   52)                                              \
+    X(AASTORE,      None,   56)                                              \
+    X(ARRAYLENGTH,  None,   40)                                              \
+    X(GETFIELD,     CpIdx,  62)                                              \
+    X(PUTFIELD,     CpIdx,  64)                                              \
+    X(GETSTATIC,    CpIdx,  58)                                              \
+    X(PUTSTATIC,    CpIdx,  60)
+
+/** Binary opcode values; order is the wire encoding. */
+enum class Opcode : uint8_t
+{
+#define NSE_OPCODE_ENUM(name, kind, cost) name,
+    NSE_OPCODE_LIST(NSE_OPCODE_ENUM)
+#undef NSE_OPCODE_ENUM
+};
+
+/** Number of defined opcodes. */
+constexpr size_t kNumOpcodes = 0
+#define NSE_OPCODE_COUNT(name, kind, cost) +1
+    NSE_OPCODE_LIST(NSE_OPCODE_COUNT)
+#undef NSE_OPCODE_COUNT
+    ;
+
+/** Static per-opcode properties. */
+struct OpcodeInfo
+{
+    std::string_view name;
+    OperandKind operand;
+    uint32_t cycleCost;
+};
+
+/** Look up metadata for an opcode; panics on out-of-range values. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** True when the raw byte encodes a defined opcode. */
+bool isValidOpcode(uint8_t raw);
+
+/** Encoded size in bytes of an instruction with this opcode. */
+size_t encodedSize(Opcode op);
+
+/** True for conditional branches and GOTO. */
+bool isBranch(Opcode op);
+
+/** True for conditional branches (falls through when untaken). */
+bool isConditionalBranch(Opcode op);
+
+/** True for RETURN / IRETURN / ARETURN. */
+bool isReturn(Opcode op);
+
+/** True for INVOKESTATIC / INVOKEVIRTUAL. */
+bool isInvoke(Opcode op);
+
+} // namespace nse
+
+#endif // NSE_BYTECODE_OPCODE_H

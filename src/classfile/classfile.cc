@@ -1,0 +1,58 @@
+#include "classfile/classfile.h"
+
+namespace nse
+{
+
+namespace
+{
+
+// Serialized method layout, kept in sync with writer.cc:
+//   access u16 + name u16 + desc u16 + maxLocals u16
+//   localDataLen u32 + localData
+//   codeLen u32 + code
+//   delimiter u32
+constexpr size_t kMethodHeaderBytes = 2 + 2 + 2 + 2 + 4 + 4;
+constexpr size_t kMethodDelimiterBytes = 4;
+
+} // namespace
+
+size_t
+MethodInfo::transferSize() const
+{
+    return kMethodHeaderBytes + localData.size() + code.size() +
+           kMethodDelimiterBytes;
+}
+
+int
+ClassFile::findMethod(std::string_view name, std::string_view desc) const
+{
+    for (size_t i = 0; i < methods.size(); ++i) {
+        if (methodName(methods[i]) == name &&
+            methodDescriptor(methods[i]) == desc) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+int
+ClassFile::findMethod(std::string_view name) const
+{
+    for (size_t i = 0; i < methods.size(); ++i) {
+        if (methodName(methods[i]) == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+ClassFile::findField(std::string_view name) const
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (fieldName(fields[i]) == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace nse

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * In-memory class-file model: the unit of mobile-code transfer.
+ *
+ * Mirrors the JVM class-file split the paper relies on:
+ *  - *global data*: header, constant pool, interfaces, field table,
+ *    class-level attributes — everything a class needs before any of
+ *    its methods can run;
+ *  - *methods*: per-method local data (auxiliary tables: exception,
+ *    line-number, debug info) plus bytecode. In the serialized form a
+ *    method delimiter follows each method so a non-strict loader knows
+ *    when the method has fully arrived (paper §3).
+ */
+
+#ifndef NSE_CLASSFILE_CLASSFILE_H
+#define NSE_CLASSFILE_CLASSFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classfile/constant_pool.h"
+#include "classfile/descriptor.h"
+
+namespace nse
+{
+
+/** Access / modifier flags for classes, fields and methods. */
+enum AccessFlags : uint16_t
+{
+    kAccPublic = 0x0001,
+    kAccPrivate = 0x0002,
+    kAccStatic = 0x0008,
+    kAccFinal = 0x0010,
+    kAccNative = 0x0100,
+    kAccAbstract = 0x0400,
+};
+
+/** One field declaration (static or instance). */
+struct FieldInfo
+{
+    uint16_t accessFlags = 0;
+    uint16_t nameIdx = 0; ///< Utf8 cp index
+    uint16_t descIdx = 0; ///< Utf8 cp index ("I" or "A")
+
+    bool isStatic() const { return accessFlags & kAccStatic; }
+};
+
+/** One method: metadata, auxiliary local data, and bytecode. */
+struct MethodInfo
+{
+    uint16_t accessFlags = 0;
+    uint16_t nameIdx = 0; ///< Utf8 cp index
+    uint16_t descIdx = 0; ///< Utf8 cp index, method descriptor
+    uint16_t maxLocals = 0;
+    /**
+     * Auxiliary per-method data transferred alongside the code (the
+     * paper's "local data": exception tables, line-number tables,
+     * literal tables). Opaque to the VM; counts toward transfer size.
+     */
+    std::vector<uint8_t> localData;
+    /** Encoded bytecode stream. Empty for native methods. */
+    std::vector<uint8_t> code;
+
+    bool isStatic() const { return accessFlags & kAccStatic; }
+    bool isNative() const { return accessFlags & kAccNative; }
+
+    /** Serialized size: header + local data + code + delimiter. */
+    size_t transferSize() const;
+};
+
+/** A named class-level attribute blob (SourceFile, debug info, ...). */
+struct AttributeInfo
+{
+    uint16_t nameIdx = 0; ///< Utf8 cp index
+    std::vector<uint8_t> data;
+};
+
+/** A complete class file. */
+struct ClassFile
+{
+    uint16_t accessFlags = kAccPublic;
+    uint16_t thisClassIdx = 0;  ///< Class cp index
+    uint16_t superClassIdx = 0; ///< Class cp index, 0 = no superclass
+    std::vector<uint16_t> interfaceIdxs; ///< Class cp indices
+    ConstantPool cpool;
+    std::vector<FieldInfo> fields;
+    std::vector<MethodInfo> methods;
+    std::vector<AttributeInfo> attributes;
+
+    const std::string &name() const { return cpool.className(thisClassIdx); }
+
+    bool hasSuper() const { return superClassIdx != 0; }
+    const std::string &superName() const
+    {
+        return cpool.className(superClassIdx);
+    }
+
+    const std::string &methodName(const MethodInfo &m) const
+    {
+        return cpool.utf8At(m.nameIdx);
+    }
+    const std::string &methodDescriptor(const MethodInfo &m) const
+    {
+        return cpool.utf8At(m.descIdx);
+    }
+    const std::string &fieldName(const FieldInfo &f) const
+    {
+        return cpool.utf8At(f.nameIdx);
+    }
+
+    /** Index of the method with this name+descriptor, or -1. */
+    int findMethod(std::string_view name, std::string_view desc) const;
+
+    /** Index of the first method with this name, or -1. */
+    int findMethod(std::string_view name) const;
+
+    /** Index of the field with this name, or -1. */
+    int findField(std::string_view name) const;
+};
+
+} // namespace nse
+
+#endif // NSE_CLASSFILE_CLASSFILE_H

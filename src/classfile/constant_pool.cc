@@ -1,0 +1,248 @@
+#include "classfile/constant_pool.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+const char *
+cpTagName(CpTag tag)
+{
+    switch (tag) {
+      case CpTag::Invalid: return "Invalid";
+      case CpTag::Utf8: return "Utf8";
+      case CpTag::Integer: return "Integer";
+      case CpTag::Float: return "Float";
+      case CpTag::Long: return "Long";
+      case CpTag::Double: return "Double";
+      case CpTag::Class: return "Class";
+      case CpTag::String: return "String";
+      case CpTag::FieldRef: return "FieldRef";
+      case CpTag::MethodRef: return "MethodRef";
+      case CpTag::InterfaceMethodRef: return "InterfaceMethodRef";
+      case CpTag::NameAndType: return "NameAndType";
+    }
+    return "Unknown";
+}
+
+ConstantPool::ConstantPool()
+{
+    // Reserved slot 0, as in the JVM.
+    entries_.push_back(CpEntry{});
+}
+
+uint16_t
+ConstantPool::intern(const std::string &key, CpEntry entry)
+{
+    auto it = internTable_.find(key);
+    if (it != internTable_.end())
+        return it->second;
+    NSE_CHECK(entries_.size() < UINT16_MAX, "constant pool overflow");
+    entries_.push_back(std::move(entry));
+    auto idx = static_cast<uint16_t>(entries_.size() - 1);
+    internTable_.emplace(key, idx);
+    return idx;
+}
+
+uint16_t
+ConstantPool::addUtf8(std::string_view s)
+{
+    CpEntry e;
+    e.tag = CpTag::Utf8;
+    e.utf8 = std::string(s);
+    return intern(cat("u:", s), std::move(e));
+}
+
+uint16_t
+ConstantPool::addInteger(int32_t v)
+{
+    CpEntry e;
+    e.tag = CpTag::Integer;
+    e.value = v;
+    return intern(cat("i:", v), std::move(e));
+}
+
+uint16_t
+ConstantPool::addFloat(uint32_t bits)
+{
+    CpEntry e;
+    e.tag = CpTag::Float;
+    e.value = bits;
+    return intern(cat("f:", bits), std::move(e));
+}
+
+uint16_t
+ConstantPool::addLong(int64_t v)
+{
+    CpEntry e;
+    e.tag = CpTag::Long;
+    e.value = v;
+    return intern(cat("l:", v), std::move(e));
+}
+
+uint16_t
+ConstantPool::addDouble(uint64_t bits)
+{
+    CpEntry e;
+    e.tag = CpTag::Double;
+    e.value = static_cast<int64_t>(bits);
+    return intern(cat("d:", bits), std::move(e));
+}
+
+uint16_t
+ConstantPool::addString(std::string_view s)
+{
+    uint16_t utf8 = addUtf8(s);
+    CpEntry e;
+    e.tag = CpTag::String;
+    e.ref1 = utf8;
+    return intern(cat("s:", utf8), std::move(e));
+}
+
+uint16_t
+ConstantPool::addClass(std::string_view name)
+{
+    uint16_t utf8 = addUtf8(name);
+    CpEntry e;
+    e.tag = CpTag::Class;
+    e.ref1 = utf8;
+    return intern(cat("c:", utf8), std::move(e));
+}
+
+uint16_t
+ConstantPool::addNameAndType(std::string_view name, std::string_view desc)
+{
+    uint16_t n = addUtf8(name);
+    uint16_t d = addUtf8(desc);
+    CpEntry e;
+    e.tag = CpTag::NameAndType;
+    e.ref1 = n;
+    e.ref2 = d;
+    return intern(cat("nt:", n, ":", d), std::move(e));
+}
+
+uint16_t
+ConstantPool::addFieldRef(std::string_view cls, std::string_view name,
+                          std::string_view desc)
+{
+    uint16_t c = addClass(cls);
+    uint16_t nt = addNameAndType(name, desc);
+    CpEntry e;
+    e.tag = CpTag::FieldRef;
+    e.ref1 = c;
+    e.ref2 = nt;
+    return intern(cat("fr:", c, ":", nt), std::move(e));
+}
+
+uint16_t
+ConstantPool::addMethodRef(std::string_view cls, std::string_view name,
+                           std::string_view desc)
+{
+    uint16_t c = addClass(cls);
+    uint16_t nt = addNameAndType(name, desc);
+    CpEntry e;
+    e.tag = CpTag::MethodRef;
+    e.ref1 = c;
+    e.ref2 = nt;
+    return intern(cat("mr:", c, ":", nt), std::move(e));
+}
+
+uint16_t
+ConstantPool::addInterfaceMethodRef(std::string_view cls,
+                                    std::string_view name,
+                                    std::string_view desc)
+{
+    uint16_t c = addClass(cls);
+    uint16_t nt = addNameAndType(name, desc);
+    CpEntry e;
+    e.tag = CpTag::InterfaceMethodRef;
+    e.ref1 = c;
+    e.ref2 = nt;
+    return intern(cat("imr:", c, ":", nt), std::move(e));
+}
+
+uint16_t
+ConstantPool::appendRaw(CpEntry entry)
+{
+    NSE_CHECK(entries_.size() < UINT16_MAX, "constant pool overflow");
+    entries_.push_back(std::move(entry));
+    return static_cast<uint16_t>(entries_.size() - 1);
+}
+
+bool
+ConstantPool::valid(uint16_t idx) const
+{
+    return idx > 0 && idx < entries_.size();
+}
+
+const CpEntry &
+ConstantPool::at(uint16_t idx) const
+{
+    NSE_ASSERT(valid(idx), "constant pool index out of range: ", idx);
+    return entries_[idx];
+}
+
+const CpEntry &
+ConstantPool::at(uint16_t idx, CpTag expected) const
+{
+    if (!valid(idx))
+        fatal("constant pool index out of range: ", idx);
+    const CpEntry &e = entries_[idx];
+    if (e.tag != expected)
+        fatal("constant pool entry ", idx, " is ", cpTagName(e.tag),
+              ", expected ", cpTagName(expected));
+    return e;
+}
+
+const std::string &
+ConstantPool::utf8At(uint16_t idx) const
+{
+    return at(idx, CpTag::Utf8).utf8;
+}
+
+const std::string &
+ConstantPool::className(uint16_t class_idx) const
+{
+    return utf8At(at(class_idx, CpTag::Class).ref1);
+}
+
+ConstantPool::MemberRef
+ConstantPool::memberRef(uint16_t idx) const
+{
+    const CpEntry &e = at(idx);
+    if (e.tag != CpTag::FieldRef && e.tag != CpTag::MethodRef &&
+        e.tag != CpTag::InterfaceMethodRef) {
+        fatal("constant pool entry ", idx, " is ", cpTagName(e.tag),
+              ", expected a member reference");
+    }
+    const CpEntry &nt = at(e.ref2, CpTag::NameAndType);
+    return MemberRef{className(e.ref1), utf8At(nt.ref1), utf8At(nt.ref2)};
+}
+
+size_t
+ConstantPool::entryByteSize(const CpEntry &entry)
+{
+    switch (entry.tag) {
+      case CpTag::Invalid:
+        return 0;
+      case CpTag::Utf8:
+        return 1 + 2 + entry.utf8.size();
+      case CpTag::Integer:
+      case CpTag::Float:
+        return 1 + 4;
+      case CpTag::Long:
+      case CpTag::Double:
+        return 1 + 8;
+      case CpTag::Class:
+      case CpTag::String:
+        return 1 + 2;
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+      case CpTag::NameAndType:
+        return 1 + 4;
+    }
+    panic("unreachable tag");
+}
+
+} // namespace nse

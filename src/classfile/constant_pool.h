@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Constant pool model mirroring the JVM class-file constant pool.
+ *
+ * The entry kinds are exactly those the paper's Table 8 enumerates
+ * (Utf8, Integer, Float, Long, Double, String, Class, FieldRef,
+ * MethodRef, InterfaceMethodRef, NameAndType) so the global-data
+ * breakdown experiment reproduces the same categories. Index 0 is
+ * reserved/invalid, as in the JVM.
+ */
+
+#ifndef NSE_CLASSFILE_CONSTANT_POOL_H
+#define NSE_CLASSFILE_CONSTANT_POOL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nse
+{
+
+/** Constant pool entry tags; values are the wire encoding. */
+enum class CpTag : uint8_t
+{
+    Invalid = 0,
+    Utf8 = 1,
+    Integer = 3,
+    Float = 4,
+    Long = 5,
+    Double = 6,
+    Class = 7,
+    String = 8,
+    FieldRef = 9,
+    MethodRef = 10,
+    InterfaceMethodRef = 11,
+    NameAndType = 12,
+};
+
+/** Printable name of a tag ("Utf8", "MethodRef", ...). */
+const char *cpTagName(CpTag tag);
+
+/** One constant-pool entry. Which fields are live depends on the tag. */
+struct CpEntry
+{
+    CpTag tag = CpTag::Invalid;
+    /** Utf8 payload. */
+    std::string utf8;
+    /** Integer value, or raw bits for Float/Long/Double. */
+    int64_t value = 0;
+    /** First u16 cross-reference (class idx, utf8 idx, name idx...). */
+    uint16_t ref1 = 0;
+    /** Second u16 cross-reference (NameAndType idx, descriptor idx). */
+    uint16_t ref2 = 0;
+};
+
+/**
+ * A class file's constant pool with interning add* helpers.
+ *
+ * All add* methods return the (possibly pre-existing) entry index.
+ */
+class ConstantPool
+{
+  public:
+    ConstantPool();
+
+    uint16_t addUtf8(std::string_view s);
+    uint16_t addInteger(int32_t v);
+    uint16_t addFloat(uint32_t bits);
+    uint16_t addLong(int64_t v);
+    uint16_t addDouble(uint64_t bits);
+    uint16_t addString(std::string_view s);
+    uint16_t addClass(std::string_view name);
+    uint16_t addNameAndType(std::string_view name, std::string_view desc);
+    uint16_t addFieldRef(std::string_view cls, std::string_view name,
+                         std::string_view desc);
+    uint16_t addMethodRef(std::string_view cls, std::string_view name,
+                          std::string_view desc);
+    uint16_t addInterfaceMethodRef(std::string_view cls,
+                                   std::string_view name,
+                                   std::string_view desc);
+
+    /** Append a raw entry without interning (used by the parser). */
+    uint16_t appendRaw(CpEntry entry);
+
+    /** Number of slots including the reserved slot 0. */
+    uint16_t size() const { return static_cast<uint16_t>(entries_.size()); }
+
+    /** True when idx names a real (non-reserved, in-range) entry. */
+    bool valid(uint16_t idx) const;
+
+    /** Entry accessor; panics on invalid indices. */
+    const CpEntry &at(uint16_t idx) const;
+
+    /** Entry accessor checking the expected tag; fatal()s on mismatch. */
+    const CpEntry &at(uint16_t idx, CpTag expected) const;
+
+    /** Utf8 payload of entry idx, which must be a Utf8 entry. */
+    const std::string &utf8At(uint16_t idx) const;
+
+    /** Class name for a Class entry. */
+    const std::string &className(uint16_t class_idx) const;
+
+    /**
+     * Resolve a FieldRef/MethodRef/InterfaceMethodRef into
+     * (class name, member name, descriptor).
+     */
+    struct MemberRef
+    {
+        const std::string &className;
+        const std::string &name;
+        const std::string &descriptor;
+    };
+    MemberRef memberRef(uint16_t idx) const;
+
+    /** Serialized size in bytes of one entry (tag byte + payload). */
+    static size_t entryByteSize(const CpEntry &entry);
+
+    const std::vector<CpEntry> &entries() const { return entries_; }
+
+  private:
+    uint16_t intern(const std::string &key, CpEntry entry);
+
+    std::vector<CpEntry> entries_;
+    std::map<std::string, uint16_t> internTable_;
+};
+
+} // namespace nse
+
+#endif // NSE_CLASSFILE_CONSTANT_POOL_H

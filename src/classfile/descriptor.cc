@@ -1,0 +1,70 @@
+#include "classfile/descriptor.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+TypeKind
+kindForChar(char c, std::string_view desc)
+{
+    switch (c) {
+      case 'I':
+        return TypeKind::Int;
+      case 'A':
+        return TypeKind::Ref;
+      case 'V':
+        return TypeKind::Void;
+      default:
+        fatal("bad type character '", c, "' in descriptor \"", desc, "\"");
+    }
+}
+
+} // namespace
+
+MethodSig
+parseMethodDescriptor(std::string_view desc)
+{
+    NSE_CHECK(desc.size() >= 3 && desc.front() == '(',
+              "malformed method descriptor \"", desc, "\"");
+    MethodSig sig;
+    size_t i = 1;
+    while (i < desc.size() && desc[i] != ')') {
+        TypeKind k = kindForChar(desc[i], desc);
+        NSE_CHECK(k != TypeKind::Void, "void parameter in \"", desc, "\"");
+        sig.params.push_back(k);
+        ++i;
+    }
+    NSE_CHECK(i + 2 == desc.size() && desc[i] == ')',
+              "malformed method descriptor \"", desc, "\"");
+    sig.ret = kindForChar(desc[i + 1], desc);
+    return sig;
+}
+
+TypeKind
+parseFieldDescriptor(std::string_view desc)
+{
+    NSE_CHECK(desc.size() == 1, "malformed field descriptor \"", desc,
+              "\"");
+    TypeKind k = kindForChar(desc[0], desc);
+    NSE_CHECK(k != TypeKind::Void, "void field descriptor");
+    return k;
+}
+
+std::string
+makeMethodDescriptor(const std::vector<TypeKind> &params, TypeKind ret)
+{
+    std::string s = "(";
+    for (TypeKind k : params) {
+        NSE_ASSERT(k != TypeKind::Void, "void parameter");
+        s += (k == TypeKind::Int) ? 'I' : 'A';
+    }
+    s += ')';
+    s += (ret == TypeKind::Int) ? 'I' : (ret == TypeKind::Ref) ? 'A' : 'V';
+    return s;
+}
+
+} // namespace nse

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Method and field descriptor strings and their parsed form.
+ *
+ * Descriptors follow a JVM-like grammar restricted to the substrate's
+ * two value kinds:
+ *   I      int
+ *   A      reference (object or array)
+ *   V      void (return position only)
+ * A method descriptor is "(" params ")" return, e.g. "(IAI)V".
+ */
+
+#ifndef NSE_CLASSFILE_DESCRIPTOR_H
+#define NSE_CLASSFILE_DESCRIPTOR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nse
+{
+
+/** Value kinds tracked by descriptors, the verifier, and the VM. */
+enum class TypeKind : uint8_t
+{
+    Int,
+    Ref,
+    Void,
+};
+
+/** Parsed method signature. */
+struct MethodSig
+{
+    std::vector<TypeKind> params;
+    TypeKind ret = TypeKind::Void;
+
+    /** Number of local slots the arguments occupy (incl. receiver). */
+    uint16_t
+    argSlots(bool is_static) const
+    {
+        return static_cast<uint16_t>(params.size() + (is_static ? 0 : 1));
+    }
+};
+
+/** Parse "(II)V"-style descriptors; fatal()s on malformed input. */
+MethodSig parseMethodDescriptor(std::string_view desc);
+
+/** Parse a field descriptor ("I" or "A"); fatal()s on malformed input. */
+TypeKind parseFieldDescriptor(std::string_view desc);
+
+/** Render a signature back into descriptor syntax. */
+std::string makeMethodDescriptor(const std::vector<TypeKind> &params,
+                                 TypeKind ret);
+
+} // namespace nse
+
+#endif // NSE_CLASSFILE_DESCRIPTOR_H

@@ -1,0 +1,136 @@
+#include "classfile/parser.h"
+
+#include "classfile/writer.h"
+#include "support/bytebuffer.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+CpEntry
+readCpEntry(ByteReader &r)
+{
+    CpEntry e;
+    uint8_t raw = r.getU8();
+    e.tag = static_cast<CpTag>(raw);
+    switch (e.tag) {
+      case CpTag::Utf8:
+        e.utf8 = r.getString();
+        break;
+      case CpTag::Integer:
+      case CpTag::Float:
+        e.value = static_cast<int32_t>(r.getU32());
+        break;
+      case CpTag::Long:
+      case CpTag::Double:
+        e.value = static_cast<int64_t>(r.getU64());
+        break;
+      case CpTag::Class:
+      case CpTag::String:
+        e.ref1 = r.getU16();
+        break;
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+      case CpTag::NameAndType:
+        e.ref1 = r.getU16();
+        e.ref2 = r.getU16();
+        break;
+      default:
+        fatal("bad constant-pool tag ", int{raw});
+    }
+    return e;
+}
+
+/** Parse header through method count; returns method count. */
+uint16_t
+readGlobalData(ByteReader &r, ClassFile &cf)
+{
+    uint32_t magic = r.getU32();
+    if (magic != kClassFileMagic)
+        fatal("bad class-file magic: ", magic);
+    uint16_t version = r.getU16();
+    if (version != kClassFileVersion)
+        fatal("unsupported class-file version: ", version);
+
+    cf.accessFlags = r.getU16();
+    cf.thisClassIdx = r.getU16();
+    cf.superClassIdx = r.getU16();
+
+    uint16_t n_intfs = r.getU16();
+    for (uint16_t i = 0; i < n_intfs; ++i)
+        cf.interfaceIdxs.push_back(r.getU16());
+
+    uint16_t cp_count = r.getU16();
+    NSE_CHECK(cp_count >= 1, "constant pool must have the reserved slot");
+    for (uint16_t i = 1; i < cp_count; ++i)
+        cf.cpool.appendRaw(readCpEntry(r));
+
+    uint16_t n_fields = r.getU16();
+    for (uint16_t i = 0; i < n_fields; ++i) {
+        FieldInfo f;
+        f.accessFlags = r.getU16();
+        f.nameIdx = r.getU16();
+        f.descIdx = r.getU16();
+        cf.fields.push_back(f);
+    }
+
+    uint16_t n_attrs = r.getU16();
+    for (uint16_t i = 0; i < n_attrs; ++i) {
+        AttributeInfo a;
+        a.nameIdx = r.getU16();
+        uint32_t len = r.getU32();
+        a.data = r.getBytes(len);
+        cf.attributes.push_back(std::move(a));
+    }
+
+    return r.getU16(); // method count
+}
+
+MethodInfo
+readMethod(ByteReader &r)
+{
+    MethodInfo m;
+    m.accessFlags = r.getU16();
+    m.nameIdx = r.getU16();
+    m.descIdx = r.getU16();
+    m.maxLocals = r.getU16();
+    uint32_t local_len = r.getU32();
+    m.localData = r.getBytes(local_len);
+    uint32_t code_len = r.getU32();
+    m.code = r.getBytes(code_len);
+    uint32_t delim = r.getU32();
+    if (delim != kMethodDelimiter)
+        fatal("missing method delimiter (got ", delim, ")");
+    return m;
+}
+
+} // namespace
+
+ClassFile
+parseClassFile(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    ClassFile cf;
+    uint16_t n_methods = readGlobalData(r, cf);
+    for (uint16_t i = 0; i < n_methods; ++i)
+        cf.methods.push_back(readMethod(r));
+    if (!r.atEnd())
+        fatal("trailing bytes after last method: ", r.remaining());
+    return cf;
+}
+
+GlobalDataView
+parseGlobalData(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    GlobalDataView view;
+    view.methodCount = readGlobalData(r, view.partial);
+    view.globalDataEnd = r.pos();
+    return view;
+}
+
+} // namespace nse

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Class-file parser: the loader half of the wire format.
+ *
+ * parseClassFile() consumes bytes produced by writeClassFile() and
+ * rebuilds the in-memory model, checking magic, version, method
+ * delimiters, and structural bounds. This is verification steps 1-2 of
+ * the paper's five-step model (class-file structure + global data);
+ * bytecode-level checking is the Verifier's job (steps 3-4).
+ */
+
+#ifndef NSE_CLASSFILE_PARSER_H
+#define NSE_CLASSFILE_PARSER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "classfile/classfile.h"
+
+namespace nse
+{
+
+/** Parse a serialized class file; fatal()s on malformed input. */
+ClassFile parseClassFile(const std::vector<uint8_t> &bytes);
+
+/**
+ * Parse only the global data (everything before the first method) and
+ * report how many methods follow. Used by the incremental loader, which
+ * can verify and prepare a class as soon as its global data arrives.
+ */
+struct GlobalDataView
+{
+    ClassFile partial;   ///< class file with empty method bodies
+    uint16_t methodCount = 0;
+    size_t globalDataEnd = 0;
+};
+GlobalDataView parseGlobalData(const std::vector<uint8_t> &bytes);
+
+} // namespace nse
+
+#endif // NSE_CLASSFILE_PARSER_H

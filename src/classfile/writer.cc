@@ -1,0 +1,141 @@
+#include "classfile/writer.h"
+
+#include "support/bytebuffer.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+void
+writeCpEntry(ByteWriter &w, const CpEntry &e)
+{
+    w.putU8(static_cast<uint8_t>(e.tag));
+    switch (e.tag) {
+      case CpTag::Invalid:
+        panic("cannot serialize the reserved constant-pool slot");
+      case CpTag::Utf8:
+        w.putString(e.utf8);
+        break;
+      case CpTag::Integer:
+      case CpTag::Float:
+        w.putU32(static_cast<uint32_t>(e.value));
+        break;
+      case CpTag::Long:
+      case CpTag::Double:
+        w.putU64(static_cast<uint64_t>(e.value));
+        break;
+      case CpTag::Class:
+      case CpTag::String:
+        w.putU16(e.ref1);
+        break;
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+      case CpTag::NameAndType:
+        w.putU16(e.ref1);
+        w.putU16(e.ref2);
+        break;
+    }
+}
+
+} // namespace
+
+SerializedClass
+writeClassFile(const ClassFile &cf)
+{
+    SerializedClass out;
+    ByteWriter w;
+    ClassFileLayout &layout = out.layout;
+
+    // --- Global data: header ---------------------------------------
+    w.putU32(kClassFileMagic);
+    w.putU16(kClassFileVersion);
+    w.putU16(cf.accessFlags);
+    w.putU16(cf.thisClassIdx);
+    w.putU16(cf.superClassIdx);
+    layout.global.header = w.size();
+
+    // --- Interfaces --------------------------------------------------
+    size_t mark = w.size();
+    w.putU16(static_cast<uint16_t>(cf.interfaceIdxs.size()));
+    for (uint16_t idx : cf.interfaceIdxs)
+        w.putU16(idx);
+    layout.global.interfaces = w.size() - mark;
+
+    // --- Constant pool ------------------------------------------------
+    mark = w.size();
+    w.putU16(cf.cpool.size());
+    for (uint16_t i = 1; i < cf.cpool.size(); ++i) {
+        const CpEntry &e = cf.cpool.at(i);
+        size_t before = w.size();
+        writeCpEntry(w, e);
+        layout.global.cpoolByTag[static_cast<size_t>(e.tag)] +=
+            w.size() - before;
+    }
+    layout.global.cpool = w.size() - mark;
+
+    // --- Fields --------------------------------------------------------
+    mark = w.size();
+    w.putU16(static_cast<uint16_t>(cf.fields.size()));
+    for (const FieldInfo &f : cf.fields) {
+        w.putU16(f.accessFlags);
+        w.putU16(f.nameIdx);
+        w.putU16(f.descIdx);
+    }
+    layout.global.fields = w.size() - mark;
+
+    // --- Class attributes ----------------------------------------------
+    mark = w.size();
+    w.putU16(static_cast<uint16_t>(cf.attributes.size()));
+    for (const AttributeInfo &a : cf.attributes) {
+        w.putU16(a.nameIdx);
+        w.putU32(static_cast<uint32_t>(a.data.size()));
+        w.putBytes(a.data);
+    }
+    layout.global.attributes = w.size() - mark;
+
+    // --- Method table ----------------------------------------------------
+    // The method count is the last piece of global data: a loader needs
+    // it before it can walk the stream of methods.
+    w.putU16(static_cast<uint16_t>(cf.methods.size()));
+    layout.globalDataEnd = w.size();
+
+    for (const MethodInfo &m : cf.methods) {
+        MethodExtent extent;
+        extent.start = w.size();
+        w.putU16(m.accessFlags);
+        w.putU16(m.nameIdx);
+        w.putU16(m.descIdx);
+        w.putU16(m.maxLocals);
+        w.putU32(static_cast<uint32_t>(m.localData.size()));
+        w.putBytes(m.localData);
+        w.putU32(static_cast<uint32_t>(m.code.size()));
+        extent.codeStart = w.size();
+        w.putBytes(m.code);
+        w.putU32(kMethodDelimiter);
+        extent.end = w.size();
+        layout.methods.push_back(extent);
+        layout.localDataBytes += m.localData.size();
+        layout.codeBytes += m.code.size();
+        NSE_ASSERT(extent.end - extent.start == m.transferSize(),
+                   "transferSize out of sync with serialized layout for ",
+                   cf.methodName(m));
+    }
+
+    layout.totalSize = w.size();
+    out.bytes = w.take();
+    return out;
+}
+
+ClassFileLayout
+layoutOf(const ClassFile &cf)
+{
+    // Sizes are cheap to compute, and reusing the writer guarantees the
+    // layout can never drift from the serialized form.
+    return writeClassFile(cf).layout;
+}
+
+} // namespace nse

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Class-file serializer with byte-accurate layout accounting.
+ *
+ * The serialized layout is what the transfer simulator streams: global
+ * data first, then each method (local data + code) terminated by a
+ * method delimiter (paper §3). The writer therefore reports, alongside
+ * the bytes, a ClassFileLayout giving the extent of the global data and
+ * of every method — the offsets the non-strict availability model and
+ * the restructuring experiments are built on.
+ */
+
+#ifndef NSE_CLASSFILE_WRITER_H
+#define NSE_CLASSFILE_WRITER_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "classfile/classfile.h"
+
+namespace nse
+{
+
+/** Magic number opening every serialized class file ("NSEC"). */
+constexpr uint32_t kClassFileMagic = 0x4E534543;
+/** Current serialization version. */
+constexpr uint16_t kClassFileVersion = 1;
+/** Marker written after each method (the paper's method delimiter). */
+constexpr uint32_t kMethodDelimiter = 0xD311A117;
+
+/** Byte sizes of the global-data sections (paper Table 8 categories). */
+struct GlobalDataBreakdown
+{
+    size_t header = 0;     ///< magic, version, access, this, super
+    size_t interfaces = 0; ///< interface table
+    size_t cpool = 0;      ///< constant pool
+    size_t fields = 0;     ///< field table
+    size_t attributes = 0; ///< class-level attributes
+    /** Constant-pool bytes by entry tag, indexed by CpTag value. */
+    std::array<size_t, 13> cpoolByTag{};
+
+    size_t
+    total() const
+    {
+        return header + interfaces + cpool + fields + attributes;
+    }
+};
+
+/** Byte extents of one serialized method. */
+struct MethodExtent
+{
+    size_t start = 0;     ///< method header offset
+    size_t codeStart = 0; ///< first byte of the code stream
+    size_t end = 0;       ///< one past the method delimiter
+};
+
+/** Full layout of one serialized class file. */
+struct ClassFileLayout
+{
+    size_t totalSize = 0;
+    /** One past the last global-data byte (method table header incl.). */
+    size_t globalDataEnd = 0;
+    GlobalDataBreakdown global;
+    std::vector<MethodExtent> methods;
+    size_t localDataBytes = 0; ///< sum of per-method local data
+    size_t codeBytes = 0;      ///< sum of per-method code
+};
+
+/** Serialization result: the wire bytes plus their layout. */
+struct SerializedClass
+{
+    std::vector<uint8_t> bytes;
+    ClassFileLayout layout;
+};
+
+/** Serialize a class file into its transfer format. */
+SerializedClass writeClassFile(const ClassFile &cf);
+
+/** Layout-only variant (avoids materializing bytes when sizes suffice). */
+ClassFileLayout layoutOf(const ClassFile &cf);
+
+} // namespace nse
+
+#endif // NSE_CLASSFILE_WRITER_H

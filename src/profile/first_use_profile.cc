@@ -1,0 +1,78 @@
+#include "profile/first_use_profile.h"
+
+#include <set>
+
+#include "classfile/writer.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+const MethodProfile &
+FirstUseProfile::of(MethodId id) const
+{
+    static const MethodProfile kEmpty;
+    auto it = methods.find(id);
+    return it == methods.end() ? kEmpty : it->second;
+}
+
+double
+FirstUseProfile::executedInstrFraction(const Program &prog) const
+{
+    uint64_t executed = 0;
+    for (auto &[id, mp] : methods)
+        executed += mp.uniqueInstrs;
+    ProgramStatics stats = collectStatics(prog);
+    return stats.staticInstrs
+               ? static_cast<double>(executed) /
+                     static_cast<double>(stats.staticInstrs)
+               : 0.0;
+}
+
+FirstUseProfile
+profileRun(const Program &prog, const NativeRegistry &natives,
+           std::vector<int64_t> input)
+{
+    FirstUseProfile profile;
+    std::map<MethodId, std::set<uint32_t>> offsets_seen;
+
+    Vm vm(prog, natives, std::move(input));
+    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+        profile.order.push_back(id);
+        profile.firstUseClock.push_back(clock);
+        profile.methods[id].firstUseClock = clock;
+        return clock;
+    });
+    vm.setInstructionHook(
+        [&](MethodId id, const Instruction &inst, uint64_t) {
+            MethodProfile &mp = profile.methods[id];
+            ++mp.dynamicInstrs;
+            if (offsets_seen[id].insert(inst.offset).second) {
+                ++mp.uniqueInstrs;
+                mp.uniqueBytes += inst.size();
+            }
+        });
+
+    profile.result = vm.run();
+    return profile;
+}
+
+ProgramStatics
+collectStatics(const Program &prog)
+{
+    ProgramStatics stats;
+    stats.classFiles = prog.classCount();
+    stats.methods = prog.methodCount();
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        const ClassFile &cf = prog.classAt(c);
+        stats.totalBytes += layoutOf(cf).totalSize;
+        for (const MethodInfo &m : cf.methods) {
+            if (m.isNative())
+                continue;
+            stats.staticInstrs += decodeCode(m.code).size();
+        }
+    }
+    return stats;
+}
+
+} // namespace nse

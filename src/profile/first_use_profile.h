@@ -1,0 +1,81 @@
+/**
+ * @file
+ * First-use profiling (paper §4.2) and program statistics.
+ *
+ * A first-use profile is gathered by instrumenting an execution (the
+ * paper used BIT; we hook the interpreter): it records the order in
+ * which methods are first invoked, the cycle at which each first use
+ * happened, per-method dynamic instruction counts, and per-method
+ * *unique* executed bytes (distinct instructions executed, in bytes) —
+ * the quantity the profile-driven transfer scheduler accumulates.
+ */
+
+#ifndef NSE_PROFILE_FIRST_USE_PROFILE_H
+#define NSE_PROFILE_FIRST_USE_PROFILE_H
+
+#include <map>
+#include <vector>
+
+#include "program/program.h"
+#include "vm/interpreter.h"
+
+namespace nse
+{
+
+/** Per-method dynamic execution record. */
+struct MethodProfile
+{
+    /** Clock at first invocation; UINT64_MAX = never executed. */
+    uint64_t firstUseClock = UINT64_MAX;
+    uint64_t dynamicInstrs = 0;
+    /** Distinct static instructions executed. */
+    uint64_t uniqueInstrs = 0;
+    /** Bytes of those distinct instructions. */
+    uint64_t uniqueBytes = 0;
+
+    bool executed() const { return firstUseClock != UINT64_MAX; }
+};
+
+/** Result of one profiled run. */
+struct FirstUseProfile
+{
+    /** Observed first-use order (executed methods only). */
+    std::vector<MethodId> order;
+    /** Clock of each first use, parallel to `order`. */
+    std::vector<uint64_t> firstUseClock;
+    std::map<MethodId, MethodProfile> methods;
+    VmResult result;
+
+    const MethodProfile &of(MethodId id) const;
+    /** Fraction of static instructions that executed (Table 2). */
+    double executedInstrFraction(const Program &prog) const;
+};
+
+/** Execute the program on `input`, collecting a first-use profile. */
+FirstUseProfile profileRun(const Program &prog,
+                           const NativeRegistry &natives,
+                           std::vector<int64_t> input);
+
+/** Static program statistics (Table 2 inputs). */
+struct ProgramStatics
+{
+    size_t classFiles = 0;
+    size_t totalBytes = 0; ///< serialized size of all class files
+    uint64_t staticInstrs = 0;
+    size_t methods = 0;
+
+    double
+    instrsPerMethod() const
+    {
+        return methods ? static_cast<double>(staticInstrs) /
+                             static_cast<double>(methods)
+                       : 0.0;
+    }
+};
+
+/** Collect static statistics for one program. */
+ProgramStatics collectStatics(const Program &prog);
+
+} // namespace nse
+
+#endif // NSE_PROFILE_FIRST_USE_PROFILE_H

@@ -1,0 +1,93 @@
+#include "program/archive.h"
+
+#include <fstream>
+
+#include "classfile/parser.h"
+#include "classfile/writer.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace fs = std::filesystem;
+
+void
+saveProgram(const Program &prog, const fs::path &dir)
+{
+    fs::create_directories(dir);
+
+    std::ofstream manifest(dir / kManifestName);
+    NSE_CHECK(manifest.good(), "cannot write manifest in ",
+              dir.string());
+    manifest << "entry-class: " << prog.entryClass() << "\n"
+             << "entry-method: " << prog.entryMethod() << "\n"
+             << "classes: " << prog.classCount() << "\n";
+    for (uint16_t c = 0; c < prog.classCount(); ++c)
+        manifest << "class: " << prog.classAt(c).name() << "\n";
+    manifest.close();
+
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        SerializedClass sc = writeClassFile(prog.classAt(c));
+        fs::path file = dir / (prog.classAt(c).name() + ".class");
+        std::ofstream out(file, std::ios::binary);
+        NSE_CHECK(out.good(), "cannot write ", file.string());
+        out.write(reinterpret_cast<const char *>(sc.bytes.data()),
+                  static_cast<std::streamsize>(sc.bytes.size()));
+    }
+}
+
+namespace
+{
+
+std::string
+manifestValue(const std::string &line, const std::string &key)
+{
+    NSE_CHECK(line.rfind(key + ": ", 0) == 0, "malformed manifest line: ",
+              line);
+    return line.substr(key.size() + 2);
+}
+
+} // namespace
+
+Program
+loadProgram(const fs::path &dir)
+{
+    std::ifstream manifest(dir / kManifestName);
+    if (!manifest.good())
+        fatal("no manifest in ", dir.string());
+
+    std::string line;
+    NSE_CHECK(static_cast<bool>(std::getline(manifest, line)),
+              "empty manifest");
+    std::string entry_class = manifestValue(line, "entry-class");
+    NSE_CHECK(static_cast<bool>(std::getline(manifest, line)),
+              "manifest missing entry-method");
+    std::string entry_method = manifestValue(line, "entry-method");
+    NSE_CHECK(static_cast<bool>(std::getline(manifest, line)),
+              "manifest missing class count");
+    auto count = static_cast<size_t>(
+        std::stoul(manifestValue(line, "classes")));
+
+    std::vector<ClassFile> classes;
+    classes.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        NSE_CHECK(static_cast<bool>(std::getline(manifest, line)),
+                  "manifest lists fewer classes than declared");
+        std::string name = manifestValue(line, "class");
+        fs::path file = dir / (name + ".class");
+        std::ifstream in(file, std::ios::binary);
+        if (!in.good())
+            fatal("missing class file ", file.string());
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        ClassFile cf = parseClassFile(bytes);
+        if (cf.name() != name)
+            fatal("archive mismatch: ", file.string(), " contains class ",
+                  cf.name());
+        classes.push_back(std::move(cf));
+    }
+    return Program(std::move(classes), entry_class, entry_method);
+}
+
+} // namespace nse

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * On-disk program archives.
+ *
+ * A program ships as a directory of serialized `.class` files plus a
+ * tiny `manifest` naming the entry point — the shape a non-strict web
+ * server would actually host. saveProgram()/loadProgram() round-trip
+ * a Program through that layout, which is what lets the restructuring
+ * tool's output be re-loaded, re-verified, and re-simulated.
+ */
+
+#ifndef NSE_PROGRAM_ARCHIVE_H
+#define NSE_PROGRAM_ARCHIVE_H
+
+#include <filesystem>
+
+#include "program/program.h"
+
+namespace nse
+{
+
+/** Name of the manifest file inside an archive directory. */
+inline constexpr const char *kManifestName = "manifest";
+
+/**
+ * Write every class file plus the manifest into `dir` (created if
+ * needed). Existing files of the same names are overwritten.
+ */
+void saveProgram(const Program &prog, const std::filesystem::path &dir);
+
+/**
+ * Load an archive directory back into a Program. fatal()s on a
+ * missing/malformed manifest, missing class files, or parse errors.
+ */
+Program loadProgram(const std::filesystem::path &dir);
+
+} // namespace nse
+
+#endif // NSE_PROGRAM_ARCHIVE_H

@@ -1,0 +1,284 @@
+#include "program/builder.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** Deterministic filler for attribute/local-data blobs. */
+std::vector<uint8_t>
+fillerBytes(size_t n, std::string_view salt)
+{
+    uint64_t seed = 0xcbf29ce484222325ULL;
+    for (char c : salt)
+        seed = (seed ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.next());
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// MethodBuilder
+// ---------------------------------------------------------------------
+
+MethodBuilder::MethodBuilder(ClassBuilder &owner, std::string name,
+                             std::string desc, uint16_t access)
+    : owner_(owner), name_(std::move(name)), desc_(std::move(desc)),
+      access_(access)
+{
+    MethodSig sig = parseMethodDescriptor(desc_);
+    nextLocal_ = sig.argSlots(access_ & kAccStatic);
+}
+
+void
+MethodBuilder::ldcInt(int32_t v)
+{
+    emit(Opcode::LDC, owner_.cpool().addInteger(v));
+}
+
+void
+MethodBuilder::ldcString(std::string_view s)
+{
+    emit(Opcode::LDC, owner_.cpool().addString(s));
+}
+
+void
+MethodBuilder::invokeStatic(std::string_view cls, std::string_view name,
+                            std::string_view desc)
+{
+    emit(Opcode::INVOKESTATIC, owner_.cpool().addMethodRef(cls, name, desc));
+}
+
+void
+MethodBuilder::invokeVirtual(std::string_view cls, std::string_view name,
+                             std::string_view desc)
+{
+    emit(Opcode::INVOKEVIRTUAL,
+         owner_.cpool().addMethodRef(cls, name, desc));
+}
+
+void
+MethodBuilder::invokeInterface(std::string_view cls, std::string_view name,
+                               std::string_view desc)
+{
+    emit(Opcode::INVOKEVIRTUAL,
+         owner_.cpool().addInterfaceMethodRef(cls, name, desc));
+}
+
+void
+MethodBuilder::getStatic(std::string_view cls, std::string_view field,
+                         std::string_view desc)
+{
+    emit(Opcode::GETSTATIC, owner_.cpool().addFieldRef(cls, field, desc));
+}
+
+void
+MethodBuilder::putStatic(std::string_view cls, std::string_view field,
+                         std::string_view desc)
+{
+    emit(Opcode::PUTSTATIC, owner_.cpool().addFieldRef(cls, field, desc));
+}
+
+void
+MethodBuilder::getField(std::string_view cls, std::string_view field,
+                        std::string_view desc)
+{
+    emit(Opcode::GETFIELD, owner_.cpool().addFieldRef(cls, field, desc));
+}
+
+void
+MethodBuilder::putField(std::string_view cls, std::string_view field,
+                        std::string_view desc)
+{
+    emit(Opcode::PUTFIELD, owner_.cpool().addFieldRef(cls, field, desc));
+}
+
+void
+MethodBuilder::newObject(std::string_view cls)
+{
+    emit(Opcode::NEW, owner_.cpool().addClass(cls));
+}
+
+uint16_t
+MethodBuilder::newLocal()
+{
+    NSE_CHECK(nextLocal_ < UINT16_MAX, "too many locals in ", name_);
+    return nextLocal_++;
+}
+
+void
+MethodBuilder::setLocalDataSize(size_t bytes)
+{
+    localDataSize_ = bytes;
+}
+
+// ---------------------------------------------------------------------
+// ClassBuilder
+// ---------------------------------------------------------------------
+
+ClassBuilder::ClassBuilder(ProgramBuilder &owner, std::string name)
+    : owner_(owner), name_(std::move(name))
+{
+    cf_.thisClassIdx = cf_.cpool.addClass(name_);
+}
+
+ClassBuilder &
+ClassBuilder::setSuper(std::string_view name)
+{
+    cf_.superClassIdx = cf_.cpool.addClass(name);
+    return *this;
+}
+
+ClassBuilder &
+ClassBuilder::addInterface(std::string_view name)
+{
+    cf_.interfaceIdxs.push_back(cf_.cpool.addClass(name));
+    return *this;
+}
+
+ClassBuilder &
+ClassBuilder::addField(std::string_view name, std::string_view desc)
+{
+    FieldInfo f;
+    f.accessFlags = kAccPublic;
+    f.nameIdx = cf_.cpool.addUtf8(name);
+    f.descIdx = cf_.cpool.addUtf8(desc);
+    cf_.fields.push_back(f);
+    return *this;
+}
+
+ClassBuilder &
+ClassBuilder::addStaticField(std::string_view name, std::string_view desc)
+{
+    FieldInfo f;
+    f.accessFlags = kAccPublic | kAccStatic;
+    f.nameIdx = cf_.cpool.addUtf8(name);
+    f.descIdx = cf_.cpool.addUtf8(desc);
+    cf_.fields.push_back(f);
+    return *this;
+}
+
+ClassBuilder &
+ClassBuilder::addAttribute(std::string_view name, size_t bytes)
+{
+    AttributeInfo a;
+    a.nameIdx = cf_.cpool.addUtf8(name);
+    a.data = fillerBytes(bytes, cat(name_, "/", name));
+    cf_.attributes.push_back(std::move(a));
+    return *this;
+}
+
+ClassBuilder &
+ClassBuilder::addUnusedString(std::string_view s)
+{
+    cf_.cpool.addString(s);
+    return *this;
+}
+
+ClassBuilder &
+ClassBuilder::setAutoLocalDataRatio(double ratio)
+{
+    NSE_CHECK(ratio >= 0.0, "negative local-data ratio");
+    autoLocalDataRatio_ = ratio;
+    return *this;
+}
+
+MethodBuilder &
+ClassBuilder::startMethod(std::string_view name, std::string_view desc,
+                          uint16_t access)
+{
+    MethodInfo m;
+    m.accessFlags = access;
+    m.nameIdx = cf_.cpool.addUtf8(name);
+    m.descIdx = cf_.cpool.addUtf8(desc);
+    cf_.methods.push_back(m);
+
+    methodBuilders_.emplace_back(new MethodBuilder(
+        *this, std::string(name), std::string(desc), access));
+    builderOfMethod_.push_back(
+        static_cast<int>(methodBuilders_.size() - 1));
+    return *methodBuilders_.back();
+}
+
+MethodBuilder &
+ClassBuilder::addMethod(std::string_view name, std::string_view desc)
+{
+    return startMethod(name, desc, kAccPublic | kAccStatic);
+}
+
+MethodBuilder &
+ClassBuilder::addVirtualMethod(std::string_view name, std::string_view desc)
+{
+    return startMethod(name, desc, kAccPublic);
+}
+
+void
+ClassBuilder::addNativeMethod(std::string_view name, std::string_view desc)
+{
+    MethodInfo m;
+    m.accessFlags = kAccPublic | kAccStatic | kAccNative;
+    m.nameIdx = cf_.cpool.addUtf8(name);
+    m.descIdx = cf_.cpool.addUtf8(desc);
+    MethodSig sig = parseMethodDescriptor(desc);
+    m.maxLocals = sig.argSlots(true);
+    cf_.methods.push_back(m);
+    builderOfMethod_.push_back(-1);
+}
+
+ClassFile
+ClassBuilder::build()
+{
+    NSE_ASSERT(builderOfMethod_.size() == cf_.methods.size(),
+               "method bookkeeping out of sync in ", name_);
+    for (size_t i = 0; i < cf_.methods.size(); ++i) {
+        int bidx = builderOfMethod_[i];
+        if (bidx < 0)
+            continue; // native: no code
+        MethodBuilder &mb = *methodBuilders_[static_cast<size_t>(bidx)];
+        MethodInfo &m = cf_.methods[i];
+        m.code = encodeCode(mb.finish());
+        m.maxLocals = mb.nextLocal_;
+        size_t local_size = mb.localDataSize_;
+        if (local_size == SIZE_MAX) {
+            local_size = static_cast<size_t>(
+                static_cast<double>(m.code.size()) * autoLocalDataRatio_);
+        }
+        m.localData =
+            fillerBytes(local_size, cat(name_, ".", mb.name_));
+    }
+    return std::move(cf_);
+}
+
+// ---------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------
+
+ClassBuilder &
+ProgramBuilder::addClass(std::string_view name)
+{
+    classes_.emplace_back(new ClassBuilder(*this, std::string(name)));
+    return *classes_.back();
+}
+
+Program
+ProgramBuilder::build(std::string_view entry_class,
+                      std::string_view entry_method)
+{
+    std::vector<ClassFile> files;
+    files.reserve(classes_.size());
+    for (auto &cb : classes_)
+        files.push_back(cb->build());
+    classes_.clear();
+    return Program(std::move(files), std::string(entry_class),
+                   std::string(entry_method));
+}
+
+} // namespace nse

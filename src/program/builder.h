@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Fluent authoring API for mobile programs.
+ *
+ * ProgramBuilder -> ClassBuilder -> MethodBuilder compose class files
+ * without manual constant-pool bookkeeping: the method-level emitters
+ * (ldc*, invoke*, field accessors, newObject) intern the entries they
+ * need in the owning class's pool, exactly the way javac populates a
+ * real constant pool. MethodBuilder derives from CodeBuilder, so all
+ * structured control-flow combinators are available directly.
+ */
+
+#ifndef NSE_PROGRAM_BUILDER_H
+#define NSE_PROGRAM_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bytecode/code_builder.h"
+#include "program/program.h"
+
+namespace nse
+{
+
+class ClassBuilder;
+class ProgramBuilder;
+
+/** Builds one method: code plus the constant-pool entries it uses. */
+class MethodBuilder : public CodeBuilder
+{
+  public:
+    /** Load an int constant through the constant pool (LDC). */
+    void ldcInt(int32_t v);
+    /** Load an interned string constant (LDC); pushes a ref. */
+    void ldcString(std::string_view s);
+
+    void invokeStatic(std::string_view cls, std::string_view name,
+                      std::string_view desc);
+    void invokeVirtual(std::string_view cls, std::string_view name,
+                       std::string_view desc);
+    void invokeInterface(std::string_view cls, std::string_view name,
+                         std::string_view desc);
+
+    void getStatic(std::string_view cls, std::string_view field,
+                   std::string_view desc = "I");
+    void putStatic(std::string_view cls, std::string_view field,
+                   std::string_view desc = "I");
+    void getField(std::string_view cls, std::string_view field,
+                  std::string_view desc = "I");
+    void putField(std::string_view cls, std::string_view field,
+                  std::string_view desc = "I");
+
+    /** NEW: push a fresh instance of the named class. */
+    void newObject(std::string_view cls);
+
+    /** Allocate the next fresh local slot. */
+    uint16_t newLocal();
+
+    /**
+     * Set the method's auxiliary local-data size explicitly; when not
+     * called, the class's auto ratio applies at build time.
+     */
+    void setLocalDataSize(size_t bytes);
+
+    const std::string &name() const { return name_; }
+    const std::string &descriptor() const { return desc_; }
+
+  private:
+    friend class ClassBuilder;
+
+    MethodBuilder(ClassBuilder &owner, std::string name, std::string desc,
+                  uint16_t access);
+
+    ClassBuilder &owner_;
+    std::string name_;
+    std::string desc_;
+    uint16_t access_;
+    uint16_t nextLocal_;
+    size_t localDataSize_ = SIZE_MAX; ///< SIZE_MAX = use auto ratio
+};
+
+/** Builds one class file. */
+class ClassBuilder
+{
+  public:
+    /** Set the superclass (by name). */
+    ClassBuilder &setSuper(std::string_view name);
+
+    /** Declare an implemented interface (by name). */
+    ClassBuilder &addInterface(std::string_view name);
+
+    /** Declare an instance field. */
+    ClassBuilder &addField(std::string_view name,
+                           std::string_view desc = "I");
+
+    /** Declare a static field. */
+    ClassBuilder &addStaticField(std::string_view name,
+                                 std::string_view desc = "I");
+
+    /** Add a class-level attribute filled with n deterministic bytes. */
+    ClassBuilder &addAttribute(std::string_view name, size_t bytes);
+
+    /**
+     * Add unreferenced constant-pool entries (debug strings and the
+     * like) modelling the "unused global data" the paper measures.
+     */
+    ClassBuilder &addUnusedString(std::string_view s);
+
+    /**
+     * Ratio of auxiliary local data to code size for methods that don't
+     * set an explicit size. Real class files carry line-number/debug
+     * tables of roughly this magnitude (paper Table 9).
+     */
+    ClassBuilder &setAutoLocalDataRatio(double ratio);
+
+    /** Begin a static method; returns its builder. */
+    MethodBuilder &addMethod(std::string_view name, std::string_view desc);
+
+    /** Begin an instance (virtual) method. */
+    MethodBuilder &addVirtualMethod(std::string_view name,
+                                    std::string_view desc);
+
+    /** Begin a static native method (no bytecode; VM-registered body). */
+    void addNativeMethod(std::string_view name, std::string_view desc);
+
+    const std::string &name() const { return name_; }
+    ConstantPool &cpool() { return cf_.cpool; }
+
+  private:
+    friend class ProgramBuilder;
+    friend class MethodBuilder;
+
+    ClassBuilder(ProgramBuilder &owner, std::string name);
+
+    MethodBuilder &startMethod(std::string_view name,
+                               std::string_view desc, uint16_t access);
+
+    /** Finalize into a ClassFile (encodes all method bodies). */
+    ClassFile build();
+
+    ProgramBuilder &owner_;
+    std::string name_;
+    ClassFile cf_;
+    std::vector<std::unique_ptr<MethodBuilder>> methodBuilders_;
+    /** Per-method index into methodBuilders_, or -1 for natives. */
+    std::vector<int> builderOfMethod_;
+    double autoLocalDataRatio_ = 1.6;
+};
+
+/** Builds a whole program. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder() = default;
+
+    /** Start a new class; the returned reference stays valid. */
+    ClassBuilder &addClass(std::string_view name);
+
+    /** Finalize all classes into a Program. */
+    Program build(std::string_view entry_class,
+                  std::string_view entry_method = "main");
+
+  private:
+    std::vector<std::unique_ptr<ClassBuilder>> classes_;
+};
+
+} // namespace nse
+
+#endif // NSE_PROGRAM_BUILDER_H

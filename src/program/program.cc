@@ -1,0 +1,148 @@
+#include "program/program.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+Program::Program(std::vector<ClassFile> classes, std::string entry_class,
+                 std::string entry_method)
+    : classes_(std::move(classes)), entryClass_(std::move(entry_class)),
+      entryMethod_(std::move(entry_method))
+{
+    reindex();
+}
+
+void
+Program::reindex()
+{
+    byName_.clear();
+    for (size_t i = 0; i < classes_.size(); ++i) {
+        const std::string &name = classes_[i].name();
+        NSE_CHECK(!byName_.count(name), "duplicate class name: ", name);
+        byName_.emplace(name, static_cast<uint16_t>(i));
+    }
+}
+
+const ClassFile &
+Program::classAt(uint16_t idx) const
+{
+    NSE_ASSERT(idx < classes_.size(), "class index out of range: ", idx);
+    return classes_[idx];
+}
+
+ClassFile &
+Program::classAt(uint16_t idx)
+{
+    NSE_ASSERT(idx < classes_.size(), "class index out of range: ", idx);
+    return classes_[idx];
+}
+
+int
+Program::classIndex(std::string_view name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const ClassFile &
+Program::classByName(std::string_view name) const
+{
+    int idx = classIndex(name);
+    if (idx < 0)
+        fatal("unknown class: ", name);
+    return classes_[static_cast<size_t>(idx)];
+}
+
+MethodId
+Program::entry() const
+{
+    return resolveStatic(entryClass_, entryMethod_, "()V");
+}
+
+const MethodInfo &
+Program::method(MethodId id) const
+{
+    const ClassFile &cf = classAt(id.classIdx);
+    NSE_ASSERT(id.methodIdx < cf.methods.size(),
+               "method index out of range in ", cf.name());
+    return cf.methods[id.methodIdx];
+}
+
+std::string
+Program::methodLabel(MethodId id) const
+{
+    const ClassFile &cf = classAt(id.classIdx);
+    return cat(cf.name(), ".", cf.methodName(cf.methods[id.methodIdx]));
+}
+
+MethodId
+Program::resolveStatic(std::string_view cls, std::string_view name,
+                       std::string_view desc) const
+{
+    int cidx = classIndex(cls);
+    if (cidx < 0)
+        fatal("unknown class in static call: ", cls);
+    int midx = classes_[static_cast<size_t>(cidx)].findMethod(name, desc);
+    if (midx < 0)
+        fatal("unknown static method: ", cls, ".", name, desc);
+    return MethodId{static_cast<uint16_t>(cidx),
+                    static_cast<uint16_t>(midx)};
+}
+
+MethodId
+Program::resolveVirtual(std::string_view cls, std::string_view name,
+                        std::string_view desc) const
+{
+    int cidx = classIndex(cls);
+    if (cidx < 0)
+        fatal("unknown class in virtual call: ", cls);
+    while (cidx >= 0) {
+        const ClassFile &cf = classes_[static_cast<size_t>(cidx)];
+        int midx = cf.findMethod(name, desc);
+        if (midx >= 0) {
+            return MethodId{static_cast<uint16_t>(cidx),
+                            static_cast<uint16_t>(midx)};
+        }
+        cidx = superOf(static_cast<uint16_t>(cidx));
+    }
+    fatal("unresolved virtual method: ", cls, ".", name, desc);
+}
+
+int
+Program::superOf(uint16_t class_idx) const
+{
+    const ClassFile &cf = classAt(class_idx);
+    if (!cf.hasSuper())
+        return -1;
+    int sup = classIndex(cf.superName());
+    if (sup < 0)
+        fatal("class ", cf.name(), " extends unknown class ",
+              cf.superName());
+    return sup;
+}
+
+size_t
+Program::methodCount() const
+{
+    size_t n = 0;
+    for (const auto &cf : classes_)
+        n += cf.methods.size();
+    return n;
+}
+
+void
+Program::forEachMethod(
+    const std::function<void(MethodId, const ClassFile &,
+                             const MethodInfo &)> &fn) const
+{
+    for (size_t c = 0; c < classes_.size(); ++c) {
+        for (size_t m = 0; m < classes_[c].methods.size(); ++m) {
+            MethodId id{static_cast<uint16_t>(c),
+                        static_cast<uint16_t>(m)};
+            fn(id, classes_[c], classes_[c].methods[m]);
+        }
+    }
+}
+
+} // namespace nse

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A Program is the unit of mobile execution: a set of class files plus
+ * an entry point, with cross-class name resolution helpers.
+ */
+
+#ifndef NSE_PROGRAM_PROGRAM_H
+#define NSE_PROGRAM_PROGRAM_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classfile/classfile.h"
+
+namespace nse
+{
+
+/** Identifies one method as (class index, method index). */
+struct MethodId
+{
+    uint16_t classIdx = 0;
+    uint16_t methodIdx = 0;
+
+    bool
+    operator==(const MethodId &o) const
+    {
+        return classIdx == o.classIdx && methodIdx == o.methodIdx;
+    }
+
+    bool
+    operator<(const MethodId &o) const
+    {
+        return classIdx != o.classIdx ? classIdx < o.classIdx
+                                      : methodIdx < o.methodIdx;
+    }
+};
+
+/** A complete mobile program. */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::vector<ClassFile> classes, std::string entry_class,
+            std::string entry_method);
+
+    size_t classCount() const { return classes_.size(); }
+    const ClassFile &classAt(uint16_t idx) const;
+    ClassFile &classAt(uint16_t idx);
+    const std::vector<ClassFile> &classes() const { return classes_; }
+
+    /** Index of the class with this name; -1 when absent. */
+    int classIndex(std::string_view name) const;
+
+    /** Class lookup by name; fatal()s when absent. */
+    const ClassFile &classByName(std::string_view name) const;
+
+    const std::string &entryClass() const { return entryClass_; }
+    const std::string &entryMethod() const { return entryMethod_; }
+
+    /** The entry method's id; fatal()s when missing. */
+    MethodId entry() const;
+
+    const MethodInfo &method(MethodId id) const;
+
+    /** "Class.method" label for diagnostics and reports. */
+    std::string methodLabel(MethodId id) const;
+
+    /**
+     * Resolve a static call target: exact class, name, descriptor.
+     * fatal()s when the method does not exist.
+     */
+    MethodId resolveStatic(std::string_view cls, std::string_view name,
+                           std::string_view desc) const;
+
+    /**
+     * Resolve a virtual call: walk `cls` and then its superclass chain
+     * for a matching name+descriptor. fatal()s when not found.
+     */
+    MethodId resolveVirtual(std::string_view cls, std::string_view name,
+                            std::string_view desc) const;
+
+    /** Superclass index of class idx, or -1 for roots. */
+    int superOf(uint16_t class_idx) const;
+
+    /** Total number of methods across all classes. */
+    size_t methodCount() const;
+
+    /** Invoke fn for every method in class-then-method order. */
+    void forEachMethod(
+        const std::function<void(MethodId, const ClassFile &,
+                                 const MethodInfo &)> &fn) const;
+
+    /** Rebuild the name index after classes are mutated in place. */
+    void reindex();
+
+  private:
+    std::vector<ClassFile> classes_;
+    std::string entryClass_;
+    std::string entryMethod_;
+    std::map<std::string, uint16_t, std::less<>> byName_;
+};
+
+} // namespace nse
+
+template <>
+struct std::hash<nse::MethodId>
+{
+    size_t
+    operator()(const nse::MethodId &id) const noexcept
+    {
+        return (static_cast<size_t>(id.classIdx) << 16) | id.methodIdx;
+    }
+};
+
+#endif // NSE_PROGRAM_PROGRAM_H

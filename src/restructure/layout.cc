@@ -1,0 +1,88 @@
+#include "restructure/layout.h"
+
+#include "classfile/writer.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+TransferLayout
+makeParallelLayout(const Program &prog, const FirstUseOrder &order,
+                   const DataPartition *part)
+{
+    TransferLayout out;
+    out.place.resize(prog.classCount());
+    auto per_class = order.perClassOrder(prog);
+
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        const ClassFile &cf = prog.classAt(c);
+        ClassFileLayout cl = layoutOf(cf);
+        out.place[c].resize(cf.methods.size());
+
+        uint64_t offset = part ? part->classes[c].neededFirstBytes
+                               : cl.globalDataEnd;
+        for (uint16_t midx : per_class[c]) {
+            if (part)
+                offset += part->classes[c].gmdBytes[midx];
+            offset += cf.methods[midx].transferSize();
+            out.place[c][midx] = MethodPlacement{
+                static_cast<int>(out.streams.size()), offset};
+        }
+        if (part)
+            offset += part->classes[c].unusedBytes;
+
+        NSE_ASSERT(offset == cl.totalSize,
+                   "parallel layout does not conserve bytes for ",
+                   cf.name());
+        out.streams.push_back(StreamInfo{
+            cf.name(), static_cast<int>(c), offset});
+        out.totalBytes += offset;
+    }
+    return out;
+}
+
+TransferLayout
+makeInterleavedLayout(const Program &prog, const FirstUseOrder &order,
+                      const DataPartition *part)
+{
+    TransferLayout out;
+    out.place.resize(prog.classCount());
+    for (uint16_t c = 0; c < prog.classCount(); ++c)
+        out.place[c].resize(prog.classAt(c).methods.size());
+
+    NSE_ASSERT(order.order.size() == prog.methodCount(),
+               "interleaved layout needs a complete ordering");
+
+    std::vector<bool> class_emitted(prog.classCount(), false);
+    uint64_t offset = 0;
+    for (const MethodId &id : order.order) {
+        const ClassFile &cf = prog.classAt(id.classIdx);
+        if (!class_emitted[id.classIdx]) {
+            class_emitted[id.classIdx] = true;
+            offset += part
+                          ? part->classes[id.classIdx].neededFirstBytes
+                          : layoutOf(cf).globalDataEnd;
+        }
+        if (part)
+            offset += part->classes[id.classIdx].gmdBytes[id.methodIdx];
+        offset += cf.methods[id.methodIdx].transferSize();
+        out.place[id.classIdx][id.methodIdx] =
+            MethodPlacement{0, offset};
+    }
+    if (part) {
+        for (uint16_t c = 0; c < prog.classCount(); ++c)
+            offset += part->classes[c].unusedBytes;
+    }
+
+    uint64_t expected = 0;
+    for (uint16_t c = 0; c < prog.classCount(); ++c)
+        expected += layoutOf(prog.classAt(c)).totalSize;
+    NSE_ASSERT(offset == expected,
+               "interleaved layout does not conserve bytes");
+
+    out.streams.push_back(StreamInfo{"interleaved", -1, offset});
+    out.totalBytes = offset;
+    return out;
+}
+
+} // namespace nse

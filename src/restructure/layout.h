@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Transfer layouts: what the wire stream looks like for a restructured
+ * program, and at which stream offset each method becomes available.
+ *
+ * Restructuring reorders methods inside class files into first-use
+ * order (paper §4); this module turns a program + ordering (+ optional
+ * data partition) into the byte-accurate stream layout the transfer
+ * simulation consumes:
+ *  - parallel layout: one stream per class file,
+ *    [global data][m1][m2]... in per-class first-use order
+ *    (partitioned: [needed-first][GMD m1][m1][GMD m2][m2]...[unused]);
+ *  - interleaved layout (paper §5.2): a single virtual file; each
+ *    class's global prefix is emitted right before its first transfer
+ *    unit, then units follow global first-use order regardless of
+ *    class, with unused partitions at the very end.
+ *
+ * A method is *available* once its delimiter byte arrives — the stream
+ * offset recorded in its placement.
+ */
+
+#ifndef NSE_RESTRUCTURE_LAYOUT_H
+#define NSE_RESTRUCTURE_LAYOUT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/first_use.h"
+#include "program/program.h"
+#include "restructure/data_partition.h"
+
+namespace nse
+{
+
+/** Where one method lives in the transfer layout. */
+struct MethodPlacement
+{
+    int streamIdx = -1;
+    /** Stream offset at which the method's delimiter has arrived. */
+    uint64_t availOffset = 0;
+};
+
+/** One wire stream (a class file, or the interleaved virtual file). */
+struct StreamInfo
+{
+    std::string name;
+    /** Class index for per-class streams; -1 for the virtual file. */
+    int classIdx = -1;
+    uint64_t totalBytes = 0;
+};
+
+/** Complete transfer layout of one configuration. */
+struct TransferLayout
+{
+    std::vector<StreamInfo> streams;
+    /** Placement per [class][method]. */
+    std::vector<std::vector<MethodPlacement>> place;
+    uint64_t totalBytes = 0;
+
+    const MethodPlacement &
+    of(MethodId id) const
+    {
+        return place[id.classIdx][id.methodIdx];
+    }
+};
+
+/** One stream per class file. `part` may be null (unpartitioned). */
+TransferLayout makeParallelLayout(const Program &prog,
+                                  const FirstUseOrder &order,
+                                  const DataPartition *part);
+
+/** Single interleaved virtual file. `part` may be null. */
+TransferLayout makeInterleavedLayout(const Program &prog,
+                                     const FirstUseOrder &order,
+                                     const DataPartition *part);
+
+} // namespace nse
+
+#endif // NSE_RESTRUCTURE_LAYOUT_H

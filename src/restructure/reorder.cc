@@ -1,0 +1,46 @@
+#include "restructure/reorder.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+ClassFile
+reorderClassFile(const ClassFile &cf, const std::vector<uint16_t> &order)
+{
+    NSE_CHECK(order.size() == cf.methods.size(),
+              "method order size mismatch for ", cf.name());
+    std::set<uint16_t> check(order.begin(), order.end());
+    NSE_CHECK(check.size() == order.size() &&
+                  (order.empty() || *check.rbegin() == order.size() - 1),
+              "method order is not a permutation for ", cf.name());
+
+    ClassFile out;
+    out.accessFlags = cf.accessFlags;
+    out.thisClassIdx = cf.thisClassIdx;
+    out.superClassIdx = cf.superClassIdx;
+    out.interfaceIdxs = cf.interfaceIdxs;
+    out.cpool = cf.cpool;
+    out.fields = cf.fields;
+    out.attributes = cf.attributes;
+    out.methods.reserve(cf.methods.size());
+    for (uint16_t midx : order)
+        out.methods.push_back(cf.methods[midx]);
+    return out;
+}
+
+Program
+reorderProgram(const Program &prog, const FirstUseOrder &order)
+{
+    auto per_class = order.perClassOrder(prog);
+    std::vector<ClassFile> classes;
+    classes.reserve(prog.classCount());
+    for (uint16_t c = 0; c < prog.classCount(); ++c)
+        classes.push_back(reorderClassFile(prog.classAt(c), per_class[c]));
+    return Program(std::move(classes), prog.entryClass(),
+                   prog.entryMethod());
+}
+
+} // namespace nse

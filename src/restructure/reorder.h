@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Physical class-file restructuring.
+ *
+ * The simulation works from layouts, but a deployable implementation
+ * rewrites the class files themselves: reorderProgram() permutes each
+ * class's method table into first-use order (paper Figure 3). Because
+ * methods are addressed by name+descriptor everywhere (constant-pool
+ * references), the reordered program is behaviourally identical — the
+ * round-trip is covered by tests.
+ */
+
+#ifndef NSE_RESTRUCTURE_REORDER_H
+#define NSE_RESTRUCTURE_REORDER_H
+
+#include <vector>
+
+#include "analysis/first_use.h"
+#include "program/program.h"
+
+namespace nse
+{
+
+/** Permute one class's methods; `order` must be a permutation. */
+ClassFile reorderClassFile(const ClassFile &cf,
+                           const std::vector<uint16_t> &order);
+
+/** Rewrite every class file into the given first-use order. */
+Program reorderProgram(const Program &prog, const FirstUseOrder &order);
+
+} // namespace nse
+
+#endif // NSE_RESTRUCTURE_REORDER_H

@@ -1,0 +1,211 @@
+#include "restructure/split.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "bytecode/instruction.h"
+#include "classfile/descriptor.h"
+#include "support/error.h"
+#include "vm/verifier.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** A chosen split point and the dataflow facts it rests on. */
+struct Seam
+{
+    size_t instIdx = 0;   ///< first instruction of the tail
+    uint32_t byteOff = 0; ///< its byte offset in the original code
+    /** Original slots passed to the tail, in slot order. */
+    std::vector<uint16_t> passedSlots;
+    std::vector<TypeKind> passedKinds;
+};
+
+constexpr size_t kMaxPassedLocals = 60;
+
+/** Find the seam closest to the byte midpoint, or nullopt. */
+std::optional<Seam>
+findSeam(const VerifiedMethod &vm, const MethodInfo &m)
+{
+    size_t n = vm.insts.size();
+    auto mid = static_cast<uint32_t>(m.code.size() / 2);
+
+    std::optional<Seam> best;
+    uint32_t best_dist = UINT32_MAX;
+    for (size_t k = 1; k < n; ++k) {
+        if (vm.stackDepthIn[k] != 0)
+            continue;
+        uint32_t off = vm.insts[k].offset;
+
+        // No branch may cross the seam in either direction.
+        bool crossed = false;
+        for (size_t i = 0; i < n && !crossed; ++i) {
+            if (!isBranch(vm.insts[i].op))
+                continue;
+            auto target = static_cast<uint32_t>(vm.insts[i].operand);
+            bool before = i < k;
+            crossed = before ? target >= off : target < off;
+        }
+        if (crossed)
+            continue;
+
+        // A split must make real progress: a meaningful prefix and a
+        // tail larger than the call stub it will be replaced by.
+        if (off < 16 || m.code.size() - off < 48)
+            continue;
+
+        Seam seam;
+        seam.instIdx = k;
+        seam.byteOff = off;
+        for (size_t s = 0; s < vm.localsIn[k].size(); ++s) {
+            if (vm.localsIn[k][s] == LocalKind::Unset)
+                continue;
+            seam.passedSlots.push_back(static_cast<uint16_t>(s));
+            seam.passedKinds.push_back(vm.localsIn[k][s] ==
+                                               LocalKind::Int
+                                           ? TypeKind::Int
+                                           : TypeKind::Ref);
+        }
+        if (seam.passedSlots.size() > kMaxPassedLocals)
+            continue;
+
+        uint32_t dist = off > mid ? off - mid : mid - off;
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = std::move(seam);
+        }
+    }
+    return best;
+}
+
+/** Split one method at `seam`; appends the tail to the class. */
+void
+applySeam(ClassFile &cf, uint16_t method_idx, const VerifiedMethod &vm,
+          const Seam &seam, int tail_counter)
+{
+    MethodInfo &orig = cf.methods[method_idx];
+    MethodSig sig =
+        parseMethodDescriptor(cf.cpool.utf8At(orig.descIdx));
+    const std::string &orig_name = cf.methodName(orig);
+    std::string tail_name = cat(orig_name, "$t", tail_counter);
+    std::string tail_desc =
+        makeMethodDescriptor(seam.passedKinds, sig.ret);
+
+    // Slot remap: passed slots first (arg positions), the rest after.
+    std::vector<uint16_t> remap(orig.maxLocals, 0);
+    uint16_t next = 0;
+    for (uint16_t s : seam.passedSlots)
+        remap[s] = next++;
+    for (uint16_t s = 0; s < orig.maxLocals; ++s) {
+        if (std::find(seam.passedSlots.begin(), seam.passedSlots.end(),
+                      s) == seam.passedSlots.end()) {
+            remap[s] = next++;
+        }
+    }
+
+    // Tail body: rebase offsets, remap locals.
+    std::vector<Instruction> tail;
+    for (size_t i = seam.instIdx; i < vm.insts.size(); ++i) {
+        Instruction inst = vm.insts[i];
+        switch (opcodeInfo(inst.op).operand) {
+          case OperandKind::Branch:
+            inst.operand = inst.operand -
+                           static_cast<int32_t>(seam.byteOff);
+            break;
+          case OperandKind::Local:
+            inst.operand =
+                remap[static_cast<size_t>(inst.operand)];
+            break;
+          default:
+            break;
+        }
+        tail.push_back(inst);
+    }
+
+    MethodInfo tail_m;
+    tail_m.accessFlags = kAccPublic | kAccStatic;
+    tail_m.nameIdx = cf.cpool.addUtf8(tail_name);
+    tail_m.descIdx = cf.cpool.addUtf8(tail_desc);
+    tail_m.maxLocals = std::max<uint16_t>(
+        orig.maxLocals, static_cast<uint16_t>(seam.passedSlots.size()));
+    tail_m.code = encodeCode(tail);
+
+    // Auxiliary local data follows the code it annotates.
+    size_t tail_code = tail_m.code.size();
+    size_t orig_code = orig.code.size();
+    size_t tail_share =
+        orig.localData.size() * tail_code / std::max<size_t>(orig_code, 1);
+    tail_m.localData.assign(orig.localData.end() -
+                                static_cast<long>(tail_share),
+                            orig.localData.end());
+    orig.localData.resize(orig.localData.size() - tail_share);
+
+    // Rewrite the original: prefix + argument loads + tail call.
+    std::vector<Instruction> stub(vm.insts.begin(),
+                                  vm.insts.begin() +
+                                      static_cast<long>(seam.instIdx));
+    for (size_t i = 0; i < seam.passedSlots.size(); ++i) {
+        stub.push_back(
+            {seam.passedKinds[i] == TypeKind::Int ? Opcode::ILOAD
+                                                  : Opcode::ALOAD,
+             seam.passedSlots[i], 0});
+    }
+    uint16_t call_idx =
+        cf.cpool.addMethodRef(cf.name(), tail_name, tail_desc);
+    stub.push_back({Opcode::INVOKESTATIC, call_idx, 0});
+    stub.push_back({sig.ret == TypeKind::Void  ? Opcode::RETURN
+                    : sig.ret == TypeKind::Int ? Opcode::IRETURN
+                                               : Opcode::ARETURN,
+                    0, 0});
+    orig.code = encodeCode(stub);
+
+    cf.methods.insert(cf.methods.begin() + method_idx + 1,
+                      std::move(tail_m));
+}
+
+} // namespace
+
+SplitStats
+splitLargeMethods(Program &prog, size_t max_method_bytes)
+{
+    NSE_CHECK(max_method_bytes >= 64,
+              "split threshold too small to hold a stub");
+    SplitStats stats;
+
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        ClassFile &cf = prog.classAt(c);
+        int tail_counter = 0;
+        // Indices shift as tails are inserted; iterate until stable.
+        for (uint16_t m = 0; m < cf.methods.size(); ++m) {
+            bool split_this = false;
+            int budget = 64; // hard per-method cap
+            while (!cf.methods[m].isNative() &&
+                   cf.methods[m].transferSize() > max_method_bytes &&
+                   budget-- > 0) {
+                size_t before = cf.methods[m].transferSize();
+                Verifier verifier(prog);
+                VerifiedMethod vm = verifier.verifyMethod(MethodId{c, m});
+                std::optional<Seam> seam =
+                    findSeam(vm, cf.methods[m]);
+                // A seam at the very start would leave an empty prefix.
+                if (!seam || seam->instIdx == 0)
+                    break;
+                applySeam(cf, m, vm, *seam, tail_counter++);
+                ++stats.tailsCreated;
+                split_this = true;
+                // The loop re-checks the (now shorter) prefix; the
+                // inserted tail is visited as method m+1 next. Stop
+                // when a split no longer shrinks the prefix.
+                if (cf.methods[m].transferSize() >= before)
+                    break;
+            }
+            stats.methodsSplit += split_this;
+        }
+    }
+    return stats;
+}
+
+} // namespace nse

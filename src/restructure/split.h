@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Procedure splitting (paper §4).
+ *
+ * Method-level non-strictness cannot start a method before its last
+ * byte arrives, so one huge procedure (TestDes's main, with its inline
+ * tables) caps the achievable latency win. The paper notes that "large
+ * procedures can still benefit by using the compiler to break the
+ * procedure up into smaller procedures" but does not implement it —
+ * this pass does.
+ *
+ * A method larger than the threshold is cut at a *seam*: an
+ * instruction boundary where the verifier's dataflow proves the
+ * operand stack is empty and which no branch crosses in either
+ * direction. The suffix becomes a fresh static method taking the live
+ * locals as arguments; the original method tail-calls it. Splitting
+ * repeats greedily until every piece fits (or no seam exists). The
+ * split program verifies and behaves identically — covered by tests —
+ * while its transfer layout now exposes finer availability points.
+ */
+
+#ifndef NSE_RESTRUCTURE_SPLIT_H
+#define NSE_RESTRUCTURE_SPLIT_H
+
+#include <cstddef>
+
+#include "program/program.h"
+
+namespace nse
+{
+
+/** Outcome of a splitting pass. */
+struct SplitStats
+{
+    /** Methods that were cut at least once. */
+    size_t methodsSplit = 0;
+    /** Total new tail methods created. */
+    size_t tailsCreated = 0;
+};
+
+/**
+ * Split every non-native method whose transfer size exceeds
+ * `max_method_bytes` at stack-empty seams, rewriting the program in
+ * place. Methods with no usable seam are left alone.
+ */
+SplitStats splitLargeMethods(Program &prog, size_t max_method_bytes);
+
+} // namespace nse
+
+#endif // NSE_RESTRUCTURE_SPLIT_H

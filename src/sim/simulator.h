@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The experiment driver: couples real program execution with the
+ * transfer simulation and reproduces the paper's measurement setup.
+ *
+ * A Simulator owns one workload (program + natives + train/test
+ * inputs). It caches the train/test first-use profiles and the three
+ * orderings the paper evaluates — SCG (static call graph), Train
+ * (train-input profile guiding a test-input run), and Test (perfect:
+ * test profile guiding the test run) — and executes any SimConfig:
+ *
+ *   Strict       the paper's baseline: the whole program transfers,
+ *                then execution runs (Table 3's total strict cycles);
+ *   Parallel     non-strict execution with parallel file transfer and
+ *                a greedy schedule (§5.1), limits 1/2/4/unlimited;
+ *   Interleaved  non-strict execution with the single interleaved
+ *                virtual file (§5.2);
+ * each optionally with global-data partitioning (§7.3).
+ */
+
+#ifndef NSE_SIM_SIMULATOR_H
+#define NSE_SIM_SIMULATOR_H
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "analysis/first_use.h"
+#include "profile/first_use_profile.h"
+#include "program/program.h"
+#include "restructure/data_partition.h"
+#include "restructure/layout.h"
+#include "transfer/link.h"
+#include "vm/natives.h"
+
+namespace nse
+{
+
+/** Which first-use predictor guides restructuring and scheduling. */
+enum class OrderingSource : uint8_t
+{
+    Static, ///< SCG: static call-graph estimation (§4.1)
+    Train,  ///< train-input profile, evaluated on the test input
+    Test,   ///< test-input profile (perfect prediction)
+};
+
+const char *orderingName(OrderingSource src);
+
+/** One simulated configuration. */
+struct SimConfig
+{
+    enum class Mode : uint8_t
+    {
+        Strict,
+        Parallel,
+        Interleaved,
+    };
+
+    Mode mode = Mode::Strict;
+    OrderingSource ordering = OrderingSource::Static;
+    LinkModel link = kT1Link;
+    /** Concurrent class-file transfers; <= 0 = unlimited. */
+    int parallelLimit = 4;
+    bool dataPartition = false;
+    /**
+     * Class-strict ablation: keep the scheduled/pipelined transfer but
+     * require a method's *whole class file* before it may run —
+     * isolating how much of the win comes from mere class pipelining
+     * versus true method-level non-strictness.
+     */
+    bool classStrict = false;
+};
+
+/** Measurements of one simulated run. */
+struct SimResult
+{
+    /** Cycles until the program begins executing. */
+    uint64_t invocationLatency = 0;
+    /** Cycles from invocation to program completion (incl. stalls). */
+    uint64_t totalCycles = 0;
+    uint64_t execCycles = 0;
+    /** Cycles to transfer the complete program (paper Table 3). */
+    uint64_t transferCycles = 0;
+    /** Cycles execution spent stalled waiting on transfer. */
+    uint64_t stallCycles = 0;
+    /** First uses whose class was neither transferring nor scheduled. */
+    uint64_t mispredictions = 0;
+    uint64_t bytecodes = 0;
+    double cpi = 0.0;
+};
+
+/** Percent normalized execution time (smaller is better, paper §7.2). */
+double normalizedPct(const SimResult &result, const SimResult &strict);
+
+/** Drives every experiment configuration for one workload. */
+class Simulator
+{
+  public:
+    Simulator(const Program &prog, const NativeRegistry &natives,
+              std::vector<int64_t> train_input,
+              std::vector<int64_t> test_input);
+
+    /** Execute one configuration (always on the test input). */
+    SimResult run(const SimConfig &cfg);
+
+    /** Invocation latency without running: strict vs non-strict vs
+     *  non-strict + data partitioning (paper Table 4). */
+    uint64_t strictInvocationLatency(const LinkModel &link) const;
+    uint64_t nonStrictInvocationLatency(const LinkModel &link,
+                                        bool data_partition);
+
+    const FirstUseProfile &trainProfile();
+    const FirstUseProfile &testProfile();
+    const FirstUseOrder &ordering(OrderingSource src);
+    const DataPartition &partition(OrderingSource src);
+
+    const Program &program() const { return prog_; }
+
+  private:
+    SimResult runStrict(const SimConfig &cfg);
+    SimResult runOverlapped(const SimConfig &cfg);
+    std::vector<uint64_t> methodCycles(OrderingSource src,
+                                       const FirstUseOrder &order);
+
+    const Program &prog_;
+    const NativeRegistry &natives_;
+    std::vector<int64_t> trainInput_;
+    std::vector<int64_t> testInput_;
+
+    std::optional<FirstUseProfile> trainProfile_;
+    std::optional<FirstUseProfile> testProfile_;
+    std::map<OrderingSource, FirstUseOrder> orders_;
+    std::map<OrderingSource, DataPartition> partitions_;
+    uint64_t totalBytes_ = 0;
+    uint64_t entryClassBytes_ = 0;
+};
+
+} // namespace nse
+
+#endif // NSE_SIM_SIMULATOR_H

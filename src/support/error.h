@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error-reporting primitives for the non-strict execution library.
+ *
+ * Following the gem5 convention we distinguish two failure classes:
+ *  - fatal():  the condition is the *user's* fault (malformed class file,
+ *              bad configuration, invalid workload input). Throws
+ *              FatalError, which callers may catch and report.
+ *  - panic():  the condition indicates an internal bug that should never
+ *              happen regardless of input. Throws PanicError.
+ */
+
+#ifndef NSE_SUPPORT_ERROR_H
+#define NSE_SUPPORT_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nse
+{
+
+/** Raised for user-caused, recoverable failures (bad input or config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raised for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+inline void
+catInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+catInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    catInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate arbitrary streamable arguments into one std::string. */
+template <typename... Args>
+std::string
+cat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::catInto(os, args...);
+    return os.str();
+}
+
+/** Report a user error: throws FatalError with the concatenated message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(cat(args...));
+}
+
+/** Report an internal bug: throws PanicError with the message. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(cat(args...));
+}
+
+} // namespace nse
+
+/** Check a user-input condition; raise FatalError when it fails. */
+#define NSE_CHECK(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::nse::fatal("check failed: " #cond ": ", __VA_ARGS__);    \
+    } while (0)
+
+/** Check an internal invariant; raise PanicError when it fails. */
+#define NSE_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::nse::panic("assertion failed: " #cond ": ",              \
+                         __VA_ARGS__);                                  \
+    } while (0)
+
+#endif // NSE_SUPPORT_ERROR_H

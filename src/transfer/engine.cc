@@ -1,0 +1,291 @@
+#include "transfer/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+TransferEngine::TransferEngine(double cycles_per_byte, int max_concurrent)
+    : cyclesPerByte_(cycles_per_byte), maxConcurrent_(max_concurrent)
+{
+    NSE_CHECK(cycles_per_byte > 0, "non-positive link cost");
+}
+
+int
+TransferEngine::addStream(std::string name, uint64_t total_bytes)
+{
+    NSE_CHECK(total_bytes > 0, "empty stream: ", name);
+    Stream s;
+    s.name = std::move(name);
+    s.totalBytes = static_cast<double>(total_bytes);
+    streams_.push_back(std::move(s));
+    watchOffset_.push_back(0.0);
+    watchCrossed_.push_back(UINT64_MAX);
+    return static_cast<int>(streams_.size() - 1);
+}
+
+const Stream &
+TransferEngine::stream(int idx) const
+{
+    NSE_ASSERT(idx >= 0 && static_cast<size_t>(idx) < streams_.size(),
+               "bad stream id ", idx);
+    return streams_[static_cast<size_t>(idx)];
+}
+
+bool
+TransferEngine::allDone() const
+{
+    for (const Stream &s : streams_)
+        if (s.state != StreamState::Done)
+            return false;
+    return true;
+}
+
+double
+TransferEngine::perStreamRate() const
+{
+    if (active_ == 0)
+        return 0.0;
+    return 1.0 / (cyclesPerByte_ * static_cast<double>(active_));
+}
+
+void
+TransferEngine::activateOrQueue(int stream, uint64_t now, bool front)
+{
+    Stream &s = streams_[static_cast<size_t>(stream)];
+    NSE_ASSERT(s.state == StreamState::Idle,
+               "activate on non-idle stream ", s.name);
+    bool slot_free = maxConcurrent_ <= 0 ||
+                     active_ < static_cast<size_t>(maxConcurrent_);
+    if (slot_free) {
+        s.state = StreamState::Active;
+        s.startedAt = now;
+        ++active_;
+    } else {
+        s.state = StreamState::Queued;
+        if (front)
+            queue_.push_front(stream);
+        else
+            queue_.push_back(stream);
+    }
+}
+
+uint64_t
+TransferEngine::nextEventAfter(uint64_t t) const
+{
+    uint64_t next = UINT64_MAX;
+    double rate = perStreamRate();
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        const Stream &s = streams_[i];
+        if (s.state == StreamState::Idle &&
+            s.scheduledStart != UINT64_MAX && s.scheduledStart > t) {
+            next = std::min(next, s.scheduledStart);
+        } else if (s.state == StreamState::Active) {
+            double remaining = s.totalBytes - s.arrivedBytes;
+            uint64_t done_at =
+                t + static_cast<uint64_t>(std::ceil(remaining / rate));
+            next = std::min(next, std::max(done_at, t + 1));
+        }
+    }
+    return next;
+}
+
+void
+TransferEngine::progressTo(uint64_t t)
+{
+    NSE_ASSERT(t >= time_, "engine time moved backwards");
+    if (t == time_)
+        return;
+    double rate = perStreamRate();
+    double delta = static_cast<double>(t - time_) * rate;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
+        if (s.state != StreamState::Active)
+            continue;
+        double before = s.arrivedBytes;
+        s.arrivedBytes = std::min(s.totalBytes, s.arrivedBytes + delta);
+        if (watchOffset_[i] > 0 && watchCrossed_[i] == UINT64_MAX &&
+            s.arrivedBytes + kEps >= watchOffset_[i]) {
+            double need = watchOffset_[i] - before;
+            watchCrossed_[i] =
+                time_ + static_cast<uint64_t>(
+                            std::ceil(std::max(0.0, need) / rate));
+        }
+    }
+    time_ = t;
+}
+
+void
+TransferEngine::processEventsAt(uint64_t t)
+{
+    // Completions first: they free slots for queued/scheduled streams.
+    for (Stream &s : streams_) {
+        if (s.state == StreamState::Active &&
+            s.arrivedBytes >= s.totalBytes - kEps) {
+            s.arrivedBytes = s.totalBytes;
+            s.state = StreamState::Done;
+            s.finishedAt = t;
+            NSE_ASSERT(active_ > 0, "active count underflow");
+            --active_;
+        }
+    }
+    // Scheduled starts due by now.
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
+        if (s.state == StreamState::Idle &&
+            s.scheduledStart != UINT64_MAX && s.scheduledStart <= t) {
+            activateOrQueue(static_cast<int>(i), t, /*front=*/false);
+        }
+    }
+    // Fill freed slots from the queue, FIFO.
+    while (!queue_.empty() &&
+           (maxConcurrent_ <= 0 ||
+            active_ < static_cast<size_t>(maxConcurrent_))) {
+        int idx = queue_.front();
+        queue_.pop_front();
+        Stream &s = streams_[static_cast<size_t>(idx)];
+        NSE_ASSERT(s.state == StreamState::Queued, "queue corruption");
+        s.state = StreamState::Active;
+        s.startedAt = t;
+        ++active_;
+    }
+}
+
+void
+TransferEngine::advanceTo(uint64_t cycle)
+{
+    NSE_CHECK(cycle >= time_, "advanceTo into the past");
+    processEventsAt(time_);
+    while (time_ < cycle) {
+        uint64_t ev = nextEventAfter(time_);
+        uint64_t step = std::min(ev, cycle);
+        progressTo(step);
+        processEventsAt(step);
+    }
+}
+
+void
+TransferEngine::scheduleStart(int stream, uint64_t cycle)
+{
+    Stream &s = streams_[static_cast<size_t>(stream)];
+    NSE_CHECK(s.state == StreamState::Idle,
+              "scheduleStart on started stream ", s.name);
+    s.scheduledStart = cycle;
+}
+
+void
+TransferEngine::demandStart(int stream, uint64_t now)
+{
+    // Callers track their own clock, which may trail the engine's
+    // (waitFor advances it); never rewind.
+    advanceTo(std::max(now, time_));
+    Stream &s = streams_[static_cast<size_t>(stream)];
+    switch (s.state) {
+      case StreamState::Active:
+      case StreamState::Done:
+        return; // already on its way
+      case StreamState::Queued: {
+        // Move to the front: "queued up to be transferred next".
+        auto it = std::find(queue_.begin(), queue_.end(), stream);
+        NSE_ASSERT(it != queue_.end(), "queued stream missing from queue");
+        queue_.erase(it);
+        queue_.push_front(stream);
+        return;
+      }
+      case StreamState::Idle:
+        s.scheduledStart = UINT64_MAX;
+        activateOrQueue(stream, now, /*front=*/true);
+        return;
+    }
+}
+
+uint64_t
+TransferEngine::waitFor(int stream, uint64_t offset, uint64_t now)
+{
+    advanceTo(std::max(now, time_));
+    Stream &s = streams_[static_cast<size_t>(stream)];
+    NSE_CHECK(static_cast<double>(offset) <= s.totalBytes + kEps,
+              "wait past the end of stream ", s.name);
+    auto target = static_cast<double>(offset);
+
+    while (s.arrivedBytes + kEps < target) {
+        uint64_t ev = nextEventAfter(time_);
+        if (s.state == StreamState::Active) {
+            double rate = perStreamRate();
+            double remaining = target - s.arrivedBytes;
+            uint64_t cross =
+                time_ +
+                static_cast<uint64_t>(std::ceil(remaining / rate));
+            ev = std::min(ev, std::max(cross, time_ + 1));
+        } else if (ev == UINT64_MAX) {
+            fatal("waiting on stream ", s.name,
+                  " which will never transfer (not started, nothing "
+                  "scheduled)");
+        }
+        progressTo(ev);
+        processEventsAt(ev);
+    }
+    return std::max(now, time_);
+}
+
+void
+TransferEngine::setWatch(int stream, uint64_t offset)
+{
+    auto si = static_cast<size_t>(stream);
+    NSE_ASSERT(si < streams_.size(), "bad stream id ", stream);
+    NSE_CHECK(offset > 0, "watch offset must be positive");
+    watchOffset_[si] = static_cast<double>(offset);
+    if (streams_[si].arrivedBytes + kEps >=
+        static_cast<double>(offset)) {
+        watchCrossed_[si] = time_;
+    } else {
+        watchCrossed_[si] = UINT64_MAX;
+    }
+}
+
+void
+TransferEngine::runWatches()
+{
+    auto pending = [&] {
+        for (size_t i = 0; i < streams_.size(); ++i) {
+            if (watchOffset_[i] > 0 && watchCrossed_[i] == UINT64_MAX)
+                return true;
+        }
+        return false;
+    };
+    processEventsAt(time_);
+    while (pending()) {
+        uint64_t ev = nextEventAfter(time_);
+        if (ev == UINT64_MAX)
+            fatal("runWatches: a watched stream will never transfer");
+        progressTo(ev);
+        processEventsAt(ev);
+    }
+}
+
+uint64_t
+TransferEngine::watchedArrival(int stream) const
+{
+    auto si = static_cast<size_t>(stream);
+    NSE_ASSERT(si < streams_.size(), "bad stream id ", stream);
+    return watchCrossed_[si];
+}
+
+uint64_t
+TransferEngine::finishAll()
+{
+    processEventsAt(time_);
+    while (!allDone()) {
+        uint64_t ev = nextEventAfter(time_);
+        if (ev == UINT64_MAX)
+            fatal("finishAll with streams that will never start");
+        progressTo(ev);
+        processEventsAt(ev);
+    }
+    return time_;
+}
+
+} // namespace nse

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Event-driven shared-bandwidth transfer engine.
+ *
+ * Models the paper's parallel file transfer (§5.1): any number of
+ * streams (class files, or one interleaved virtual file) share a
+ * fixed-bandwidth link *equally*; streams are never preempted once
+ * started; an optional concurrency limit (HTTP 1.1's four pipelined
+ * requests) queues further starts until a slot frees.
+ *
+ * The engine advances lazily: the co-simulation asks it to advance to
+ * the VM clock, to start streams (scheduled ahead of time, or
+ * on demand after a misprediction), and to wait until a byte offset of
+ * a stream has arrived — the operation behind "execution stalls until
+ * the procedure's delimiter has transferred".
+ */
+
+#ifndef NSE_TRANSFER_ENGINE_H
+#define NSE_TRANSFER_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace nse
+{
+
+/** Lifecycle of one transfer stream. */
+enum class StreamState : uint8_t
+{
+    Idle,   ///< not started, not queued
+    Queued, ///< ready but waiting for a concurrency slot
+    Active, ///< transferring
+    Done,   ///< fully transferred
+};
+
+/** One stream (one class file, or the interleaved virtual file). */
+struct Stream
+{
+    std::string name;
+    double totalBytes = 0;
+    double arrivedBytes = 0;
+    StreamState state = StreamState::Idle;
+    /** Planned start cycle; UINT64_MAX = none planned. */
+    uint64_t scheduledStart = UINT64_MAX;
+    uint64_t startedAt = 0;
+    uint64_t finishedAt = 0;
+};
+
+/** The shared-bandwidth transfer simulator. */
+class TransferEngine
+{
+  public:
+    /**
+     * @param cycles_per_byte link cost (see LinkModel)
+     * @param max_concurrent  concurrent-stream limit; <= 0 = unlimited
+     */
+    TransferEngine(double cycles_per_byte, int max_concurrent);
+
+    /** Register a stream; returns its id. */
+    int addStream(std::string name, uint64_t total_bytes);
+
+    /** Plan a start cycle (from the transfer schedule). */
+    void scheduleStart(int stream, uint64_t cycle);
+
+    /**
+     * Misprediction correction: start (or re-queue at the front) right
+     * now. `now` must be >= the engine's current time.
+     */
+    void demandStart(int stream, uint64_t now);
+
+    /** Process all starts/completions up to and including `cycle`. */
+    void advanceTo(uint64_t cycle);
+
+    /**
+     * Return the earliest cycle >= now at which `offset` bytes of the
+     * stream have arrived, advancing the simulation to that cycle.
+     * fatal()s when the stream can never reach the offset (not started
+     * and nothing scheduled).
+     */
+    uint64_t waitFor(int stream, uint64_t offset, uint64_t now);
+
+    /** Advance until every registered stream has completed. */
+    uint64_t finishAll();
+
+    /**
+     * Watch a byte offset of a stream: the engine records the exact
+     * cycle the offset is crossed. Used by the scheduler to read all
+     * prefix-arrival times out of a single simulation. One watch per
+     * stream; set before the stream crosses it.
+     */
+    void setWatch(int stream, uint64_t offset);
+
+    /** Advance until every watch has been crossed. */
+    void runWatches();
+
+    /** Crossing cycle of the stream's watch; UINT64_MAX = not yet. */
+    uint64_t watchedArrival(int stream) const;
+
+    const Stream &stream(int idx) const;
+    uint64_t time() const { return time_; }
+    size_t activeCount() const { return active_; }
+    bool allDone() const;
+
+  private:
+    static constexpr double kEps = 1e-6;
+
+    double perStreamRate() const;
+    uint64_t nextEventAfter(uint64_t t) const;
+    void progressTo(uint64_t t);
+    void processEventsAt(uint64_t t);
+    void activateOrQueue(int stream, uint64_t now, bool front);
+
+    double cyclesPerByte_;
+    int maxConcurrent_;
+    uint64_t time_ = 0;
+    size_t active_ = 0;
+    std::vector<Stream> streams_;
+    std::deque<int> queue_;
+    /** Watched offset per stream (0 = none) and its crossing cycle. */
+    std::vector<double> watchOffset_;
+    std::vector<uint64_t> watchCrossed_;
+};
+
+} // namespace nse
+
+#endif // NSE_TRANSFER_ENGINE_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Network link models.
+ *
+ * The paper evaluates two links for a 500 MHz Alpha: a T1 line
+ * (~1 Mbit/s, 3,815 cycles per byte) and a 28.8 Kbaud modem
+ * (134,698 cycles per byte). We use the paper's exact cycles/byte.
+ */
+
+#ifndef NSE_TRANSFER_LINK_H
+#define NSE_TRANSFER_LINK_H
+
+namespace nse
+{
+
+/** A constant-bandwidth link expressed in CPU cycles per byte. */
+struct LinkModel
+{
+    const char *name;
+    double cyclesPerByte;
+};
+
+/** T1 link (1 Mbit/s at 500 MHz). */
+inline constexpr LinkModel kT1Link{"T1", 3815.0};
+
+/** 28.8 Kbaud modem link. */
+inline constexpr LinkModel kModemLink{"Modem", 134698.0};
+
+} // namespace nse
+
+#endif // NSE_TRANSFER_LINK_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The VM heap: class instances and int/ref arrays.
+ *
+ * Allocation is bump-style with no collection — mobile-program runs in
+ * this study are short and bounded, and determinism matters more than
+ * footprint. Handles are dense indices, 0 reserved for null.
+ */
+
+#ifndef NSE_VM_HEAP_H
+#define NSE_VM_HEAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/value.h"
+
+namespace nse
+{
+
+/** Heap object discriminator. */
+enum class ObjKind : uint8_t
+{
+    Instance,
+    IntArray,
+    RefArray,
+};
+
+/** One heap cell: an instance (field slots) or an array. */
+struct HeapObject
+{
+    ObjKind kind = ObjKind::Instance;
+    /** Defining class index for instances; unused for arrays. */
+    uint16_t classIdx = 0;
+    /** Field slots (instances) or elements (arrays). */
+    std::vector<Value> slots;
+};
+
+/** Growable heap of tagged objects. */
+class Heap
+{
+  public:
+    Heap();
+
+    /** Allocate an instance with `n_fields` zero/null-initialised slots. */
+    Ref allocInstance(uint16_t class_idx, size_t n_fields);
+
+    /** Allocate an int array of the given length (zero filled). */
+    Ref allocIntArray(size_t length);
+
+    /** Allocate a reference array of the given length (null filled). */
+    Ref allocRefArray(size_t length);
+
+    /** Object accessor; fatal()s on null or dangling handles. */
+    HeapObject &deref(Ref ref);
+    const HeapObject &deref(Ref ref) const;
+
+    /** Bounds-checked array element access. */
+    Value arrayGet(Ref ref, int64_t index) const;
+    void arraySet(Ref ref, int64_t index, Value v);
+
+    /** Array length; fatal()s when ref is not an array. */
+    int64_t arrayLength(Ref ref) const;
+
+    size_t objectCount() const { return objects_.size() - 1; }
+
+  private:
+    const HeapObject &checkedArray(Ref ref, int64_t index) const;
+
+    std::vector<HeapObject> objects_;
+};
+
+} // namespace nse
+
+#endif // NSE_VM_HEAP_H

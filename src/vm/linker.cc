@@ -1,0 +1,165 @@
+#include "vm/linker.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+Linker::Linker(const Program &prog) : prog_(prog)
+{
+    runtime_.resize(prog_.classCount());
+}
+
+void
+Linker::prepareAll()
+{
+    for (uint16_t c = 0; c < prog_.classCount(); ++c)
+        prepare(c);
+}
+
+void
+Linker::prepare(uint16_t class_idx)
+{
+    ClassRuntime &rt = runtime_[class_idx];
+    if (rt.prepared)
+        return;
+
+    const ClassFile &cf = prog_.classAt(class_idx);
+
+    // Superclass layout first: its slots prefix ours.
+    int sup = prog_.superOf(class_idx);
+    if (sup >= 0) {
+        prepare(static_cast<uint16_t>(sup));
+        const ClassRuntime &sup_rt = runtime_[static_cast<size_t>(sup)];
+        rt.instanceSlots = sup_rt.instanceSlots;
+        rt.instanceCount = sup_rt.instanceCount;
+    }
+
+    for (const FieldInfo &f : cf.fields) {
+        const std::string &name = cf.fieldName(f);
+        if (f.isStatic()) {
+            NSE_CHECK(!rt.staticSlots.count(name),
+                      "duplicate static field ", cf.name(), ".", name);
+            rt.staticSlots.emplace(
+                name, static_cast<uint16_t>(rt.statics.size()));
+            TypeKind k = parseFieldDescriptor(cf.cpool.utf8At(f.descIdx));
+            rt.statics.push_back(k == TypeKind::Int ? Value::makeInt(0)
+                                                    : Value::makeNull());
+        } else {
+            NSE_CHECK(!rt.instanceSlots.count(name),
+                      "duplicate/shadowed instance field ", cf.name(), ".",
+                      name);
+            rt.instanceSlots.emplace(
+                name, static_cast<uint16_t>(rt.instanceCount++));
+        }
+    }
+    rt.prepared = true;
+}
+
+size_t
+Linker::instanceSlotCount(uint16_t class_idx) const
+{
+    NSE_ASSERT(runtime_[class_idx].prepared, "class not prepared");
+    return runtime_[class_idx].instanceCount;
+}
+
+const FieldSlot &
+Linker::resolveField(uint16_t from_class, uint16_t cp_idx)
+{
+    ClassRuntime &rt = runtime_[from_class];
+    auto it = rt.fieldCache.find(cp_idx);
+    if (it != rt.fieldCache.end())
+        return it->second;
+
+    const ClassFile &cf = prog_.classAt(from_class);
+    auto ref = cf.cpool.memberRef(cp_idx);
+
+    int cidx = prog_.classIndex(ref.className);
+    if (cidx < 0)
+        fatal("field reference to unknown class ", ref.className);
+
+    // Walk the superclass chain from the named class to the declaration.
+    FieldSlot fs;
+    fs.kind = parseFieldDescriptor(ref.descriptor);
+    int walk = cidx;
+    while (walk >= 0) {
+        const ClassFile &owner = prog_.classAt(static_cast<uint16_t>(walk));
+        int fidx = owner.findField(ref.name);
+        if (fidx >= 0) {
+            const FieldInfo &f = owner.fields[static_cast<size_t>(fidx)];
+            const ClassRuntime &owner_rt =
+                runtime_[static_cast<size_t>(walk)];
+            NSE_ASSERT(owner_rt.prepared, "resolving into unprepared ",
+                       owner.name());
+            fs.isStatic = f.isStatic();
+            fs.ownerClass = static_cast<uint16_t>(walk);
+            if (f.isStatic())
+                fs.slot = owner_rt.staticSlots.at(ref.name);
+            else
+                fs.slot = owner_rt.instanceSlots.at(ref.name);
+            ++resolutions_;
+            return rt.fieldCache.emplace(cp_idx, fs).first->second;
+        }
+        walk = prog_.superOf(static_cast<uint16_t>(walk));
+    }
+    fatal("unresolved field ", ref.className, ".", ref.name);
+}
+
+const CallRef &
+Linker::resolveCall(uint16_t from_class, uint16_t cp_idx)
+{
+    ClassRuntime &rt = runtime_[from_class];
+    auto it = rt.callCache.find(cp_idx);
+    if (it != rt.callCache.end())
+        return it->second;
+
+    const ClassFile &cf = prog_.classAt(from_class);
+    auto ref = cf.cpool.memberRef(cp_idx);
+    CallRef call;
+    call.className = ref.className;
+    call.name = ref.name;
+    call.descriptor = ref.descriptor;
+    call.sig = parseMethodDescriptor(ref.descriptor);
+    ++resolutions_;
+    return rt.callCache.emplace(cp_idx, std::move(call)).first->second;
+}
+
+MethodId
+Linker::staticTarget(const CallRef &ref) const
+{
+    return prog_.resolveStatic(ref.className, ref.name, ref.descriptor);
+}
+
+MethodId
+Linker::virtualTarget(uint16_t receiver_class, const CallRef &ref)
+{
+    auto key = std::make_pair(receiver_class,
+                              cat(ref.name, ref.descriptor));
+    auto it = dispatchCache_.find(key);
+    if (it != dispatchCache_.end())
+        return it->second;
+    MethodId id = prog_.resolveVirtual(
+        prog_.classAt(receiver_class).name(), ref.name, ref.descriptor);
+    dispatchCache_.emplace(std::move(key), id);
+    return id;
+}
+
+Value
+Linker::getStatic(const FieldSlot &fs) const
+{
+    NSE_ASSERT(fs.isStatic, "getStatic on instance slot");
+    return runtime_[fs.ownerClass].statics[fs.slot];
+}
+
+void
+Linker::setStatic(const FieldSlot &fs, Value v)
+{
+    NSE_ASSERT(fs.isStatic, "setStatic on instance slot");
+    if ((v.isInt() && fs.kind != TypeKind::Int) ||
+        (v.isRef() && fs.kind != TypeKind::Ref)) {
+        fatal("static field kind mismatch");
+    }
+    runtime_[fs.ownerClass].statics[fs.slot] = v;
+}
+
+} // namespace nse

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Incremental linking: preparation and lazy resolution.
+ *
+ * Linking in the paper's model (§3.1) is verification + preparation +
+ * resolution. Preparation (static storage and instance layouts) runs
+ * once per class and only needs the class's global data; resolution of
+ * symbolic references is performed lazily, the first time an
+ * instruction touches a constant-pool reference — exactly the property
+ * that lets a non-strict JVM link classes whose methods are still in
+ * flight. The Linker counts resolutions so experiments can report
+ * linking activity.
+ */
+
+#ifndef NSE_VM_LINKER_H
+#define NSE_VM_LINKER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classfile/descriptor.h"
+#include "program/program.h"
+#include "vm/value.h"
+
+namespace nse
+{
+
+/** A resolved field reference. */
+struct FieldSlot
+{
+    bool isStatic = false;
+    /** Class that declares the field. */
+    uint16_t ownerClass = 0;
+    /** Static-table or instance-layout slot. */
+    uint16_t slot = 0;
+    TypeKind kind = TypeKind::Int;
+};
+
+/** A parsed (but not yet dispatched) call reference. */
+struct CallRef
+{
+    std::string className;
+    std::string name;
+    std::string descriptor;
+    MethodSig sig;
+};
+
+/** Prepares classes and resolves symbolic references on demand. */
+class Linker
+{
+  public:
+    explicit Linker(const Program &prog);
+
+    /** Preparation: static storage + instance layouts for all classes. */
+    void prepareAll();
+
+    /** Number of instance-field slots an object of this class carries. */
+    size_t instanceSlotCount(uint16_t class_idx) const;
+
+    /** Resolve a FieldRef used from `from_class`; cached per cp slot. */
+    const FieldSlot &resolveField(uint16_t from_class, uint16_t cp_idx);
+
+    /** Resolve a Method/InterfaceMethodRef; cached per cp slot. */
+    const CallRef &resolveCall(uint16_t from_class, uint16_t cp_idx);
+
+    /** Exact static-dispatch target of a resolved call. */
+    MethodId staticTarget(const CallRef &ref) const;
+
+    /** Virtual dispatch from the receiver's dynamic class; memoised. */
+    MethodId virtualTarget(uint16_t receiver_class, const CallRef &ref);
+
+    Value getStatic(const FieldSlot &fs) const;
+    void setStatic(const FieldSlot &fs, Value v);
+
+    /** Number of distinct symbolic references resolved so far. */
+    uint64_t resolutionCount() const { return resolutions_; }
+
+  private:
+    struct ClassRuntime
+    {
+        bool prepared = false;
+        /** Static field storage and name->slot map. */
+        std::vector<Value> statics;
+        std::map<std::string, uint16_t> staticSlots;
+        /** Instance layout: name->slot across the super chain. */
+        std::map<std::string, uint16_t> instanceSlots;
+        size_t instanceCount = 0;
+        /** Lazy per-cp-index resolution caches. */
+        std::map<uint16_t, FieldSlot> fieldCache;
+        std::map<uint16_t, CallRef> callCache;
+    };
+
+    void prepare(uint16_t class_idx);
+
+    const Program &prog_;
+    std::vector<ClassRuntime> runtime_;
+    std::map<std::pair<uint16_t, std::string>, MethodId> dispatchCache_;
+    uint64_t resolutions_ = 0;
+};
+
+} // namespace nse
+
+#endif // NSE_VM_LINKER_H

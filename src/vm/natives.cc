@@ -1,0 +1,134 @@
+#include "vm/natives.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+void
+NativeRegistry::add(std::string_view qualified_name, NativeFn fn,
+                    uint64_t cycle_cost)
+{
+    natives_[std::string(qualified_name)] =
+        NativeMethod{std::move(fn), cycle_cost};
+}
+
+void
+NativeRegistry::setCost(std::string_view qualified_name,
+                        uint64_t cycle_cost)
+{
+    auto it = natives_.find(qualified_name);
+    if (it == natives_.end())
+        fatal("setCost on unknown native: ", qualified_name);
+    it->second.cycleCost = cycle_cost;
+}
+
+bool
+NativeRegistry::has(std::string_view qualified_name) const
+{
+    return natives_.count(qualified_name) > 0;
+}
+
+const NativeMethod &
+NativeRegistry::lookup(std::string_view qualified_name) const
+{
+    auto it = natives_.find(qualified_name);
+    if (it == natives_.end())
+        fatal("call to unregistered native method: ", qualified_name);
+    return it->second;
+}
+
+NativeRegistry
+standardNatives()
+{
+    NativeRegistry reg;
+
+    reg.add("Sys.print",
+            [](NativeContext &ctx, const std::vector<Value> &args) {
+                ctx.output.push_back(args.at(0).asInt());
+                return Value::makeInt(0);
+            },
+            9'000);
+
+    reg.add("Sys.printChar",
+            [](NativeContext &ctx, const std::vector<Value> &args) {
+                ctx.output.push_back(args.at(0).asInt());
+                return Value::makeInt(0);
+            },
+            7'000);
+
+    reg.add("Sys.printArr",
+            [](NativeContext &ctx, const std::vector<Value> &args) {
+                Ref arr = args.at(0).asRef();
+                int64_t len = ctx.heap.arrayLength(arr);
+                for (int64_t i = 0; i < len; ++i)
+                    ctx.output.push_back(ctx.heap.arrayGet(arr, i).asInt());
+                return Value::makeInt(0);
+            },
+            20'000);
+
+    reg.add("Gfx.drawDisk",
+            [](NativeContext &ctx, const std::vector<Value> &args) {
+                // Record the draw so applet output is verifiable.
+                ctx.output.push_back(args.at(0).asInt() * 1'000'000 +
+                                     args.at(1).asInt() * 1'000 +
+                                     args.at(2).asInt());
+                return Value::makeInt(0);
+            },
+            1'200'000);
+
+    reg.add("Gfx.clear",
+            [](NativeContext &ctx, const std::vector<Value> &) {
+                ctx.output.push_back(-1);
+                return Value::makeInt(0);
+            },
+            600'000);
+
+    reg.add("File.writeBlock",
+            [](NativeContext &ctx, const std::vector<Value> &args) {
+                Ref arr = args.at(0).asRef();
+                int64_t len = ctx.heap.arrayLength(arr);
+                int64_t sum = 0;
+                for (int64_t i = 0; i < len; ++i)
+                    sum = sum * 31 + ctx.heap.arrayGet(arr, i).asInt();
+                ctx.output.push_back(sum);
+                return Value::makeInt(0);
+            },
+            60'000);
+
+    reg.add("File.readByte",
+            [](NativeContext &, const std::vector<Value> &args) {
+                // Deterministic pseudo file contents with realistic
+                // redundancy (repeating ramps plus slow drift), so
+                // compression workloads find genuine matches.
+                auto i = static_cast<uint64_t>(args.at(0).asInt());
+                uint64_t b = (i % 64) * 3 + (i / 256);
+                if (i % 97 == 0)
+                    b ^= (i * 0x9e3779b9ULL) >> 11; // occasional noise
+                return Value::makeInt(static_cast<int64_t>(b & 0xff));
+            },
+            12'000);
+
+    reg.add("Sys.argCount",
+            [](NativeContext &ctx, const std::vector<Value> &) {
+                return Value::makeInt(
+                    static_cast<int64_t>(ctx.input.size()));
+            },
+            4'000);
+
+    reg.add("Sys.arg",
+            [](NativeContext &ctx, const std::vector<Value> &args) {
+                int64_t idx = args.at(0).asInt();
+                if (idx < 0 ||
+                    static_cast<size_t>(idx) >= ctx.input.size()) {
+                    fatal("Sys.arg index out of range: ", idx);
+                }
+                return Value::makeInt(
+                    ctx.input[static_cast<size_t>(idx)]);
+            },
+            4'000);
+
+    return reg;
+}
+
+} // namespace nse

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Native-method registry.
+ *
+ * Workload programs declare native methods (window system, console,
+ * file I/O) in their class files; the VM dispatches them here. Each
+ * native has a handler (so programs remain functionally verifiable —
+ * output is captured) and a cycle cost. Costs are the calibration knob
+ * that reproduces the paper's wide per-program CPI range: e.g. the
+ * Hanoi applet's CPI of 3830 comes from uninstrumented window-system
+ * calls, which we model as expensive Gfx natives.
+ */
+
+#ifndef NSE_VM_NATIVES_H
+#define NSE_VM_NATIVES_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vm/heap.h"
+#include "vm/value.h"
+
+namespace nse
+{
+
+/** Execution context handed to native handlers. */
+struct NativeContext
+{
+    Heap &heap;
+    /** Program-observable output stream (ints and char codes). */
+    std::vector<int64_t> &output;
+    /** Workload input stream (the paper's train/test input sets). */
+    const std::vector<int64_t> &input;
+};
+
+/** Native handler: consumes argument values, may return a value. */
+using NativeFn =
+    std::function<Value(NativeContext &, const std::vector<Value> &)>;
+
+/** A registered native method body plus its cycle cost. */
+struct NativeMethod
+{
+    NativeFn fn;
+    uint64_t cycleCost = 0;
+};
+
+/** Maps "Class.method" names to native bodies. */
+class NativeRegistry
+{
+  public:
+    /** Register (or replace) a native. */
+    void add(std::string_view qualified_name, NativeFn fn,
+             uint64_t cycle_cost);
+
+    /** Re-cost an existing native (workload CPI calibration). */
+    void setCost(std::string_view qualified_name, uint64_t cycle_cost);
+
+    bool has(std::string_view qualified_name) const;
+
+    /** Lookup; fatal()s on unknown natives. */
+    const NativeMethod &lookup(std::string_view qualified_name) const;
+
+  private:
+    std::map<std::string, NativeMethod, std::less<>> natives_;
+};
+
+/**
+ * The standard native library all workloads share:
+ *   Sys.print(I)V      append an int to the output stream
+ *   Sys.printChar(I)V  append a char code to the output stream
+ *   Sys.printArr(A)V   append every element of an int array
+ *   Gfx.drawDisk(III)V window-system draw call (expensive)
+ *   Gfx.clear()V       window-system clear (expensive)
+ *   File.writeBlock(A)V  write an int array "block" to a file
+ *   File.readByte(I)I  deterministic pseudo file input
+ *   Sys.argCount()I    number of workload input values
+ *   Sys.arg(I)I        read one workload input value
+ */
+NativeRegistry standardNatives();
+
+} // namespace nse
+
+#endif // NSE_VM_NATIVES_H

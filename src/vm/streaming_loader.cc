@@ -1,0 +1,159 @@
+#include "vm/streaming_loader.h"
+
+#include <cstring>
+
+#include "bytecode/instruction.h"
+#include "classfile/parser.h"
+#include "classfile/writer.h"
+#include "program/program.h"
+#include "support/bytebuffer.h"
+#include "support/error.h"
+#include "vm/verifier.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** True when a parse failure only means "more bytes needed". */
+bool
+isTruncation(const FatalError &e)
+{
+    return std::string_view(e.what()).find("truncated input") !=
+           std::string_view::npos;
+}
+
+} // namespace
+
+size_t
+StreamingLoader::feed(const uint8_t *data, size_t n)
+{
+    NSE_CHECK(phase_ != LoadPhase::Complete || n == 0,
+              "bytes fed past the end of the class file");
+    buffer_.insert(buffer_.end(), data, data + n);
+
+    if (phase_ == LoadPhase::AwaitingGlobalData)
+        tryParseGlobalData();
+    if (phase_ == LoadPhase::LoadingMethods)
+        return tryParseMethods();
+    return 0;
+}
+
+size_t
+StreamingLoader::feed(const std::vector<uint8_t> &bytes)
+{
+    return feed(bytes.data(), bytes.size());
+}
+
+void
+StreamingLoader::tryParseGlobalData()
+{
+    // Reject wrong streams as soon as the magic is in.
+    if (buffer_.size() >= 4) {
+        uint32_t magic = (uint32_t(buffer_[0]) << 24) |
+                         (uint32_t(buffer_[1]) << 16) |
+                         (uint32_t(buffer_[2]) << 8) |
+                         uint32_t(buffer_[3]);
+        if (magic != kClassFileMagic)
+            fatal("streaming loader: bad class-file magic");
+    }
+
+    GlobalDataView view;
+    try {
+        view = parseGlobalData(buffer_);
+    } catch (const FatalError &e) {
+        if (isTruncation(e))
+            return; // keep waiting
+        throw;
+    }
+
+    loaded_ = std::move(view.partial);
+    methodCount_ = view.methodCount;
+    globalDataEnd_ = view.globalDataEnd;
+    parsePos_ = view.globalDataEnd;
+
+    // Verification steps 1-2 run the moment the global data is whole
+    // — before a single method byte has arrived (paper §3.1.1).
+    Program scratch({loaded_}, loaded_.name(),
+                    /*entry method irrelevant here*/ "");
+    Verifier verifier(scratch);
+    verifier.verifyClass(0);
+
+    phase_ = methodCount_ == 0 ? LoadPhase::Complete
+                               : LoadPhase::LoadingMethods;
+}
+
+size_t
+StreamingLoader::tryParseMethods()
+{
+    size_t arrived = 0;
+    // Serialized method layout (see classfile/writer.cc):
+    //   u16 access, u16 name, u16 desc, u16 maxLocals,
+    //   u32 localLen, bytes, u32 codeLen, bytes, u32 delimiter.
+    while (loaded_.methods.size() < methodCount_) {
+        size_t avail = buffer_.size() - parsePos_;
+        if (avail < 12)
+            break;
+        ByteReader head(buffer_.data() + parsePos_, avail);
+        head.skip(8);
+        uint32_t local_len = head.getU32();
+        if (avail < 12 + local_len + 4)
+            break;
+        ByteReader code_len_reader(
+            buffer_.data() + parsePos_ + 12 + local_len, 4);
+        uint32_t code_len = code_len_reader.getU32();
+        size_t record = 12 + local_len + 4 + code_len + 4;
+        if (avail < record)
+            break;
+
+        // The full record (through its delimiter) has arrived.
+        ByteReader r(buffer_.data() + parsePos_, record);
+        MethodInfo m;
+        m.accessFlags = r.getU16();
+        m.nameIdx = r.getU16();
+        m.descIdx = r.getU16();
+        m.maxLocals = r.getU16();
+        m.localData = r.getBytes(r.getU32());
+        m.code = r.getBytes(r.getU32());
+        uint32_t delim = r.getU32();
+        if (delim != kMethodDelimiter)
+            fatal("streaming loader: corrupt method delimiter");
+
+        // Local step-3 checks at arrival: the method's names must be
+        // valid pool entries, its descriptor must parse, and its code
+        // must decode (non-native methods).
+        parseMethodDescriptor(loaded_.cpool.utf8At(m.descIdx));
+        loaded_.cpool.utf8At(m.nameIdx);
+        if (!m.isNative())
+            decodeCode(m.code);
+
+        parsePos_ += record;
+        methodEnds_.push_back(parsePos_);
+        loaded_.methods.push_back(std::move(m));
+        ++arrived;
+    }
+    if (loaded_.methods.size() == methodCount_) {
+        phase_ = LoadPhase::Complete;
+        NSE_CHECK(parsePos_ >= buffer_.size(),
+                  "trailing bytes after the last method");
+    }
+    return arrived;
+}
+
+size_t
+StreamingLoader::methodEndOffset(size_t i) const
+{
+    NSE_ASSERT(i < methodEnds_.size(), "method ", i, " not yet loaded");
+    return methodEnds_[i];
+}
+
+const ClassFile &
+StreamingLoader::classFile() const
+{
+    NSE_ASSERT(phase_ != LoadPhase::AwaitingGlobalData,
+               "class file not available before its global data");
+    return loaded_;
+}
+
+} // namespace nse

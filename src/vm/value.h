@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Runtime values of the substrate VM.
+ *
+ * The VM is a two-kind machine, matching the descriptor grammar: ints
+ * (64-bit at runtime so workload arithmetic can't silently wrap the
+ * simulator) and references (opaque heap handles; handle 0 is null).
+ */
+
+#ifndef NSE_VM_VALUE_H
+#define NSE_VM_VALUE_H
+
+#include <cstdint>
+
+#include "classfile/descriptor.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+/** Heap handle; 0 is null. */
+using Ref = uint32_t;
+constexpr Ref kNullRef = 0;
+
+/** One runtime value: an int or a reference. */
+struct Value
+{
+    TypeKind kind = TypeKind::Int;
+    int64_t i = 0;
+    Ref ref = kNullRef;
+
+    static Value
+    makeInt(int64_t v)
+    {
+        Value out;
+        out.kind = TypeKind::Int;
+        out.i = v;
+        return out;
+    }
+
+    static Value
+    makeRef(Ref r)
+    {
+        Value out;
+        out.kind = TypeKind::Ref;
+        out.ref = r;
+        return out;
+    }
+
+    static Value makeNull() { return makeRef(kNullRef); }
+
+    bool isInt() const { return kind == TypeKind::Int; }
+    bool isRef() const { return kind == TypeKind::Ref; }
+
+    int64_t
+    asInt() const
+    {
+        NSE_ASSERT(isInt(), "value is not an int");
+        return i;
+    }
+
+    Ref
+    asRef() const
+    {
+        NSE_ASSERT(isRef(), "value is not a reference");
+        return ref;
+    }
+};
+
+} // namespace nse
+
+#endif // NSE_VM_VALUE_H

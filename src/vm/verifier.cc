@@ -1,0 +1,577 @@
+#include "vm/verifier.h"
+
+#include <deque>
+#include <optional>
+
+#include "classfile/descriptor.h"
+
+namespace nse
+{
+
+namespace
+{
+
+[[noreturn]] void
+verifyFail(const std::string &msg)
+{
+    throw VerifyError(msg);
+}
+
+/** Abstract local-variable type: a value kind or "unset". */
+enum class LType : uint8_t
+{
+    Int,
+    Ref,
+    Unset,
+};
+
+LType
+ltypeOf(TypeKind k)
+{
+    return k == TypeKind::Int ? LType::Int : LType::Ref;
+}
+
+/** Abstract machine state at one instruction boundary. */
+struct AbsState
+{
+    std::vector<TypeKind> stack; ///< Int/Ref only
+    std::vector<LType> locals;
+
+    bool
+    operator==(const AbsState &o) const
+    {
+        return stack == o.stack && locals == o.locals;
+    }
+};
+
+/**
+ * Merge `in` into `cur`. Returns true when `cur` changed. Stack depths
+ * must agree (classic verifier rule); conflicting stack types fail;
+ * conflicting locals degrade to Unset.
+ */
+bool
+mergeState(AbsState &cur, const AbsState &in, const std::string &where)
+{
+    if (cur.stack.size() != in.stack.size())
+        verifyFail(cat("stack depth mismatch at join in ", where));
+    for (size_t i = 0; i < cur.stack.size(); ++i) {
+        if (cur.stack[i] != in.stack[i])
+            verifyFail(cat("stack type conflict at join in ", where));
+    }
+    bool changed = false;
+    for (size_t i = 0; i < cur.locals.size(); ++i) {
+        if (cur.locals[i] != in.locals[i] &&
+            cur.locals[i] != LType::Unset) {
+            cur.locals[i] = LType::Unset;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Per-method dataflow verification pass. */
+class MethodChecker
+{
+  public:
+    MethodChecker(const Program &prog, const ClassFile &cf,
+                  const MethodInfo &m, std::string label)
+        : prog_(prog), cf_(cf), m_(m), label_(std::move(label))
+    {}
+
+    VerifiedMethod run();
+
+  private:
+    void checkCpOperand(const Instruction &inst);
+    AbsState entryState() const;
+    void transfer(const Instruction &inst, AbsState &state,
+                  std::optional<size_t> &branch_to, bool &falls_through);
+
+    TypeKind pop(AbsState &s);
+    void popExpect(AbsState &s, TypeKind k);
+    void push(AbsState &s, TypeKind k);
+    void checkLocal(const AbsState &s, int32_t slot, LType want) const;
+
+    const Program &prog_;
+    const ClassFile &cf_;
+    const MethodInfo &m_;
+    std::string label_;
+    VerifiedMethod vm_;
+    MethodSig sig_;
+    uint16_t maxStackSeen_ = 0;
+};
+
+TypeKind
+MethodChecker::pop(AbsState &s)
+{
+    if (s.stack.empty())
+        verifyFail(cat("operand stack underflow in ", label_));
+    TypeKind k = s.stack.back();
+    s.stack.pop_back();
+    return k;
+}
+
+void
+MethodChecker::popExpect(AbsState &s, TypeKind k)
+{
+    TypeKind got = pop(s);
+    if (got != k) {
+        verifyFail(cat("operand kind mismatch in ", label_, ": expected ",
+                       k == TypeKind::Int ? "int" : "ref"));
+    }
+}
+
+void
+MethodChecker::push(AbsState &s, TypeKind k)
+{
+    s.stack.push_back(k);
+    if (s.stack.size() > maxStackSeen_)
+        maxStackSeen_ = static_cast<uint16_t>(s.stack.size());
+}
+
+void
+MethodChecker::checkLocal(const AbsState &s, int32_t slot,
+                          LType want) const
+{
+    if (slot < 0 || static_cast<size_t>(slot) >= s.locals.size())
+        verifyFail(cat("local slot ", slot, " out of range in ", label_));
+    if (want != LType::Unset && s.locals[static_cast<size_t>(slot)] != want)
+        verifyFail(cat("read of wrong/uninitialised local ", slot, " in ",
+                       label_));
+}
+
+void
+MethodChecker::checkCpOperand(const Instruction &inst)
+{
+    auto idx = static_cast<uint16_t>(inst.operand);
+    const ConstantPool &cp = cf_.cpool;
+    if (!cp.valid(idx))
+        verifyFail(cat("constant-pool index ", idx, " out of range in ",
+                       label_));
+    const CpEntry &e = cp.at(idx);
+    switch (inst.op) {
+      case Opcode::LDC:
+        if (e.tag != CpTag::Integer && e.tag != CpTag::String)
+            verifyFail(cat("LDC of unsupported tag ", cpTagName(e.tag),
+                           " in ", label_));
+        break;
+      case Opcode::INVOKESTATIC:
+      case Opcode::INVOKEVIRTUAL:
+        if (e.tag != CpTag::MethodRef &&
+            e.tag != CpTag::InterfaceMethodRef) {
+            verifyFail(cat("invoke of non-method cp entry in ", label_));
+        }
+        break;
+      case Opcode::GETFIELD:
+      case Opcode::PUTFIELD:
+      case Opcode::GETSTATIC:
+      case Opcode::PUTSTATIC:
+        if (e.tag != CpTag::FieldRef)
+            verifyFail(cat("field access of non-field cp entry in ",
+                           label_));
+        break;
+      case Opcode::NEW:
+        if (e.tag != CpTag::Class)
+            verifyFail(cat("NEW of non-class cp entry in ", label_));
+        break;
+      default:
+        panic("unexpected cp-operand opcode");
+    }
+}
+
+AbsState
+MethodChecker::entryState() const
+{
+    AbsState s;
+    s.locals.assign(m_.maxLocals, LType::Unset);
+    size_t slot = 0;
+    if (!m_.isStatic()) {
+        if (m_.maxLocals < 1)
+            verifyFail(cat("maxLocals too small for receiver in ", label_));
+        s.locals[slot++] = LType::Ref;
+    }
+    for (TypeKind k : sig_.params) {
+        if (slot >= m_.maxLocals)
+            verifyFail(cat("maxLocals too small for arguments in ",
+                           label_));
+        s.locals[slot++] = ltypeOf(k);
+    }
+    return s;
+}
+
+void
+MethodChecker::transfer(const Instruction &inst, AbsState &s,
+                        std::optional<size_t> &branch_to,
+                        bool &falls_through)
+{
+    branch_to.reset();
+    falls_through = true;
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::PUSH_I8:
+      case Opcode::PUSH_I32:
+        push(s, TypeKind::Int);
+        break;
+      case Opcode::LDC: {
+        checkCpOperand(inst);
+        const CpEntry &e = cf_.cpool.at(static_cast<uint16_t>(inst.operand));
+        push(s, e.tag == CpTag::Integer ? TypeKind::Int : TypeKind::Ref);
+        break;
+      }
+      case Opcode::ACONST_NULL:
+        push(s, TypeKind::Ref);
+        break;
+      case Opcode::ILOAD:
+        checkLocal(s, inst.operand, LType::Int);
+        push(s, TypeKind::Int);
+        break;
+      case Opcode::ALOAD:
+        checkLocal(s, inst.operand, LType::Ref);
+        push(s, TypeKind::Ref);
+        break;
+      case Opcode::ISTORE:
+        checkLocal(s, inst.operand, LType::Unset);
+        popExpect(s, TypeKind::Int);
+        s.locals[static_cast<size_t>(inst.operand)] = LType::Int;
+        break;
+      case Opcode::ASTORE:
+        checkLocal(s, inst.operand, LType::Unset);
+        popExpect(s, TypeKind::Ref);
+        s.locals[static_cast<size_t>(inst.operand)] = LType::Ref;
+        break;
+      case Opcode::POP:
+        pop(s);
+        break;
+      case Opcode::DUP: {
+        TypeKind k = pop(s);
+        push(s, k);
+        push(s, k);
+        break;
+      }
+      case Opcode::DUP_X1: {
+        TypeKind a = pop(s);
+        TypeKind b = pop(s);
+        push(s, a);
+        push(s, b);
+        push(s, a);
+        break;
+      }
+      case Opcode::SWAP: {
+        TypeKind a = pop(s);
+        TypeKind b = pop(s);
+        push(s, a);
+        push(s, b);
+        break;
+      }
+      case Opcode::IADD:
+      case Opcode::ISUB:
+      case Opcode::IMUL:
+      case Opcode::IDIV:
+      case Opcode::IREM:
+      case Opcode::ISHL:
+      case Opcode::ISHR:
+      case Opcode::IUSHR:
+      case Opcode::IAND:
+      case Opcode::IOR:
+      case Opcode::IXOR:
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Int);
+        push(s, TypeKind::Int);
+        break;
+      case Opcode::INEG:
+        popExpect(s, TypeKind::Int);
+        push(s, TypeKind::Int);
+        break;
+      case Opcode::IFEQ:
+      case Opcode::IFNE:
+      case Opcode::IFLT:
+      case Opcode::IFGE:
+      case Opcode::IFGT:
+      case Opcode::IFLE:
+        popExpect(s, TypeKind::Int);
+        branch_to = vm_.indexOf(static_cast<uint32_t>(inst.operand));
+        break;
+      case Opcode::IF_ICMPEQ:
+      case Opcode::IF_ICMPNE:
+      case Opcode::IF_ICMPLT:
+      case Opcode::IF_ICMPGE:
+      case Opcode::IF_ICMPGT:
+      case Opcode::IF_ICMPLE:
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Int);
+        branch_to = vm_.indexOf(static_cast<uint32_t>(inst.operand));
+        break;
+      case Opcode::IF_ACMPEQ:
+      case Opcode::IF_ACMPNE:
+        popExpect(s, TypeKind::Ref);
+        popExpect(s, TypeKind::Ref);
+        branch_to = vm_.indexOf(static_cast<uint32_t>(inst.operand));
+        break;
+      case Opcode::IFNULL:
+      case Opcode::IFNONNULL:
+        popExpect(s, TypeKind::Ref);
+        branch_to = vm_.indexOf(static_cast<uint32_t>(inst.operand));
+        break;
+      case Opcode::GOTO:
+        branch_to = vm_.indexOf(static_cast<uint32_t>(inst.operand));
+        falls_through = false;
+        break;
+      case Opcode::INVOKESTATIC:
+      case Opcode::INVOKEVIRTUAL: {
+        checkCpOperand(inst);
+        auto ref =
+            cf_.cpool.memberRef(static_cast<uint16_t>(inst.operand));
+        MethodSig callee = parseMethodDescriptor(ref.descriptor);
+        for (auto it = callee.params.rbegin(); it != callee.params.rend();
+             ++it) {
+            popExpect(s, *it);
+        }
+        if (inst.op == Opcode::INVOKEVIRTUAL)
+            popExpect(s, TypeKind::Ref);
+        // Interprocedural dependence: the callee class must exist and
+        // declare (or inherit, for virtual sends) a matching method.
+        if (inst.op == Opcode::INVOKESTATIC)
+            prog_.resolveStatic(ref.className, ref.name, ref.descriptor);
+        else
+            prog_.resolveVirtual(ref.className, ref.name, ref.descriptor);
+        if (callee.ret != TypeKind::Void)
+            push(s, callee.ret);
+        break;
+      }
+      case Opcode::RETURN:
+        if (sig_.ret != TypeKind::Void)
+            verifyFail(cat("RETURN in non-void method ", label_));
+        falls_through = false;
+        break;
+      case Opcode::IRETURN:
+        if (sig_.ret != TypeKind::Int)
+            verifyFail(cat("IRETURN in non-int method ", label_));
+        popExpect(s, TypeKind::Int);
+        falls_through = false;
+        break;
+      case Opcode::ARETURN:
+        if (sig_.ret != TypeKind::Ref)
+            verifyFail(cat("ARETURN in non-ref method ", label_));
+        popExpect(s, TypeKind::Ref);
+        falls_through = false;
+        break;
+      case Opcode::NEW:
+        checkCpOperand(inst);
+        push(s, TypeKind::Ref);
+        break;
+      case Opcode::NEWARRAY:
+      case Opcode::ANEWARRAY:
+        popExpect(s, TypeKind::Int);
+        push(s, TypeKind::Ref);
+        break;
+      case Opcode::IALOAD:
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Ref);
+        push(s, TypeKind::Int);
+        break;
+      case Opcode::AALOAD:
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Ref);
+        push(s, TypeKind::Ref);
+        break;
+      case Opcode::IASTORE:
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Ref);
+        break;
+      case Opcode::AASTORE:
+        popExpect(s, TypeKind::Ref);
+        popExpect(s, TypeKind::Int);
+        popExpect(s, TypeKind::Ref);
+        break;
+      case Opcode::ARRAYLENGTH:
+        popExpect(s, TypeKind::Ref);
+        push(s, TypeKind::Int);
+        break;
+      case Opcode::GETFIELD:
+      case Opcode::PUTFIELD:
+      case Opcode::GETSTATIC:
+      case Opcode::PUTSTATIC: {
+        checkCpOperand(inst);
+        auto ref =
+            cf_.cpool.memberRef(static_cast<uint16_t>(inst.operand));
+        TypeKind fk = parseFieldDescriptor(ref.descriptor);
+        if (inst.op == Opcode::PUTFIELD || inst.op == Opcode::PUTSTATIC)
+            popExpect(s, fk);
+        if (inst.op == Opcode::GETFIELD || inst.op == Opcode::PUTFIELD)
+            popExpect(s, TypeKind::Ref);
+        if (inst.op == Opcode::GETFIELD || inst.op == Opcode::GETSTATIC)
+            push(s, fk);
+        break;
+      }
+    }
+}
+
+VerifiedMethod
+MethodChecker::run()
+{
+    if (m_.isNative())
+        verifyFail(cat("native method has no code to verify: ", label_));
+
+    sig_ = parseMethodDescriptor(cf_.cpool.utf8At(m_.descIdx));
+
+    try {
+        vm_.insts = decodeCode(m_.code);
+    } catch (const FatalError &e) {
+        verifyFail(cat("undecodable code in ", label_, ": ", e.what()));
+    }
+    if (vm_.insts.empty())
+        verifyFail(cat("empty code in non-native method ", label_));
+
+    vm_.offsetToIndex.assign(m_.code.size(), -1);
+    for (size_t i = 0; i < vm_.insts.size(); ++i)
+        vm_.offsetToIndex[vm_.insts[i].offset] = static_cast<int32_t>(i);
+
+    // Validate branch targets before dataflow so indexOf can't fail
+    // mid-pass.
+    for (const auto &inst : vm_.insts) {
+        if (!isBranch(inst.op))
+            continue;
+        auto off = static_cast<uint32_t>(inst.operand);
+        if (off >= m_.code.size() || vm_.offsetToIndex[off] < 0)
+            verifyFail(cat("branch to non-instruction offset ", off,
+                           " in ", label_));
+    }
+
+    // Worklist dataflow pass.
+    std::vector<std::optional<AbsState>> states(vm_.insts.size());
+    std::deque<size_t> worklist;
+    states[0] = entryState();
+    worklist.push_back(0);
+
+    auto flow_to = [&](size_t target, const AbsState &in) {
+        if (!states[target]) {
+            states[target] = in;
+            worklist.push_back(target);
+        } else if (mergeState(*states[target], in, label_)) {
+            worklist.push_back(target);
+        }
+    };
+
+    while (!worklist.empty()) {
+        size_t idx = worklist.front();
+        worklist.pop_front();
+        AbsState s = *states[idx];
+        std::optional<size_t> branch_to;
+        bool falls_through = true;
+        transfer(vm_.insts[idx], s, branch_to, falls_through);
+        if (branch_to)
+            flow_to(*branch_to, s);
+        if (falls_through) {
+            if (idx + 1 >= vm_.insts.size())
+                verifyFail(cat("control falls off the end of ", label_));
+            flow_to(idx + 1, s);
+        }
+    }
+
+    // Export the converged dataflow facts (consumed by the
+    // procedure-splitting pass).
+    vm_.stackDepthIn.assign(vm_.insts.size(), -1);
+    vm_.localsIn.resize(vm_.insts.size());
+    for (size_t i = 0; i < vm_.insts.size(); ++i) {
+        if (!states[i])
+            continue;
+        vm_.stackDepthIn[i] =
+            static_cast<int32_t>(states[i]->stack.size());
+        vm_.localsIn[i].reserve(states[i]->locals.size());
+        for (LType lt : states[i]->locals) {
+            vm_.localsIn[i].push_back(lt == LType::Int ? LocalKind::Int
+                                      : lt == LType::Ref
+                                          ? LocalKind::Ref
+                                          : LocalKind::Unset);
+        }
+    }
+
+    vm_.maxStack = maxStackSeen_;
+    return std::move(vm_);
+}
+
+} // namespace
+
+size_t
+VerifiedMethod::indexOf(uint32_t offset) const
+{
+    NSE_ASSERT(offset < offsetToIndex.size() && offsetToIndex[offset] >= 0,
+               "branch to unchecked offset ", offset);
+    return static_cast<size_t>(offsetToIndex[offset]);
+}
+
+void
+Verifier::verifyClass(uint16_t class_idx) const
+{
+    const ClassFile &cf = prog_.classAt(class_idx);
+    const ConstantPool &cp = cf.cpool;
+
+    // Constant-pool internal consistency.
+    for (uint16_t i = 1; i < cp.size(); ++i) {
+        const CpEntry &e = cp.at(i);
+        switch (e.tag) {
+          case CpTag::Class:
+          case CpTag::String:
+            cp.at(e.ref1, CpTag::Utf8);
+            break;
+          case CpTag::NameAndType:
+            cp.at(e.ref1, CpTag::Utf8);
+            cp.at(e.ref2, CpTag::Utf8);
+            break;
+          case CpTag::FieldRef:
+          case CpTag::MethodRef:
+          case CpTag::InterfaceMethodRef:
+            cp.at(e.ref1, CpTag::Class);
+            cp.at(e.ref2, CpTag::NameAndType);
+            break;
+          default:
+            break;
+        }
+    }
+
+    cp.at(cf.thisClassIdx, CpTag::Class);
+    if (cf.superClassIdx != 0)
+        cp.at(cf.superClassIdx, CpTag::Class);
+    for (uint16_t idx : cf.interfaceIdxs)
+        cp.at(idx, CpTag::Class);
+
+    for (const FieldInfo &f : cf.fields)
+        parseFieldDescriptor(cp.utf8At(f.descIdx));
+
+    for (const MethodInfo &m : cf.methods) {
+        MethodSig sig = parseMethodDescriptor(cp.utf8At(m.descIdx));
+        if (!m.isNative() && m.maxLocals < sig.argSlots(m.isStatic())) {
+            verifyFail(cat("maxLocals below argument slots in ",
+                           cf.name(), ".", cf.methodName(m)));
+        }
+        if (m.isNative() && !m.code.empty())
+            verifyFail(cat("native method with code: ", cf.name(), ".",
+                           cf.methodName(m)));
+    }
+}
+
+VerifiedMethod
+Verifier::verifyMethod(MethodId id) const
+{
+    const ClassFile &cf = prog_.classAt(id.classIdx);
+    const MethodInfo &m = prog_.method(id);
+    MethodChecker checker(prog_, cf, m, prog_.methodLabel(id));
+    return checker.run();
+}
+
+void
+Verifier::verifyAll() const
+{
+    for (uint16_t c = 0; c < prog_.classCount(); ++c) {
+        verifyClass(c);
+        const ClassFile &cf = prog_.classAt(c);
+        for (uint16_t m = 0; m < cf.methods.size(); ++m) {
+            if (!cf.methods[m].isNative())
+                verifyMethod(MethodId{c, m});
+        }
+    }
+}
+
+} // namespace nse

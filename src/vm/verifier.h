@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Class-file and bytecode verification.
+ *
+ * Implements the paper's five-step verification model (§3.1.1) for the
+ * substrate:
+ *   steps 1-2  class-file structure and global data — verifyClass()
+ *              (runnable as soon as a class's global data arrives);
+ *   step 3     per-method checks as each method transfers —
+ *              verifyMethod(): decode validity, branch alignment,
+ *              operand ranges, and a dataflow pass (abstract
+ *              interpretation over {Int, Ref} with merge at joins) that
+ *              rejects stack underflow, type confusion, reads of
+ *              uninitialised locals, and falling off the code;
+ *   step 4     cross-class dependence checks at first execution —
+ *              performed by the Linker's resolution (signatures are
+ *              checked when symbolic references are resolved).
+ *
+ * Verification failures raise VerifyError.
+ */
+
+#ifndef NSE_VM_VERIFIER_H
+#define NSE_VM_VERIFIER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/instruction.h"
+#include "program/program.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+/** Raised when a class file or method fails verification. */
+class VerifyError : public FatalError
+{
+  public:
+    explicit VerifyError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Abstract kind of a local slot at a program point. */
+enum class LocalKind : uint8_t
+{
+    Int,
+    Ref,
+    Unset,
+};
+
+/** Decoded, verified method body ready for interpretation. */
+struct VerifiedMethod
+{
+    std::vector<Instruction> insts;
+    /** code-byte offset -> instruction index; -1 for mid-instruction. */
+    std::vector<int32_t> offsetToIndex;
+    /** Operand-stack high-water mark. */
+    uint16_t maxStack = 0;
+    /** Operand-stack depth on entry to each instruction; -1 for
+     *  instructions the dataflow never reached (unreachable code is
+     *  rejected earlier, so in practice always >= 0). */
+    std::vector<int32_t> stackDepthIn;
+    /** Local-slot kinds on entry to each instruction (the dataflow
+     *  facts the procedure-splitting pass consumes). */
+    std::vector<std::vector<LocalKind>> localsIn;
+
+    /** Instruction index for a branch-target byte offset. */
+    size_t indexOf(uint32_t offset) const;
+};
+
+/** Verifies classes and methods of one program. */
+class Verifier
+{
+  public:
+    explicit Verifier(const Program &prog) : prog_(prog) {}
+
+    /**
+     * Steps 1-2: validate one class's global data: constant-pool
+     * cross-references and tags, field/method name and descriptor
+     * indices, interface and superclass entries.
+     */
+    void verifyClass(uint16_t class_idx) const;
+
+    /** Step 3 (+ local parts of 4): verify and decode one method. */
+    VerifiedMethod verifyMethod(MethodId id) const;
+
+    /** Verify every class and method; for tests and the loader. */
+    void verifyAll() const;
+
+  private:
+    const Program &prog_;
+};
+
+} // namespace nse
+
+#endif // NSE_VM_VERIFIER_H

@@ -1,0 +1,230 @@
+#include "workloads/common.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace nse
+{
+
+void
+addRuntimeClasses(ProgramBuilder &pb)
+{
+    ClassBuilder &sys = pb.addClass("Sys");
+    sys.addNativeMethod("print", "(I)V");
+    sys.addNativeMethod("printChar", "(I)V");
+    sys.addNativeMethod("printArr", "(A)V");
+    sys.addNativeMethod("argCount", "()I");
+    sys.addNativeMethod("arg", "(I)I");
+
+    ClassBuilder &gfx = pb.addClass("Gfx");
+    gfx.addNativeMethod("drawDisk", "(III)V");
+    gfx.addNativeMethod("clear", "()V");
+
+    ClassBuilder &file = pb.addClass("File");
+    file.addNativeMethod("writeBlock", "(A)V");
+    file.addNativeMethod("readByte", "(I)I");
+}
+
+int
+addLibraryClasses(ProgramBuilder &pb, const LibrarySpec &spec)
+{
+    NSE_CHECK(spec.classCount > 0 && spec.methodsPerClass > 0,
+              "degenerate library spec");
+    NSE_CHECK(spec.reachablePerClass <= spec.methodsPerClass,
+              "reachable methods exceed methods per class");
+
+    int hub_reach =
+        spec.hubReach < 0 ? spec.classCount : spec.hubReach;
+    NSE_CHECK(hub_reach <= spec.classCount, "hubReach out of range");
+
+    Rng rng(spec.seed);
+    for (int c = 0; c < spec.classCount; ++c) {
+        bool cold = c >= hub_reach;
+        std::string cls = cat(spec.prefix, c);
+        ClassBuilder &cb = pb.addClass(cls);
+        cb.setAutoLocalDataRatio(cold ? spec.localDataRatio *
+                                            spec.coldDataFactor
+                                      : spec.localDataRatio);
+        cb.addAttribute("SourceFile", 16 + rng.below(24));
+        for (int u = 0; u < spec.unusedStringsPerClass; ++u) {
+            cb.addUnusedString(cat(spec.prefix, c, "/debug/trace-point-",
+                                   u, "-",
+                                   "abcdefghijklmnopqrstuvwxyz"));
+        }
+
+        // entry(I)I dispatches into the class's reachable chain.
+        MethodBuilder &entry = cb.addMethod("entry", "(I)I");
+        entry.iload(0);
+        entry.invokeStatic(cls, "step0", "(I)I");
+        entry.emit(Opcode::IRETURN);
+
+        for (int m = 0; m < spec.methodsPerClass; ++m) {
+            bool reachable = m < spec.reachablePerClass;
+            MethodBuilder &mb =
+                cb.addMethod(cat(reachable ? "step" : "helper",
+                                 reachable ? m
+                                           : m - spec.reachablePerClass),
+                             "(I)I");
+            uint16_t acc = mb.newLocal();
+
+            // A little arithmetic so the method has a real body whose
+            // size varies deterministically between methods.
+            mb.iload(0);
+            mb.istore(acc);
+            int ops = 2 + static_cast<int>(rng.below(7));
+            for (int k = 0; k < ops; ++k) {
+                mb.iload(acc);
+                mb.pushInt(static_cast<int32_t>(1 + rng.below(97)));
+                switch (rng.below(4)) {
+                  case 0:
+                    mb.emit(Opcode::IADD);
+                    break;
+                  case 1:
+                    mb.emit(Opcode::IMUL);
+                    break;
+                  case 2:
+                    mb.emit(Opcode::IXOR);
+                    break;
+                  default:
+                    mb.emit(Opcode::ISUB);
+                    break;
+                }
+                mb.istore(acc);
+            }
+
+            // Chain: step m calls step m+1 within the class; the last
+            // reachable step sometimes hops to the next class's entry,
+            // creating cross-class first-use dependencies.
+            if (reachable && m + 1 < spec.reachablePerClass) {
+                mb.iload(acc);
+                mb.invokeStatic(cls, cat("step", m + 1), "(I)I");
+                mb.istore(acc);
+            } else if (reachable && c + 1 < hub_reach &&
+                       rng.chance(1, 2)) {
+                mb.iload(acc);
+                mb.pushInt(15);
+                mb.emit(Opcode::IAND);
+                mb.pushInt(0);
+                mb.ifICmp(Cond::Eq, [&] {
+                    mb.iload(acc);
+                    mb.invokeStatic(cat(spec.prefix, c + 1), "entry",
+                                    "(I)I");
+                    mb.istore(acc);
+                });
+            }
+            mb.iload(acc);
+            mb.emit(Opcode::IRETURN);
+        }
+    }
+
+    // The dispatcher hub: call(k, x) -> Lib_k.entry(x), default x.
+    // Cold classes are not dispatchable.
+    ClassBuilder &hub = pb.addClass(cat(spec.prefix, "Hub"));
+    hub.setAutoLocalDataRatio(spec.localDataRatio);
+    MethodBuilder &call = hub.addMethod("call", "(II)I");
+    for (int c = 0; c < hub_reach; ++c) {
+        call.iload(0);
+        call.pushInt(c);
+        call.ifICmp(Cond::Eq, [&] {
+            call.iload(1);
+            call.invokeStatic(cat(spec.prefix, c), "entry", "(I)I");
+            call.emit(Opcode::IRETURN);
+        });
+    }
+    call.iload(1);
+    call.emit(Opcode::IRETURN);
+
+    return spec.classCount;
+}
+
+void
+addSupportMethods(ClassBuilder &cb, std::string_view cls, int count,
+                  int string_bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    static const char *const kTopics[] = {
+        "usage",  "help",    "error",   "banner", "version",
+        "about",  "license", "diag",    "trace",  "report",
+        "config", "locale",  "tips",    "credits", "stats",
+        "footer", "header",  "warning", "notice",  "legend",
+    };
+    for (int k = 0; k < count; ++k) {
+        const char *topic = kTopics[static_cast<size_t>(k) %
+                                    (sizeof(kTopics) / sizeof(*kTopics))];
+        MethodBuilder &m =
+            cb.addMethod(cat("fmt_", topic, k), "(I)I");
+        uint16_t acc = m.newLocal();
+        m.iload(0);
+        m.istore(acc);
+        int remaining = string_bytes;
+        int chunk = 0;
+        while (remaining > 0) {
+            int len = static_cast<int>(40 + rng.below(80));
+            len = std::min(len, remaining);
+            std::string text = cat(cls, ".", topic, k, ".", chunk++, ": ");
+            while (static_cast<int>(text.size()) < len) {
+                text += static_cast<char>('a' + rng.below(26));
+                if (rng.chance(1, 6))
+                    text += ' ';
+            }
+            m.ldcString(text);
+            m.emit(Opcode::ARRAYLENGTH);
+            m.iload(acc);
+            m.emit(Opcode::IADD);
+            m.istore(acc);
+            remaining -= len;
+        }
+        int ops = 2 + static_cast<int>(rng.below(5));
+        for (int i = 0; i < ops; ++i) {
+            m.iload(acc);
+            m.pushInt(static_cast<int32_t>(1 + rng.below(31)));
+            m.emit(rng.chance(1, 2) ? Opcode::IXOR : Opcode::IADD);
+            m.istore(acc);
+        }
+        m.iload(acc);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+emitLibrarySlice(MethodBuilder &m, const std::string &prefix,
+                 int class_count, const CodeBuilder::Block &emit_base,
+                 int count, int stride)
+{
+    for (int k = 0; k < count; ++k) {
+        emit_base();
+        m.pushInt(k * stride);
+        m.emit(Opcode::IADD);
+        m.pushInt(class_count);
+        m.emit(Opcode::IREM);
+        m.pushInt(k);
+        m.invokeStatic(cat(prefix, "Hub"), "call", "(II)I");
+        m.emit(Opcode::POP);
+    }
+}
+
+void
+emitLibrarySweep(MethodBuilder &m, const std::string &prefix,
+                 int class_count, const CodeBuilder::Block &iters,
+                 int stride)
+{
+    uint16_t i = m.newLocal();
+    uint16_t acc = m.newLocal();
+    m.pushInt(0);
+    m.istore(acc);
+    m.forRange(i, 0, iters, [&] {
+        m.iload(acc);
+        m.iload(i);
+        m.pushInt(stride);
+        m.emit(Opcode::IMUL);
+        m.pushInt(class_count);
+        m.emit(Opcode::IREM);
+        m.iload(i);
+        m.invokeStatic(cat(prefix, "Hub"), "call", "(II)I");
+        m.emit(Opcode::IXOR);
+        m.istore(acc);
+    });
+    m.iload(acc);
+}
+
+} // namespace nse

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared workload-construction helpers: the runtime native classes
+ * every program links against, and the library-class generator used to
+ * give workloads realistic static footprints.
+ */
+
+#ifndef NSE_WORKLOADS_COMMON_H
+#define NSE_WORKLOADS_COMMON_H
+
+#include <cstdint>
+#include <string>
+
+#include "program/builder.h"
+
+namespace nse
+{
+
+/**
+ * Declare the runtime classes (Sys, Gfx, File) whose methods are
+ * native (bodies in standardNatives()). Every workload calls these.
+ */
+void addRuntimeClasses(ProgramBuilder &pb);
+
+/** Shape of a generated library (see addLibraryClasses). */
+struct LibrarySpec
+{
+    std::string prefix;      ///< class-name prefix, e.g. "JessLib"
+    int classCount = 10;     ///< generated classes
+    int methodsPerClass = 12;
+    uint64_t seed = 1;       ///< deterministic generation seed
+    /** Methods per class reachable through the class's entry chain;
+     *  the rest are never called (the paper's partially-executed
+     *  libraries: Jess executes only 47% of its static code). */
+    int reachablePerClass = 6;
+    /** Unused interned strings per class (dead global data). */
+    int unusedStringsPerClass = 2;
+    /** Auxiliary local-data ratio for generated methods. */
+    double localDataRatio = 1.6;
+    /**
+     * Number of classes reachable through the hub; defaults to all.
+     * Classes beyond this are *cold*: resource/debug bundles that no
+     * input ever touches. They carry inflated local data and
+     * attributes (data, not code), reproducing real programs where a
+     * large share of bytes lives in files that never transfer while
+     * the executed-instruction fraction stays high (paper Tables 2/6).
+     */
+    int hubReach = -1;
+    /** Local-data multiplier for cold classes. */
+    double coldDataFactor = 4.0;
+};
+
+/**
+ * Generate library classes "<prefix>0".."<prefix>N-1" plus a
+ * dispatcher class "<prefix>Hub" exposing `call(II)I`.
+ *
+ * Each library class exposes `entry(I)I`, which walks a call chain
+ * through the class's first `reachablePerClass` methods (some chains
+ * conditionally hop to the next generated class, creating cross-class
+ * first-use dependencies); the remaining methods are real but
+ * unreachable. `Hub.call(k, x)` dispatches to class k's entry, so a
+ * workload's input decides *which* library classes execute — the
+ * input-dependent partial execution the paper measures (Jess runs 47%
+ * of its static code, TestDes 98%).
+ *
+ * Returns the number of library classes generated (excluding the hub).
+ */
+int addLibraryClasses(ProgramBuilder &pb, const LibrarySpec &spec);
+
+/**
+ * Emit a coverage loop into `m`: `iters` calls of
+ * `<prefix>Hub.call((seed + i*stride) % classCount, i)`, results
+ * folded into a checksum that is left on the stack. Used by workload
+ * mains to touch an input-dependent subset of their library.
+ */
+void emitLibrarySweep(MethodBuilder &m, const std::string &prefix,
+                      int class_count, const CodeBuilder::Block &iters,
+                      int stride);
+
+/**
+ * Add `count` support methods (help/usage/error formatting) to the
+ * class: realistic string-heavy members that rarely execute. They are
+ * what make an entry class bigger than its main method — the gap
+ * non-strict execution exploits for invocation latency (paper Table
+ * 4) — and they populate the constant pool with the Utf8-dominated
+ * global data that partitioning defers (Tables 8/9).
+ *
+ * @param string_bytes approximate bytes of string constants each
+ *                     method interns.
+ */
+void addSupportMethods(ClassBuilder &cb, std::string_view cls, int count,
+                       int string_bytes, uint64_t seed);
+
+/**
+ * Emit `count` dispatched library calls whose selectors derive from a
+ * runtime base value: Hub.call((base + k*stride) % classCount, k).
+ * Workloads place one slice inside each main-loop iteration so
+ * library first uses spread across the run (instead of clustering at
+ * startup or at exit), which is what gives transfer something to
+ * overlap with. `emit_base` must push the base int.
+ */
+void emitLibrarySlice(MethodBuilder &m, const std::string &prefix,
+                      int class_count,
+                      const CodeBuilder::Block &emit_base, int count,
+                      int stride);
+
+} // namespace nse
+
+#endif // NSE_WORKLOADS_COMMON_H

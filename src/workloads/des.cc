@@ -1,0 +1,478 @@
+/**
+ * @file
+ * DesCipher: the encryption workload (paper's "TestDes", Table 1).
+ *
+ * A DES-style 16-round Feistel cipher over 24-bit half-blocks:
+ * table-driven S-boxes, a rotating key schedule, real encrypt +
+ * decrypt with an in-program round-trip check. Like the paper's
+ * TestDes the program is a few large-method classes — the S-box and
+ * IV tables are initialised from constant-pool integers, which makes
+ * Integer entries dominate the constant pool (paper Table 8: 52.9%
+ * Ints for TestDes), and main itself is big, which is why non-strict
+ * execution barely improves TestDes invocation latency (Table 4:
+ * 71 -> 70 Mcycles): the first procedure is most of the first file.
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/common.h"
+
+namespace nse
+{
+
+namespace
+{
+
+constexpr int32_t kMask24 = 0xffffff;
+
+/** Deterministic 6-bit S-box contents. */
+int32_t
+sboxValue(int i)
+{
+    uint32_t x = static_cast<uint32_t>(i) * 2654435761u;
+    return static_cast<int32_t>((x >> 9) & 4095);
+}
+
+void
+buildTablesClass(ProgramBuilder &pb)
+{
+    ClassBuilder &tb = pb.addClass("DesTables");
+    tb.addStaticField("sbox", "A");
+    tb.addAttribute("SourceFile", 14);
+
+    // initTables()V: 128 table stores, all via constant-pool integers.
+    {
+        MethodBuilder &m = tb.addMethod("initTables", "()V");
+        m.setLocalDataSize(400);
+        m.pushInt(128);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesTables", "sbox", "A");
+        for (int i = 0; i < 128; ++i) {
+            m.getStatic("DesTables", "sbox", "A");
+            m.pushInt(i);
+            m.ldcInt(sboxValue(i));
+            m.emit(Opcode::IASTORE);
+        }
+        m.emit(Opcode::RETURN);
+    }
+    // Alternative cipher-mode tables (CBC / triple-DES variants)
+    // ship with the class but this driver never exercises them:
+    // little code, lots of method-local table data — the bytes the
+    // non-strict transfer never has to fetch.
+    for (const char *mode : {"cbcTables", "tripleTables", "cfbTables"}) {
+        MethodBuilder &m = tb.addMethod(mode, "()V");
+        m.setLocalDataSize(2'800);
+        m.pushInt(64);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesTables", "sbox", "A");
+        m.emit(Opcode::RETURN);
+    }
+    // sboxAt(I)I
+    {
+        MethodBuilder &m = tb.addMethod("sboxAt", "(I)I");
+        m.getStatic("DesTables", "sbox", "A");
+        m.iload(0);
+        m.pushInt(127);
+        m.emit(Opcode::IAND);
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+    // rot24(II)I: 24-bit left rotation.
+    {
+        MethodBuilder &m = tb.addMethod("rot24", "(II)I");
+        m.iload(0);
+        m.iload(1);
+        m.emit(Opcode::ISHL);
+        m.iload(0);
+        m.pushInt(24);
+        m.iload(1);
+        m.emit(Opcode::ISUB);
+        m.emit(Opcode::IUSHR);
+        m.emit(Opcode::IOR);
+        m.ldcInt(kMask24);
+        m.emit(Opcode::IAND);
+        m.emit(Opcode::IRETURN);
+    }
+    // mix(I)I: deterministic 24-bit hash (message generation).
+    {
+        MethodBuilder &m = tb.addMethod("mix", "(I)I");
+        uint16_t t = m.newLocal();
+        m.iload(0);
+        m.ldcInt(0x27220a95);
+        m.emit(Opcode::IMUL);
+        m.istore(t);
+        m.iload(t);
+        m.iload(t);
+        m.pushInt(13);
+        m.emit(Opcode::IUSHR);
+        m.emit(Opcode::IXOR);
+        m.ldcInt(kMask24);
+        m.emit(Opcode::IAND);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildCipherClass(ProgramBuilder &pb)
+{
+    ClassBuilder &cb = pb.addClass("DesCipher");
+    cb.addStaticField("roundKeys", "A");
+    cb.addStaticField("outL", "I");
+    cb.addStaticField("outR", "I");
+    cb.addAttribute("SourceFile", 14);
+
+    // keySchedule(II)V: sixteen rotating, S-box-stirred round keys.
+    {
+        MethodBuilder &m = cb.addMethod("keySchedule", "(II)V");
+        uint16_t r = m.newLocal();
+        m.pushInt(16);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesCipher", "roundKeys", "A");
+        m.forRange(r, 0, 16, [&] {
+            // k0 = rot24(k0 ^ sbox[k1], (r % 23) + 1)
+            m.iload(0);
+            m.iload(1);
+            m.invokeStatic("DesTables", "sboxAt", "(I)I");
+            m.emit(Opcode::IXOR);
+            m.iload(r);
+            m.pushInt(23);
+            m.emit(Opcode::IREM);
+            m.pushInt(1);
+            m.emit(Opcode::IADD);
+            m.invokeStatic("DesTables", "rot24", "(II)I");
+            m.istore(0);
+            // k1 = (k1 * 3 + k0) & mask
+            m.iload(1);
+            m.pushInt(3);
+            m.emit(Opcode::IMUL);
+            m.iload(0);
+            m.emit(Opcode::IADD);
+            m.ldcInt(kMask24);
+            m.emit(Opcode::IAND);
+            m.istore(1);
+            m.getStatic("DesCipher", "roundKeys", "A");
+            m.iload(r);
+            m.iload(0);
+            m.iload(1);
+            m.emit(Opcode::IXOR);
+            m.emit(Opcode::IASTORE);
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // feistel(II)I: the round function f(x, k).
+    {
+        MethodBuilder &m = cb.addMethod("feistel", "(II)I");
+        uint16_t t = m.newLocal();
+        m.iload(0);
+        m.iload(1);
+        m.emit(Opcode::IXOR);
+        m.istore(t);
+        // Four 6-bit S-box lookups pasted into a 24-bit word.
+        m.iload(t);
+        m.invokeStatic("DesTables", "sboxAt", "(I)I");
+        m.iload(t);
+        m.pushInt(6);
+        m.emit(Opcode::IUSHR);
+        m.invokeStatic("DesTables", "sboxAt", "(I)I");
+        m.pushInt(6);
+        m.emit(Opcode::ISHL);
+        m.emit(Opcode::IOR);
+        m.iload(t);
+        m.pushInt(12);
+        m.emit(Opcode::IUSHR);
+        m.invokeStatic("DesTables", "sboxAt", "(I)I");
+        m.pushInt(12);
+        m.emit(Opcode::ISHL);
+        m.emit(Opcode::IOR);
+        m.iload(t);
+        m.pushInt(18);
+        m.emit(Opcode::IUSHR);
+        m.invokeStatic("DesTables", "sboxAt", "(I)I");
+        m.pushInt(18);
+        m.emit(Opcode::ISHL);
+        m.emit(Opcode::IOR);
+        // Diffuse with a rotation.
+        m.pushInt(5);
+        m.invokeStatic("DesTables", "rot24", "(II)I");
+        m.emit(Opcode::IRETURN);
+    }
+    // encryptBlock(II)V -> (outL, outR)
+    {
+        MethodBuilder &m = cb.addMethod("encryptBlock", "(II)V");
+        uint16_t i = m.newLocal();
+        uint16_t t = m.newLocal();
+        m.forRange(i, 0, 16, [&] {
+            m.iload(0);
+            m.iload(1);
+            m.getStatic("DesCipher", "roundKeys", "A");
+            m.iload(i);
+            m.emit(Opcode::IALOAD);
+            m.invokeStatic("DesCipher", "feistel", "(II)I");
+            m.emit(Opcode::IXOR);
+            m.istore(t);
+            m.iload(1);
+            m.istore(0);
+            m.iload(t);
+            m.istore(1);
+        });
+        m.iload(0);
+        m.putStatic("DesCipher", "outL", "I");
+        m.iload(1);
+        m.putStatic("DesCipher", "outR", "I");
+        m.emit(Opcode::RETURN);
+    }
+    // decryptBlock(II)V -> (outL, outR): rounds in reverse.
+    {
+        MethodBuilder &m = cb.addMethod("decryptBlock", "(II)V");
+        // Decryption tables ride as this method's local data; they
+        // are not needed until verification begins, long after the
+        // encryption phase starts executing.
+        m.setLocalDataSize(4'500);
+        uint16_t i = m.newLocal();
+        uint16_t t = m.newLocal();
+        m.pushInt(15);
+        m.istore(i);
+        m.loopWhile(
+            [&] {
+                m.iload(i);
+                m.pushInt(0);
+                m.ifICmpElse(Cond::Ge, [&] { m.pushInt(1); },
+                             [&] { m.pushInt(0); });
+            },
+            [&] {
+                m.iload(1);
+                m.iload(0);
+                m.getStatic("DesCipher", "roundKeys", "A");
+                m.iload(i);
+                m.emit(Opcode::IALOAD);
+                m.invokeStatic("DesCipher", "feistel", "(II)I");
+                m.emit(Opcode::IXOR);
+                m.istore(t);
+                m.iload(0);
+                m.istore(1);
+                m.iload(t);
+                m.istore(0);
+                m.iinc(i, -1);
+            });
+        m.iload(0);
+        m.putStatic("DesCipher", "outL", "I");
+        m.iload(1);
+        m.putStatic("DesCipher", "outR", "I");
+        m.emit(Opcode::RETURN);
+    }
+}
+
+void
+buildMainClass(ProgramBuilder &pb)
+{
+    ClassBuilder &mc = pb.addClass("DesMain");
+    mc.addStaticField("msgL", "A");
+    mc.addStaticField("msgR", "A");
+    mc.addStaticField("encL", "A");
+    mc.addStaticField("encR", "A");
+    mc.addStaticField("mismatches", "I");
+    mc.addStaticField("checksum", "I");
+    mc.addStaticField("iv", "A");
+    mc.addAttribute("SourceFile", 12);
+
+    // main()V — deliberately large (IV constant table inlined), so the
+    // first procedure spans most of the first class file.
+    {
+        MethodBuilder &m = mc.addMethod("main", "()V");
+        m.setLocalDataSize(9'000);
+        uint16_t blocks = m.newLocal();
+        uint16_t reps = m.newLocal();
+        uint16_t rep = m.newLocal();
+
+        // Inline IV table: 64 distinct constant-pool integers.
+        m.pushInt(64);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesMain", "iv", "A");
+        for (int i = 0; i < 64; ++i) {
+            m.getStatic("DesMain", "iv", "A");
+            m.pushInt(i);
+            m.ldcInt(static_cast<int32_t>(
+                (static_cast<uint32_t>(i) * 0x9e3779b9u) & kMask24));
+            m.emit(Opcode::IASTORE);
+        }
+
+        m.pushInt(0);
+        m.invokeStatic("Sys", "arg", "(I)I");
+        m.istore(blocks);
+        m.pushInt(1);
+        m.invokeStatic("Sys", "arg", "(I)I");
+        m.istore(reps);
+
+        m.invokeStatic("DesTables", "initTables", "()V");
+        m.pushInt(2);
+        m.invokeStatic("Sys", "arg", "(I)I");
+        m.pushInt(3);
+        m.invokeStatic("Sys", "arg", "(I)I");
+        m.invokeStatic("DesCipher", "keySchedule", "(II)V");
+
+        m.iload(blocks);
+        m.invokeStatic("DesMain", "makeMessage", "(I)V");
+        // Encrypt the full message for every repetition first; the
+        // decryption/verification half of the cipher is first used
+        // only after all encryption work completes, so its code can
+        // transfer under the encryption compute.
+        m.forRange(rep, 0, [&] { m.iload(reps); }, [&] {
+            m.iload(blocks);
+            m.invokeStatic("DesMain", "encryptAll", "(I)V");
+        });
+        m.forRange(rep, 0, [&] { m.iload(reps); }, [&] {
+            m.iload(blocks);
+            m.invokeStatic("DesMain", "verifyAll", "(I)V");
+        });
+
+        m.getStatic("DesMain", "mismatches", "I");
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.getStatic("DesMain", "checksum", "I");
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.emit(Opcode::RETURN);
+    }
+    // makeMessage(I)V: deterministic plaintext blocks.
+    {
+        MethodBuilder &m = mc.addMethod("makeMessage", "(I)V");
+        uint16_t b = m.newLocal();
+        m.iload(0);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesMain", "msgL", "A");
+        m.iload(0);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesMain", "msgR", "A");
+        m.iload(0);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesMain", "encL", "A");
+        m.iload(0);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("DesMain", "encR", "A");
+        m.forRange(b, 0, [&] { m.iload(0); }, [&] {
+            m.getStatic("DesMain", "msgL", "A");
+            m.iload(b);
+            m.iload(b);
+            m.pushInt(2);
+            m.emit(Opcode::IMUL);
+            m.invokeStatic("DesTables", "mix", "(I)I");
+            m.getStatic("DesMain", "iv", "A");
+            m.iload(b);
+            m.pushInt(63);
+            m.emit(Opcode::IAND);
+            m.emit(Opcode::IALOAD);
+            m.emit(Opcode::IXOR);
+            m.emit(Opcode::IASTORE);
+            m.getStatic("DesMain", "msgR", "A");
+            m.iload(b);
+            m.iload(b);
+            m.pushInt(2);
+            m.emit(Opcode::IMUL);
+            m.pushInt(1);
+            m.emit(Opcode::IADD);
+            m.invokeStatic("DesTables", "mix", "(I)I");
+            m.emit(Opcode::IASTORE);
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // encryptAll(I)V: encrypt every block, fold the checksum.
+    {
+        MethodBuilder &m = mc.addMethod("encryptAll", "(I)V");
+        uint16_t b = m.newLocal();
+        m.forRange(b, 0, [&] { m.iload(0); }, [&] {
+            m.getStatic("DesMain", "msgL", "A");
+            m.iload(b);
+            m.emit(Opcode::IALOAD);
+            m.getStatic("DesMain", "msgR", "A");
+            m.iload(b);
+            m.emit(Opcode::IALOAD);
+            m.invokeStatic("DesCipher", "encryptBlock", "(II)V");
+            m.getStatic("DesMain", "encL", "A");
+            m.iload(b);
+            m.getStatic("DesCipher", "outL", "I");
+            m.emit(Opcode::IASTORE);
+            m.getStatic("DesMain", "encR", "A");
+            m.iload(b);
+            m.getStatic("DesCipher", "outR", "I");
+            m.emit(Opcode::IASTORE);
+            m.getStatic("DesMain", "checksum", "I");
+            m.pushInt(31);
+            m.emit(Opcode::IMUL);
+            m.getStatic("DesCipher", "outL", "I");
+            m.emit(Opcode::IADD);
+            m.getStatic("DesCipher", "outR", "I");
+            m.pushInt(3);
+            m.emit(Opcode::IMUL);
+            m.emit(Opcode::IADD);
+            m.ldcInt(kMask24);
+            m.emit(Opcode::IAND);
+            m.putStatic("DesMain", "checksum", "I");
+        });
+        m.getStatic("DesMain", "encL", "A");
+        m.invokeStatic("File", "writeBlock", "(A)V");
+        m.emit(Opcode::RETURN);
+    }
+    // verifyAll(I)V: decrypt and compare against the plaintext.
+    {
+        MethodBuilder &m = mc.addMethod("verifyAll", "(I)V");
+        m.setLocalDataSize(5'500);
+        uint16_t b = m.newLocal();
+        m.forRange(b, 0, [&] { m.iload(0); }, [&] {
+            m.getStatic("DesMain", "encL", "A");
+            m.iload(b);
+            m.emit(Opcode::IALOAD);
+            m.getStatic("DesMain", "encR", "A");
+            m.iload(b);
+            m.emit(Opcode::IALOAD);
+            m.invokeStatic("DesCipher", "decryptBlock", "(II)V");
+            m.getStatic("DesCipher", "outL", "I");
+            m.getStatic("DesMain", "msgL", "A");
+            m.iload(b);
+            m.emit(Opcode::IALOAD);
+            m.ifICmp(Cond::Ne, [&] {
+                m.getStatic("DesMain", "mismatches", "I");
+                m.pushInt(1);
+                m.emit(Opcode::IADD);
+                m.putStatic("DesMain", "mismatches", "I");
+            });
+            m.getStatic("DesCipher", "outR", "I");
+            m.getStatic("DesMain", "msgR", "A");
+            m.iload(b);
+            m.emit(Opcode::IALOAD);
+            m.ifICmp(Cond::Ne, [&] {
+                m.getStatic("DesMain", "mismatches", "I");
+                m.pushInt(1);
+                m.emit(Opcode::IADD);
+                m.putStatic("DesMain", "mismatches", "I");
+            });
+        });
+        m.emit(Opcode::RETURN);
+    }
+}
+
+} // namespace
+
+Workload
+makeDesCipher()
+{
+    Workload w;
+    w.name = "TestDes";
+    w.description = "DES-style encryption: encrypts blocks then "
+                    "decrypts them, verifying the round trip";
+
+    ProgramBuilder pb;
+    buildMainClass(pb);
+    buildCipherClass(pb);
+    buildTablesClass(pb);
+    addRuntimeClasses(pb);
+
+    w.program = pb.build("DesMain");
+    w.natives = standardNatives();
+    // String/crypto native I/O dominates like the paper's TestDes
+    // (CPI 484).
+    w.natives.setCost("File.writeBlock", 11'000'000);
+    // input: blocks, reps, key0, key1
+    w.trainInput = {12, 2, 0x3a21f, 0x9b10c};
+    w.testInput = {24, 6, 0x51d2e, 0x774b1};
+    return w;
+}
+
+} // namespace nse

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Hanoi: the applet workload (paper's "Hanoi", Table 1).
+ *
+ * Solves Towers of Hanoi for each ring count in the input, animating
+ * every move through the Gfx window-system natives. Those
+ * uninstrumented native calls are what give the paper's Hanoi its huge
+ * CPI (3830 Alpha cycles per bytecode); we calibrate Gfx costs to land
+ * in the same regime, which makes Hanoi execution-bound: transfer is a
+ * tiny fraction of total time on a T1 (paper Table 3: 2.1%).
+ *
+ * Train input: 6 rings. Test input: 6 then 8 rings (the paper's "6 and
+ * 8 ring problems"), so the test run is ~5x the train run but takes
+ * the same first-use path.
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/common.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** The Peg class: a bounded int stack with virtual accessors. */
+void
+buildPegClass(ProgramBuilder &pb)
+{
+    ClassBuilder &peg = pb.addClass("Peg");
+    peg.addField("rings", "A");
+    peg.addField("top", "I");
+    peg.addField("capacity", "I");
+
+    // static create(I)A: allocate and initialise a peg.
+    {
+        MethodBuilder &m = peg.addMethod("create", "(I)A");
+        uint16_t p = m.newLocal();
+        m.newObject("Peg");
+        m.astore(p);
+        m.aload(p);
+        m.iload(0);
+        m.emit(Opcode::NEWARRAY);
+        m.putField("Peg", "rings", "A");
+        m.aload(p);
+        m.pushInt(0);
+        m.putField("Peg", "top", "I");
+        m.aload(p);
+        m.iload(0);
+        m.putField("Peg", "capacity", "I");
+        m.aload(p);
+        m.emit(Opcode::ARETURN);
+    }
+    // virtual push(I)V
+    {
+        MethodBuilder &m = peg.addVirtualMethod("push", "(I)V");
+        m.aload(0);
+        m.getField("Peg", "rings", "A");
+        m.aload(0);
+        m.getField("Peg", "top", "I");
+        m.iload(1);
+        m.emit(Opcode::IASTORE);
+        m.aload(0);
+        m.aload(0);
+        m.getField("Peg", "top", "I");
+        m.pushInt(1);
+        m.emit(Opcode::IADD);
+        m.putField("Peg", "top", "I");
+        m.emit(Opcode::RETURN);
+    }
+    // virtual pop()I
+    {
+        MethodBuilder &m = peg.addVirtualMethod("pop", "()I");
+        m.aload(0);
+        m.aload(0);
+        m.getField("Peg", "top", "I");
+        m.pushInt(1);
+        m.emit(Opcode::ISUB);
+        m.putField("Peg", "top", "I");
+        m.aload(0);
+        m.getField("Peg", "rings", "A");
+        m.aload(0);
+        m.getField("Peg", "top", "I");
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+    // virtual size()I
+    {
+        MethodBuilder &m = peg.addVirtualMethod("size", "()I");
+        m.aload(0);
+        m.getField("Peg", "top", "I");
+        m.emit(Opcode::IRETURN);
+    }
+    // virtual peek()I — top ring without popping (0 when empty)
+    {
+        MethodBuilder &m = peg.addVirtualMethod("peek", "()I");
+        m.aload(0);
+        m.getField("Peg", "top", "I");
+        m.pushInt(0);
+        m.ifICmpElse(
+            Cond::Gt,
+            [&] {
+                m.aload(0);
+                m.getField("Peg", "rings", "A");
+                m.aload(0);
+                m.getField("Peg", "top", "I");
+                m.pushInt(1);
+                m.emit(Opcode::ISUB);
+                m.emit(Opcode::IALOAD);
+            },
+            [&] { m.pushInt(0); });
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildAppletClass(ProgramBuilder &pb)
+{
+    ClassBuilder &app = pb.addClass("HanoiApplet");
+    app.addStaticField("pegs", "A");
+    app.addStaticField("moves", "I");
+    app.addStaticField("rings", "I");
+    app.addAttribute("SourceFile", 18);
+
+    // main()V: solve one puzzle per input value.
+    {
+        MethodBuilder &m = app.addMethod("main", "()V");
+        uint16_t i = m.newLocal();
+        m.forRange(i, 0, [&] { m.invokeStatic("Sys", "argCount", "()I"); },
+                   [&] {
+                       m.iload(i);
+                       m.invokeStatic("Sys", "arg", "(I)I");
+                       m.invokeStatic("HanoiApplet", "solvePuzzle",
+                                      "(I)V");
+                   });
+        m.invokeStatic("HanoiApplet", "printSummary", "()V");
+        m.emit(Opcode::RETURN);
+    }
+    // solvePuzzle(I)V
+    {
+        MethodBuilder &m = app.addMethod("solvePuzzle", "(I)V");
+        m.iload(0);
+        m.putStatic("HanoiApplet", "rings", "I");
+        m.iload(0);
+        m.invokeStatic("HanoiApplet", "initPegs", "(I)V");
+        m.invokeStatic("Gfx", "clear", "()V");
+        m.invokeStatic("HanoiApplet", "drawBoard", "()V");
+        m.iload(0);
+        m.pushInt(0);
+        m.pushInt(2);
+        m.pushInt(1);
+        m.invokeStatic("HanoiApplet", "moveTower", "(IIII)V");
+        m.invokeStatic("HanoiApplet", "checkSolved", "()V");
+        m.emit(Opcode::RETURN);
+    }
+    // initPegs(I)V: three pegs, rings descending on peg 0.
+    {
+        MethodBuilder &m = app.addMethod("initPegs", "(I)V");
+        uint16_t r = m.newLocal();
+        m.pushInt(3);
+        m.emit(Opcode::ANEWARRAY);
+        m.putStatic("HanoiApplet", "pegs", "A");
+        uint16_t p = m.newLocal();
+        m.forRange(p, 0, 3, [&] {
+            m.getStatic("HanoiApplet", "pegs", "A");
+            m.iload(p);
+            m.iload(0);
+            m.invokeStatic("Peg", "create", "(I)A");
+            m.emit(Opcode::AASTORE);
+        });
+        m.forRange(r, 0, [&] { m.iload(0); }, [&] {
+            m.getStatic("HanoiApplet", "pegs", "A");
+            m.pushInt(0);
+            m.emit(Opcode::AALOAD);
+            m.iload(0);
+            m.iload(r);
+            m.emit(Opcode::ISUB);
+            m.invokeVirtual("Peg", "push", "(I)V");
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // moveTower(n, from, to, via)V — the classic recursion.
+    {
+        MethodBuilder &m = app.addMethod("moveTower", "(IIII)V");
+        m.iload(0);
+        m.pushInt(0);
+        m.ifICmp(Cond::Gt, [&] {
+            m.iload(0);
+            m.pushInt(1);
+            m.emit(Opcode::ISUB);
+            m.iload(1);
+            m.iload(3);
+            m.iload(2);
+            m.invokeStatic("HanoiApplet", "moveTower", "(IIII)V");
+            m.iload(0);
+            m.iload(1);
+            m.iload(2);
+            m.invokeStatic("HanoiApplet", "moveDisk", "(III)V");
+            m.iload(0);
+            m.pushInt(1);
+            m.emit(Opcode::ISUB);
+            m.iload(3);
+            m.iload(2);
+            m.iload(1);
+            m.invokeStatic("HanoiApplet", "moveTower", "(IIII)V");
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // moveDisk(n, from, to)V — pop, push, animate.
+    {
+        MethodBuilder &m = app.addMethod("moveDisk", "(III)V");
+        uint16_t ring = m.newLocal();
+        m.getStatic("HanoiApplet", "pegs", "A");
+        m.iload(1);
+        m.emit(Opcode::AALOAD);
+        m.invokeVirtual("Peg", "pop", "()I");
+        m.istore(ring);
+        m.getStatic("HanoiApplet", "pegs", "A");
+        m.iload(2);
+        m.emit(Opcode::AALOAD);
+        m.iload(ring);
+        m.invokeVirtual("Peg", "push", "(I)V");
+        // Animate the disk across the screen before the final draw:
+        // per-step position arithmetic mirrors an applet's repaint
+        // loop (this is where Hanoi's dynamic instruction count lives).
+        {
+            uint16_t s = m.newLocal();
+            uint16_t x = m.newLocal();
+            m.forRange(s, 0, 25, [&] {
+                m.iload(ring);
+                m.pushInt(3);
+                m.emit(Opcode::IMUL);
+                m.iload(s);
+                m.iload(s);
+                m.emit(Opcode::IMUL);
+                m.pushInt(7);
+                m.emit(Opcode::IREM);
+                m.emit(Opcode::IADD);
+                m.iload(1);
+                m.pushInt(40);
+                m.emit(Opcode::IMUL);
+                m.emit(Opcode::IADD);
+                m.iload(2);
+                m.pushInt(13);
+                m.emit(Opcode::IMUL);
+                m.emit(Opcode::IXOR);
+                m.istore(x);
+                m.iload(x);
+                m.pushInt(255);
+                m.emit(Opcode::IAND);
+                m.istore(x);
+            });
+        }
+        m.iload(ring);
+        m.iload(1);
+        m.iload(2);
+        m.invokeStatic("Gfx", "drawDisk", "(III)V");
+        m.getStatic("HanoiApplet", "moves", "I");
+        m.pushInt(1);
+        m.emit(Opcode::IADD);
+        m.putStatic("HanoiApplet", "moves", "I");
+        m.emit(Opcode::RETURN);
+    }
+    // drawBoard()V: draw every peg's top ring.
+    {
+        MethodBuilder &m = app.addMethod("drawBoard", "()V");
+        uint16_t p = m.newLocal();
+        m.forRange(p, 0, 3, [&] {
+            m.getStatic("HanoiApplet", "pegs", "A");
+            m.iload(p);
+            m.emit(Opcode::AALOAD);
+            m.invokeVirtual("Peg", "peek", "()I");
+            m.iload(p);
+            m.iload(p);
+            m.invokeStatic("Gfx", "drawDisk", "(III)V");
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // checkSolved()V: all rings must sit on peg 2.
+    {
+        MethodBuilder &m = app.addMethod("checkSolved", "()V");
+        m.getStatic("HanoiApplet", "pegs", "A");
+        m.pushInt(2);
+        m.emit(Opcode::AALOAD);
+        m.invokeVirtual("Peg", "size", "()I");
+        m.getStatic("HanoiApplet", "rings", "I");
+        m.ifICmpElse(
+            Cond::Eq, [&] { m.pushInt(1); }, [&] { m.pushInt(0); });
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.emit(Opcode::RETURN);
+    }
+    // printSummary()V: total move count (verifiable output).
+    {
+        MethodBuilder &m = app.addMethod("printSummary", "()V");
+        m.getStatic("HanoiApplet", "moves", "I");
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.getStatic("HanoiApplet", "moves", "I");
+        m.invokeStatic("HanoiMath", "pow2ceil", "(I)I");
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.getStatic("HanoiApplet", "moves", "I");
+        emitLibrarySweep(m, "HanoiUi", 2,
+                         [&] { m.invokeStatic("Sys", "argCount", "()I"); },
+                         1);
+        m.emit(Opcode::IXOR);
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.emit(Opcode::RETURN);
+    }
+}
+
+void
+buildMathClass(ProgramBuilder &pb)
+{
+    ClassBuilder &math = pb.addClass("HanoiMath");
+
+    // pow2ceil(I)I: smallest power of two >= x.
+    {
+        MethodBuilder &m = math.addMethod("pow2ceil", "(I)I");
+        uint16_t v = m.newLocal();
+        m.pushInt(1);
+        m.istore(v);
+        m.loopWhile(
+            [&] {
+                m.iload(v);
+                m.iload(0);
+                m.ifICmpElse(Cond::Lt, [&] { m.pushInt(1); },
+                             [&] { m.pushInt(0); });
+            },
+            [&] {
+                m.iload(v);
+                m.pushInt(1);
+                m.emit(Opcode::ISHL);
+                m.istore(v);
+            });
+        m.iload(v);
+        m.emit(Opcode::IRETURN);
+    }
+    // abs(I)I — present but unused on this input path.
+    {
+        MethodBuilder &m = math.addMethod("abs", "(I)I");
+        m.iload(0);
+        m.pushInt(0);
+        m.ifICmpElse(
+            Cond::Lt,
+            [&] {
+                m.iload(0);
+                m.emit(Opcode::INEG);
+            },
+            [&] { m.iload(0); });
+        m.emit(Opcode::IRETURN);
+    }
+    // max(II)I — unused helper.
+    {
+        MethodBuilder &m = math.addMethod("max", "(II)I");
+        m.iload(0);
+        m.iload(1);
+        m.ifICmpElse(Cond::Ge, [&] { m.iload(0); }, [&] { m.iload(1); });
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+} // namespace
+
+Workload
+makeHanoi()
+{
+    Workload w;
+    w.name = "Hanoi";
+    w.description =
+        "Towers of Hanoi puzzle solver (applet with window-system draws)";
+
+    ProgramBuilder pb;
+    buildAppletClass(pb);
+    buildPegClass(pb);
+    buildMathClass(pb);
+    addRuntimeClasses(pb);
+    LibrarySpec lib;
+    lib.prefix = "HanoiUi";
+    lib.classCount = 2;
+    lib.methodsPerClass = 11;
+    lib.reachablePerClass = 8;
+    lib.seed = 0xa1;
+    addLibraryClasses(pb, lib);
+
+    w.program = pb.build("HanoiApplet");
+    w.natives = standardNatives();
+    // The applet's draws dominate runtime (paper CPI 3830).
+    w.natives.setCost("Gfx.drawDisk", 2'800'000);
+    w.natives.setCost("Gfx.clear", 900'000);
+    w.trainInput = {6};
+    w.testInput = {6, 8};
+    return w;
+}
+
+} // namespace nse

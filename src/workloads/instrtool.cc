@@ -1,0 +1,324 @@
+/**
+ * @file
+ * InstrTool: the instrumentation-tool workload (paper's "BIT").
+ *
+ * A bytecode-instrumentation tool over synthetic class tables: it
+ * loads per-method size/block tables from the File natives, walks
+ * every basic block inserting a probe record, recomputes method sizes
+ * (prefix sums), and remaps branch targets to the post-instrumentation
+ * offsets — the core work BIT does when it instruments each basic
+ * block of an input program to report its class and method name.
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/common.h"
+
+namespace nse
+{
+
+namespace
+{
+
+void
+buildTablesClass(ProgramBuilder &pb)
+{
+    ClassBuilder &tc = pb.addClass("ClassTable");
+    tc.addStaticField("methodCount", "I");
+    tc.addStaticField("blockCount", "A"); // basic blocks per method
+    tc.addStaticField("blockSize", "A");  // flattened block sizes
+    tc.addStaticField("blockOff", "A");   // flattened per-method offsets
+    tc.addStaticField("totalBlocks", "I");
+    tc.addAttribute("SourceFile", 14);
+
+    // load(II)V: (seedBase, methodCount) -> synthetic tables.
+    {
+        MethodBuilder &m = tc.addMethod("load", "(II)V");
+        uint16_t i = m.newLocal();
+        uint16_t j = m.newLocal();
+        uint16_t blocks = m.newLocal();
+        uint16_t flat = m.newLocal();
+        m.iload(1);
+        m.putStatic("ClassTable", "methodCount", "I");
+        m.iload(1);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("ClassTable", "blockCount", "A");
+        m.iload(1);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("ClassTable", "blockOff", "A");
+
+        // First pass: block counts from pseudo file bytes.
+        m.pushInt(0);
+        m.istore(flat);
+        m.forRange(i, 0, [&] { m.iload(1); }, [&] {
+            m.iload(0);
+            m.iload(i);
+            m.emit(Opcode::IADD);
+            m.invokeStatic("File", "readByte", "(I)I");
+            m.pushInt(15);
+            m.emit(Opcode::IAND);
+            m.pushInt(10);
+            m.emit(Opcode::IADD);
+            m.istore(blocks);
+            m.getStatic("ClassTable", "blockCount", "A");
+            m.iload(i);
+            m.iload(blocks);
+            m.emit(Opcode::IASTORE);
+            m.getStatic("ClassTable", "blockOff", "A");
+            m.iload(i);
+            m.iload(flat);
+            m.emit(Opcode::IASTORE);
+            m.iload(flat);
+            m.iload(blocks);
+            m.emit(Opcode::IADD);
+            m.istore(flat);
+        });
+        m.iload(flat);
+        m.putStatic("ClassTable", "totalBlocks", "I");
+
+        // Second pass: per-block byte sizes.
+        m.iload(flat);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("ClassTable", "blockSize", "A");
+        m.forRange(j, 0, [&] { m.iload(flat); }, [&] {
+            m.getStatic("ClassTable", "blockSize", "A");
+            m.iload(j);
+            m.iload(0);
+            m.pushInt(1000);
+            m.emit(Opcode::IADD);
+            m.iload(j);
+            m.emit(Opcode::IADD);
+            m.invokeStatic("File", "readByte", "(I)I");
+            m.pushInt(31);
+            m.emit(Opcode::IAND);
+            m.pushInt(3);
+            m.emit(Opcode::IADD);
+            m.emit(Opcode::IASTORE);
+        });
+        m.emit(Opcode::RETURN);
+    }
+    {
+        MethodBuilder &m = tc.addMethod("blocksOf", "(I)I");
+        m.getStatic("ClassTable", "blockCount", "A");
+        m.iload(0);
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+    {
+        MethodBuilder &m = tc.addMethod("blockIndex", "(II)I");
+        m.getStatic("ClassTable", "blockOff", "A");
+        m.iload(0);
+        m.emit(Opcode::IALOAD);
+        m.iload(1);
+        m.emit(Opcode::IADD);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildInstrumenterClass(ProgramBuilder &pb)
+{
+    ClassBuilder &ic = pb.addClass("Instrumenter");
+    ic.addStaticField("probeSize", "I");
+    ic.addStaticField("newSize", "A"); // instrumented block sizes
+    ic.addStaticField("newOff", "A");  // instrumented block offsets
+    ic.addStaticField("probes", "I");
+    ic.addAttribute("SourceFile", 16);
+
+    // instrumentAll()V: insert a probe in every basic block and
+    // recompute offsets with a prefix sum.
+    {
+        MethodBuilder &m = ic.addMethod("instrumentAll", "()V");
+        uint16_t mth = m.newLocal();
+        uint16_t b = m.newLocal();
+        uint16_t idx = m.newLocal();
+        uint16_t off = m.newLocal();
+        m.getStatic("ClassTable", "totalBlocks", "I");
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("Instrumenter", "newSize", "A");
+        m.getStatic("ClassTable", "totalBlocks", "I");
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("Instrumenter", "newOff", "A");
+        m.pushInt(0);
+        m.istore(off);
+        m.forRange(mth, 0,
+                   [&] { m.getStatic("ClassTable", "methodCount", "I"); },
+                   [&] {
+            m.forRange(b, 0,
+                       [&] {
+                           m.iload(mth);
+                           m.invokeStatic("ClassTable", "blocksOf",
+                                          "(I)I");
+                       },
+                       [&] {
+                m.iload(mth);
+                m.iload(b);
+                m.invokeStatic("ClassTable", "blockIndex", "(II)I");
+                m.istore(idx);
+                // newSize = oldSize + probeSize
+                m.getStatic("Instrumenter", "newSize", "A");
+                m.iload(idx);
+                m.getStatic("ClassTable", "blockSize", "A");
+                m.iload(idx);
+                m.emit(Opcode::IALOAD);
+                m.getStatic("Instrumenter", "probeSize", "I");
+                m.emit(Opcode::IADD);
+                m.emit(Opcode::IASTORE);
+                m.getStatic("Instrumenter", "newOff", "A");
+                m.iload(idx);
+                m.iload(off);
+                m.emit(Opcode::IASTORE);
+                m.iload(off);
+                m.getStatic("Instrumenter", "newSize", "A");
+                m.iload(idx);
+                m.emit(Opcode::IALOAD);
+                m.emit(Opcode::IADD);
+                m.istore(off);
+                m.getStatic("Instrumenter", "probes", "I");
+                m.pushInt(1);
+                m.emit(Opcode::IADD);
+                m.putStatic("Instrumenter", "probes", "I");
+            });
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // remapTargets()I: simulate branch-target patching — every block
+    // "branches" to a deterministic partner; compute the checksum of
+    // remapped offsets.
+    {
+        MethodBuilder &m = ic.addMethod("remapTargets", "()I");
+        uint16_t i = m.newLocal();
+        uint16_t target = m.newLocal();
+        uint16_t acc = m.newLocal();
+        uint16_t pass = m.newLocal();
+        m.pushInt(0);
+        m.istore(acc);
+        m.forRange(pass, 0, 8, [&] {
+        m.forRange(i, 0,
+                   [&] { m.getStatic("ClassTable", "totalBlocks", "I"); },
+                   [&] {
+            // target block = (i * 7 + 3) % totalBlocks
+            m.iload(i);
+            m.pushInt(7);
+            m.emit(Opcode::IMUL);
+            m.pushInt(3);
+            m.emit(Opcode::IADD);
+            m.getStatic("ClassTable", "totalBlocks", "I");
+            m.emit(Opcode::IREM);
+            m.istore(target);
+            m.iload(acc);
+            m.getStatic("Instrumenter", "newOff", "A");
+            m.iload(target);
+            m.emit(Opcode::IALOAD);
+            m.emit(Opcode::IXOR);
+            m.iload(acc);
+            m.pushInt(1);
+            m.emit(Opcode::ISHL);
+            m.emit(Opcode::IADD);
+            m.ldcInt(0xffffff);
+            m.emit(Opcode::IAND);
+            m.istore(acc);
+        });
+        });
+        m.iload(acc);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildMainClass(ProgramBuilder &pb)
+{
+    ClassBuilder &mc = pb.addClass("BitMain");
+    mc.addStaticField("reportChecksum", "I");
+    mc.addAttribute("SourceFile", 12);
+    // BIT carries sizable structural metadata in its entry class
+    // (instrumentation templates); it is needed at load time, which is
+    // why data partitioning barely helps BIT's invocation latency.
+    mc.addAttribute("ProbeTemplates", 1400);
+    addSupportMethods(mc, "BitMain", 3, 180, 0xb171);
+    mc.addUnusedString(
+        "BIT-like tool: each basic block reports class and method");
+
+    MethodBuilder &m = mc.addMethod("main", "()V");
+    uint16_t i = m.newLocal();
+    m.pushInt(2);
+    m.putStatic("Instrumenter", "probeSize", "I");
+    // Each input pair: (seedBase, methodCount) = one class to
+    // instrument.
+    m.pushInt(0);
+    m.istore(i);
+    m.loopWhile(
+        [&] {
+            m.iload(i);
+            m.invokeStatic("Sys", "argCount", "()I");
+            m.ifICmpElse(Cond::Lt, [&] { m.pushInt(1); },
+                         [&] { m.pushInt(0); });
+        },
+        [&] {
+            m.iload(i);
+            m.invokeStatic("Sys", "arg", "(I)I");
+            m.iload(i);
+            m.pushInt(1);
+            m.emit(Opcode::IADD);
+            m.invokeStatic("Sys", "arg", "(I)I");
+            m.invokeStatic("ClassTable", "load", "(II)V");
+            // Per-class plugin dispatch: each input class touches a
+            // fresh slice of the tool's library, spreading library
+            // first uses across the run.
+            emitLibrarySlice(m, "BitLib", 28,
+                             [&] {
+                                 m.iload(i);
+                                 m.pushInt(11);
+                                 m.emit(Opcode::IMUL);
+                             },
+                             6, 5);
+            m.invokeStatic("Instrumenter", "instrumentAll", "()V");
+            m.getStatic("BitMain", "reportChecksum", "I");
+            m.invokeStatic("Instrumenter", "remapTargets", "()I");
+            m.emit(Opcode::IXOR);
+            m.putStatic("BitMain", "reportChecksum", "I");
+            m.iinc(i, 2);
+        });
+    m.getStatic("Instrumenter", "probes", "I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.getStatic("BitMain", "reportChecksum", "I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+}
+
+} // namespace
+
+Workload
+makeInstrTool()
+{
+    Workload w;
+    w.name = "BIT";
+    w.description = "Bytecode instrumentation tool: probes every basic "
+                    "block of synthetic input classes and remaps offsets";
+
+    ProgramBuilder pb;
+    buildMainClass(pb);
+    buildTablesClass(pb);
+    buildInstrumenterClass(pb);
+    addRuntimeClasses(pb);
+    LibrarySpec lib;
+    lib.prefix = "BitLib";
+    lib.classCount = 38;
+    lib.hubReach = 28;
+    lib.coldDataFactor = 3.2;
+    lib.methodsPerClass = 15;
+    lib.reachablePerClass = 14;
+    lib.seed = 0xb17;
+    addLibraryClasses(pb, lib);
+
+    w.program = pb.build("BitMain");
+    w.natives = standardNatives();
+    w.natives.setCost("File.readByte", 20'000);
+    w.natives.setCost("Sys.print", 400'000);
+    // (seedBase, methodCount) pairs.
+    w.trainInput = {0, 130, 4000, 170, 9000, 90};
+    w.testInput = {0, 260, 4000, 300, 9000, 180, 15000, 140};
+    return w;
+}
+
+} // namespace nse

@@ -1,0 +1,39 @@
+#include "workloads/workload.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> out;
+    out.push_back(makeInstrTool());
+    out.push_back(makeHanoi());
+    out.push_back(makeParserGen());
+    out.push_back(makeRuleEngine());
+    out.push_back(makeZipper());
+    out.push_back(makeDesCipher());
+    return out;
+}
+
+Workload
+makeWorkload(const std::string &name)
+{
+    if (name == "BIT")
+        return makeInstrTool();
+    if (name == "Hanoi")
+        return makeHanoi();
+    if (name == "JavaCup")
+        return makeParserGen();
+    if (name == "Jess")
+        return makeRuleEngine();
+    if (name == "JHLZip")
+        return makeZipper();
+    if (name == "TestDes")
+        return makeDesCipher();
+    fatal("unknown workload: ", name);
+}
+
+} // namespace nse

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * RuleEngine: the expert-system workload (paper's "Jess", Table 1).
+ *
+ * A forward-chaining production system over (attribute, value) facts:
+ * a rule table (two-condition rules with a derivation action) is
+ * matched against the fact base to a fixpoint, newly derived facts
+ * feeding an agenda processed FIFO. Inputs seed the fact base; the
+ * test input seeds more attributes, driving many more rule firings
+ * than the train input (the paper's Jess runs 3116k vs 270k
+ * instructions). Like Jess, the program body is a large many-class
+ * library of which roughly half never executes.
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/common.h"
+
+namespace nse
+{
+
+namespace
+{
+
+constexpr int32_t kMaxFacts = 4096;
+constexpr int32_t kNumAttrs = 8;
+constexpr int32_t kNumRules = 24;
+constexpr int32_t kValueMod = 251;
+
+void
+buildFactBaseClass(ProgramBuilder &pb)
+{
+    ClassBuilder &fb = pb.addClass("FactBase");
+    fb.addStaticField("attr", "A");
+    fb.addStaticField("val", "A");
+    fb.addStaticField("count", "I");
+    fb.addStaticField("limit", "I");
+    fb.addAttribute("SourceFile", 14);
+
+    {
+        MethodBuilder &m = fb.addMethod("init", "()V");
+        m.pushInt(kMaxFacts);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("FactBase", "attr", "A");
+        m.pushInt(kMaxFacts);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("FactBase", "val", "A");
+        m.pushInt(0);
+        m.putStatic("FactBase", "count", "I");
+        m.pushInt(kMaxFacts);
+        m.putStatic("FactBase", "limit", "I");
+        m.emit(Opcode::RETURN);
+    }
+    // contains(II)I: linear scan for (attr, val).
+    {
+        MethodBuilder &m = fb.addMethod("contains", "(II)I");
+        uint16_t i = m.newLocal();
+        uint16_t found = m.newLocal();
+        m.pushInt(0);
+        m.istore(found);
+        m.forRange(i, 0, [&] { m.getStatic("FactBase", "count", "I"); },
+                   [&] {
+            m.getStatic("FactBase", "attr", "A");
+            m.iload(i);
+            m.emit(Opcode::IALOAD);
+            m.iload(0);
+            m.ifICmp(Cond::Eq, [&] {
+                m.getStatic("FactBase", "val", "A");
+                m.iload(i);
+                m.emit(Opcode::IALOAD);
+                m.iload(1);
+                m.ifICmp(Cond::Eq, [&] {
+                    m.pushInt(1);
+                    m.istore(found);
+                });
+            });
+        });
+        m.iload(found);
+        m.emit(Opcode::IRETURN);
+    }
+    // firstValueOf(I)I: value of the first fact with this attribute,
+    // or -1 when absent.
+    {
+        MethodBuilder &m = fb.addMethod("firstValueOf", "(I)I");
+        uint16_t i = m.newLocal();
+        uint16_t out = m.newLocal();
+        m.pushInt(-1);
+        m.istore(out);
+        m.pushInt(0);
+        m.istore(i);
+        m.loopWhile(
+            [&] {
+                m.iload(i);
+                m.getStatic("FactBase", "count", "I");
+                m.ifICmpElse(
+                    Cond::Lt,
+                    [&] {
+                        m.iload(out);
+                        m.pushInt(-1);
+                        m.ifICmpElse(Cond::Eq, [&] { m.pushInt(1); },
+                                     [&] { m.pushInt(0); });
+                    },
+                    [&] { m.pushInt(0); });
+            },
+            [&] {
+                m.getStatic("FactBase", "attr", "A");
+                m.iload(i);
+                m.emit(Opcode::IALOAD);
+                m.iload(0);
+                m.ifICmp(Cond::Eq, [&] {
+                    m.getStatic("FactBase", "val", "A");
+                    m.iload(i);
+                    m.emit(Opcode::IALOAD);
+                    m.istore(out);
+                });
+                m.iinc(i, 1);
+            });
+        m.iload(out);
+        m.emit(Opcode::IRETURN);
+    }
+    // assertFact(II)I: add when new; returns 1 when added.
+    {
+        MethodBuilder &m = fb.addMethod("assertFact", "(II)I");
+        uint16_t added = m.newLocal();
+        m.pushInt(0);
+        m.istore(added);
+        m.iload(0);
+        m.iload(1);
+        m.invokeStatic("FactBase", "contains", "(II)I");
+        m.ifNZElse([&] {}, [&] {
+            m.getStatic("FactBase", "count", "I");
+            m.getStatic("FactBase", "limit", "I");
+            m.ifICmp(Cond::Lt, [&] {
+                m.getStatic("FactBase", "attr", "A");
+                m.getStatic("FactBase", "count", "I");
+                m.iload(0);
+                m.emit(Opcode::IASTORE);
+                m.getStatic("FactBase", "val", "A");
+                m.getStatic("FactBase", "count", "I");
+                m.iload(1);
+                m.emit(Opcode::IASTORE);
+                m.getStatic("FactBase", "count", "I");
+                m.pushInt(1);
+                m.emit(Opcode::IADD);
+                m.putStatic("FactBase", "count", "I");
+                m.pushInt(1);
+                m.istore(added);
+            });
+        });
+        m.iload(added);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildRuleSetClass(ProgramBuilder &pb)
+{
+    ClassBuilder &rs = pb.addClass("RuleSet");
+    rs.addStaticField("condA", "A");   // attribute of condition A
+    rs.addStaticField("condB", "A");   // attribute of condition B (-1 = none)
+    rs.addStaticField("action", "A");  // derived attribute
+    rs.addStaticField("delta", "A");   // derivation constant
+    rs.addAttribute("SourceFile", 12);
+    rs.addUnusedString("ruleset: chain-derivation benchmark rules");
+
+    // init()V: 24 rules forming derivation chains across attributes.
+    {
+        MethodBuilder &m = rs.addMethod("init", "()V");
+        auto alloc = [&](const char *f) {
+            m.pushInt(kNumRules);
+            m.emit(Opcode::NEWARRAY);
+            m.putStatic("RuleSet", f, "A");
+        };
+        alloc("condA");
+        alloc("condB");
+        alloc("action");
+        alloc("delta");
+        for (int r = 0; r < kNumRules; ++r) {
+            int a = r % 8;
+            int b = (r % 3 == 0) ? -1 : (r + 3) % 8;
+            int act = 8 + (r % 12);
+            int delta = (r * 37 + 11) % kValueMod;
+            auto store = [&](const char *f, int v) {
+                m.getStatic("RuleSet", f, "A");
+                m.pushInt(r);
+                m.pushInt(v);
+                m.emit(Opcode::IASTORE);
+            };
+            store("condA", a);
+            store("condB", b);
+            store("action", act);
+            store("delta", delta);
+        }
+        // Second-tier rules: derive from derived attributes.
+        for (int r = 0; r < kNumRules; ++r) {
+            if (r % 4 != 1)
+                continue;
+            // overwrite some entries to consume tier-1 results
+            auto store = [&](const char *f, int v) {
+                m.getStatic("RuleSet", f, "A");
+                m.pushInt(r);
+                m.pushInt(v);
+                m.emit(Opcode::IASTORE);
+            };
+            store("condA", 8 + (r % 12));
+            store("condB", 8 + ((r + 5) % 12));
+            store("action", 8 + ((r + 7) % 12));
+        }
+        m.emit(Opcode::RETURN);
+    }
+    {
+        MethodBuilder &m = rs.addMethod("condAOf", "(I)I");
+        m.getStatic("RuleSet", "condA", "A");
+        m.iload(0);
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+    {
+        MethodBuilder &m = rs.addMethod("condBOf", "(I)I");
+        m.getStatic("RuleSet", "condB", "A");
+        m.iload(0);
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+    {
+        MethodBuilder &m = rs.addMethod("actionOf", "(I)I");
+        m.getStatic("RuleSet", "action", "A");
+        m.iload(0);
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+    {
+        MethodBuilder &m = rs.addMethod("deltaOf", "(I)I");
+        m.getStatic("RuleSet", "delta", "A");
+        m.iload(0);
+        m.emit(Opcode::IALOAD);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildEngineClass(ProgramBuilder &pb)
+{
+    ClassBuilder &en = pb.addClass("Engine");
+    en.addStaticField("firings", "I");
+    en.addStaticField("passes", "I");
+    en.addAttribute("SourceFile", 12);
+
+    // tryRule(I)I: attempt one rule against the fact base; returns 1
+    // when it derived a new fact.
+    {
+        MethodBuilder &m = en.addMethod("tryRule", "(I)I");
+        uint16_t va = m.newLocal();
+        uint16_t vb = m.newLocal();
+        uint16_t fired = m.newLocal();
+        m.pushInt(0);
+        m.istore(fired);
+        m.iload(0);
+        m.invokeStatic("RuleSet", "condAOf", "(I)I");
+        m.invokeStatic("FactBase", "firstValueOf", "(I)I");
+        m.istore(va);
+        m.iload(va);
+        m.pushInt(0);
+        m.ifICmp(Cond::Ge, [&] {
+            // condition B (optional)
+            m.iload(0);
+            m.invokeStatic("RuleSet", "condBOf", "(I)I");
+            m.pushInt(0);
+            m.ifICmpElse(
+                Cond::Lt,
+                [&] {
+                    m.pushInt(0);
+                    m.istore(vb);
+                },
+                [&] {
+                    m.iload(0);
+                    m.invokeStatic("RuleSet", "condBOf", "(I)I");
+                    m.invokeStatic("FactBase", "firstValueOf", "(I)I");
+                    m.istore(vb);
+                });
+            m.iload(vb);
+            m.pushInt(0);
+            m.ifICmp(Cond::Ge, [&] {
+                // derive: (action, (va + vb + delta) % kValueMod)
+                m.iload(0);
+                m.invokeStatic("RuleSet", "actionOf", "(I)I");
+                m.iload(va);
+                m.iload(vb);
+                m.emit(Opcode::IADD);
+                m.iload(0);
+                m.invokeStatic("RuleSet", "deltaOf", "(I)I");
+                m.emit(Opcode::IADD);
+                m.getStatic("FactBase", "count", "I");
+                m.pushInt(7);
+                m.emit(Opcode::IMUL);
+                m.emit(Opcode::IADD);
+                m.pushInt(kValueMod);
+                m.emit(Opcode::IREM);
+                m.invokeStatic("FactBase", "assertFact", "(II)I");
+                m.istore(fired);
+                m.iload(fired);
+                m.ifNZ([&] {
+                    m.getStatic("Engine", "firings", "I");
+                    m.pushInt(1);
+                    m.emit(Opcode::IADD);
+                    m.putStatic("Engine", "firings", "I");
+                });
+            });
+        });
+        m.iload(fired);
+        m.emit(Opcode::IRETURN);
+    }
+    // runToFixpoint()V: repeat all rules until a pass derives nothing.
+    {
+        MethodBuilder &m = en.addMethod("runToFixpoint", "()V");
+        uint16_t changed = m.newLocal();
+        uint16_t r = m.newLocal();
+        m.pushInt(1);
+        m.istore(changed);
+        m.loopWhile([&] { m.iload(changed); }, [&] {
+            m.pushInt(0);
+            m.istore(changed);
+            m.getStatic("Engine", "passes", "I");
+            m.pushInt(1);
+            m.emit(Opcode::IADD);
+            m.putStatic("Engine", "passes", "I");
+            m.forRange(r, 0, kNumRules, [&] {
+                m.iload(r);
+                m.invokeStatic("Engine", "tryRule", "(I)I");
+                m.ifNZ([&] {
+                    m.pushInt(1);
+                    m.istore(changed);
+                });
+            });
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // checksum()I: fold the fact base.
+    {
+        MethodBuilder &m = en.addMethod("checksum", "()I");
+        uint16_t i = m.newLocal();
+        uint16_t acc = m.newLocal();
+        m.pushInt(0);
+        m.istore(acc);
+        m.forRange(i, 0, [&] { m.getStatic("FactBase", "count", "I"); },
+                   [&] {
+            m.iload(acc);
+            m.pushInt(31);
+            m.emit(Opcode::IMUL);
+            m.getStatic("FactBase", "attr", "A");
+            m.iload(i);
+            m.emit(Opcode::IALOAD);
+            m.pushInt(1000);
+            m.emit(Opcode::IMUL);
+            m.getStatic("FactBase", "val", "A");
+            m.iload(i);
+            m.emit(Opcode::IALOAD);
+            m.emit(Opcode::IADD);
+            m.emit(Opcode::IADD);
+            m.ldcInt(0xffffff);
+            m.emit(Opcode::IAND);
+            m.istore(acc);
+        });
+        m.iload(acc);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildMainClass(ProgramBuilder &pb)
+{
+    ClassBuilder &mc = pb.addClass("JessMain");
+    mc.addAttribute("SourceFile", 12);
+    mc.addUnusedString("jess-like rule shell: solves derivation puzzles");
+    addSupportMethods(mc, "JessMain", 8, 260, 0x1e552);
+
+    MethodBuilder &m = mc.addMethod("main", "()V");
+    uint16_t i = m.newLocal();
+    uint16_t round = m.newLocal();
+    m.invokeStatic("FactBase", "init", "()V");
+    m.invokeStatic("RuleSet", "init", "()V");
+
+    // The puzzle size (and so the inference effort) scales with the
+    // input: budget = 16 + 8 * argCount^2 facts.
+    m.invokeStatic("Sys", "argCount", "()I");
+    m.invokeStatic("Sys", "argCount", "()I");
+    m.emit(Opcode::IMUL);
+    m.pushInt(8);
+    m.emit(Opcode::IMUL);
+    m.pushInt(16);
+    m.emit(Opcode::IADD);
+    m.putStatic("FactBase", "limit", "I");
+
+    // Seed facts: attribute i%8, value from the input.
+    m.forRange(i, 0, [&] { m.invokeStatic("Sys", "argCount", "()I"); },
+               [&] {
+        m.iload(i);
+        m.pushInt(8);
+        m.emit(Opcode::IREM);
+        m.iload(i);
+        m.invokeStatic("Sys", "arg", "(I)I");
+        m.pushInt(kValueMod);
+        m.emit(Opcode::IREM);
+        m.invokeStatic("FactBase", "assertFact", "(II)I");
+        m.emit(Opcode::POP);
+    });
+
+    // Several inference rounds: run to fixpoint, then perturb with a
+    // derived seed (keeps the engine busy proportional to input size).
+    m.forRange(round, 0,
+               [&] {
+                   m.invokeStatic("Sys", "argCount", "()I");
+                   m.pushInt(2);
+                   m.emit(Opcode::IMUL);
+               },
+               [&] {
+        // Shell/library classes get pulled in round by round as the
+        // engine exercises new rule machinery.
+        emitLibrarySlice(m, "JessLib", 44,
+                         [&] {
+                             m.iload(round);
+                             m.pushInt(17);
+                             m.emit(Opcode::IMUL);
+                         },
+                         4, 7);
+        m.invokeStatic("Engine", "runToFixpoint", "()V");
+        m.pushInt(0);
+        m.iload(round);
+        m.invokeStatic("Engine", "checksum", "()I");
+        m.emit(Opcode::IADD);
+        m.pushInt(kValueMod);
+        m.emit(Opcode::IREM);
+        m.invokeStatic("FactBase", "assertFact", "(II)I");
+        m.emit(Opcode::POP);
+    });
+
+    m.getStatic("FactBase", "count", "I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.getStatic("Engine", "firings", "I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.getStatic("Engine", "passes", "I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.invokeStatic("Engine", "checksum", "()I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+}
+
+} // namespace
+
+Workload
+makeRuleEngine()
+{
+    Workload w;
+    w.name = "Jess";
+    w.description = "Expert-system shell: forward-chains two-condition "
+                    "rules over a fact base to fixpoint";
+
+    ProgramBuilder pb;
+    buildMainClass(pb);
+    buildFactBaseClass(pb);
+    buildRuleSetClass(pb);
+    buildEngineClass(pb);
+    addRuntimeClasses(pb);
+    LibrarySpec lib;
+    lib.prefix = "JessLib";
+    lib.classCount = 72;
+    lib.hubReach = 44;
+    lib.coldDataFactor = 3.2;
+    lib.methodsPerClass = 14;
+    lib.reachablePerClass = 12;
+    lib.unusedStringsPerClass = 2;
+    lib.seed = 0x1e55;
+    addLibraryClasses(pb, lib);
+
+    w.program = pb.build("JessMain");
+    w.natives = standardNatives();
+    w.natives.setCost("Sys.print", 60'000'000);
+    // Seeds: (attribute cycling, value) per input element.
+    w.trainInput = {17, 42};
+    w.testInput = {17, 42, 9, 88, 3, 64, 105};
+    return w;
+}
+
+} // namespace nse

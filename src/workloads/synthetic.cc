@@ -1,0 +1,97 @@
+#include "workloads/synthetic.h"
+
+#include "program/builder.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "workloads/common.h"
+
+namespace nse
+{
+
+Program
+makeSyntheticProgram(const SyntheticSpec &spec)
+{
+    Rng rng(spec.seed);
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+
+    // Pre-plan the call tree so calls always point "forward" (to a
+    // strictly larger method id) — guarantees termination.
+    int n_classes = spec.classCount;
+    int n_methods = spec.methodsPerClass;
+
+    std::vector<ClassBuilder *> classes;
+    for (int c = 0; c < n_classes; ++c) {
+        ClassBuilder &cb = pb.addClass(cat("Syn", c));
+        cb.addStaticField("acc", "I");
+        if (rng.chance(1, 2))
+            cb.addUnusedString(cat("syn-debug-", c, "-",
+                                   "0123456789abcdef0123456789abcdef"));
+        classes.push_back(&cb);
+    }
+
+    auto method_name = [](int global) { return cat("m", global); };
+    int total = n_classes * n_methods;
+
+    for (int g = 0; g < total; ++g) {
+        int c = g % n_classes;
+        MethodBuilder &m = classes[c]->addMethod(method_name(g), "(I)I");
+        uint16_t acc = m.newLocal();
+        uint16_t i = m.newLocal();
+        m.iload(0);
+        m.istore(acc);
+
+        // A loop with data-dependent body size.
+        int iters = 1 + static_cast<int>(rng.below(
+                            static_cast<uint64_t>(spec.workScale)));
+        m.forRange(i, 0, iters, [&] {
+            m.iload(acc);
+            m.pushInt(static_cast<int32_t>(1 + rng.below(63)));
+            m.emit(rng.chance(1, 2) ? Opcode::IADD : Opcode::IXOR);
+            m.istore(acc);
+        });
+
+        // Forward calls to up to two later methods.
+        int calls = static_cast<int>(rng.below(3));
+        for (int k = 0; k < calls; ++k) {
+            if (g + 1 >= total)
+                break;
+            int callee =
+                g + 1 +
+                static_cast<int>(rng.below(
+                    static_cast<uint64_t>(total - g - 1)));
+            // Conditionally take the call on part of the value space,
+            // making first use input dependent.
+            m.iload(acc);
+            m.pushInt(3);
+            m.emit(Opcode::IAND);
+            m.pushInt(static_cast<int32_t>(rng.below(4)));
+            m.ifICmp(Cond::Eq, [&] {
+                m.iload(acc);
+                m.invokeStatic(cat("Syn", callee % n_classes),
+                               method_name(callee), "(I)I");
+                m.istore(acc);
+            });
+        }
+
+        m.iload(acc);
+        m.emit(Opcode::IRETURN);
+    }
+
+    // Entry class: main drives a subset of method 0's tree per input.
+    ClassBuilder &mc = pb.addClass("SynMain");
+    MethodBuilder &m = mc.addMethod("main", "()V");
+    uint16_t i = m.newLocal();
+    m.forRange(i, 0, [&] { m.invokeStatic("Sys", "argCount", "()I"); },
+               [&] {
+        m.iload(i);
+        m.invokeStatic("Sys", "arg", "(I)I");
+        m.invokeStatic("Syn0", "m0", "(I)I");
+        m.invokeStatic("Sys", "print", "(I)V");
+    });
+    m.emit(Opcode::RETURN);
+
+    return pb.build("SynMain");
+}
+
+} // namespace nse

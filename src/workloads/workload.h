@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The benchmark workloads.
+ *
+ * Six mobile programs mirroring the paper's suite (Table 1). Each is a
+ * real program written in the substrate bytecode via the builder API,
+ * with a train input and a larger/divergent test input (paper §4.2),
+ * and native costs calibrated so per-program CPI lands in the paper's
+ * regime (Table 3: 82..3830 cycles per bytecode).
+ *
+ *   InstrTool  ~ BIT      bytecode-instrumentation tool over synthetic
+ *                         class tables (many files, moderate CPI)
+ *   Hanoi      ~ Hanoi    applet solving Towers of Hanoi with costly
+ *                         window-system draws (tiny, huge CPI)
+ *   ParserGen  ~ JavaCup  LALR-style parser generator + driver
+ *   RuleEngine ~ Jess     forward-chaining rule system (many classes,
+ *                         half the methods never execute)
+ *   Zipper     ~ JHLZip   LZ block archiver (tight loops, low CPI)
+ *   DesCipher  ~ TestDes  DES-style Feistel encrypt/decrypt (few
+ *                         classes, very large methods)
+ */
+
+#ifndef NSE_WORKLOADS_WORKLOAD_H
+#define NSE_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "program/program.h"
+#include "vm/natives.h"
+
+namespace nse
+{
+
+/** One benchmark: program, natives, and its two input sets. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    Program program;
+    NativeRegistry natives;
+    std::vector<int64_t> trainInput;
+    std::vector<int64_t> testInput;
+};
+
+Workload makeInstrTool();
+Workload makeHanoi();
+Workload makeParserGen();
+Workload makeRuleEngine();
+Workload makeZipper();
+Workload makeDesCipher();
+
+/** All six, in the paper's table order. */
+std::vector<Workload> allWorkloads();
+
+/** Build one workload by name; fatal()s on unknown names. */
+Workload makeWorkload(const std::string &name);
+
+} // namespace nse
+
+#endif // NSE_WORKLOADS_WORKLOAD_H

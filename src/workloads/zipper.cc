@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Zipper: the archiver workload (paper's "JHLZip", Table 1).
+ *
+ * Reads pseudo-file bytes through the File natives, compresses them
+ * with a real LZ77 (sliding-window longest-match search, literal and
+ * match tokens, block-buffered output), then decompresses and verifies
+ * the round trip byte-for-byte. The tight match-search loops with few
+ * native calls give the suite's lowest CPI, as in the paper (82).
+ *
+ * Inputs are (fileBase, fileLength) pairs; the test input archives
+ * more and larger "files" than the train input.
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/common.h"
+
+namespace nse
+{
+
+namespace
+{
+
+constexpr int32_t kWindow = 32;
+constexpr int32_t kMaxMatch = 18;
+constexpr int32_t kMinMatch = 3;
+
+void
+buildLzClass(ProgramBuilder &pb)
+{
+    ClassBuilder &lz = pb.addClass("Lz77");
+    lz.addStaticField("data", "A");     // original bytes
+    lz.addStaticField("dataLen", "I");
+    lz.addStaticField("tokKind", "A");  // 0 = literal, 1 = match
+    lz.addStaticField("tokA", "A");     // byte | distance
+    lz.addStaticField("tokB", "A");     // 0    | length
+    lz.addStaticField("tokCount", "I");
+    lz.addAttribute("SourceFile", 12);
+
+    // loadInput(II)V: read fileLength bytes starting at fileBase.
+    {
+        MethodBuilder &m = lz.addMethod("loadInput", "(II)V");
+        uint16_t i = m.newLocal();
+        m.iload(1);
+        m.putStatic("Lz77", "dataLen", "I");
+        m.iload(1);
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("Lz77", "data", "A");
+        m.forRange(i, 0, [&] { m.iload(1); }, [&] {
+            m.getStatic("Lz77", "data", "A");
+            m.iload(i);
+            m.iload(0);
+            m.iload(i);
+            m.emit(Opcode::IADD);
+            m.invokeStatic("File", "readByte", "(I)I");
+            m.emit(Opcode::IASTORE);
+        });
+        m.emit(Opcode::RETURN);
+    }
+    // matchLenAt(II)I: match length between data[cand..] and
+    // data[pos..], capped at kMaxMatch and the end of input.
+    {
+        MethodBuilder &m = lz.addMethod("matchLenAt", "(II)I");
+        uint16_t len = m.newLocal();
+        m.pushInt(0);
+        m.istore(len);
+        m.loopWhile(
+            [&] {
+                // len < kMaxMatch && pos+len < dataLen &&
+                // data[cand+len] == data[pos+len]
+                m.iload(len);
+                m.pushInt(kMaxMatch);
+                m.ifICmpElse(
+                    Cond::Lt,
+                    [&] {
+                        m.iload(1);
+                        m.iload(len);
+                        m.emit(Opcode::IADD);
+                        m.getStatic("Lz77", "dataLen", "I");
+                        m.ifICmpElse(
+                            Cond::Lt,
+                            [&] {
+                                m.getStatic("Lz77", "data", "A");
+                                m.iload(0);
+                                m.iload(len);
+                                m.emit(Opcode::IADD);
+                                m.emit(Opcode::IALOAD);
+                                m.getStatic("Lz77", "data", "A");
+                                m.iload(1);
+                                m.iload(len);
+                                m.emit(Opcode::IADD);
+                                m.emit(Opcode::IALOAD);
+                                m.ifICmpElse(Cond::Eq,
+                                             [&] { m.pushInt(1); },
+                                             [&] { m.pushInt(0); });
+                            },
+                            [&] { m.pushInt(0); });
+                    },
+                    [&] { m.pushInt(0); });
+            },
+            [&] { m.iinc(len, 1); });
+        m.iload(len);
+        m.emit(Opcode::IRETURN);
+    }
+    // bestMatch(I)I: encode (dist << 8) | len of the longest match in
+    // the window before pos; 0 when nothing reaches kMinMatch.
+    {
+        MethodBuilder &m = lz.addMethod("bestMatch", "(I)I");
+        uint16_t best_len = m.newLocal();
+        uint16_t best_dist = m.newLocal();
+        uint16_t cand = m.newLocal();
+        uint16_t lo = m.newLocal();
+        uint16_t l = m.newLocal();
+        m.pushInt(0);
+        m.istore(best_len);
+        m.pushInt(0);
+        m.istore(best_dist);
+        // lo = max(0, pos - kWindow)
+        m.iload(0);
+        m.pushInt(kWindow);
+        m.emit(Opcode::ISUB);
+        m.istore(lo);
+        m.iload(lo);
+        m.pushInt(0);
+        m.ifICmp(Cond::Lt, [&] {
+            m.pushInt(0);
+            m.istore(lo);
+        });
+        m.iload(lo);
+        m.istore(cand);
+        m.loopWhile(
+            [&] {
+                m.iload(cand);
+                m.iload(0);
+                m.ifICmpElse(Cond::Lt, [&] { m.pushInt(1); },
+                             [&] { m.pushInt(0); });
+            },
+            [&] {
+                m.iload(cand);
+                m.iload(0);
+                m.invokeStatic("Lz77", "matchLenAt", "(II)I");
+                m.istore(l);
+                m.iload(l);
+                m.iload(best_len);
+                m.ifICmp(Cond::Gt, [&] {
+                    m.iload(l);
+                    m.istore(best_len);
+                    m.iload(0);
+                    m.iload(cand);
+                    m.emit(Opcode::ISUB);
+                    m.istore(best_dist);
+                });
+                m.iinc(cand, 1);
+            });
+        m.iload(best_len);
+        m.pushInt(kMinMatch);
+        m.ifICmpElse(
+            Cond::Ge,
+            [&] {
+                m.iload(best_dist);
+                m.pushInt(8);
+                m.emit(Opcode::ISHL);
+                m.iload(best_len);
+                m.emit(Opcode::IOR);
+            },
+            [&] { m.pushInt(0); });
+        m.emit(Opcode::IRETURN);
+    }
+    // compress()V: fill the token arrays.
+    {
+        MethodBuilder &m = lz.addMethod("compress", "()V");
+        uint16_t pos = m.newLocal();
+        uint16_t enc = m.newLocal();
+        m.getStatic("Lz77", "dataLen", "I");
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("Lz77", "tokKind", "A");
+        m.getStatic("Lz77", "dataLen", "I");
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("Lz77", "tokA", "A");
+        m.getStatic("Lz77", "dataLen", "I");
+        m.emit(Opcode::NEWARRAY);
+        m.putStatic("Lz77", "tokB", "A");
+        m.pushInt(0);
+        m.putStatic("Lz77", "tokCount", "I");
+        m.pushInt(0);
+        m.istore(pos);
+        m.loopWhile(
+            [&] {
+                m.iload(pos);
+                m.getStatic("Lz77", "dataLen", "I");
+                m.ifICmpElse(Cond::Lt, [&] { m.pushInt(1); },
+                             [&] { m.pushInt(0); });
+            },
+            [&] {
+                m.iload(pos);
+                m.invokeStatic("Lz77", "bestMatch", "(I)I");
+                m.istore(enc);
+                m.iload(enc);
+                m.ifNZElse(
+                    [&] {
+                        // match token: advance by its length
+                        m.pushInt(1);
+                        m.iload(enc);
+                        m.pushInt(8);
+                        m.emit(Opcode::IUSHR);
+                        m.iload(enc);
+                        m.pushInt(255);
+                        m.emit(Opcode::IAND);
+                        m.invokeStatic("Lz77", "addToken", "(III)V");
+                        m.iload(pos);
+                        m.iload(enc);
+                        m.pushInt(255);
+                        m.emit(Opcode::IAND);
+                        m.emit(Opcode::IADD);
+                        m.istore(pos);
+                    },
+                    [&] {
+                        // literal token
+                        m.pushInt(0);
+                        m.getStatic("Lz77", "data", "A");
+                        m.iload(pos);
+                        m.emit(Opcode::IALOAD);
+                        m.pushInt(0);
+                        m.invokeStatic("Lz77", "addToken", "(III)V");
+                        m.iinc(pos, 1);
+                    });
+            });
+        m.emit(Opcode::RETURN);
+    }
+    // addToken(III)V
+    {
+        MethodBuilder &m = lz.addMethod("addToken", "(III)V");
+        m.getStatic("Lz77", "tokKind", "A");
+        m.getStatic("Lz77", "tokCount", "I");
+        m.iload(0);
+        m.emit(Opcode::IASTORE);
+        m.getStatic("Lz77", "tokA", "A");
+        m.getStatic("Lz77", "tokCount", "I");
+        m.iload(1);
+        m.emit(Opcode::IASTORE);
+        m.getStatic("Lz77", "tokB", "A");
+        m.getStatic("Lz77", "tokCount", "I");
+        m.iload(2);
+        m.emit(Opcode::IASTORE);
+        m.getStatic("Lz77", "tokCount", "I");
+        m.pushInt(1);
+        m.emit(Opcode::IADD);
+        m.putStatic("Lz77", "tokCount", "I");
+        m.emit(Opcode::RETURN);
+    }
+    // decompressInto(A)I: expand tokens; returns produced length.
+    {
+        MethodBuilder &m = lz.addMethod("decompressInto", "(A)I");
+        uint16_t t = m.newLocal();
+        uint16_t out = m.newLocal();
+        uint16_t k = m.newLocal();
+        m.pushInt(0);
+        m.istore(out);
+        m.forRange(t, 0, [&] { m.getStatic("Lz77", "tokCount", "I"); },
+                   [&] {
+            m.getStatic("Lz77", "tokKind", "A");
+            m.iload(t);
+            m.emit(Opcode::IALOAD);
+            m.ifNZElse(
+                [&] {
+                    // match: copy length bytes from out-dist
+                    m.forRange(k, 0,
+                               [&] {
+                                   m.getStatic("Lz77", "tokB", "A");
+                                   m.iload(t);
+                                   m.emit(Opcode::IALOAD);
+                               },
+                               [&] {
+                                   m.aload(0);
+                                   m.iload(out);
+                                   m.aload(0);
+                                   m.iload(out);
+                                   m.getStatic("Lz77", "tokA", "A");
+                                   m.iload(t);
+                                   m.emit(Opcode::IALOAD);
+                                   m.emit(Opcode::ISUB);
+                                   m.emit(Opcode::IALOAD);
+                                   m.emit(Opcode::IASTORE);
+                                   m.iinc(out, 1);
+                               });
+                },
+                [&] {
+                    m.aload(0);
+                    m.iload(out);
+                    m.getStatic("Lz77", "tokA", "A");
+                    m.iload(t);
+                    m.emit(Opcode::IALOAD);
+                    m.emit(Opcode::IASTORE);
+                    m.iinc(out, 1);
+                });
+        });
+        m.iload(out);
+        m.emit(Opcode::IRETURN);
+    }
+}
+
+void
+buildMainClass(ProgramBuilder &pb)
+{
+    ClassBuilder &mc = pb.addClass("ZipMain");
+    mc.addStaticField("badFiles", "I");
+    mc.addStaticField("totalTokens", "I");
+    mc.addAttribute("SourceFile", 12);
+    addSupportMethods(mc, "ZipMain", 6, 240, 0x21f3);
+
+    // main()V: archive each (base, length) input pair.
+    {
+        MethodBuilder &m = mc.addMethod("main", "()V");
+        uint16_t i = m.newLocal();
+        m.pushInt(0);
+        m.istore(i);
+        m.loopWhile(
+            [&] {
+                m.iload(i);
+                m.invokeStatic("Sys", "argCount", "()I");
+                m.ifICmpElse(Cond::Lt, [&] { m.pushInt(1); },
+                             [&] { m.pushInt(0); });
+            },
+            [&] {
+                m.iload(i);
+                m.invokeStatic("Sys", "arg", "(I)I");
+                m.iload(i);
+                m.pushInt(1);
+                m.emit(Opcode::IADD);
+                m.invokeStatic("Sys", "arg", "(I)I");
+                m.invokeStatic("ZipMain", "archiveFile", "(II)V");
+                m.iinc(i, 2);
+            });
+        m.getStatic("ZipMain", "badFiles", "I");
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.getStatic("ZipMain", "totalTokens", "I");
+        emitLibrarySweep(m, "ZipUtil", 4,
+                         [&] { m.invokeStatic("Sys", "argCount", "()I"); },
+                         1);
+        m.emit(Opcode::IXOR);
+        m.invokeStatic("Sys", "print", "(I)V");
+        m.emit(Opcode::RETURN);
+    }
+    // archiveFile(II)V: compress, emit, verify.
+    {
+        MethodBuilder &m = mc.addMethod("archiveFile", "(II)V");
+        m.iload(0);
+        m.iload(1);
+        m.invokeStatic("Lz77", "loadInput", "(II)V");
+        m.invokeStatic("Lz77", "compress", "()V");
+        m.getStatic("ZipMain", "totalTokens", "I");
+        m.getStatic("Lz77", "tokCount", "I");
+        m.emit(Opcode::IADD);
+        m.putStatic("ZipMain", "totalTokens", "I");
+        m.getStatic("Lz77", "tokA", "A");
+        m.invokeStatic("File", "writeBlock", "(A)V");
+        m.invokeStatic("ZipMain", "verifyFile", "()V");
+        m.emit(Opcode::RETURN);
+    }
+    // verifyFile()V: decompress and compare against the original.
+    {
+        MethodBuilder &m = mc.addMethod("verifyFile", "()V");
+        uint16_t buf = m.newLocal();
+        uint16_t n = m.newLocal();
+        uint16_t i = m.newLocal();
+        uint16_t bad = m.newLocal();
+        m.getStatic("Lz77", "dataLen", "I");
+        m.emit(Opcode::NEWARRAY);
+        m.astore(buf);
+        m.aload(buf);
+        m.invokeStatic("Lz77", "decompressInto", "(A)I");
+        m.istore(n);
+        m.pushInt(0);
+        m.istore(bad);
+        m.iload(n);
+        m.getStatic("Lz77", "dataLen", "I");
+        m.ifICmp(Cond::Ne, [&] {
+            m.pushInt(1);
+            m.istore(bad);
+        });
+        m.forRange(i, 0, [&] { m.iload(n); }, [&] {
+            m.aload(buf);
+            m.iload(i);
+            m.emit(Opcode::IALOAD);
+            m.getStatic("Lz77", "data", "A");
+            m.iload(i);
+            m.emit(Opcode::IALOAD);
+            m.ifICmp(Cond::Ne, [&] {
+                m.pushInt(1);
+                m.istore(bad);
+            });
+        });
+        m.iload(bad);
+        m.ifNZ([&] {
+            m.getStatic("ZipMain", "badFiles", "I");
+            m.pushInt(1);
+            m.emit(Opcode::IADD);
+            m.putStatic("ZipMain", "badFiles", "I");
+        });
+        m.emit(Opcode::RETURN);
+    }
+}
+
+} // namespace
+
+Workload
+makeZipper()
+{
+    Workload w;
+    w.name = "JHLZip";
+    w.description = "LZ77 archiver: compresses pseudo-file input into "
+                    "token blocks and verifies decompression";
+
+    ProgramBuilder pb;
+    buildMainClass(pb);
+    buildLzClass(pb);
+    addRuntimeClasses(pb);
+    LibrarySpec lib;
+    lib.prefix = "ZipUtil";
+    lib.classCount = 6;
+    lib.hubReach = 4;
+    lib.coldDataFactor = 3.2;
+    lib.methodsPerClass = 14;
+    lib.localDataRatio = 1.4;
+    lib.reachablePerClass = 14;
+    lib.seed = 0x22;
+    addLibraryClasses(pb, lib);
+
+    w.program = pb.build("ZipMain");
+    w.natives = standardNatives();
+    w.natives.setCost("File.readByte", 2'500);
+    w.natives.setCost("File.writeBlock", 40'000);
+    // (base, length) pairs.
+    w.trainInput = {100, 300, 5000, 150};
+    w.testInput = {100, 600, 5000, 300, 9000, 200};
+    return w;
+}
+
+} // namespace nse

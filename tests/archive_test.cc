@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Program-archive tests: the on-disk save/load round trip preserves
+ * behaviour and bytes, and malformed archives are rejected cleanly.
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "classfile/writer.h"
+#include "program/archive.h"
+#include "vm/interpreter.h"
+#include "vm/verifier.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class ArchiveTest : public ::testing::Test
+{
+  protected:
+    ArchiveTest()
+        : dir_(fs::temp_directory_path() /
+               ("nse_archive_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name()))
+    {
+    }
+
+    ~ArchiveTest() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ArchiveTest, RoundTripPreservesBytesAndBehaviour)
+{
+    Workload w = makeHanoi();
+    saveProgram(w.program, dir_);
+    Program loaded = loadProgram(dir_);
+
+    ASSERT_EQ(loaded.classCount(), w.program.classCount());
+    EXPECT_EQ(loaded.entryClass(), w.program.entryClass());
+    EXPECT_EQ(loaded.entryMethod(), w.program.entryMethod());
+    for (uint16_t c = 0; c < loaded.classCount(); ++c) {
+        EXPECT_EQ(writeClassFile(loaded.classAt(c)).bytes,
+                  writeClassFile(w.program.classAt(c)).bytes);
+    }
+
+    Verifier verifier(loaded);
+    ASSERT_NO_THROW(verifier.verifyAll());
+    Vm a(w.program, w.natives, w.testInput);
+    Vm b(loaded, w.natives, w.testInput);
+    EXPECT_EQ(a.run().output, b.run().output);
+}
+
+TEST_F(ArchiveTest, MissingManifestRejected)
+{
+    fs::create_directories(dir_);
+    EXPECT_THROW(loadProgram(dir_), FatalError);
+}
+
+TEST_F(ArchiveTest, MissingClassFileRejected)
+{
+    Workload w = makeHanoi();
+    saveProgram(w.program, dir_);
+    fs::remove(dir_ / "Peg.class");
+    EXPECT_THROW(loadProgram(dir_), FatalError);
+}
+
+TEST_F(ArchiveTest, WrongClassInFileRejected)
+{
+    Workload w = makeHanoi();
+    saveProgram(w.program, dir_);
+    // Swap a class file's contents with another class.
+    fs::copy_file(dir_ / "Peg.class", dir_ / "HanoiMath.class",
+                  fs::copy_options::overwrite_existing);
+    EXPECT_THROW(loadProgram(dir_), FatalError);
+}
+
+TEST_F(ArchiveTest, CorruptedClassFileRejected)
+{
+    Workload w = makeHanoi();
+    saveProgram(w.program, dir_);
+    std::fstream f(dir_ / "Peg.class",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f.put('\x00');
+    f.close();
+    EXPECT_THROW(loadProgram(dir_), FatalError);
+}
+
+TEST_F(ArchiveTest, MalformedManifestRejected)
+{
+    Workload w = makeHanoi();
+    saveProgram(w.program, dir_);
+    std::ofstream m(dir_ / kManifestName);
+    m << "nonsense\n";
+    m.close();
+    EXPECT_THROW(loadProgram(dir_), FatalError);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the class-file substrate: constant pool, descriptors,
+ * serializer layout accounting, and parser (incl. malformed inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "classfile/constant_pool.h"
+#include "classfile/descriptor.h"
+#include "classfile/parser.h"
+#include "classfile/writer.h"
+#include "program/builder.h"
+
+namespace nse
+{
+namespace
+{
+
+TEST(ConstantPool, InterningDeduplicates)
+{
+    ConstantPool cp;
+    uint16_t a = cp.addUtf8("hello");
+    uint16_t b = cp.addUtf8("hello");
+    uint16_t c = cp.addUtf8("world");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(cp.addInteger(42), cp.addInteger(42));
+    EXPECT_NE(cp.addInteger(42), cp.addInteger(43));
+}
+
+TEST(ConstantPool, CompositeEntriesShareComponents)
+{
+    ConstantPool cp;
+    uint16_t m1 = cp.addMethodRef("Foo", "bar", "(I)I");
+    uint16_t m2 = cp.addMethodRef("Foo", "baz", "(I)I");
+    // Same class entry, same descriptor Utf8.
+    const CpEntry &e1 = cp.at(m1, CpTag::MethodRef);
+    const CpEntry &e2 = cp.at(m2, CpTag::MethodRef);
+    EXPECT_EQ(e1.ref1, e2.ref1);
+    EXPECT_EQ(cp.addMethodRef("Foo", "bar", "(I)I"), m1);
+}
+
+TEST(ConstantPool, MemberRefResolvesNames)
+{
+    ConstantPool cp;
+    uint16_t f = cp.addFieldRef("Widget", "count", "I");
+    auto ref = cp.memberRef(f);
+    EXPECT_EQ(ref.className, "Widget");
+    EXPECT_EQ(ref.name, "count");
+    EXPECT_EQ(ref.descriptor, "I");
+}
+
+TEST(ConstantPool, TagMismatchIsFatal)
+{
+    ConstantPool cp;
+    uint16_t i = cp.addInteger(5);
+    EXPECT_THROW(cp.at(i, CpTag::Utf8), FatalError);
+    EXPECT_THROW(cp.memberRef(i), FatalError);
+    EXPECT_THROW(cp.at(0), PanicError);          // reserved slot
+    EXPECT_THROW(cp.at(999, CpTag::Utf8), FatalError);
+}
+
+TEST(ConstantPool, EntryByteSizes)
+{
+    ConstantPool cp;
+    CpEntry utf8;
+    utf8.tag = CpTag::Utf8;
+    utf8.utf8 = "abcd";
+    EXPECT_EQ(ConstantPool::entryByteSize(utf8), 1u + 2u + 4u);
+    CpEntry i;
+    i.tag = CpTag::Integer;
+    EXPECT_EQ(ConstantPool::entryByteSize(i), 5u);
+    CpEntry l;
+    l.tag = CpTag::Long;
+    EXPECT_EQ(ConstantPool::entryByteSize(l), 9u);
+    CpEntry cls;
+    cls.tag = CpTag::Class;
+    EXPECT_EQ(ConstantPool::entryByteSize(cls), 3u);
+    CpEntry mr;
+    mr.tag = CpTag::MethodRef;
+    EXPECT_EQ(ConstantPool::entryByteSize(mr), 5u);
+}
+
+TEST(Descriptor, ParsesSignatures)
+{
+    MethodSig sig = parseMethodDescriptor("(IAI)V");
+    ASSERT_EQ(sig.params.size(), 3u);
+    EXPECT_EQ(sig.params[0], TypeKind::Int);
+    EXPECT_EQ(sig.params[1], TypeKind::Ref);
+    EXPECT_EQ(sig.ret, TypeKind::Void);
+    EXPECT_EQ(sig.argSlots(true), 3u);
+    EXPECT_EQ(sig.argSlots(false), 4u);
+
+    MethodSig empty = parseMethodDescriptor("()I");
+    EXPECT_TRUE(empty.params.empty());
+    EXPECT_EQ(empty.ret, TypeKind::Int);
+}
+
+TEST(Descriptor, RejectsMalformed)
+{
+    EXPECT_THROW(parseMethodDescriptor("I)V"), FatalError);
+    EXPECT_THROW(parseMethodDescriptor("(IV"), FatalError);
+    EXPECT_THROW(parseMethodDescriptor("(V)I"), FatalError);
+    EXPECT_THROW(parseMethodDescriptor("(I)X"), FatalError);
+    EXPECT_THROW(parseMethodDescriptor("(I)II"), FatalError);
+    EXPECT_THROW(parseFieldDescriptor("V"), FatalError);
+    EXPECT_THROW(parseFieldDescriptor("II"), FatalError);
+}
+
+TEST(Descriptor, RoundTrips)
+{
+    EXPECT_EQ(makeMethodDescriptor({TypeKind::Int, TypeKind::Ref},
+                                   TypeKind::Void),
+              "(IA)V");
+    EXPECT_EQ(makeMethodDescriptor({}, TypeKind::Ref), "()A");
+}
+
+/** A small two-method class used by writer/parser tests. */
+ClassFile
+sampleClass()
+{
+    ProgramBuilder pb;
+    ClassBuilder &cb = pb.addClass("Sample");
+    cb.setSuper("Base");
+    cb.addStaticField("total", "I");
+    cb.addField("next", "A");
+    cb.addAttribute("SourceFile", 10);
+    MethodBuilder &m1 = cb.addMethod("calc", "(I)I");
+    m1.iload(0);
+    m1.ldcInt(100000);
+    m1.emit(Opcode::IADD);
+    m1.emit(Opcode::IRETURN);
+    MethodBuilder &m2 = cb.addMethod("noop", "()V");
+    m2.emit(Opcode::RETURN);
+    pb.addClass("Base");
+    Program prog = pb.build("Sample", "noop");
+    return prog.classByName("Sample");
+}
+
+TEST(Writer, LayoutPartitionsTheFile)
+{
+    ClassFile cf = sampleClass();
+    SerializedClass sc = writeClassFile(cf);
+    const ClassFileLayout &l = sc.layout;
+
+    EXPECT_EQ(l.totalSize, sc.bytes.size());
+    EXPECT_EQ(l.global.total() + 2 /* method count */, l.globalDataEnd);
+    ASSERT_EQ(l.methods.size(), 2u);
+    EXPECT_EQ(l.methods[0].start, l.globalDataEnd);
+    EXPECT_EQ(l.methods[0].end, l.methods[1].start);
+    EXPECT_EQ(l.methods[1].end, l.totalSize);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(l.methods[i].end - l.methods[i].start,
+                  cf.methods[i].transferSize());
+    }
+    // Constant pool tag accounting sums to the entry bytes.
+    size_t tag_sum = 0;
+    for (size_t t : l.global.cpoolByTag)
+        tag_sum += t;
+    EXPECT_EQ(tag_sum + 2 /* cp count */, l.global.cpool);
+}
+
+TEST(Writer, MethodDelimiterPresent)
+{
+    ClassFile cf = sampleClass();
+    SerializedClass sc = writeClassFile(cf);
+    for (const MethodExtent &ext : sc.layout.methods) {
+        uint32_t delim = (uint32_t(sc.bytes[ext.end - 4]) << 24) |
+                         (uint32_t(sc.bytes[ext.end - 3]) << 16) |
+                         (uint32_t(sc.bytes[ext.end - 2]) << 8) |
+                         uint32_t(sc.bytes[ext.end - 1]);
+        EXPECT_EQ(delim, kMethodDelimiter);
+    }
+}
+
+TEST(Parser, RoundTripPreservesEverything)
+{
+    ClassFile cf = sampleClass();
+    SerializedClass sc = writeClassFile(cf);
+    ClassFile parsed = parseClassFile(sc.bytes);
+
+    EXPECT_EQ(parsed.name(), "Sample");
+    EXPECT_EQ(parsed.superName(), "Base");
+    ASSERT_EQ(parsed.methods.size(), cf.methods.size());
+    ASSERT_EQ(parsed.fields.size(), cf.fields.size());
+    ASSERT_EQ(parsed.attributes.size(), cf.attributes.size());
+    for (size_t i = 0; i < cf.methods.size(); ++i) {
+        EXPECT_EQ(parsed.methods[i].code, cf.methods[i].code);
+        EXPECT_EQ(parsed.methods[i].localData, cf.methods[i].localData);
+        EXPECT_EQ(parsed.methods[i].maxLocals, cf.methods[i].maxLocals);
+    }
+    // Re-serializing yields identical bytes.
+    EXPECT_EQ(writeClassFile(parsed).bytes, sc.bytes);
+}
+
+TEST(Parser, RejectsBadMagic)
+{
+    ClassFile cf = sampleClass();
+    auto bytes = writeClassFile(cf).bytes;
+    bytes[0] ^= 0xff;
+    EXPECT_THROW(parseClassFile(bytes), FatalError);
+}
+
+TEST(Parser, RejectsCorruptDelimiter)
+{
+    ClassFile cf = sampleClass();
+    SerializedClass sc = writeClassFile(cf);
+    auto bytes = sc.bytes;
+    bytes[sc.layout.methods[0].end - 1] ^= 0x01;
+    EXPECT_THROW(parseClassFile(bytes), FatalError);
+}
+
+TEST(Parser, RejectsTruncation)
+{
+    ClassFile cf = sampleClass();
+    auto bytes = writeClassFile(cf).bytes;
+    bytes.resize(bytes.size() - 5);
+    EXPECT_THROW(parseClassFile(bytes), FatalError);
+}
+
+TEST(Parser, RejectsTrailingGarbage)
+{
+    ClassFile cf = sampleClass();
+    auto bytes = writeClassFile(cf).bytes;
+    bytes.push_back(0);
+    EXPECT_THROW(parseClassFile(bytes), FatalError);
+}
+
+TEST(Parser, GlobalDataViewStopsBeforeMethods)
+{
+    ClassFile cf = sampleClass();
+    SerializedClass sc = writeClassFile(cf);
+    GlobalDataView view = parseGlobalData(sc.bytes);
+    EXPECT_EQ(view.methodCount, 2u);
+    EXPECT_EQ(view.globalDataEnd, sc.layout.globalDataEnd);
+    EXPECT_EQ(view.partial.name(), "Sample");
+    EXPECT_TRUE(view.partial.methods.empty());
+    // The view works even when only the global prefix is available.
+    std::vector<uint8_t> prefix(
+        sc.bytes.begin(),
+        sc.bytes.begin() +
+            static_cast<long>(sc.layout.globalDataEnd));
+    GlobalDataView partial = parseGlobalData(prefix);
+    EXPECT_EQ(partial.methodCount, 2u);
+}
+
+TEST(Layout, LayoutOfMatchesWriter)
+{
+    ClassFile cf = sampleClass();
+    ClassFileLayout a = layoutOf(cf);
+    ClassFileLayout b = writeClassFile(cf).layout;
+    EXPECT_EQ(a.totalSize, b.totalSize);
+    EXPECT_EQ(a.globalDataEnd, b.globalDataEnd);
+    EXPECT_EQ(a.localDataBytes, b.localDataBytes);
+    EXPECT_EQ(a.codeBytes, b.codeBytes);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Linker tests: preparation (static storage, instance layouts across
+ * inheritance), lazy resolution and its caches, and the error paths
+ * (shadowed fields, unknown targets) — the paper's §3.1 incremental
+ * linking model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "program/builder.h"
+#include "vm/linker.h"
+
+namespace nse
+{
+namespace
+{
+
+Program
+inheritanceProgram()
+{
+    ProgramBuilder pb;
+    ClassBuilder &base = pb.addClass("Base");
+    base.addField("x", "I");
+    base.addField("ref", "A");
+    base.addStaticField("shared", "I");
+
+    ClassBuilder &derived = pb.addClass("Derived");
+    derived.setSuper("Base");
+    derived.addField("y", "I");
+
+    ClassBuilder &user = pb.addClass("User");
+    MethodBuilder &m = user.addMethod("main", "()V");
+    // Touch fields so cp entries exist for resolution tests.
+    m.newObject("Derived");
+    m.getField("Derived", "x", "I");
+    m.emit(Opcode::POP);
+    m.getStatic("Base", "shared", "I");
+    m.emit(Opcode::POP);
+    m.emit(Opcode::RETURN);
+    return pb.build("User");
+}
+
+TEST(Linker, InstanceLayoutsStackAcrossInheritance)
+{
+    Program p = inheritanceProgram();
+    Linker linker(p);
+    linker.prepareAll();
+    auto base = static_cast<uint16_t>(p.classIndex("Base"));
+    auto derived = static_cast<uint16_t>(p.classIndex("Derived"));
+    EXPECT_EQ(linker.instanceSlotCount(base), 2u);
+    EXPECT_EQ(linker.instanceSlotCount(derived), 3u);
+}
+
+TEST(Linker, FieldResolutionWalksToDeclaringClass)
+{
+    Program p = inheritanceProgram();
+    Linker linker(p);
+    linker.prepareAll();
+    auto user = static_cast<uint16_t>(p.classIndex("User"));
+    const ClassFile &cf = p.classByName("User");
+    // Find the GETFIELD Derived.x cp index from the method's code.
+    uint16_t cp_idx = 0;
+    for (const Instruction &inst : decodeCode(cf.methods[0].code)) {
+        if (inst.op == Opcode::GETFIELD)
+            cp_idx = static_cast<uint16_t>(inst.operand);
+    }
+    ASSERT_NE(cp_idx, 0);
+    const FieldSlot &fs = linker.resolveField(user, cp_idx);
+    EXPECT_FALSE(fs.isStatic);
+    // x is declared in Base at slot 0 even when accessed via Derived.
+    EXPECT_EQ(fs.ownerClass, p.classIndex("Base"));
+    EXPECT_EQ(fs.slot, 0u);
+    EXPECT_EQ(fs.kind, TypeKind::Int);
+}
+
+TEST(Linker, ResolutionIsCountedOncePerSite)
+{
+    Program p = inheritanceProgram();
+    Linker linker(p);
+    linker.prepareAll();
+    auto user = static_cast<uint16_t>(p.classIndex("User"));
+    uint16_t cp_idx = 0;
+    for (const Instruction &inst :
+         decodeCode(p.classByName("User").methods[0].code)) {
+        if (inst.op == Opcode::GETSTATIC)
+            cp_idx = static_cast<uint16_t>(inst.operand);
+    }
+    uint64_t before = linker.resolutionCount();
+    linker.resolveField(user, cp_idx);
+    linker.resolveField(user, cp_idx); // cached: no new resolution
+    EXPECT_EQ(linker.resolutionCount(), before + 1);
+}
+
+TEST(Linker, StaticStorageReadsAndWrites)
+{
+    Program p = inheritanceProgram();
+    Linker linker(p);
+    linker.prepareAll();
+    auto user = static_cast<uint16_t>(p.classIndex("User"));
+    uint16_t cp_idx = 0;
+    for (const Instruction &inst :
+         decodeCode(p.classByName("User").methods[0].code)) {
+        if (inst.op == Opcode::GETSTATIC)
+            cp_idx = static_cast<uint16_t>(inst.operand);
+    }
+    const FieldSlot &fs = linker.resolveField(user, cp_idx);
+    EXPECT_TRUE(fs.isStatic);
+    EXPECT_EQ(linker.getStatic(fs).asInt(), 0);
+    linker.setStatic(fs, Value::makeInt(77));
+    EXPECT_EQ(linker.getStatic(fs).asInt(), 77);
+    // Kind mismatch on write is rejected.
+    EXPECT_THROW(linker.setStatic(fs, Value::makeNull()), FatalError);
+}
+
+TEST(Linker, ShadowedInstanceFieldRejected)
+{
+    ProgramBuilder pb;
+    ClassBuilder &base = pb.addClass("Base");
+    base.addField("x", "I");
+    ClassBuilder &derived = pb.addClass("Derived");
+    derived.setSuper("Base");
+    derived.addField("x", "I"); // shadowing: unsupported by design
+    ClassBuilder &m = pb.addClass("M");
+    MethodBuilder &mm = m.addMethod("main", "()V");
+    mm.emit(Opcode::RETURN);
+    Program p = pb.build("M");
+    Linker linker(p);
+    EXPECT_THROW(linker.prepareAll(), FatalError);
+}
+
+TEST(Linker, UnknownFieldClassRejected)
+{
+    ProgramBuilder pb;
+    ClassBuilder &m = pb.addClass("M");
+    MethodBuilder &mm = m.addMethod("main", "()V");
+    mm.getStatic("Ghost", "f", "I");
+    mm.emit(Opcode::POP);
+    mm.emit(Opcode::RETURN);
+    Program p = pb.build("M");
+    Linker linker(p);
+    linker.prepareAll();
+    uint16_t cp_idx = 0;
+    for (const Instruction &inst :
+         decodeCode(p.classByName("M").methods[0].code)) {
+        if (inst.op == Opcode::GETSTATIC)
+            cp_idx = static_cast<uint16_t>(inst.operand);
+    }
+    EXPECT_THROW(linker.resolveField(0, cp_idx), FatalError);
+}
+
+TEST(Linker, VirtualDispatchCacheConsistency)
+{
+    ProgramBuilder pb;
+    ClassBuilder &base = pb.addClass("Base");
+    MethodBuilder &bf = base.addVirtualMethod("f", "()I");
+    bf.pushInt(1);
+    bf.emit(Opcode::IRETURN);
+    ClassBuilder &derived = pb.addClass("Derived");
+    derived.setSuper("Base");
+    MethodBuilder &df = derived.addVirtualMethod("f", "()I");
+    df.pushInt(2);
+    df.emit(Opcode::IRETURN);
+    ClassBuilder &m = pb.addClass("M");
+    MethodBuilder &mm = m.addMethod("main", "()V");
+    mm.emit(Opcode::RETURN);
+    Program p = pb.build("M");
+
+    Linker linker(p);
+    linker.prepareAll();
+    CallRef ref;
+    ref.className = "Base";
+    ref.name = "f";
+    ref.descriptor = "()I";
+    ref.sig = parseMethodDescriptor("()I");
+
+    auto base_idx = static_cast<uint16_t>(p.classIndex("Base"));
+    auto derived_idx = static_cast<uint16_t>(p.classIndex("Derived"));
+    MethodId from_base = linker.virtualTarget(base_idx, ref);
+    MethodId from_derived = linker.virtualTarget(derived_idx, ref);
+    EXPECT_EQ(p.methodLabel(from_base), "Base.f");
+    EXPECT_EQ(p.methodLabel(from_derived), "Derived.f");
+    // Memoised answers are stable.
+    EXPECT_EQ(linker.virtualTarget(derived_idx, ref), from_derived);
+}
+
+} // namespace
+} // namespace nse

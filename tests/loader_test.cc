@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Streaming-loader tests: byte-at-a-time arrival, phase transitions,
+ * agreement with the transfer layouts' availability offsets, and
+ * corruption handling — the functional proof behind the non-strict
+ * transfer model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "analysis/first_use.h"
+#include "classfile/writer.h"
+#include "program/builder.h"
+#include "restructure/layout.h"
+#include "restructure/reorder.h"
+#include "vm/streaming_loader.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+Program
+sampleProgram()
+{
+    ProgramBuilder pb;
+    ClassBuilder &cb = pb.addClass("Stream");
+    cb.addStaticField("g", "I");
+    cb.addAttribute("SourceFile", 12);
+    MethodBuilder &a = cb.addMethod("alpha", "()V");
+    a.pushInt(1);
+    a.emit(Opcode::POP);
+    a.emit(Opcode::RETURN);
+    MethodBuilder &b = cb.addMethod("beta", "(I)I");
+    b.setLocalDataSize(64);
+    b.iload(0);
+    b.emit(Opcode::IRETURN);
+    MethodBuilder &c = cb.addMethod("gamma", "()V");
+    c.emit(Opcode::RETURN);
+    return pb.build("Stream", "alpha");
+}
+
+TEST(StreamingLoader, WholeFileAtOnce)
+{
+    Program p = sampleProgram();
+    SerializedClass sc = writeClassFile(p.classByName("Stream"));
+    StreamingLoader loader;
+    size_t ready = loader.feed(sc.bytes);
+    EXPECT_EQ(ready, 3u);
+    EXPECT_TRUE(loader.complete());
+    EXPECT_EQ(loader.methodsDeclared(), 3u);
+    EXPECT_EQ(loader.classFile().name(), "Stream");
+}
+
+TEST(StreamingLoader, ByteAtATimePhases)
+{
+    Program p = sampleProgram();
+    SerializedClass sc = writeClassFile(p.classByName("Stream"));
+    StreamingLoader loader;
+
+    size_t methods_seen = 0;
+    for (size_t i = 0; i < sc.bytes.size(); ++i) {
+        bool global_before = loader.globalDataVerified();
+        methods_seen += loader.feed(&sc.bytes[i], 1);
+
+        // Global data verifies exactly when its last byte arrives.
+        if (i + 1 == sc.layout.globalDataEnd) {
+            EXPECT_FALSE(global_before);
+            EXPECT_TRUE(loader.globalDataVerified());
+            EXPECT_EQ(loader.globalDataEnd(),
+                      sc.layout.globalDataEnd);
+        }
+        // Methods become ready exactly at their delimiter offsets —
+        // the same offsets the transfer layouts gate execution on.
+        for (size_t m = 0; m < sc.layout.methods.size(); ++m) {
+            if (i + 1 == sc.layout.methods[m].end) {
+                EXPECT_EQ(loader.methodsReady(), m + 1)
+                    << "method " << m;
+            }
+        }
+    }
+    EXPECT_TRUE(loader.complete());
+    EXPECT_EQ(methods_seen, 3u);
+    for (size_t m = 0; m < 3; ++m)
+        EXPECT_EQ(loader.methodEndOffset(m), sc.layout.methods[m].end);
+}
+
+TEST(StreamingLoader, ChunkedFeedCountsArrivals)
+{
+    Program p = sampleProgram();
+    SerializedClass sc = writeClassFile(p.classByName("Stream"));
+    StreamingLoader loader;
+    // Split just inside method 1's record.
+    size_t split = sc.layout.methods[1].start + 3;
+    EXPECT_EQ(loader.feed(sc.bytes.data(), split), 1u); // alpha only
+    EXPECT_EQ(loader.methodsReady(), 1u);
+    EXPECT_FALSE(loader.complete());
+    EXPECT_EQ(loader.feed(sc.bytes.data() + split,
+                          sc.bytes.size() - split),
+              2u);
+    EXPECT_TRUE(loader.complete());
+}
+
+TEST(StreamingLoader, LoadedMethodsMatchOriginal)
+{
+    Program p = sampleProgram();
+    const ClassFile &orig = p.classByName("Stream");
+    SerializedClass sc = writeClassFile(orig);
+    StreamingLoader loader;
+    loader.feed(sc.bytes);
+    const ClassFile &got = loader.classFile();
+    ASSERT_EQ(got.methods.size(), orig.methods.size());
+    for (size_t i = 0; i < orig.methods.size(); ++i) {
+        EXPECT_EQ(got.methods[i].code, orig.methods[i].code);
+        EXPECT_EQ(got.methods[i].localData, orig.methods[i].localData);
+        EXPECT_EQ(got.methodName(got.methods[i]),
+                  orig.methodName(orig.methods[i]));
+    }
+    // Re-serializing the streamed class reproduces the wire bytes.
+    EXPECT_EQ(writeClassFile(got).bytes, sc.bytes);
+}
+
+TEST(StreamingLoader, AgreesWithParallelLayoutOffsets)
+{
+    // The transfer simulation says a method is runnable at its
+    // availOffset; the loader must agree byte for byte, including
+    // after restructuring.
+    Workload w = makeHanoi();
+    FirstUseOrder order = staticFirstUse(w.program);
+    TransferLayout layout = makeParallelLayout(w.program, order, nullptr);
+    auto per_class = order.perClassOrder(w.program);
+
+    for (uint16_t c = 0; c < w.program.classCount(); ++c) {
+        ClassFile reordered =
+            reorderClassFile(w.program.classAt(c), per_class[c]);
+        SerializedClass sc = writeClassFile(reordered);
+        StreamingLoader loader;
+        loader.feed(sc.bytes);
+        ASSERT_TRUE(loader.complete()) << reordered.name();
+        // availOffset of the k-th first-used method equals the
+        // loader's k-th method end offset.
+        for (size_t k = 0; k < per_class[c].size(); ++k) {
+            uint64_t avail =
+                layout.place[c][per_class[c][k]].availOffset;
+            EXPECT_EQ(loader.methodEndOffset(k), avail)
+                << reordered.name() << " method " << k;
+        }
+    }
+}
+
+TEST(StreamingLoader, RejectsBadMagicImmediately)
+{
+    StreamingLoader loader;
+    std::vector<uint8_t> junk{0xde, 0xad, 0xbe, 0xef};
+    EXPECT_THROW(loader.feed(junk), FatalError);
+}
+
+TEST(StreamingLoader, RejectsCorruptDelimiter)
+{
+    Program p = sampleProgram();
+    SerializedClass sc = writeClassFile(p.classByName("Stream"));
+    auto bytes = sc.bytes;
+    bytes[sc.layout.methods[0].end - 2] ^= 0xff;
+    StreamingLoader loader;
+    EXPECT_THROW(loader.feed(bytes), FatalError);
+}
+
+TEST(StreamingLoader, RejectsCorruptGlobalData)
+{
+    Program p = sampleProgram();
+    SerializedClass sc = writeClassFile(p.classByName("Stream"));
+    auto bytes = sc.bytes;
+    // Corrupt the superclass index into an invalid cp slot.
+    bytes[8] = 0xff;
+    bytes[9] = 0xf0;
+    StreamingLoader loader;
+    EXPECT_THROW(loader.feed(bytes), FatalError);
+}
+
+TEST(StreamingLoader, RejectsTrailingBytes)
+{
+    Program p = sampleProgram();
+    SerializedClass sc = writeClassFile(p.classByName("Stream"));
+    StreamingLoader loader;
+    loader.feed(sc.bytes);
+    uint8_t extra = 0;
+    EXPECT_THROW(loader.feed(&extra, 1), FatalError);
+}
+
+TEST(StreamingLoader, EveryWorkloadClassStreams)
+{
+    // Every class file of every benchmark loads incrementally in
+    // 97-byte chunks (an arbitrary awkward chunk size).
+    for (Workload &w : allWorkloads()) {
+        for (uint16_t c = 0; c < w.program.classCount(); ++c) {
+            SerializedClass sc = writeClassFile(w.program.classAt(c));
+            StreamingLoader loader;
+            for (size_t off = 0; off < sc.bytes.size(); off += 97) {
+                size_t n = std::min<size_t>(97, sc.bytes.size() - off);
+                loader.feed(sc.bytes.data() + off, n);
+            }
+            ASSERT_TRUE(loader.complete())
+                << w.name << "/" << w.program.classAt(c).name();
+            EXPECT_EQ(loader.methodsReady(),
+                      w.program.classAt(c).methods.size());
+        }
+    }
+}
+
+} // namespace
+} // namespace nse

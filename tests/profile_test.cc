@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for first-use profiling: observed order, unique-vs-dynamic
+ * instruction accounting, and static program statistics (Table 2
+ * machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "profile/first_use_profile.h"
+#include "program/builder.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+Program
+callChainProgram()
+{
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &worker = t.addMethod("worker", "(I)I");
+    uint16_t i = worker.newLocal();
+    uint16_t acc = worker.newLocal();
+    worker.pushInt(0);
+    worker.istore(acc);
+    worker.forRange(i, 0, [&] { worker.iload(0); }, [&] {
+        worker.iload(acc);
+        worker.iload(i);
+        worker.emit(Opcode::IADD);
+        worker.istore(acc);
+    });
+    worker.iload(acc);
+    worker.emit(Opcode::IRETURN);
+
+    MethodBuilder &cold = t.addMethod("cold", "()V");
+    cold.emit(Opcode::RETURN);
+
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.pushInt(0);
+    m.invokeStatic("Sys", "arg", "(I)I");
+    m.invokeStatic("T", "worker", "(I)I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+    return pb.build("T");
+}
+
+TEST(Profile, ObservedOrderMatchesExecution)
+{
+    Program p = callChainProgram();
+    NativeRegistry natives = standardNatives();
+    FirstUseProfile prof = profileRun(p, natives, {5});
+    ASSERT_GE(prof.order.size(), 3u);
+    EXPECT_EQ(p.methodLabel(prof.order[0]), "T.main");
+    EXPECT_EQ(p.methodLabel(prof.order[1]), "Sys.arg");
+    EXPECT_EQ(p.methodLabel(prof.order[2]), "T.worker");
+    // cold never ran.
+    MethodId cold = p.resolveStatic("T", "cold", "()V");
+    EXPECT_FALSE(prof.of(cold).executed());
+}
+
+TEST(Profile, FirstUseClocksAreMonotone)
+{
+    Program p = callChainProgram();
+    NativeRegistry natives = standardNatives();
+    FirstUseProfile prof = profileRun(p, natives, {5});
+    ASSERT_EQ(prof.order.size(), prof.firstUseClock.size());
+    for (size_t i = 1; i < prof.firstUseClock.size(); ++i)
+        EXPECT_GE(prof.firstUseClock[i], prof.firstUseClock[i - 1]);
+    EXPECT_EQ(prof.firstUseClock[0], 0u); // entry begins at cycle 0
+}
+
+TEST(Profile, UniqueVsDynamicCounts)
+{
+    Program p = callChainProgram();
+    NativeRegistry natives = standardNatives();
+    // Ten loop iterations: dynamic >> unique inside worker.
+    FirstUseProfile prof = profileRun(p, natives, {10});
+    MethodId worker = p.resolveStatic("T", "worker", "(I)I");
+    const MethodProfile &mp = prof.of(worker);
+    EXPECT_GT(mp.dynamicInstrs, mp.uniqueInstrs);
+    // Unique instructions never exceed the method's static count.
+    size_t static_instrs = decodeCode(p.method(worker).code).size();
+    EXPECT_LE(mp.uniqueInstrs, static_instrs);
+    EXPECT_GT(mp.uniqueBytes, 0u);
+
+    // A bigger input re-executes the same instructions: unique counts
+    // stay put while dynamic counts grow.
+    FirstUseProfile more = profileRun(p, natives, {40});
+    EXPECT_EQ(more.of(worker).uniqueInstrs, mp.uniqueInstrs);
+    EXPECT_GT(more.of(worker).dynamicInstrs, mp.dynamicInstrs);
+}
+
+TEST(Profile, ExecutedFractionBounds)
+{
+    Program p = callChainProgram();
+    NativeRegistry natives = standardNatives();
+    FirstUseProfile prof = profileRun(p, natives, {3});
+    double frac = prof.executedInstrFraction(p);
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0); // `cold` never executes
+}
+
+TEST(Profile, StaticsCountTheProgram)
+{
+    Program p = callChainProgram();
+    ProgramStatics stats = collectStatics(p);
+    EXPECT_EQ(stats.classFiles, p.classCount());
+    EXPECT_EQ(stats.methods, p.methodCount());
+    EXPECT_GT(stats.staticInstrs, 10u);
+    EXPECT_GT(stats.totalBytes, 100u);
+    EXPECT_GT(stats.instrsPerMethod(), 0.0);
+}
+
+TEST(Profile, TrainSubsetOfTestForWorkloads)
+{
+    // The paper's premise: the train input exercises a subset of the
+    // methods the test input does (plus possibly different order).
+    Workload w = makeParserGen();
+    FirstUseProfile train =
+        profileRun(w.program, w.natives, w.trainInput);
+    FirstUseProfile test = profileRun(w.program, w.natives, w.testInput);
+    EXPECT_LT(train.order.size(), test.order.size());
+    std::set<MethodId> test_set(test.order.begin(), test.order.end());
+    size_t missing = 0;
+    for (const MethodId &id : train.order)
+        missing += !test_set.count(id);
+    // Nearly every train first-use also happens under test.
+    EXPECT_LE(missing, train.order.size() / 10);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the Program model and the builder API: name
+ * resolution, inheritance-aware dispatch, and builder invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "program/builder.h"
+#include "program/program.h"
+
+namespace nse
+{
+namespace
+{
+
+Program
+familyProgram()
+{
+    ProgramBuilder pb;
+    ClassBuilder &base = pb.addClass("Animal");
+    base.addField("legs", "I");
+    MethodBuilder &speak = base.addVirtualMethod("speak", "()I");
+    speak.pushInt(0);
+    speak.emit(Opcode::IRETURN);
+    MethodBuilder &walk = base.addVirtualMethod("walk", "()I");
+    walk.pushInt(1);
+    walk.emit(Opcode::IRETURN);
+
+    ClassBuilder &dog = pb.addClass("Dog");
+    dog.setSuper("Animal");
+    dog.addField("tail", "I");
+    MethodBuilder &bark = dog.addVirtualMethod("speak", "()I");
+    bark.pushInt(42);
+    bark.emit(Opcode::IRETURN);
+
+    ClassBuilder &main_cls = pb.addClass("Main");
+    MethodBuilder &m = main_cls.addMethod("main", "()V");
+    m.emit(Opcode::RETURN);
+
+    return pb.build("Main");
+}
+
+TEST(Program, ClassLookup)
+{
+    Program p = familyProgram();
+    EXPECT_EQ(p.classCount(), 3u);
+    EXPECT_GE(p.classIndex("Dog"), 0);
+    EXPECT_EQ(p.classIndex("Cat"), -1);
+    EXPECT_EQ(p.classByName("Animal").name(), "Animal");
+    EXPECT_THROW(p.classByName("Cat"), FatalError);
+}
+
+TEST(Program, EntryResolution)
+{
+    Program p = familyProgram();
+    MethodId entry = p.entry();
+    EXPECT_EQ(p.methodLabel(entry), "Main.main");
+}
+
+TEST(Program, StaticResolutionIsExact)
+{
+    Program p = familyProgram();
+    EXPECT_NO_THROW(p.resolveStatic("Main", "main", "()V"));
+    EXPECT_THROW(p.resolveStatic("Main", "main", "()I"), FatalError);
+    EXPECT_THROW(p.resolveStatic("Main", "nope", "()V"), FatalError);
+    EXPECT_THROW(p.resolveStatic("Ghost", "main", "()V"), FatalError);
+}
+
+TEST(Program, VirtualResolutionWalksSupers)
+{
+    Program p = familyProgram();
+    // Dog overrides speak...
+    MethodId speak = p.resolveVirtual("Dog", "speak", "()I");
+    EXPECT_EQ(p.methodLabel(speak), "Dog.speak");
+    // ...but inherits walk from Animal.
+    MethodId walk = p.resolveVirtual("Dog", "walk", "()I");
+    EXPECT_EQ(p.methodLabel(walk), "Animal.walk");
+    EXPECT_THROW(p.resolveVirtual("Dog", "fly", "()I"), FatalError);
+}
+
+TEST(Program, SuperOf)
+{
+    Program p = familyProgram();
+    auto dog = static_cast<uint16_t>(p.classIndex("Dog"));
+    auto animal = static_cast<uint16_t>(p.classIndex("Animal"));
+    EXPECT_EQ(p.superOf(dog), static_cast<int>(animal));
+    EXPECT_EQ(p.superOf(animal), -1);
+}
+
+TEST(Program, MethodCountAndIteration)
+{
+    Program p = familyProgram();
+    EXPECT_EQ(p.methodCount(), 4u);
+    size_t seen = 0;
+    p.forEachMethod([&](MethodId id, const ClassFile &cf,
+                        const MethodInfo &m) {
+        ++seen;
+        EXPECT_EQ(&p.classAt(id.classIdx), &cf);
+        EXPECT_EQ(&p.method(id), &m);
+    });
+    EXPECT_EQ(seen, 4u);
+}
+
+TEST(Program, DuplicateClassNameRejected)
+{
+    ProgramBuilder pb;
+    pb.addClass("Twin").addMethod("main", "()V").emit(Opcode::RETURN);
+    pb.addClass("Twin");
+    EXPECT_THROW(pb.build("Twin"), FatalError);
+}
+
+TEST(Builder, LocalsAccountForArguments)
+{
+    ProgramBuilder pb;
+    ClassBuilder &cb = pb.addClass("L");
+    MethodBuilder &st = cb.addMethod("f", "(II)I");
+    uint16_t extra = st.newLocal();
+    EXPECT_EQ(extra, 2u); // slots 0,1 are the args
+    st.iload(0);
+    st.emit(Opcode::IRETURN);
+
+    MethodBuilder &virt = cb.addVirtualMethod("g", "(I)I");
+    uint16_t v = virt.newLocal();
+    EXPECT_EQ(v, 2u); // slot 0 = this, slot 1 = arg
+    virt.iload(1);
+    virt.emit(Opcode::IRETURN);
+
+    Program p = pb.build("L", "f");
+    const ClassFile &cf = p.classByName("L");
+    EXPECT_EQ(cf.methods[0].maxLocals, 3u);
+    EXPECT_EQ(cf.methods[1].maxLocals, 3u);
+}
+
+TEST(Builder, AutoLocalDataRatioApplies)
+{
+    ProgramBuilder pb;
+    ClassBuilder &cb = pb.addClass("R");
+    cb.setAutoLocalDataRatio(2.0);
+    MethodBuilder &m = cb.addMethod("f", "()V");
+    for (int i = 0; i < 10; ++i)
+        m.emit(Opcode::NOP);
+    m.emit(Opcode::RETURN);
+    MethodBuilder &ex = cb.addMethod("g", "()V");
+    ex.setLocalDataSize(7);
+    ex.emit(Opcode::RETURN);
+    Program p = pb.build("R", "f");
+    const ClassFile &cf = p.classByName("R");
+    EXPECT_EQ(cf.methods[0].localData.size(),
+              cf.methods[0].code.size() * 2);
+    EXPECT_EQ(cf.methods[1].localData.size(), 7u);
+}
+
+TEST(Builder, NativeMethodsHaveNoCode)
+{
+    ProgramBuilder pb;
+    ClassBuilder &cb = pb.addClass("N");
+    cb.addNativeMethod("sys", "(I)I");
+    MethodBuilder &m = cb.addMethod("main", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("N");
+    const ClassFile &cf = p.classByName("N");
+    int idx = cf.findMethod("sys");
+    ASSERT_GE(idx, 0);
+    EXPECT_TRUE(cf.methods[static_cast<size_t>(idx)].isNative());
+    EXPECT_TRUE(cf.methods[static_cast<size_t>(idx)].code.empty());
+    EXPECT_EQ(cf.methods[static_cast<size_t>(idx)].maxLocals, 1u);
+}
+
+TEST(Builder, FindMethodByNameAndDescriptor)
+{
+    ProgramBuilder pb;
+    ClassBuilder &cb = pb.addClass("O");
+    MethodBuilder &a = cb.addMethod("f", "(I)I");
+    a.iload(0);
+    a.emit(Opcode::IRETURN);
+    MethodBuilder &b = cb.addMethod("f", "(II)I");
+    b.iload(0);
+    b.emit(Opcode::IRETURN);
+    Program p = pb.build("O", "f");
+    const ClassFile &cf = p.classByName("O");
+    EXPECT_EQ(cf.findMethod("f", "(II)I"), 1);
+    EXPECT_EQ(cf.findMethod("f", "(I)I"), 0);
+    EXPECT_EQ(cf.findMethod("f", "()I"), -1);
+    EXPECT_EQ(cf.findMethod("f"), 0);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the table renderer used by every bench binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+#include "support/error.h"
+
+namespace nse
+{
+namespace
+{
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"Program", "Cycles"});
+    t.addRow({"BIT", "123"});
+    t.addRow({"LongerName", "7"});
+    std::string out = t.render();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("Program"), std::string::npos);
+    EXPECT_NE(out.find("LongerName"), std::string::npos);
+    // Numeric column is right aligned: "123" and "  7" line up.
+    auto line_with = [&](const std::string &needle) {
+        size_t pos = out.find(needle);
+        size_t start = out.rfind('\n', pos);
+        size_t end = out.find('\n', pos);
+        return out.substr(start + 1, end - start - 1);
+    };
+    EXPECT_EQ(line_with("BIT").size(), line_with("LongerName").size());
+}
+
+TEST(Table, RejectsMisshapenRows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), FatalError);
+    EXPECT_EQ(t.rowCount(), 0u);
+}
+
+TEST(Table, CsvEscapesNothingButJoins)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(2.0, 0), "2");
+    EXPECT_EQ(fmtMillions(2'500'000, 1), "2.5");
+    EXPECT_EQ(fmtMillions(999, 0), "0");
+    EXPECT_EQ(fmtPct(12.34, 1), "12.3");
+    EXPECT_EQ(fmtKb(2048), "2");
+    EXPECT_EQ(fmtKb(1536, 1), "1.5");
+}
+
+} // namespace
+} // namespace nse

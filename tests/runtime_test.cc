@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Direct unit tests for the runtime substrate pieces the interpreter
+ * builds on: the heap, the native registry and the standard native
+ * library, and the Value accessors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "vm/heap.h"
+#include "vm/natives.h"
+
+namespace nse
+{
+namespace
+{
+
+TEST(Heap, NullAndDanglingHandles)
+{
+    Heap heap;
+    EXPECT_THROW(heap.deref(kNullRef), FatalError);
+    EXPECT_THROW(heap.deref(42), FatalError);
+    EXPECT_EQ(heap.objectCount(), 0u);
+}
+
+TEST(Heap, InstanceSlotsInitialised)
+{
+    Heap heap;
+    Ref obj = heap.allocInstance(3, 4);
+    EXPECT_NE(obj, kNullRef);
+    HeapObject &o = heap.deref(obj);
+    EXPECT_EQ(o.kind, ObjKind::Instance);
+    EXPECT_EQ(o.classIdx, 3);
+    ASSERT_EQ(o.slots.size(), 4u);
+    for (const Value &v : o.slots)
+        EXPECT_EQ(v.asInt(), 0);
+}
+
+TEST(Heap, IntArrayBoundsAndKinds)
+{
+    Heap heap;
+    Ref arr = heap.allocIntArray(3);
+    EXPECT_EQ(heap.arrayLength(arr), 3);
+    heap.arraySet(arr, 0, Value::makeInt(9));
+    EXPECT_EQ(heap.arrayGet(arr, 0).asInt(), 9);
+    EXPECT_THROW(heap.arrayGet(arr, 3), FatalError);
+    EXPECT_THROW(heap.arrayGet(arr, -1), FatalError);
+    // Kind mismatch: a ref into an int array.
+    EXPECT_THROW(heap.arraySet(arr, 1, Value::makeNull()), FatalError);
+}
+
+TEST(Heap, RefArrayHoldsRefsOnly)
+{
+    Heap heap;
+    Ref arr = heap.allocRefArray(2);
+    Ref inner = heap.allocIntArray(1);
+    heap.arraySet(arr, 0, Value::makeRef(inner));
+    EXPECT_EQ(heap.arrayGet(arr, 0).asRef(), inner);
+    EXPECT_EQ(heap.arrayGet(arr, 1).asRef(), kNullRef);
+    EXPECT_THROW(heap.arraySet(arr, 0, Value::makeInt(1)), FatalError);
+}
+
+TEST(Heap, ArrayOpsOnInstanceRejected)
+{
+    Heap heap;
+    Ref obj = heap.allocInstance(0, 1);
+    EXPECT_THROW(heap.arrayLength(obj), FatalError);
+    EXPECT_THROW(heap.arrayGet(obj, 0), FatalError);
+}
+
+TEST(Value, AccessorsEnforceKinds)
+{
+    Value i = Value::makeInt(-5);
+    EXPECT_TRUE(i.isInt());
+    EXPECT_EQ(i.asInt(), -5);
+    EXPECT_THROW(i.asRef(), PanicError);
+
+    Value r = Value::makeRef(7);
+    EXPECT_TRUE(r.isRef());
+    EXPECT_EQ(r.asRef(), 7u);
+    EXPECT_THROW(r.asInt(), PanicError);
+
+    EXPECT_EQ(Value::makeNull().asRef(), kNullRef);
+}
+
+TEST(Natives, RegistryLookupAndCosting)
+{
+    NativeRegistry reg;
+    EXPECT_FALSE(reg.has("X.f"));
+    EXPECT_THROW(reg.lookup("X.f"), FatalError);
+    EXPECT_THROW(reg.setCost("X.f", 1), FatalError);
+
+    reg.add("X.f",
+            [](NativeContext &, const std::vector<Value> &) {
+                return Value::makeInt(3);
+            },
+            500);
+    EXPECT_TRUE(reg.has("X.f"));
+    EXPECT_EQ(reg.lookup("X.f").cycleCost, 500u);
+    reg.setCost("X.f", 900);
+    EXPECT_EQ(reg.lookup("X.f").cycleCost, 900u);
+}
+
+TEST(Natives, StandardLibraryBehaviour)
+{
+    NativeRegistry reg = standardNatives();
+    Heap heap;
+    std::vector<int64_t> output;
+    std::vector<int64_t> input{11, 22};
+    NativeContext ctx{heap, output, input};
+
+    reg.lookup("Sys.print").fn(ctx, {Value::makeInt(5)});
+    EXPECT_EQ(output, (std::vector<int64_t>{5}));
+
+    EXPECT_EQ(reg.lookup("Sys.argCount").fn(ctx, {}).asInt(), 2);
+    EXPECT_EQ(reg.lookup("Sys.arg").fn(ctx, {Value::makeInt(1)}).asInt(),
+              22);
+    EXPECT_THROW(reg.lookup("Sys.arg").fn(ctx, {Value::makeInt(9)}),
+                 FatalError);
+
+    // File.readByte: deterministic, byte-ranged, redundant.
+    auto &read = reg.lookup("File.readByte");
+    int64_t a = read.fn(ctx, {Value::makeInt(5)}).asInt();
+    int64_t b = read.fn(ctx, {Value::makeInt(5)}).asInt();
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LE(a, 255);
+    // Ramp redundancy: offsets 1..20 mostly follow a +3 ramp.
+    int ramp_hits = 0;
+    for (int i = 1; i < 20; ++i) {
+        int64_t x = read.fn(ctx, {Value::makeInt(i)}).asInt();
+        int64_t y = read.fn(ctx, {Value::makeInt(i + 1)}).asInt();
+        ramp_hits += (y - x) == 3;
+    }
+    EXPECT_GE(ramp_hits, 15);
+
+    // File.writeBlock folds the array into one checksum entry.
+    Ref arr = heap.allocIntArray(3);
+    heap.arraySet(arr, 0, Value::makeInt(1));
+    heap.arraySet(arr, 1, Value::makeInt(2));
+    heap.arraySet(arr, 2, Value::makeInt(3));
+    size_t before = output.size();
+    reg.lookup("File.writeBlock").fn(ctx, {Value::makeRef(arr)});
+    EXPECT_EQ(output.size(), before + 1);
+    EXPECT_EQ(output.back(), ((1 * 31) + 2) * 31 + 3);
+}
+
+TEST(Natives, GfxCallsRecordObservableOutput)
+{
+    NativeRegistry reg = standardNatives();
+    Heap heap;
+    std::vector<int64_t> output;
+    std::vector<int64_t> input;
+    NativeContext ctx{heap, output, input};
+    reg.lookup("Gfx.drawDisk")
+        .fn(ctx, {Value::makeInt(3), Value::makeInt(1),
+                  Value::makeInt(2)});
+    reg.lookup("Gfx.clear").fn(ctx, {});
+    EXPECT_EQ(output, (std::vector<int64_t>{3 * 1'000'000 + 1'000 + 2,
+                                            -1}));
+}
+
+} // namespace
+} // namespace nse

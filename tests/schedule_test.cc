@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Transfer-scheduler tests: demand derivation (prefixes, deadlines,
+ * dependencies) and the greedy placer's guarantees — entry-class
+ * priority, deadline pull-in (the paper's Figure 4), commitment
+ * protection, and never-used classes trailing.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "transfer/engine.h"
+#include "transfer/schedule.h"
+#include "workloads/common.h"
+
+namespace nse
+{
+namespace
+{
+
+/**
+ * The paper's Figure 4 program shape: A.main runs for a long time and
+ * then calls B.bar; B must complete its prefix before that moment.
+ */
+struct Fig4
+{
+    Program prog;
+    FirstUseOrder order;
+    TransferLayout layout;
+    std::vector<uint64_t> methodCycles;
+
+    Fig4()
+    {
+        ProgramBuilder pb;
+        ClassBuilder &a = pb.addClass("A");
+        MethodBuilder &main = a.addMethod("main", "()V");
+        // A statically long straight-line compute section before the
+        // cross-class call: the static estimator counts each
+        // instruction once, so the predicted call time must come from
+        // real static code, not loop trip counts.
+        for (int k = 0; k < 30'000; ++k) {
+            main.pushInt(1);
+            main.emit(Opcode::POP);
+        }
+        main.pushInt(5);
+        main.invokeStatic("B", "bar", "(I)I");
+        main.emit(Opcode::POP);
+        main.emit(Opcode::RETURN);
+
+        ClassBuilder &b = pb.addClass("B");
+        MethodBuilder &bar = b.addMethod("bar", "(I)I");
+        bar.iload(0);
+        bar.emit(Opcode::IRETURN);
+        // Dead weight behind bar so B's prefix < B's size.
+        MethodBuilder &rest = b.addMethod("rest", "()V");
+        rest.setLocalDataSize(4000);
+        rest.emit(Opcode::RETURN);
+
+        prog = pb.build("A");
+        order = staticFirstUse(prog);
+        layout = makeParallelLayout(prog, order, nullptr);
+        methodCycles = staticFirstUseCycles(prog, order);
+    }
+};
+
+TEST(StreamDemand, PrefixesAndDeadlines)
+{
+    Fig4 f;
+    StreamDemand d = deriveStreamDemand(f.prog, f.order, f.layout,
+                                        f.methodCycles);
+    auto a = static_cast<size_t>(f.prog.classIndex("A"));
+    auto b = static_cast<size_t>(f.prog.classIndex("B"));
+
+    // Stream order follows first use: A before B.
+    ASSERT_EQ(d.streamOrder.size(), 2u);
+    EXPECT_EQ(d.streamOrder[0], static_cast<int>(a));
+    EXPECT_EQ(d.streamOrder[1], static_cast<int>(b));
+
+    // A's prefix covers main; B's prefix covers only bar, not rest.
+    EXPECT_EQ(d.prefixBytes[a],
+              f.layout.of(f.prog.entry()).availOffset);
+    MethodId bar = f.prog.resolveStatic("B", "bar", "(I)I");
+    EXPECT_EQ(d.prefixBytes[b], f.layout.of(bar).availOffset);
+    EXPECT_LT(d.prefixBytes[b], f.layout.streams[b].totalBytes);
+
+    // Entry deadline is 0; B's deadline is after main's long body.
+    EXPECT_EQ(d.deadline[a], 0u);
+    EXPECT_GT(d.deadline[b], 500'000u);
+
+    // B depends on A for the bytes used before bar.
+    ASSERT_EQ(d.deps[b].size(), 1u);
+    EXPECT_EQ(d.deps[b][0].first, static_cast<int>(a));
+    EXPECT_EQ(d.deps[b][0].second, d.prefixBytes[a]);
+    EXPECT_TRUE(d.deps[a].empty());
+}
+
+TEST(StaticCycles, MonotoneAndUnusedUnbounded)
+{
+    Fig4 f;
+    ASSERT_EQ(f.methodCycles.size(), f.order.order.size());
+    EXPECT_EQ(f.methodCycles[0], 0u);
+    for (size_t i = 1; i < f.order.usedCount; ++i)
+        EXPECT_GE(f.methodCycles[i], f.methodCycles[i - 1]);
+    for (size_t i = f.order.usedCount; i < f.methodCycles.size(); ++i)
+        EXPECT_EQ(f.methodCycles[i], UINT64_MAX);
+}
+
+TEST(Greedy, EntryClassStartsAtZero)
+{
+    Fig4 f;
+    StreamDemand d = deriveStreamDemand(f.prog, f.order, f.layout,
+                                        f.methodCycles);
+    TransferSchedule s =
+        buildGreedySchedule(f.layout, d, kT1Link, 4);
+    auto a = static_cast<size_t>(f.prog.classIndex("A"));
+    EXPECT_EQ(s.startCycle[a], 0u);
+}
+
+TEST(Greedy, EntryPrefixNeverDelayed)
+{
+    // Whatever else is scheduled, the entry class's needed prefix must
+    // arrive exactly as fast as it would alone (commitment rule).
+    Fig4 f;
+    StreamDemand d = deriveStreamDemand(f.prog, f.order, f.layout,
+                                        f.methodCycles);
+    for (int limit : {1, 2, 4, -1}) {
+        TransferSchedule s =
+            buildGreedySchedule(f.layout, d, kModemLink, limit);
+        TransferEngine e(kModemLink.cyclesPerByte, limit);
+        for (size_t i = 0; i < f.layout.streams.size(); ++i) {
+            e.addStream(f.layout.streams[i].name,
+                        f.layout.streams[i].totalBytes);
+            e.scheduleStart(static_cast<int>(i), s.startCycle[i]);
+        }
+        auto a = static_cast<size_t>(f.prog.classIndex("A"));
+        uint64_t arrival =
+            e.waitFor(static_cast<int>(a), d.prefixBytes[a], 0);
+        uint64_t solo = static_cast<uint64_t>(
+            std::ceil(static_cast<double>(d.prefixBytes[a]) *
+                      kModemLink.cyclesPerByte));
+        // Within the scheduler's 10% commitment slack of going alone.
+        EXPECT_GE(arrival, solo) << "limit " << limit;
+        EXPECT_LE(arrival, solo + solo / 10 + 1) << "limit " << limit;
+    }
+}
+
+TEST(Greedy, DeadlinePullInMeetsFeasibleDeadline)
+{
+    // On the fast T1 link, B's prefix is small and main's loop is
+    // long: the schedule must deliver bar before main calls it.
+    Fig4 f;
+    StreamDemand d = deriveStreamDemand(f.prog, f.order, f.layout,
+                                        f.methodCycles);
+    TransferSchedule s = buildGreedySchedule(f.layout, d, kT1Link, 4);
+
+    auto b = static_cast<size_t>(f.prog.classIndex("B"));
+    TransferEngine e(kT1Link.cyclesPerByte, 4);
+    for (size_t i = 0; i < f.layout.streams.size(); ++i) {
+        e.addStream(f.layout.streams[i].name,
+                    f.layout.streams[i].totalBytes);
+        e.scheduleStart(static_cast<int>(i), s.startCycle[i]);
+    }
+    uint64_t arrival =
+        e.waitFor(static_cast<int>(b), d.prefixBytes[b], 0);
+    // The static estimate of main's runtime before the call:
+    EXPECT_LE(arrival, d.deadline[b]);
+}
+
+TEST(Greedy, NeverUsedClassesTrail)
+{
+    ProgramBuilder pb;
+    ClassBuilder &a = pb.addClass("A");
+    MethodBuilder &main = a.addMethod("main", "()V");
+    main.emit(Opcode::RETURN);
+    ClassBuilder &dead = pb.addClass("DeadLib");
+    MethodBuilder &d0 = dead.addMethod("d0", "()V");
+    d0.emit(Opcode::RETURN);
+    Program prog = pb.build("A");
+    FirstUseOrder order = staticFirstUse(prog);
+    TransferLayout layout = makeParallelLayout(prog, order, nullptr);
+    StreamDemand demand = deriveStreamDemand(
+        prog, order, layout, staticFirstUseCycles(prog, order));
+    TransferSchedule s = buildGreedySchedule(layout, demand, kT1Link, 4);
+
+    auto ai = static_cast<size_t>(prog.classIndex("A"));
+    auto di = static_cast<size_t>(prog.classIndex("DeadLib"));
+    // The never-used class starts only after the entry class's needed
+    // bytes would have transferred.
+    EXPECT_GT(s.startCycle[di], s.startCycle[ai]);
+    uint64_t entry_solo = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(demand.prefixBytes[ai]) *
+        kT1Link.cyclesPerByte));
+    EXPECT_GE(s.startCycle[di], entry_solo);
+}
+
+TEST(Greedy, DemandSizeMismatchRejected)
+{
+    Fig4 f;
+    std::vector<uint64_t> wrong(f.order.order.size() + 1, 0);
+    EXPECT_THROW(
+        deriveStreamDemand(f.prog, f.order, f.layout, wrong),
+        FatalError);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Simulator tests: baseline formulas, invocation-latency relations,
+ * ordering quality relations, data-partitioning gains, and the
+ * normalized-time metric — the invariants behind every paper table.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "classfile/writer.h"
+#include "sim/simulator.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+/** One mid-sized workload shared by the suite (fast to run). */
+class SimFixture : public ::testing::Test
+{
+  protected:
+    SimFixture()
+        : wl_(makeZipper()),
+          sim_(wl_.program, wl_.natives, wl_.trainInput, wl_.testInput)
+    {}
+
+    SimResult
+    run(SimConfig::Mode mode, OrderingSource ord, const LinkModel &link,
+        int limit = 4, bool part = false)
+    {
+        SimConfig cfg;
+        cfg.mode = mode;
+        cfg.ordering = ord;
+        cfg.link = link;
+        cfg.parallelLimit = limit;
+        cfg.dataPartition = part;
+        return sim_.run(cfg);
+    }
+
+    Workload wl_;
+    Simulator sim_;
+};
+
+TEST_F(SimFixture, StrictTotalsAreTransferPlusExec)
+{
+    SimResult r = run(SimConfig::Mode::Strict, OrderingSource::Static,
+                      kT1Link);
+    uint64_t bytes = 0;
+    for (uint16_t c = 0; c < wl_.program.classCount(); ++c)
+        bytes += layoutOf(wl_.program.classAt(c)).totalSize;
+    auto expected_transfer = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(bytes) * kT1Link.cyclesPerByte));
+    EXPECT_EQ(r.transferCycles, expected_transfer);
+    EXPECT_EQ(r.totalCycles, r.transferCycles + r.execCycles);
+    EXPECT_GT(r.cpi, 1.0);
+}
+
+TEST_F(SimFixture, StrictInvocationIsEntryClassTransfer)
+{
+    uint64_t lat = sim_.strictInvocationLatency(kT1Link);
+    uint64_t bytes = layoutOf(
+        wl_.program.classByName(wl_.program.entryClass())).totalSize;
+    EXPECT_EQ(lat, static_cast<uint64_t>(std::ceil(
+                       static_cast<double>(bytes) *
+                       kT1Link.cyclesPerByte)));
+}
+
+TEST_F(SimFixture, InvocationLatencyOrdering)
+{
+    for (const LinkModel &link : {kT1Link, kModemLink}) {
+        uint64_t strict = sim_.strictInvocationLatency(link);
+        uint64_t ns = sim_.nonStrictInvocationLatency(link, false);
+        uint64_t dp = sim_.nonStrictInvocationLatency(link, true);
+        EXPECT_LE(dp, ns);
+        EXPECT_LE(ns, strict);
+        EXPECT_LT(dp, strict); // partitioning must actually help here
+    }
+}
+
+TEST_F(SimFixture, ExecutionCyclesInvariantAcrossConfigs)
+{
+    SimResult strict = run(SimConfig::Mode::Strict,
+                           OrderingSource::Static, kModemLink);
+    SimResult par = run(SimConfig::Mode::Parallel, OrderingSource::Test,
+                        kModemLink);
+    SimResult il = run(SimConfig::Mode::Interleaved,
+                       OrderingSource::Train, kModemLink);
+    EXPECT_EQ(strict.execCycles, par.execCycles);
+    EXPECT_EQ(strict.execCycles, il.execCycles);
+    EXPECT_EQ(strict.bytecodes, par.bytecodes);
+}
+
+TEST_F(SimFixture, OverlappedNeverWorseThanStrict)
+{
+    for (const LinkModel &link : {kT1Link, kModemLink}) {
+        SimResult strict =
+            run(SimConfig::Mode::Strict, OrderingSource::Static, link);
+        for (OrderingSource ord :
+             {OrderingSource::Static, OrderingSource::Train,
+              OrderingSource::Test}) {
+            SimResult par =
+                run(SimConfig::Mode::Parallel, ord, link, 4);
+            SimResult il = run(SimConfig::Mode::Interleaved, ord, link);
+            EXPECT_LE(par.totalCycles, strict.totalCycles);
+            EXPECT_LE(il.totalCycles, strict.totalCycles);
+        }
+    }
+}
+
+TEST_F(SimFixture, TotalIsAtLeastExecPlusFirstStall)
+{
+    SimResult par = run(SimConfig::Mode::Parallel, OrderingSource::Test,
+                        kModemLink);
+    EXPECT_GE(par.totalCycles, par.execCycles);
+    EXPECT_EQ(par.totalCycles, par.execCycles + par.stallCycles);
+    EXPECT_GE(par.invocationLatency, 1u);
+}
+
+TEST_F(SimFixture, ClassStrictSitsBetweenStrictAndNonStrict)
+{
+    SimResult strict = run(SimConfig::Mode::Strict,
+                           OrderingSource::Static, kModemLink);
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = OrderingSource::Test;
+    cfg.link = kModemLink;
+    cfg.parallelLimit = 4;
+    cfg.classStrict = true;
+    SimResult cs = sim_.run(cfg);
+    cfg.classStrict = false;
+    SimResult ns = sim_.run(cfg);
+    EXPECT_LE(cs.totalCycles, strict.totalCycles);
+    EXPECT_LE(ns.totalCycles, cs.totalCycles + cs.totalCycles / 50);
+}
+
+TEST_F(SimFixture, PerfectOrderingHasNoMispredictions)
+{
+    SimResult par = run(SimConfig::Mode::Parallel, OrderingSource::Test,
+                        kModemLink);
+    EXPECT_EQ(par.mispredictions, 0u);
+}
+
+TEST_F(SimFixture, TestOrderingBeatsStaticOnModem)
+{
+    SimResult strict = run(SimConfig::Mode::Strict,
+                           OrderingSource::Static, kModemLink);
+    SimResult scg = run(SimConfig::Mode::Parallel,
+                        OrderingSource::Static, kModemLink);
+    SimResult test = run(SimConfig::Mode::Parallel,
+                         OrderingSource::Test, kModemLink);
+    EXPECT_LE(normalizedPct(test, strict), normalizedPct(scg, strict));
+}
+
+TEST_F(SimFixture, DataPartitioningNeverHurtsInterleaved)
+{
+    SimResult strict = run(SimConfig::Mode::Strict,
+                           OrderingSource::Static, kModemLink);
+    SimResult plain = run(SimConfig::Mode::Interleaved,
+                          OrderingSource::Test, kModemLink);
+    SimResult part = run(SimConfig::Mode::Interleaved,
+                         OrderingSource::Test, kModemLink, 4, true);
+    EXPECT_LE(part.totalCycles, plain.totalCycles);
+    EXPECT_LT(normalizedPct(part, strict), 100.0);
+}
+
+TEST_F(SimFixture, NormalizedPctBasics)
+{
+    SimResult strict = run(SimConfig::Mode::Strict,
+                           OrderingSource::Static, kT1Link);
+    EXPECT_DOUBLE_EQ(normalizedPct(strict, strict), 100.0);
+    SimResult half = strict;
+    half.totalCycles /= 2;
+    EXPECT_DOUBLE_EQ(normalizedPct(half, strict), 50.0);
+    SimResult zero;
+    EXPECT_THROW(normalizedPct(strict, zero), FatalError);
+}
+
+TEST_F(SimFixture, OrderingsAreCachedAndComplete)
+{
+    const FirstUseOrder &a = sim_.ordering(OrderingSource::Train);
+    const FirstUseOrder &b = sim_.ordering(OrderingSource::Train);
+    EXPECT_EQ(&a, &b); // cached
+    EXPECT_EQ(a.order.size(), wl_.program.methodCount());
+    const FirstUseOrder &test = sim_.ordering(OrderingSource::Test);
+    EXPECT_GT(test.usedCount, 0u);
+    EXPECT_GE(test.usedCount, a.usedCount);
+}
+
+TEST(SimSynthetic, WholePipelineOnGeneratedProgram)
+{
+    SyntheticSpec spec;
+    spec.seed = 99;
+    spec.classCount = 8;
+    spec.methodsPerClass = 6;
+    Program prog = makeSyntheticProgram(spec);
+    NativeRegistry natives = standardNatives();
+    Simulator sim(prog, natives, {3, 5}, {3, 5, 9, 2});
+
+    SimConfig strict;
+    strict.mode = SimConfig::Mode::Strict;
+    strict.link = kModemLink;
+    SimResult s = sim.run(strict);
+
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = OrderingSource::Train;
+    cfg.link = kModemLink;
+    cfg.parallelLimit = 2;
+    cfg.dataPartition = true;
+    SimResult r = sim.run(cfg);
+    EXPECT_LE(r.totalCycles, s.totalCycles);
+    EXPECT_EQ(r.execCycles, s.execCycles);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Procedure-splitting tests: seam legality, behavioural equivalence,
+ * verification of the rewritten program, threshold enforcement, and
+ * the interaction with transfer layouts (finer availability points).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "analysis/first_use.h"
+#include <algorithm>
+
+#include "classfile/writer.h"
+#include "program/builder.h"
+#include "restructure/layout.h"
+#include "restructure/split.h"
+#include "vm/interpreter.h"
+#include "vm/verifier.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+/** A program whose main is one big straight-line method. */
+Program
+bigMethodProgram(int chunks)
+{
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    t.addStaticField("acc", "I");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    // Straight-line phases with stack-empty boundaries between them.
+    for (int phase = 0; phase < chunks; ++phase) {
+        m.getStatic("T", "acc", "I");
+        for (int i = 0; i < 40; ++i) {
+            m.pushInt(phase * 41 + i + 1);
+            m.emit(i % 2 ? Opcode::IADD : Opcode::IXOR);
+        }
+        m.putStatic("T", "acc", "I");
+    }
+    m.getStatic("T", "acc", "I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+    return pb.build("T");
+}
+
+VmResult
+runIt(const Program &p)
+{
+    NativeRegistry natives = standardNatives();
+    Vm vm(p, natives);
+    return vm.run();
+}
+
+TEST(Split, PreservesBehaviourAndVerifies)
+{
+    Program base = bigMethodProgram(12);
+    VmResult before = runIt(base);
+
+    Program split_prog = bigMethodProgram(12);
+    SplitStats stats = splitLargeMethods(split_prog, 400);
+    EXPECT_GE(stats.methodsSplit, 1u);
+    EXPECT_GE(stats.tailsCreated, 1u);
+
+    Verifier verifier(split_prog);
+    ASSERT_NO_THROW(verifier.verifyAll());
+
+    VmResult after = runIt(split_prog);
+    EXPECT_EQ(before.output, after.output);
+    // More methods than before (the tails).
+    EXPECT_GT(split_prog.methodCount(), base.methodCount());
+}
+
+TEST(Split, ShrinksTheLargestPiece)
+{
+    Program p = bigMethodProgram(12);
+    const ClassFile &orig = p.classByName("T");
+    size_t biggest_before = 0;
+    for (const MethodInfo &m : orig.methods)
+        biggest_before = std::max(biggest_before, m.transferSize());
+
+    splitLargeMethods(p, 400);
+    const ClassFile &cf = p.classByName("T");
+    size_t biggest_after = 0;
+    for (const MethodInfo &m : cf.methods)
+        biggest_after = std::max(biggest_after, m.transferSize());
+    // No piece remains anywhere near the original monolith (the exact
+    // floor depends on the local-data ratio, not the threshold).
+    EXPECT_LT(biggest_after, biggest_before / 3);
+}
+
+TEST(Split, NoOpOnSmallMethods)
+{
+    Program p = bigMethodProgram(2);
+    size_t methods = p.methodCount();
+    SplitStats stats = splitLargeMethods(p, 100'000);
+    EXPECT_EQ(stats.tailsCreated, 0u);
+    EXPECT_EQ(p.methodCount(), methods);
+}
+
+TEST(Split, LoopsBlockCrossingSeams)
+{
+    // A method that is one whole loop has no stack-empty, non-crossed
+    // seam strictly inside — splitting must leave it alone rather
+    // than produce broken code.
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    uint16_t i = m.newLocal();
+    uint16_t acc = m.newLocal();
+    m.pushInt(0);
+    m.istore(acc);
+    m.forRange(i, 0, 500, [&] {
+        m.iload(acc);
+        m.iload(i);
+        m.emit(Opcode::IADD);
+        m.istore(acc);
+    });
+    m.iload(acc);
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    VmResult before = runIt(p);
+    // Tiny threshold forces an attempt; seams exist only outside the
+    // loop (before it and after it), which is still legal.
+    splitLargeMethods(p, 64);
+    Verifier verifier(p);
+    ASSERT_NO_THROW(verifier.verifyAll());
+    EXPECT_EQ(runIt(p).output, before.output);
+}
+
+TEST(Split, VirtualReceiverPassedAsArgument)
+{
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    t.addField("v", "I");
+    MethodBuilder &big = t.addVirtualMethod("work", "()I");
+    // Phase 1 writes a field; phase 2 (after a stack-empty seam that
+    // needs `this`) reads it back.
+    big.aload(0);
+    big.pushInt(17);
+    for (int i = 0; i < 60; ++i) {
+        big.pushInt(3);
+        big.emit(Opcode::IADD);
+    }
+    big.putField("T", "v", "I");
+    // Phase 2, after a stack-empty seam that needs `this`.
+    big.aload(0);
+    big.getField("T", "v", "I");
+    for (int i = 0; i < 60; ++i) {
+        big.pushInt(7);
+        big.emit(Opcode::IXOR);
+    }
+    big.emit(Opcode::IRETURN);
+
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.newObject("T");
+    m.invokeVirtual("T", "work", "()I");
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    VmResult before = runIt(p);
+    SplitStats stats = splitLargeMethods(p, 120);
+    EXPECT_GE(stats.tailsCreated, 1u);
+    Verifier verifier(p);
+    ASSERT_NO_THROW(verifier.verifyAll());
+    EXPECT_EQ(runIt(p).output, before.output);
+}
+
+TEST(Split, TransferSizeConservedApproximately)
+{
+    Program p = bigMethodProgram(12);
+    uint64_t before = layoutOf(p.classByName("T")).totalSize;
+    SplitStats stats = splitLargeMethods(p, 400);
+    uint64_t after = layoutOf(p.classByName("T")).totalSize;
+    // Each tail adds a header + stub call; nothing disappears.
+    EXPECT_GE(after, before);
+    EXPECT_LE(after, before + stats.tailsCreated * 96 + 96);
+}
+
+TEST(Split, ImprovesFirstAvailabilityPoint)
+{
+    Program p = bigMethodProgram(12);
+    FirstUseOrder order_before = staticFirstUse(p);
+    TransferLayout before =
+        makeParallelLayout(p, order_before, nullptr);
+    uint64_t avail_before = before.of(p.entry()).availOffset;
+
+    splitLargeMethods(p, 400);
+    FirstUseOrder order_after = staticFirstUse(p);
+    TransferLayout after = makeParallelLayout(p, order_after, nullptr);
+    uint64_t avail_after = after.of(p.entry()).availOffset;
+
+    // Execution may begin once only the first fragment has arrived.
+    EXPECT_LT(avail_after, avail_before);
+}
+
+TEST(Split, WorkloadsSurviveSplitting)
+{
+    for (const char *name : {"TestDes", "JHLZip"}) {
+        Workload w = makeWorkload(name);
+        NativeRegistry natives = w.natives;
+        Vm base_vm(w.program, natives, w.testInput);
+        VmResult before = base_vm.run();
+
+        splitLargeMethods(w.program, 1'500);
+        Verifier verifier(w.program);
+        ASSERT_NO_THROW(verifier.verifyAll()) << name;
+        Vm split_vm(w.program, natives, w.testInput);
+        VmResult after = split_vm.run();
+        EXPECT_EQ(before.output, after.output) << name;
+    }
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Transfer-engine tests: exact single-stream timing, equal bandwidth
+ * sharing, concurrency limits and queueing, demand fetches, waitFor
+ * semantics, and the watch machinery the scheduler uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "transfer/engine.h"
+#include "transfer/link.h"
+
+namespace nse
+{
+namespace
+{
+
+constexpr double kCpb = 100.0; // simple round link: 100 cycles/byte
+
+TEST(Engine, SingleStreamExactTiming)
+{
+    TransferEngine e(kCpb, -1);
+    int s = e.addStream("a", 1000);
+    e.scheduleStart(s, 0);
+    EXPECT_EQ(e.waitFor(s, 500, 0), 50'000u);
+    EXPECT_EQ(e.waitFor(s, 1000, 0), 100'000u);
+    EXPECT_EQ(e.stream(s).state, StreamState::Done);
+    EXPECT_EQ(e.stream(s).finishedAt, 100'000u);
+}
+
+TEST(Engine, DelayedStart)
+{
+    TransferEngine e(kCpb, -1);
+    int s = e.addStream("a", 100);
+    e.scheduleStart(s, 5'000);
+    EXPECT_EQ(e.waitFor(s, 100, 0), 15'000u);
+    EXPECT_EQ(e.stream(s).startedAt, 5'000u);
+}
+
+TEST(Engine, TwoStreamsShareBandwidthEqually)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 1000);
+    int b = e.addStream("b", 1000);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    // Both active: each gets half the bandwidth.
+    EXPECT_EQ(e.waitFor(a, 500, 0), 100'000u);
+    // They finish together at 2x the solo time.
+    EXPECT_EQ(e.finishAll(), 200'000u);
+}
+
+TEST(Engine, FinisherReleasesBandwidth)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    int b = e.addStream("b", 1000);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    // a (100B) at half speed finishes at 20'000 with b at 100B; b's
+    // remaining 900B then moves at full speed: 20'000 + 90'000.
+    EXPECT_EQ(e.waitFor(a, 100, 0), 20'000u);
+    EXPECT_EQ(e.waitFor(b, 1000, 0), 110'000u);
+}
+
+TEST(Engine, ConcurrencyLimitQueuesFifo)
+{
+    TransferEngine e(kCpb, 1);
+    int a = e.addStream("a", 100);
+    int b = e.addStream("b", 100);
+    int c = e.addStream("c", 100);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    e.scheduleStart(c, 0);
+    e.advanceTo(0);
+    EXPECT_EQ(e.activeCount(), 1u);
+    // Sequential completion: a then b then c.
+    EXPECT_EQ(e.waitFor(a, 100, 0), 10'000u);
+    EXPECT_EQ(e.waitFor(b, 100, 0), 20'000u);
+    EXPECT_EQ(e.waitFor(c, 100, 0), 30'000u);
+}
+
+TEST(Engine, DemandStartJumpsQueue)
+{
+    TransferEngine e(kCpb, 1);
+    int a = e.addStream("a", 100);
+    int b = e.addStream("b", 100);
+    int c = e.addStream("c", 100);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    e.scheduleStart(c, 0);
+    e.advanceTo(0);
+    // Mispredicted need for c: it must transfer next, before b.
+    e.demandStart(c, 0);
+    EXPECT_EQ(e.waitFor(c, 100, 0), 20'000u);
+    EXPECT_EQ(e.waitFor(b, 100, 0), 30'000u);
+}
+
+TEST(Engine, DemandStartOnIdleStreamStartsImmediately)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    // never scheduled
+    e.demandStart(a, 7'000);
+    EXPECT_EQ(e.waitFor(a, 100, 7'000), 17'000u);
+}
+
+TEST(Engine, WaitForNeverStartedIsFatal)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    EXPECT_THROW(e.waitFor(a, 50, 0), FatalError);
+}
+
+TEST(Engine, WaitPastEndIsFatal)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    e.scheduleStart(a, 0);
+    EXPECT_THROW(e.waitFor(a, 101, 0), FatalError);
+}
+
+TEST(Engine, WaitForReturnsNowWhenAlreadyArrived)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    e.scheduleStart(a, 0);
+    e.advanceTo(50'000); // a done long ago
+    EXPECT_EQ(e.waitFor(a, 100, 50'000), 50'000u);
+}
+
+TEST(Engine, AdvanceBackwardsRejected)
+{
+    TransferEngine e(kCpb, -1);
+    e.addStream("a", 10);
+    e.advanceTo(100);
+    EXPECT_THROW(e.advanceTo(50), FatalError);
+}
+
+TEST(Engine, EmptyStreamRejected)
+{
+    TransferEngine e(kCpb, -1);
+    EXPECT_THROW(e.addStream("zero", 0), FatalError);
+}
+
+TEST(Engine, LateScheduledStartWaitsForSlot)
+{
+    TransferEngine e(kCpb, 1);
+    int a = e.addStream("a", 1000);
+    int b = e.addStream("b", 100);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 10'000); // due mid-a; must queue
+    EXPECT_EQ(e.waitFor(b, 100, 0), 110'000u);
+    EXPECT_EQ(e.stream(b).startedAt, 100'000u);
+}
+
+TEST(Engine, WatchesRecordExactCrossings)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 1000);
+    int b = e.addStream("b", 400);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    e.setWatch(a, 300);
+    e.setWatch(b, 400);
+    e.runWatches();
+    // Shared bandwidth: 300 bytes at half speed = 60'000.
+    EXPECT_EQ(e.watchedArrival(a), 60'000u);
+    // b: 400 bytes at half speed = 80'000.
+    EXPECT_EQ(e.watchedArrival(b), 80'000u);
+}
+
+TEST(Engine, WatchAlreadyCrossedIsCurrentTime)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    e.scheduleStart(a, 0);
+    e.advanceTo(20'000);
+    e.setWatch(a, 50);
+    EXPECT_EQ(e.watchedArrival(a), 20'000u);
+}
+
+TEST(Engine, RunWatchesOnUnstartableStreamIsFatal)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    e.setWatch(a, 50);
+    EXPECT_THROW(e.runWatches(), FatalError);
+}
+
+TEST(Engine, UnlimitedConcurrencyRunsAllAtOnce)
+{
+    TransferEngine e(kCpb, -1);
+    std::vector<int> ids;
+    for (int i = 0; i < 10; ++i) {
+        ids.push_back(e.addStream("s", 100));
+        e.scheduleStart(ids.back(), 0);
+    }
+    e.advanceTo(0);
+    EXPECT_EQ(e.activeCount(), 10u);
+    // Ten equal streams share: each takes 10x solo time.
+    EXPECT_EQ(e.finishAll(), 100'000u);
+}
+
+TEST(Engine, PaperLinkRatesAreExact)
+{
+    // One byte over the paper's links.
+    TransferEngine t1(kT1Link.cyclesPerByte, -1);
+    int a = t1.addStream("a", 1);
+    t1.scheduleStart(a, 0);
+    EXPECT_EQ(t1.waitFor(a, 1, 0), 3'815u);
+
+    TransferEngine modem(kModemLink.cyclesPerByte, -1);
+    int b = modem.addStream("b", 1);
+    modem.scheduleStart(b, 0);
+    EXPECT_EQ(modem.waitFor(b, 1, 0), 134'698u);
+}
+
+} // namespace
+} // namespace nse

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Verifier tests: every rejection class (stack discipline, type
+ * confusion, uninitialised locals, control-flow holes, operand
+ * validity) plus acceptance of well-formed programs. These are the
+ * paper's verification steps 1-3 (§3.1.1).
+ */
+
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "program/builder.h"
+#include "vm/verifier.h"
+#include "workloads/common.h"
+
+namespace nse
+{
+namespace
+{
+
+using EmitFn = std::function<void(MethodBuilder &)>;
+
+/** Build a one-method program and verify that method. */
+void
+verifyBody(const EmitFn &emit, const char *desc = "()V")
+{
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    t.addStaticField("g", "I");
+    t.addStaticField("r", "A");
+    MethodBuilder &m = t.addMethod("f", desc);
+    emit(m);
+    Program p = pb.build("T", "f");
+    Verifier verifier(p);
+    verifier.verifyMethod(p.resolveStatic("T", "f", desc));
+}
+
+TEST(Verifier, AcceptsStraightLine)
+{
+    EXPECT_NO_THROW(verifyBody([](MethodBuilder &m) {
+        m.pushInt(1);
+        m.pushInt(2);
+        m.emit(Opcode::IADD);
+        m.emit(Opcode::POP);
+        m.emit(Opcode::RETURN);
+    }));
+}
+
+TEST(Verifier, AcceptsLoopsAndJoins)
+{
+    EXPECT_NO_THROW(verifyBody(
+        [](MethodBuilder &m) {
+            uint16_t i = m.newLocal();
+            uint16_t acc = m.newLocal();
+            m.pushInt(0);
+            m.istore(acc);
+            m.forRange(i, 0, 10, [&] {
+                m.iload(acc);
+                m.iload(i);
+                m.emit(Opcode::IADD);
+                m.istore(acc);
+            });
+            m.iload(acc);
+            m.emit(Opcode::IRETURN);
+        },
+        "()I"));
+}
+
+TEST(Verifier, RejectsStackUnderflow)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.emit(Opcode::IADD); // nothing to add
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsTypeConfusionIntAsRef)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.pushInt(7);
+                     m.emit(Opcode::ARRAYLENGTH); // int where ref needed
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsRefArithmetic)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.emit(Opcode::ACONST_NULL);
+                     m.emit(Opcode::ACONST_NULL);
+                     m.emit(Opcode::IADD);
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsUninitialisedLocalRead)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     uint16_t x = m.newLocal();
+                     m.iload(x); // never stored
+                     m.emit(Opcode::POP);
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsKindChangeAtJoinRead)
+{
+    // One arm stores an int, the other a ref; reading after the join
+    // must fail (the local merges to unset).
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     uint16_t x = m.newLocal();
+                     m.pushInt(1);
+                     m.ifNZElse(
+                         [&] {
+                             m.pushInt(3);
+                             m.istore(x);
+                         },
+                         [&] {
+                             m.emit(Opcode::ACONST_NULL);
+                             m.astore(x);
+                         });
+                     m.iload(x);
+                     m.emit(Opcode::POP);
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsStackDepthMismatchAtJoin)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     auto join = m.newLabel();
+                     m.pushInt(1);
+                     m.branch(Opcode::IFEQ, join);
+                     m.pushInt(42); // taken path has depth 1 at join
+                     m.bind(join);  // fall-through path has depth 0
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsFallOffEnd)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.pushInt(1);
+                     m.emit(Opcode::POP); // no return
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsWrongReturnKind)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.emit(Opcode::RETURN); // void return in ()I
+                 },
+                 "()I"),
+                 VerifyError);
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.pushInt(1);
+                     m.emit(Opcode::IRETURN); // int return in ()V
+                 }),
+                 VerifyError);
+    EXPECT_THROW(verifyBody(
+                     [](MethodBuilder &m) {
+                         m.pushInt(1);
+                         m.emit(Opcode::IRETURN); // int where ref due
+                     },
+                     "()A"),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsBranchIntoMiddleOfInstruction)
+{
+    // Hand-assemble: GOTO 4 jumps into PUSH_I32's immediate.
+    std::vector<Instruction> insts{
+        {Opcode::GOTO, 4, 0},
+        {Opcode::PUSH_I32, 123456, 3},
+        {Opcode::RETURN, 0, 8},
+    };
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("ok", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T", "ok");
+    ClassFile &cf = p.classAt(
+        static_cast<uint16_t>(p.classIndex("T")));
+    MethodInfo bad;
+    bad.accessFlags = kAccPublic | kAccStatic;
+    bad.nameIdx = cf.cpool.addUtf8("bad");
+    bad.descIdx = cf.cpool.addUtf8("()V");
+    bad.maxLocals = 0;
+    bad.code = encodeCode(insts);
+    cf.methods.push_back(bad);
+    p.reindex();
+    Verifier verifier(p);
+    EXPECT_THROW(verifier.verifyMethod(MethodId{0, 1}), VerifyError);
+}
+
+TEST(Verifier, RejectsInvokeArgumentMismatch)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     // Sys.print takes an int; give it a null ref.
+                     m.emit(Opcode::ACONST_NULL);
+                     m.invokeStatic("Sys", "print", "(I)V");
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsCallToMissingMethod)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.invokeStatic("Sys", "doesNotExist", "()V");
+                     m.emit(Opcode::RETURN);
+                 }),
+                 FatalError);
+}
+
+TEST(Verifier, RejectsFieldKindMismatch)
+{
+    EXPECT_THROW(verifyBody([](MethodBuilder &m) {
+                     m.emit(Opcode::ACONST_NULL);
+                     m.putStatic("T", "g", "I"); // ref into int field
+                     m.emit(Opcode::RETURN);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verifier, RejectsEmptyCode)
+{
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+    ClassFile &cf = p.classAt(0);
+    MethodInfo empty;
+    empty.accessFlags = kAccPublic | kAccStatic;
+    empty.nameIdx = cf.cpool.addUtf8("empty");
+    empty.descIdx = cf.cpool.addUtf8("()V");
+    cf.methods.push_back(empty);
+    Verifier verifier(p);
+    EXPECT_THROW(verifier.verifyMethod(MethodId{0, 1}), VerifyError);
+}
+
+TEST(Verifier, ClassStructureChecksCpIndices)
+{
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+    ClassFile &cf = p.classAt(0);
+    // Corrupt a field's descriptor index.
+    FieldInfo f;
+    f.nameIdx = cf.cpool.addUtf8("x");
+    f.descIdx = 999;
+    cf.fields.push_back(f);
+    Verifier verifier(p);
+    EXPECT_THROW(verifier.verifyClass(0), FatalError);
+}
+
+TEST(Verifier, MaxStackIsComputed)
+{
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("deep", "()I");
+    for (int i = 0; i < 6; ++i)
+        m.pushInt(i);
+    for (int i = 0; i < 5; ++i)
+        m.emit(Opcode::IADD);
+    m.emit(Opcode::IRETURN);
+    Program p = pb.build("T", "deep");
+    Verifier verifier(p);
+    VerifiedMethod vm = verifier.verifyMethod(MethodId{0, 0});
+    EXPECT_EQ(vm.maxStack, 6u);
+}
+
+TEST(Verifier, VerifyAllCoversWorkableProgram)
+{
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.pushInt(1);
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+    Verifier verifier(p);
+    EXPECT_NO_THROW(verifier.verifyAll());
+}
+
+} // namespace
+} // namespace nse
