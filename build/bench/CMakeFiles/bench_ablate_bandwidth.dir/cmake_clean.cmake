@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_bandwidth.dir/bench_ablate_bandwidth.cc.o"
+  "CMakeFiles/bench_ablate_bandwidth.dir/bench_ablate_bandwidth.cc.o.d"
+  "bench_ablate_bandwidth"
+  "bench_ablate_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_decompose.dir/bench_ablate_decompose.cc.o"
+  "CMakeFiles/bench_ablate_decompose.dir/bench_ablate_decompose.cc.o.d"
+  "bench_ablate_decompose"
+  "bench_ablate_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

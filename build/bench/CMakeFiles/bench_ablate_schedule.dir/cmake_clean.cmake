@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_schedule.dir/bench_ablate_schedule.cc.o"
+  "CMakeFiles/bench_ablate_schedule.dir/bench_ablate_schedule.cc.o.d"
+  "bench_ablate_schedule"
+  "bench_ablate_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_jit.dir/bench_ext_jit.cc.o"
+  "CMakeFiles/bench_ext_jit.dir/bench_ext_jit.cc.o.d"
+  "bench_ext_jit"
+  "bench_ext_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

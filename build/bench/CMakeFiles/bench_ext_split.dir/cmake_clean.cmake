@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_split.dir/bench_ext_split.cc.o"
+  "CMakeFiles/bench_ext_split.dir/bench_ext_split.cc.o.d"
+  "bench_ext_split"
+  "bench_ext_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_datapart.dir/bench_table10_datapart.cc.o"
+  "CMakeFiles/bench_table10_datapart.dir/bench_table10_datapart.cc.o.d"
+  "bench_table10_datapart"
+  "bench_table10_datapart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_datapart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

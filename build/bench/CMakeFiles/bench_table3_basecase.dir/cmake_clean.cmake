@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_basecase.dir/bench_table3_basecase.cc.o"
+  "CMakeFiles/bench_table3_basecase.dir/bench_table3_basecase.cc.o.d"
+  "bench_table3_basecase"
+  "bench_table3_basecase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_basecase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

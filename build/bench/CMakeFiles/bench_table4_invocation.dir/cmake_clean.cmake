@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_invocation.dir/bench_table4_invocation.cc.o"
+  "CMakeFiles/bench_table4_invocation.dir/bench_table4_invocation.cc.o.d"
+  "bench_table4_invocation"
+  "bench_table4_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_parallel_modem.dir/bench_table6_parallel_modem.cc.o"
+  "CMakeFiles/bench_table6_parallel_modem.dir/bench_table6_parallel_modem.cc.o.d"
+  "bench_table6_parallel_modem"
+  "bench_table6_parallel_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_parallel_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_interleaved.dir/bench_table7_interleaved.cc.o"
+  "CMakeFiles/bench_table7_interleaved.dir/bench_table7_interleaved.cc.o.d"
+  "bench_table7_interleaved"
+  "bench_table7_interleaved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_interleaved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

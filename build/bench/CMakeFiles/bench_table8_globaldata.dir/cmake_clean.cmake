@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_globaldata.dir/bench_table8_globaldata.cc.o"
+  "CMakeFiles/bench_table8_globaldata.dir/bench_table8_globaldata.cc.o.d"
+  "bench_table8_globaldata"
+  "bench_table8_globaldata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_globaldata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_partition.dir/bench_table9_partition.cc.o"
+  "CMakeFiles/bench_table9_partition.dir/bench_table9_partition.cc.o.d"
+  "bench_table9_partition"
+  "bench_table9_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

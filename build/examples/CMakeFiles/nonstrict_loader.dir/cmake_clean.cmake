@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonstrict_loader.dir/nonstrict_loader.cpp.o"
+  "CMakeFiles/nonstrict_loader.dir/nonstrict_loader.cpp.o.d"
+  "nonstrict_loader"
+  "nonstrict_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonstrict_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_cli.dir/nse_cli.cpp.o"
+  "CMakeFiles/nse_cli.dir/nse_cli.cpp.o.d"
+  "nse_cli"
+  "nse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

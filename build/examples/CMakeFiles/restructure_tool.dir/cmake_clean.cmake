@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restructure_tool.dir/restructure_tool.cpp.o"
+  "CMakeFiles/restructure_tool.dir/restructure_tool.cpp.o.d"
+  "restructure_tool"
+  "restructure_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restructure_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

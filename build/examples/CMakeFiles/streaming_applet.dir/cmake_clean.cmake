@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_applet.dir/streaming_applet.cpp.o"
+  "CMakeFiles/streaming_applet.dir/streaming_applet.cpp.o.d"
+  "streaming_applet"
+  "streaming_applet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_applet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("bytecode")
+subdirs("classfile")
+subdirs("program")
+subdirs("analysis")
+subdirs("vm")
+subdirs("profile")
+subdirs("restructure")
+subdirs("transfer")
+subdirs("sim")
+subdirs("workloads")
+subdirs("report")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_analysis.dir/cfg.cc.o"
+  "CMakeFiles/nse_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/nse_analysis.dir/first_use.cc.o"
+  "CMakeFiles/nse_analysis.dir/first_use.cc.o.d"
+  "libnse_analysis.a"
+  "libnse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/code_builder.cc" "src/bytecode/CMakeFiles/nse_bytecode.dir/code_builder.cc.o" "gcc" "src/bytecode/CMakeFiles/nse_bytecode.dir/code_builder.cc.o.d"
+  "/root/repo/src/bytecode/disassembler.cc" "src/bytecode/CMakeFiles/nse_bytecode.dir/disassembler.cc.o" "gcc" "src/bytecode/CMakeFiles/nse_bytecode.dir/disassembler.cc.o.d"
+  "/root/repo/src/bytecode/instruction.cc" "src/bytecode/CMakeFiles/nse_bytecode.dir/instruction.cc.o" "gcc" "src/bytecode/CMakeFiles/nse_bytecode.dir/instruction.cc.o.d"
+  "/root/repo/src/bytecode/opcode.cc" "src/bytecode/CMakeFiles/nse_bytecode.dir/opcode.cc.o" "gcc" "src/bytecode/CMakeFiles/nse_bytecode.dir/opcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

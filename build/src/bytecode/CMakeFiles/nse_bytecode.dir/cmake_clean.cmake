@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_bytecode.dir/code_builder.cc.o"
+  "CMakeFiles/nse_bytecode.dir/code_builder.cc.o.d"
+  "CMakeFiles/nse_bytecode.dir/disassembler.cc.o"
+  "CMakeFiles/nse_bytecode.dir/disassembler.cc.o.d"
+  "CMakeFiles/nse_bytecode.dir/instruction.cc.o"
+  "CMakeFiles/nse_bytecode.dir/instruction.cc.o.d"
+  "CMakeFiles/nse_bytecode.dir/opcode.cc.o"
+  "CMakeFiles/nse_bytecode.dir/opcode.cc.o.d"
+  "libnse_bytecode.a"
+  "libnse_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

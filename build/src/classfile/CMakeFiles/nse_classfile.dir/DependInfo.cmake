@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classfile/classfile.cc" "src/classfile/CMakeFiles/nse_classfile.dir/classfile.cc.o" "gcc" "src/classfile/CMakeFiles/nse_classfile.dir/classfile.cc.o.d"
+  "/root/repo/src/classfile/constant_pool.cc" "src/classfile/CMakeFiles/nse_classfile.dir/constant_pool.cc.o" "gcc" "src/classfile/CMakeFiles/nse_classfile.dir/constant_pool.cc.o.d"
+  "/root/repo/src/classfile/descriptor.cc" "src/classfile/CMakeFiles/nse_classfile.dir/descriptor.cc.o" "gcc" "src/classfile/CMakeFiles/nse_classfile.dir/descriptor.cc.o.d"
+  "/root/repo/src/classfile/parser.cc" "src/classfile/CMakeFiles/nse_classfile.dir/parser.cc.o" "gcc" "src/classfile/CMakeFiles/nse_classfile.dir/parser.cc.o.d"
+  "/root/repo/src/classfile/writer.cc" "src/classfile/CMakeFiles/nse_classfile.dir/writer.cc.o" "gcc" "src/classfile/CMakeFiles/nse_classfile.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_classfile.dir/classfile.cc.o"
+  "CMakeFiles/nse_classfile.dir/classfile.cc.o.d"
+  "CMakeFiles/nse_classfile.dir/constant_pool.cc.o"
+  "CMakeFiles/nse_classfile.dir/constant_pool.cc.o.d"
+  "CMakeFiles/nse_classfile.dir/descriptor.cc.o"
+  "CMakeFiles/nse_classfile.dir/descriptor.cc.o.d"
+  "CMakeFiles/nse_classfile.dir/parser.cc.o"
+  "CMakeFiles/nse_classfile.dir/parser.cc.o.d"
+  "CMakeFiles/nse_classfile.dir/writer.cc.o"
+  "CMakeFiles/nse_classfile.dir/writer.cc.o.d"
+  "libnse_classfile.a"
+  "libnse_classfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_profile.dir/first_use_profile.cc.o"
+  "CMakeFiles/nse_profile.dir/first_use_profile.cc.o.d"
+  "libnse_profile.a"
+  "libnse_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/archive.cc" "src/program/CMakeFiles/nse_program.dir/archive.cc.o" "gcc" "src/program/CMakeFiles/nse_program.dir/archive.cc.o.d"
+  "/root/repo/src/program/builder.cc" "src/program/CMakeFiles/nse_program.dir/builder.cc.o" "gcc" "src/program/CMakeFiles/nse_program.dir/builder.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/program/CMakeFiles/nse_program.dir/program.cc.o" "gcc" "src/program/CMakeFiles/nse_program.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classfile/CMakeFiles/nse_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_program.dir/archive.cc.o"
+  "CMakeFiles/nse_program.dir/archive.cc.o.d"
+  "CMakeFiles/nse_program.dir/builder.cc.o"
+  "CMakeFiles/nse_program.dir/builder.cc.o.d"
+  "CMakeFiles/nse_program.dir/program.cc.o"
+  "CMakeFiles/nse_program.dir/program.cc.o.d"
+  "libnse_program.a"
+  "libnse_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

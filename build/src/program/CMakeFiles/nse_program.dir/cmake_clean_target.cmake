@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnse_program.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_report.dir/table.cc.o"
+  "CMakeFiles/nse_report.dir/table.cc.o.d"
+  "libnse_report.a"
+  "libnse_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/restructure/data_partition.cc" "src/restructure/CMakeFiles/nse_restructure.dir/data_partition.cc.o" "gcc" "src/restructure/CMakeFiles/nse_restructure.dir/data_partition.cc.o.d"
+  "/root/repo/src/restructure/layout.cc" "src/restructure/CMakeFiles/nse_restructure.dir/layout.cc.o" "gcc" "src/restructure/CMakeFiles/nse_restructure.dir/layout.cc.o.d"
+  "/root/repo/src/restructure/reorder.cc" "src/restructure/CMakeFiles/nse_restructure.dir/reorder.cc.o" "gcc" "src/restructure/CMakeFiles/nse_restructure.dir/reorder.cc.o.d"
+  "/root/repo/src/restructure/split.cc" "src/restructure/CMakeFiles/nse_restructure.dir/split.cc.o" "gcc" "src/restructure/CMakeFiles/nse_restructure.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/nse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/nse_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nse_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/nse_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_restructure.dir/data_partition.cc.o"
+  "CMakeFiles/nse_restructure.dir/data_partition.cc.o.d"
+  "CMakeFiles/nse_restructure.dir/layout.cc.o"
+  "CMakeFiles/nse_restructure.dir/layout.cc.o.d"
+  "CMakeFiles/nse_restructure.dir/reorder.cc.o"
+  "CMakeFiles/nse_restructure.dir/reorder.cc.o.d"
+  "CMakeFiles/nse_restructure.dir/split.cc.o"
+  "CMakeFiles/nse_restructure.dir/split.cc.o.d"
+  "libnse_restructure.a"
+  "libnse_restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

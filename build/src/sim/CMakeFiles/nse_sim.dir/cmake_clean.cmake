@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_sim.dir/simulator.cc.o"
+  "CMakeFiles/nse_sim.dir/simulator.cc.o.d"
+  "libnse_sim.a"
+  "libnse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_support.dir/bytebuffer.cc.o"
+  "CMakeFiles/nse_support.dir/bytebuffer.cc.o.d"
+  "libnse_support.a"
+  "libnse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/engine.cc" "src/transfer/CMakeFiles/nse_transfer.dir/engine.cc.o" "gcc" "src/transfer/CMakeFiles/nse_transfer.dir/engine.cc.o.d"
+  "/root/repo/src/transfer/schedule.cc" "src/transfer/CMakeFiles/nse_transfer.dir/schedule.cc.o" "gcc" "src/transfer/CMakeFiles/nse_transfer.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/restructure/CMakeFiles/nse_restructure.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nse_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/nse_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/nse_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_transfer.dir/engine.cc.o"
+  "CMakeFiles/nse_transfer.dir/engine.cc.o.d"
+  "CMakeFiles/nse_transfer.dir/schedule.cc.o"
+  "CMakeFiles/nse_transfer.dir/schedule.cc.o.d"
+  "libnse_transfer.a"
+  "libnse_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

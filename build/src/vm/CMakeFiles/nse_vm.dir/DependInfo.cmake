@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/heap.cc" "src/vm/CMakeFiles/nse_vm.dir/heap.cc.o" "gcc" "src/vm/CMakeFiles/nse_vm.dir/heap.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/vm/CMakeFiles/nse_vm.dir/interpreter.cc.o" "gcc" "src/vm/CMakeFiles/nse_vm.dir/interpreter.cc.o.d"
+  "/root/repo/src/vm/linker.cc" "src/vm/CMakeFiles/nse_vm.dir/linker.cc.o" "gcc" "src/vm/CMakeFiles/nse_vm.dir/linker.cc.o.d"
+  "/root/repo/src/vm/natives.cc" "src/vm/CMakeFiles/nse_vm.dir/natives.cc.o" "gcc" "src/vm/CMakeFiles/nse_vm.dir/natives.cc.o.d"
+  "/root/repo/src/vm/streaming_loader.cc" "src/vm/CMakeFiles/nse_vm.dir/streaming_loader.cc.o" "gcc" "src/vm/CMakeFiles/nse_vm.dir/streaming_loader.cc.o.d"
+  "/root/repo/src/vm/verifier.cc" "src/vm/CMakeFiles/nse_vm.dir/verifier.cc.o" "gcc" "src/vm/CMakeFiles/nse_vm.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/nse_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/nse_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

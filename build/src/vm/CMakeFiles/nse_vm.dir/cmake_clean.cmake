@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_vm.dir/heap.cc.o"
+  "CMakeFiles/nse_vm.dir/heap.cc.o.d"
+  "CMakeFiles/nse_vm.dir/interpreter.cc.o"
+  "CMakeFiles/nse_vm.dir/interpreter.cc.o.d"
+  "CMakeFiles/nse_vm.dir/linker.cc.o"
+  "CMakeFiles/nse_vm.dir/linker.cc.o.d"
+  "CMakeFiles/nse_vm.dir/natives.cc.o"
+  "CMakeFiles/nse_vm.dir/natives.cc.o.d"
+  "CMakeFiles/nse_vm.dir/streaming_loader.cc.o"
+  "CMakeFiles/nse_vm.dir/streaming_loader.cc.o.d"
+  "CMakeFiles/nse_vm.dir/verifier.cc.o"
+  "CMakeFiles/nse_vm.dir/verifier.cc.o.d"
+  "libnse_vm.a"
+  "libnse_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/nse_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/des.cc" "src/workloads/CMakeFiles/nse_workloads.dir/des.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/des.cc.o.d"
+  "/root/repo/src/workloads/hanoi.cc" "src/workloads/CMakeFiles/nse_workloads.dir/hanoi.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/hanoi.cc.o.d"
+  "/root/repo/src/workloads/instrtool.cc" "src/workloads/CMakeFiles/nse_workloads.dir/instrtool.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/instrtool.cc.o.d"
+  "/root/repo/src/workloads/parsergen.cc" "src/workloads/CMakeFiles/nse_workloads.dir/parsergen.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/parsergen.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/nse_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/rules.cc" "src/workloads/CMakeFiles/nse_workloads.dir/rules.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/rules.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/nse_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/zipper.cc" "src/workloads/CMakeFiles/nse_workloads.dir/zipper.cc.o" "gcc" "src/workloads/CMakeFiles/nse_workloads.dir/zipper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/nse_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nse_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/nse_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

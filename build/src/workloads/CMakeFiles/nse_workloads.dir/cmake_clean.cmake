@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nse_workloads.dir/common.cc.o"
+  "CMakeFiles/nse_workloads.dir/common.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/des.cc.o"
+  "CMakeFiles/nse_workloads.dir/des.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/hanoi.cc.o"
+  "CMakeFiles/nse_workloads.dir/hanoi.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/instrtool.cc.o"
+  "CMakeFiles/nse_workloads.dir/instrtool.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/parsergen.cc.o"
+  "CMakeFiles/nse_workloads.dir/parsergen.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/registry.cc.o"
+  "CMakeFiles/nse_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/rules.cc.o"
+  "CMakeFiles/nse_workloads.dir/rules.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/nse_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/nse_workloads.dir/zipper.cc.o"
+  "CMakeFiles/nse_workloads.dir/zipper.cc.o.d"
+  "libnse_workloads.a"
+  "libnse_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nse_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classfile_test.dir/classfile_test.cc.o"
+  "CMakeFiles/classfile_test.dir/classfile_test.cc.o.d"
+  "classfile_test"
+  "classfile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

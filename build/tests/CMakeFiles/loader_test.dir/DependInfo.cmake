@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/loader_test.cc" "tests/CMakeFiles/loader_test.dir/loader_test.cc.o" "gcc" "tests/CMakeFiles/loader_test.dir/loader_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/nse_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/restructure/CMakeFiles/nse_restructure.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/nse_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nse_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/nse_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/nse_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/nse_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nse_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
