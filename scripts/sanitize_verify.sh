@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify under ASan+UBSan (CMake option NSE_SANITIZE): builds
+# the whole tree with both sanitizers and runs the full test suite, so
+# the transfer engine's floating-point byte accounting is exercised
+# with memory and UB checking on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+cmake -B "$BUILD_DIR" -S . -DNSE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j

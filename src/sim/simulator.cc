@@ -25,7 +25,10 @@ orderingName(OrderingSource src)
 double
 normalizedPct(const SimResult &result, const SimResult &strict)
 {
-    NSE_CHECK(strict.totalCycles > 0, "strict baseline has zero cycles");
+    // Degenerate baseline (empty program): define the ratio as 100%
+    // instead of poisoning report tables with inf/NaN.
+    if (strict.totalCycles == 0)
+        return 100.0;
     return 100.0 * static_cast<double>(result.totalCycles) /
            static_cast<double>(strict.totalCycles);
 }
@@ -146,10 +149,25 @@ Simulator::runStrict(const SimConfig &cfg)
 {
     const VmResult &exec = testProfile().result;
     SimResult r;
-    r.transferCycles = transferCost(totalBytes_, cfg.link);
+    if (cfg.faults.nominal()) {
+        // Closed form on the constant link; kept as the reference the
+        // faulted path must reproduce when the plan is all-nominal.
+        r.transferCycles = transferCost(totalBytes_, cfg.link);
+        r.invocationLatency = strictInvocationLatency(cfg.link);
+    } else {
+        // Evaluate the whole-program transfer under the fault plan:
+        // one stream, front-to-back, entry class first (so invocation
+        // latency is the faulted arrival of the entry class's bytes).
+        TransferEngine engine(cfg.link.cyclesPerByte, 1, cfg.faults);
+        int s = engine.addStream("whole-program", totalBytes_);
+        engine.scheduleStart(s, 0);
+        r.invocationLatency = engine.waitFor(s, entryClassBytes_, 0);
+        r.transferCycles = engine.finishAll();
+        r.retryCount = engine.retryCount();
+        r.degradedCycles = engine.degradedCycles();
+    }
     r.execCycles = exec.execCycles;
     r.totalCycles = r.transferCycles + r.execCycles;
-    r.invocationLatency = strictInvocationLatency(cfg.link);
     r.stallCycles = r.transferCycles;
     r.bytecodes = exec.bytecodes;
     r.cpi = exec.cpi();
@@ -188,7 +206,7 @@ Simulator::runOverlapped(const SimConfig &cfg)
     }
 
     TransferEngine engine(cfg.link.cyclesPerByte,
-                          parallel ? cfg.parallelLimit : 1);
+                          parallel ? cfg.parallelLimit : 1, cfg.faults);
     for (const StreamInfo &s : layout.streams)
         engine.addStream(s.name, s.totalBytes);
 
@@ -197,7 +215,7 @@ Simulator::runOverlapped(const SimConfig &cfg)
             prog_, order, layout, methodCycles(cfg.ordering, order));
         TransferSchedule sched =
             buildGreedySchedule(layout, demand, cfg.link,
-                                cfg.parallelLimit);
+                                cfg.parallelLimit, &cfg.faults);
         for (size_t i = 0; i < sched.startCycle.size(); ++i)
             engine.scheduleStart(static_cast<int>(i),
                                  sched.startCycle[i]);
@@ -237,6 +255,8 @@ Simulator::runOverlapped(const SimConfig &cfg)
     r.transferCycles = transferCost(totalBytes_, cfg.link);
     r.bytecodes = exec.bytecodes;
     r.cpi = exec.cpi();
+    r.retryCount = engine.retryCount();
+    r.degradedCycles = engine.degradedCycles();
     return r;
 }
 

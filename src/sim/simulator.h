@@ -30,6 +30,7 @@
 #include "program/program.h"
 #include "restructure/data_partition.h"
 #include "restructure/layout.h"
+#include "transfer/faults.h"
 #include "transfer/link.h"
 #include "vm/natives.h"
 
@@ -69,6 +70,14 @@ struct SimConfig
      * versus true method-level non-strictness.
      */
     bool classStrict = false;
+    /**
+     * Link behavior the run is *evaluated* under (transfer/faults.h).
+     * Schedules are always built against the nominal link; a
+     * non-nominal plan degrades the evaluation only — mispredictions
+     * and demand fetches absorb the slack. The default plan is
+     * all-nominal and reproduces the constant-rate engine exactly.
+     */
+    FaultPlan faults;
 };
 
 /** Measurements of one simulated run. */
@@ -87,9 +96,17 @@ struct SimResult
     uint64_t mispredictions = 0;
     uint64_t bytecodes = 0;
     double cpi = 0.0;
+    /** Retry attempts across all connection drops (0 when nominal). */
+    uint64_t retryCount = 0;
+    /** Cycles the link ran degraded or a stream sat in retry backoff. */
+    uint64_t degradedCycles = 0;
 };
 
-/** Percent normalized execution time (smaller is better, paper §7.2). */
+/**
+ * Percent normalized execution time (smaller is better, paper §7.2).
+ * A zero-cycle strict baseline (degenerate empty program) normalizes
+ * to 100.0 rather than dividing by zero.
+ */
 double normalizedPct(const SimResult &result, const SimResult &strict);
 
 /** Drives every experiment configuration for one workload. */

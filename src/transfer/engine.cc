@@ -9,7 +9,13 @@ namespace nse
 {
 
 TransferEngine::TransferEngine(double cycles_per_byte, int max_concurrent)
-    : cyclesPerByte_(cycles_per_byte), maxConcurrent_(max_concurrent)
+    : TransferEngine(cycles_per_byte, max_concurrent, FaultPlan{})
+{}
+
+TransferEngine::TransferEngine(double cycles_per_byte, int max_concurrent,
+                               FaultPlan plan)
+    : cyclesPerByte_(cycles_per_byte), maxConcurrent_(max_concurrent),
+      plan_(std::move(plan))
 {
     NSE_CHECK(cycles_per_byte > 0, "non-positive link cost");
 }
@@ -21,10 +27,15 @@ TransferEngine::addStream(std::string name, uint64_t total_bytes)
     Stream s;
     s.name = std::move(name);
     s.totalBytes = static_cast<double>(total_bytes);
+    int idx = static_cast<int>(streams_.size());
     streams_.push_back(std::move(s));
+    drops_.push_back(plan_.dropsFor(idx, total_bytes));
+    nextDrop_.push_back(0);
+    resumeAt_.push_back(UINT64_MAX);
+    watchSet_.push_back(0);
     watchOffset_.push_back(0.0);
     watchCrossed_.push_back(UINT64_MAX);
-    return static_cast<int>(streams_.size() - 1);
+    return idx;
 }
 
 const Stream &
@@ -49,7 +60,30 @@ TransferEngine::perStreamRate() const
 {
     if (active_ == 0)
         return 0.0;
-    return 1.0 / (cyclesPerByte_ * static_cast<double>(active_));
+    return plan_.trace.multiplierAt(time_) /
+           (cyclesPerByte_ * static_cast<double>(active_));
+}
+
+bool
+TransferEngine::slotFree() const
+{
+    // A suspended stream keeps its connection slot while retrying.
+    return maxConcurrent_ <= 0 ||
+           active_ + suspended_ < static_cast<size_t>(maxConcurrent_);
+}
+
+void
+TransferEngine::markActive(size_t idx, uint64_t now)
+{
+    Stream &s = streams_[idx];
+    s.state = StreamState::Active;
+    s.startedAt = now;
+    ++active_;
+    // An empty needed prefix arrives the moment the stream starts.
+    if (watchSet_[idx] && watchOffset_[idx] <= 0.0 &&
+        watchCrossed_[idx] == UINT64_MAX) {
+        watchCrossed_[idx] = now;
+    }
 }
 
 void
@@ -58,12 +92,8 @@ TransferEngine::activateOrQueue(int stream, uint64_t now, bool front)
     Stream &s = streams_[static_cast<size_t>(stream)];
     NSE_ASSERT(s.state == StreamState::Idle,
                "activate on non-idle stream ", s.name);
-    bool slot_free = maxConcurrent_ <= 0 ||
-                     active_ < static_cast<size_t>(maxConcurrent_);
-    if (slot_free) {
-        s.state = StreamState::Active;
-        s.startedAt = now;
-        ++active_;
+    if (slotFree()) {
+        markActive(static_cast<size_t>(stream), now);
     } else {
         s.state = StreamState::Queued;
         if (front)
@@ -71,6 +101,18 @@ TransferEngine::activateOrQueue(int stream, uint64_t now, bool front)
         else
             queue_.push_back(stream);
     }
+}
+
+double
+TransferEngine::stopBytes(size_t idx) const
+{
+    const Stream &s = streams_[idx];
+    if (nextDrop_[idx] < drops_[idx].size()) {
+        return std::min(s.totalBytes,
+                        static_cast<double>(
+                            drops_[idx][nextDrop_[idx]].offsetBytes));
+    }
+    return s.totalBytes;
 }
 
 uint64_t
@@ -84,12 +126,21 @@ TransferEngine::nextEventAfter(uint64_t t) const
             s.scheduledStart != UINT64_MAX && s.scheduledStart > t) {
             next = std::min(next, s.scheduledStart);
         } else if (s.state == StreamState::Active) {
-            double remaining = s.totalBytes - s.arrivedBytes;
+            // The next stop for this stream: completion, or pausing at
+            // its next drop offset. Exact while the rate holds; a
+            // trace boundary before then fires first and we
+            // re-estimate at the new rate.
+            double remaining = stopBytes(i) - s.arrivedBytes;
             uint64_t done_at =
                 t + static_cast<uint64_t>(std::ceil(remaining / rate));
             next = std::min(next, std::max(done_at, t + 1));
+        } else if (s.state == StreamState::Suspended &&
+                   resumeAt_[i] > t) {
+            next = std::min(next, resumeAt_[i]);
         }
     }
+    if (active_ > 0)
+        next = std::min(next, plan_.trace.nextChangeAfter(t));
     return next;
 }
 
@@ -99,15 +150,23 @@ TransferEngine::progressTo(uint64_t t)
     NSE_ASSERT(t >= time_, "engine time moved backwards");
     if (t == time_)
         return;
+    // Constant-rate segment: every rate change (start, completion,
+    // drop, resume, trace boundary) is an event, so no caller ever
+    // crosses one inside [time_, t).
     double rate = perStreamRate();
     double delta = static_cast<double>(t - time_) * rate;
+    if ((active_ > 0 && plan_.trace.multiplierAt(time_) < 1.0) ||
+        suspended_ > 0) {
+        degradedCycles_ += t - time_;
+    }
     for (size_t i = 0; i < streams_.size(); ++i) {
         Stream &s = streams_[i];
         if (s.state != StreamState::Active)
             continue;
         double before = s.arrivedBytes;
-        s.arrivedBytes = std::min(s.totalBytes, s.arrivedBytes + delta);
-        if (watchOffset_[i] > 0 && watchCrossed_[i] == UINT64_MAX &&
+        s.arrivedBytes = std::min(stopBytes(i), s.arrivedBytes + delta);
+        if (watchSet_[i] && watchOffset_[i] > 0 &&
+            watchCrossed_[i] == UINT64_MAX &&
             s.arrivedBytes + kEps >= watchOffset_[i]) {
             double need = watchOffset_[i] - before;
             watchCrossed_[i] =
@@ -132,6 +191,38 @@ TransferEngine::processEventsAt(uint64_t t)
             --active_;
         }
     }
+    // Drops: a stream whose cursor reached its next drop offset loses
+    // its connection and retries with exponential backoff; it resumes
+    // from the drop offset (bytes already arrived are kept).
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
+        if (s.state != StreamState::Active ||
+            nextDrop_[i] >= drops_[i].size()) {
+            continue;
+        }
+        const DropEvent &d = drops_[i][nextDrop_[i]];
+        if (s.arrivedBytes + kEps >=
+            static_cast<double>(d.offsetBytes)) {
+            s.state = StreamState::Suspended;
+            resumeAt_[i] = t + plan_.retryDelay(d.attempts);
+            retryCount_ += static_cast<uint64_t>(d.attempts);
+            ++nextDrop_[i];
+            NSE_ASSERT(active_ > 0, "active count underflow");
+            --active_;
+            ++suspended_;
+        }
+    }
+    // Retries that succeeded by now resume transferring.
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
+        if (s.state == StreamState::Suspended && resumeAt_[i] <= t) {
+            s.state = StreamState::Active;
+            resumeAt_[i] = UINT64_MAX;
+            NSE_ASSERT(suspended_ > 0, "suspended count underflow");
+            --suspended_;
+            ++active_;
+        }
+    }
     // Scheduled starts due by now.
     for (size_t i = 0; i < streams_.size(); ++i) {
         Stream &s = streams_[i];
@@ -141,16 +232,13 @@ TransferEngine::processEventsAt(uint64_t t)
         }
     }
     // Fill freed slots from the queue, FIFO.
-    while (!queue_.empty() &&
-           (maxConcurrent_ <= 0 ||
-            active_ < static_cast<size_t>(maxConcurrent_))) {
+    while (!queue_.empty() && slotFree()) {
         int idx = queue_.front();
         queue_.pop_front();
-        Stream &s = streams_[static_cast<size_t>(idx)];
-        NSE_ASSERT(s.state == StreamState::Queued, "queue corruption");
-        s.state = StreamState::Active;
-        s.startedAt = t;
-        ++active_;
+        NSE_ASSERT(streams_[static_cast<size_t>(idx)].state ==
+                       StreamState::Queued,
+                   "queue corruption");
+        markActive(static_cast<size_t>(idx), t);
     }
 }
 
@@ -185,6 +273,7 @@ TransferEngine::demandStart(int stream, uint64_t now)
     Stream &s = streams_[static_cast<size_t>(stream)];
     switch (s.state) {
       case StreamState::Active:
+      case StreamState::Suspended:
       case StreamState::Done:
         return; // already on its way
       case StreamState::Queued: {
@@ -197,7 +286,10 @@ TransferEngine::demandStart(int stream, uint64_t now)
       }
       case StreamState::Idle:
         s.scheduledStart = UINT64_MAX;
-        activateOrQueue(stream, now, /*front=*/true);
+        // Start at the engine clock, not the caller's: advanceTo
+        // above may have moved time_ past `now`, and a stream must
+        // never record startedAt in the engine's past.
+        activateOrQueue(stream, time_, /*front=*/true);
         return;
     }
 }
@@ -215,7 +307,13 @@ TransferEngine::waitFor(int stream, uint64_t offset, uint64_t now)
         uint64_t ev = nextEventAfter(time_);
         if (s.state == StreamState::Active) {
             double rate = perStreamRate();
-            double remaining = target - s.arrivedBytes;
+            // Crossing estimate at the current rate, valid up to the
+            // next event (nextEventAfter caps it at trace boundaries
+            // and this stream's own drop offsets).
+            double remaining =
+                std::min(target, stopBytes(static_cast<size_t>(
+                                     stream))) -
+                s.arrivedBytes;
             uint64_t cross =
                 time_ +
                 static_cast<uint64_t>(std::ceil(remaining / rate));
@@ -236,10 +334,14 @@ TransferEngine::setWatch(int stream, uint64_t offset)
 {
     auto si = static_cast<size_t>(stream);
     NSE_ASSERT(si < streams_.size(), "bad stream id ", stream);
-    NSE_CHECK(offset > 0, "watch offset must be positive");
+    watchSet_[si] = 1;
     watchOffset_[si] = static_cast<double>(offset);
-    if (streams_[si].arrivedBytes + kEps >=
-        static_cast<double>(offset)) {
+    const Stream &s = streams_[si];
+    bool started = s.state != StreamState::Idle &&
+                   s.state != StreamState::Queued;
+    if (started && s.arrivedBytes + kEps >= static_cast<double>(offset)) {
+        // Already crossed (a zero-byte prefix counts as crossed the
+        // moment the stream starts).
         watchCrossed_[si] = time_;
     } else {
         watchCrossed_[si] = UINT64_MAX;
@@ -251,7 +353,7 @@ TransferEngine::runWatches()
 {
     auto pending = [&] {
         for (size_t i = 0; i < streams_.size(); ++i) {
-            if (watchOffset_[i] > 0 && watchCrossed_[i] == UINT64_MAX)
+            if (watchSet_[i] && watchCrossed_[i] == UINT64_MAX)
                 return true;
         }
         return false;

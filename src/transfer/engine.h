@@ -3,10 +3,20 @@
  * Event-driven shared-bandwidth transfer engine.
  *
  * Models the paper's parallel file transfer (§5.1): any number of
- * streams (class files, or one interleaved virtual file) share a
- * fixed-bandwidth link *equally*; streams are never preempted once
+ * streams (class files, or one interleaved virtual file) share the
+ * link's bandwidth *equally*; streams are never preempted once
  * started; an optional concurrency limit (HTTP 1.1's four pipelined
  * requests) queues further starts until a slot frees.
+ *
+ * The link itself is pluggable (transfer/faults.h): a FaultPlan adds
+ * a piecewise-constant bandwidth multiplier over cycle windows plus
+ * per-stream interruption events with retry-after-timeout,
+ * exponential backoff, and resume-from-offset. The engine integrates
+ * byte progress piecewise — every rate change (trace boundary, start,
+ * completion, drop, resume) is an event, so within each integration
+ * step the per-stream rate is exactly constant and watches/waitFor
+ * stay cycle-exact under rate changes. A default (all-nominal) plan
+ * reproduces the constant-rate engine byte-for-byte.
  *
  * The engine advances lazily: the co-simulation asks it to advance to
  * the VM clock, to start streams (scheduled ahead of time, or
@@ -23,16 +33,19 @@
 #include <string>
 #include <vector>
 
+#include "transfer/faults.h"
+
 namespace nse
 {
 
 /** Lifecycle of one transfer stream. */
 enum class StreamState : uint8_t
 {
-    Idle,   ///< not started, not queued
-    Queued, ///< ready but waiting for a concurrency slot
-    Active, ///< transferring
-    Done,   ///< fully transferred
+    Idle,      ///< not started, not queued
+    Queued,    ///< ready but waiting for a concurrency slot
+    Active,    ///< transferring
+    Suspended, ///< connection dropped; retrying, resumes from offset
+    Done,      ///< fully transferred
 };
 
 /** One stream (one class file, or the interleaved virtual file). */
@@ -53,10 +66,14 @@ class TransferEngine
 {
   public:
     /**
-     * @param cycles_per_byte link cost (see LinkModel)
+     * @param cycles_per_byte nominal link cost (see LinkModel)
      * @param max_concurrent  concurrent-stream limit; <= 0 = unlimited
      */
     TransferEngine(double cycles_per_byte, int max_concurrent);
+
+    /** As above, evaluating transfers under a fault plan. */
+    TransferEngine(double cycles_per_byte, int max_concurrent,
+                   FaultPlan plan);
 
     /** Register a stream; returns its id. */
     int addStream(std::string name, uint64_t total_bytes);
@@ -88,7 +105,8 @@ class TransferEngine
      * Watch a byte offset of a stream: the engine records the exact
      * cycle the offset is crossed. Used by the scheduler to read all
      * prefix-arrival times out of a single simulation. One watch per
-     * stream; set before the stream crosses it.
+     * stream; set before the stream crosses it. A zero-byte watch (an
+     * empty needed prefix) is crossed the moment the stream starts.
      */
     void setWatch(int stream, uint64_t offset);
 
@@ -103,6 +121,13 @@ class TransferEngine
     size_t activeCount() const { return active_; }
     bool allDone() const;
 
+    /** Total retry attempts across all drop events triggered so far. */
+    uint64_t retryCount() const { return retryCount_; }
+
+    /** Cycles spent with the link below nominal bandwidth while any
+     *  stream was in flight, or with any stream suspended on retry. */
+    uint64_t degradedCycles() const { return degradedCycles_; }
+
   private:
     static constexpr double kEps = 1e-6;
 
@@ -111,14 +136,29 @@ class TransferEngine
     void progressTo(uint64_t t);
     void processEventsAt(uint64_t t);
     void activateOrQueue(int stream, uint64_t now, bool front);
+    void markActive(size_t idx, uint64_t now);
+    /** Byte cursor cap for a stream: its end, or its next pending
+     *  drop offset (transfer pauses there until the retry succeeds). */
+    double stopBytes(size_t idx) const;
+    bool slotFree() const;
 
     double cyclesPerByte_;
     int maxConcurrent_;
+    FaultPlan plan_;
     uint64_t time_ = 0;
     size_t active_ = 0;
+    size_t suspended_ = 0;
+    uint64_t retryCount_ = 0;
+    uint64_t degradedCycles_ = 0;
     std::vector<Stream> streams_;
     std::deque<int> queue_;
-    /** Watched offset per stream (0 = none) and its crossing cycle. */
+    /** Per-stream pending drop events and the next one's index. */
+    std::vector<std::vector<DropEvent>> drops_;
+    std::vector<size_t> nextDrop_;
+    /** Resume cycle per suspended stream (UINT64_MAX = not suspended). */
+    std::vector<uint64_t> resumeAt_;
+    /** Watch per stream: set flag, offset, and its crossing cycle. */
+    std::vector<uint8_t> watchSet_;
     std::vector<double> watchOffset_;
     std::vector<uint64_t> watchCrossed_;
 };

@@ -5,6 +5,40 @@
 namespace nse
 {
 
+namespace
+{
+
+// VM integer arithmetic wraps (two's complement, like JVM iadd/imul);
+// signed overflow is undefined in C++, so wrap in unsigned space.
+int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+int64_t
+wrapMul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+int64_t
+wrapNeg(int64_t a)
+{
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
+}
+
+} // namespace
+
 Vm::Vm(const Program &prog, const NativeRegistry &natives,
        std::vector<int64_t> input, VmOptions opts)
     : prog_(prog), natives_(natives), input_(std::move(input)),
@@ -237,39 +271,41 @@ Vm::step()
       }
       case Opcode::IADD: {
         int64_t b = popInt(f), a = popInt(f);
-        push(f, Value::makeInt(a + b));
+        push(f, Value::makeInt(wrapAdd(a, b)));
         break;
       }
       case Opcode::ISUB: {
         int64_t b = popInt(f), a = popInt(f);
-        push(f, Value::makeInt(a - b));
+        push(f, Value::makeInt(wrapSub(a, b)));
         break;
       }
       case Opcode::IMUL: {
         int64_t b = popInt(f), a = popInt(f);
-        push(f, Value::makeInt(a * b));
+        push(f, Value::makeInt(wrapMul(a, b)));
         break;
       }
       case Opcode::IDIV: {
         int64_t b = popInt(f), a = popInt(f);
         if (b == 0)
             fatal("division by zero in ", prog_.methodLabel(f.id));
-        push(f, Value::makeInt(a / b));
+        // INT64_MIN / -1 overflows; it wraps back to INT64_MIN.
+        push(f, Value::makeInt(b == -1 ? wrapNeg(a) : a / b));
         break;
       }
       case Opcode::IREM: {
         int64_t b = popInt(f), a = popInt(f);
         if (b == 0)
             fatal("remainder by zero in ", prog_.methodLabel(f.id));
-        push(f, Value::makeInt(a % b));
+        push(f, Value::makeInt(b == -1 ? 0 : a % b));
         break;
       }
       case Opcode::INEG:
-        push(f, Value::makeInt(-popInt(f)));
+        push(f, Value::makeInt(wrapNeg(popInt(f))));
         break;
       case Opcode::ISHL: {
         int64_t b = popInt(f), a = popInt(f);
-        push(f, Value::makeInt(a << (b & 63)));
+        push(f, Value::makeInt(static_cast<int64_t>(
+                    static_cast<uint64_t>(a) << (b & 63))));
         break;
       }
       case Opcode::ISHR: {

@@ -88,10 +88,14 @@ standardNatives()
             [](NativeContext &ctx, const std::vector<Value> &args) {
                 Ref arr = args.at(0).asRef();
                 int64_t len = ctx.heap.arrayLength(arr);
-                int64_t sum = 0;
+                // Rolling hash wraps by design; keep the wrap in
+                // unsigned space (signed overflow is UB).
+                uint64_t sum = 0;
                 for (int64_t i = 0; i < len; ++i)
-                    sum = sum * 31 + ctx.heap.arrayGet(arr, i).asInt();
-                ctx.output.push_back(sum);
+                    sum = sum * 31 +
+                          static_cast<uint64_t>(
+                              ctx.heap.arrayGet(arr, i).asInt());
+                ctx.output.push_back(static_cast<int64_t>(sum));
                 return Value::makeInt(0);
             },
             60'000);

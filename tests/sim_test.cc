@@ -176,8 +176,10 @@ TEST_F(SimFixture, NormalizedPctBasics)
     SimResult half = strict;
     half.totalCycles /= 2;
     EXPECT_DOUBLE_EQ(normalizedPct(half, strict), 50.0);
+    // Degenerate zero-cycle baseline: defined as 100%, never inf/NaN.
     SimResult zero;
-    EXPECT_THROW(normalizedPct(strict, zero), FatalError);
+    EXPECT_DOUBLE_EQ(normalizedPct(strict, zero), 100.0);
+    EXPECT_DOUBLE_EQ(normalizedPct(zero, zero), 100.0);
 }
 
 TEST_F(SimFixture, OrderingsAreCachedAndComplete)
@@ -189,6 +191,82 @@ TEST_F(SimFixture, OrderingsAreCachedAndComplete)
     const FirstUseOrder &test = sim_.ordering(OrderingSource::Test);
     EXPECT_GT(test.usedCount, 0u);
     EXPECT_GE(test.usedCount, a.usedCount);
+}
+
+TEST_F(SimFixture, UnityFaultPlanIsByteIdenticalToConstantRate)
+{
+    // An all-nominal-content plan that nonetheless takes the faulted
+    // evaluation path (a trace of 1.0-multiplier segments) must
+    // reproduce the constant-rate engine cycle-for-cycle in every
+    // mode — the acceptance gate for the piecewise-rate integrator.
+    FaultPlan unity;
+    unity.trace = BandwidthTrace({{0, 1.0}, {123'456, 1.0}});
+    for (const LinkModel &link : {kT1Link, kModemLink}) {
+        for (SimConfig::Mode mode :
+             {SimConfig::Mode::Strict, SimConfig::Mode::Parallel,
+              SimConfig::Mode::Interleaved}) {
+            SimConfig cfg;
+            cfg.mode = mode;
+            cfg.ordering = OrderingSource::Train;
+            cfg.link = link;
+            cfg.parallelLimit = 4;
+            SimResult nominal = sim_.run(cfg);
+            cfg.faults.trace = unity.trace;
+            SimResult faulted = sim_.run(cfg);
+            EXPECT_EQ(nominal.totalCycles, faulted.totalCycles);
+            EXPECT_EQ(nominal.transferCycles, faulted.transferCycles);
+            EXPECT_EQ(nominal.invocationLatency,
+                      faulted.invocationLatency);
+            EXPECT_EQ(nominal.stallCycles, faulted.stallCycles);
+            EXPECT_EQ(nominal.mispredictions, faulted.mispredictions);
+            EXPECT_EQ(faulted.retryCount, 0u);
+            EXPECT_EQ(faulted.degradedCycles, 0u);
+        }
+    }
+}
+
+TEST_F(SimFixture, FaultedRunDegradesNonStrictLessThanStrict)
+{
+    // The tentpole's headline claim in miniature: under the same
+    // bandwidth dips and connection drops, overlap absorbs slack, so
+    // non-strict loses fewer cycles than strict does.
+    SimConfig strict;
+    strict.mode = SimConfig::Mode::Strict;
+    strict.link = kModemLink;
+    SimConfig ns;
+    ns.mode = SimConfig::Mode::Parallel;
+    ns.ordering = OrderingSource::Train;
+    ns.link = kModemLink;
+    ns.parallelLimit = 4;
+    SimResult strict_nom = sim_.run(strict);
+    SimResult ns_nom = sim_.run(ns);
+
+    uint64_t bytes = 0;
+    for (uint16_t c = 0; c < wl_.program.classCount(); ++c)
+        bytes += layoutOf(wl_.program.classAt(c)).totalSize;
+    FaultPlan plan;
+    plan.trace = BandwidthTrace::bursts(
+        11, strict_nom.totalCycles / 16, 0.75,
+        4 * strict_nom.totalCycles);
+    plan.dropSeed = 11;
+    // ~6 drops expected over the whole program volume.
+    plan.dropsPerMByte = 6.0 * 1048576.0 / static_cast<double>(bytes);
+    plan.maxAttempts = 2;
+    plan.retryTimeoutCycles = strict_nom.totalCycles / 32;
+    strict.faults = plan;
+    ns.faults = plan;
+    SimResult strict_f = sim_.run(strict);
+    SimResult ns_f = sim_.run(ns);
+
+    EXPECT_GT(strict_f.totalCycles, strict_nom.totalCycles);
+    EXPECT_GE(ns_f.totalCycles, ns_nom.totalCycles);
+    EXPECT_GT(strict_f.retryCount, 0u);
+    EXPECT_GT(strict_f.degradedCycles, 0u);
+    // Fewer cycles lost to the same faults.
+    EXPECT_LT(ns_f.totalCycles - ns_nom.totalCycles,
+              strict_f.totalCycles - strict_nom.totalCycles);
+    // Execution work itself is untouched by link faults.
+    EXPECT_EQ(ns_f.execCycles, ns_nom.execCycles);
 }
 
 TEST(SimSynthetic, WholePipelineOnGeneratedProgram)

@@ -203,6 +203,105 @@ TEST(Engine, UnlimitedConcurrencyRunsAllAtOnce)
     EXPECT_EQ(e.finishAll(), 100'000u);
 }
 
+TEST(Engine, DemandStartWithStaleNowUsesEngineClock)
+{
+    // The caller's clock may trail the engine's (waitFor advances
+    // it). A demand-started stream must record startedAt at the
+    // engine clock, never in the engine's past.
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    int b = e.addStream("b", 100);
+    e.scheduleStart(a, 0);
+    EXPECT_EQ(e.waitFor(a, 100, 0), 10'000u); // engine now at 10'000
+    e.demandStart(b, 0);                      // stale caller clock
+    EXPECT_EQ(e.stream(b).startedAt, 10'000u);
+    EXPECT_EQ(e.waitFor(b, 100, 0), 20'000u);
+}
+
+TEST(Engine, DemandStartQueuedStreamMovesToFrontUnderLimit)
+{
+    // maxConcurrent=1 with a long transfer in flight: a queued
+    // stream demand-started with a stale `now` keeps front-of-queue
+    // semantics ("queued up to be transferred next").
+    TransferEngine e(kCpb, 1);
+    int a = e.addStream("a", 1000);
+    int b = e.addStream("b", 100);
+    int c = e.addStream("c", 100);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    e.scheduleStart(c, 0);
+    EXPECT_EQ(e.waitFor(a, 500, 0), 50'000u); // engine ahead of caller
+    e.demandStart(c, 0);                      // stale now; c before b
+    EXPECT_EQ(e.waitFor(c, 100, 0), 110'000u);
+    EXPECT_EQ(e.waitFor(b, 100, 0), 120'000u);
+    EXPECT_EQ(e.stream(c).startedAt, 100'000u);
+}
+
+TEST(Engine, WatchCrossingExactlyAtStreamCompletion)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 1000);
+    e.scheduleStart(a, 0);
+    e.setWatch(a, 1000); // the watch is the final byte
+    e.runWatches();
+    EXPECT_EQ(e.watchedArrival(a), 100'000u);
+    EXPECT_EQ(e.stream(a).state, StreamState::Done);
+    EXPECT_EQ(e.stream(a).finishedAt, e.watchedArrival(a));
+}
+
+TEST(Engine, WaitForAtTotalBytesWithFractionalArrivals)
+{
+    // A non-round link cost and shared bandwidth make arrivedBytes
+    // fractional; waiting for offset == totalBytes must hit the kEps
+    // completion boundary, not fatal or overshoot.
+    TransferEngine e(3.0, -1);
+    int a = e.addStream("a", 997); // prime sizes: nothing divides
+    int b = e.addStream("b", 1009);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    uint64_t done_a = e.waitFor(a, 997, 0);
+    EXPECT_EQ(done_a, e.stream(a).finishedAt);
+    EXPECT_EQ(e.stream(a).state, StreamState::Done);
+    uint64_t done_b = e.waitFor(b, 1009, 0);
+    EXPECT_EQ(done_b, e.stream(b).finishedAt);
+    EXPECT_EQ(e.finishAll(), done_b);
+}
+
+TEST(Engine, ZeroByteWatchCrossesAtStreamStart)
+{
+    // An empty needed prefix (satellite of the scheduler: a class
+    // whose first-used method needs no bytes ahead of it) arrives
+    // the moment the stream starts — not never, and not at cycle 0.
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    e.scheduleStart(a, 5'000);
+    e.setWatch(a, 0);
+    e.runWatches();
+    EXPECT_EQ(e.watchedArrival(a), 5'000u);
+}
+
+TEST(Engine, ZeroByteWatchOnQueuedStreamCrossesAtSlotGrant)
+{
+    TransferEngine e(kCpb, 1);
+    int a = e.addStream("a", 100);
+    int b = e.addStream("b", 100);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    e.setWatch(b, 0);
+    e.runWatches();
+    EXPECT_EQ(e.watchedArrival(b), 10'000u); // when a's slot frees
+}
+
+TEST(Engine, ZeroByteWatchOnStartedStreamIsCurrentTime)
+{
+    TransferEngine e(kCpb, -1);
+    int a = e.addStream("a", 100);
+    e.scheduleStart(a, 0);
+    e.advanceTo(2'000);
+    e.setWatch(a, 0);
+    EXPECT_EQ(e.watchedArrival(a), 2'000u);
+}
+
 TEST(Engine, PaperLinkRatesAreExact)
 {
     // One byte over the paper's links.
