@@ -12,6 +12,7 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -30,34 +31,40 @@ main()
     Table t({"Program", "cpb 500", "cpb 1.5K", "cpb 3815 (T1)",
              "cpb 12K", "cpb 40K", "cpb 134698 (modem)", "cpb 400K"});
 
+    std::vector<GridCell> cells;
+    for (double cpb : sweeps) {
+        GridCell c;
+        c.label = cat("cpb ", cpb);
+        c.config.mode = SimConfig::Mode::Parallel;
+        c.config.ordering = OrderingSource::Test;
+        c.config.link = LinkModel{"sweep", cpb};
+        c.config.parallelLimit = 4;
+        c.config.dataPartition = true;
+        cells.push_back(std::move(c));
+    }
+
     std::vector<BenchEntry> entries = benchWorkloads();
-    std::vector<double> sums(7, 0.0);
-    for (BenchEntry &e : entries) {
-        std::vector<std::string> row{e.workload.name};
-        size_t col = 0;
-        for (double cpb : sweeps) {
-            LinkModel link{"sweep", cpb};
-            SimConfig strict;
-            strict.mode = SimConfig::Mode::Strict;
-            strict.link = link;
-            SimResult base = e.sim->run(strict);
-            SimConfig cfg;
-            cfg.mode = SimConfig::Mode::Parallel;
-            cfg.ordering = OrderingSource::Test;
-            cfg.link = link;
-            cfg.parallelLimit = 4;
-            cfg.dataPartition = true;
-            double pct = normalizedPct(e.sim->run(cfg), base);
-            sums[col++] += pct;
-            row.push_back(fmtF(pct, 1));
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
+
+    std::vector<double> sums(cells.size(), 0.0);
+    for (const GridRow &gr : grid) {
+        std::vector<std::string> row{gr.workload};
+        for (size_t i = 0; i < gr.cells.size(); ++i) {
+            sums[i] += gr.cells[i].pct;
+            row.push_back(fmtF(gr.cells[i].pct, 1));
         }
         t.addRow(std::move(row));
     }
     std::vector<std::string> avg{"AVG"};
     for (double s : sums)
-        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 1));
+        avg.push_back(fmtF(s / static_cast<double>(grid.size()), 1));
     t.addRow(std::move(avg));
 
     std::cout << t.render();
+
+    BenchJson json("ablate_bandwidth");
+    json.addTable("Ablation C", t);
+    json.write();
     return 0;
 }

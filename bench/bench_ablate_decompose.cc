@@ -18,6 +18,7 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -31,42 +32,52 @@ main()
 
     Table t({"Program", "T1 ClassStrict", "T1 NonStrict", "T1 +Part",
              "Mod ClassStrict", "Mod NonStrict", "Mod +Part"});
-    std::vector<double> sums(6, 0.0);
+
+    std::vector<GridCell> cells;
+    for (const LinkModel &link : {kT1Link, kModemLink}) {
+        struct Step
+        {
+            const char *name;
+            bool classStrict;
+            bool partition;
+        };
+        for (const Step &st : {Step{"ClassStrict", true, false},
+                               Step{"NonStrict", false, false},
+                               Step{"+Part", false, true}}) {
+            GridCell c;
+            c.label = cat(link.name, " ", st.name);
+            c.config.mode = SimConfig::Mode::Parallel;
+            c.config.ordering = OrderingSource::Test;
+            c.config.link = link;
+            c.config.parallelLimit = 4;
+            c.config.classStrict = st.classStrict;
+            c.config.dataPartition = st.partition;
+            cells.push_back(std::move(c));
+        }
+    }
+
     std::vector<BenchEntry> entries = benchWorkloads();
-    for (BenchEntry &e : entries) {
-        std::vector<std::string> row{e.workload.name};
-        size_t col = 0;
-        for (const LinkModel &link : {kT1Link, kModemLink}) {
-            SimConfig strict;
-            strict.mode = SimConfig::Mode::Strict;
-            strict.link = link;
-            SimResult base = e.sim->run(strict);
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
 
-            SimConfig cfg;
-            cfg.mode = SimConfig::Mode::Parallel;
-            cfg.ordering = OrderingSource::Test;
-            cfg.link = link;
-            cfg.parallelLimit = 4;
-
-            cfg.classStrict = true;
-            double cs = normalizedPct(e.sim->run(cfg), base);
-            cfg.classStrict = false;
-            double ns = normalizedPct(e.sim->run(cfg), base);
-            cfg.dataPartition = true;
-            double dp = normalizedPct(e.sim->run(cfg), base);
-
-            for (double v : {cs, ns, dp}) {
-                sums[col++] += v;
-                row.push_back(fmtF(v, 1));
-            }
+    std::vector<double> sums(cells.size(), 0.0);
+    for (const GridRow &gr : grid) {
+        std::vector<std::string> row{gr.workload};
+        for (size_t i = 0; i < gr.cells.size(); ++i) {
+            sums[i] += gr.cells[i].pct;
+            row.push_back(fmtF(gr.cells[i].pct, 1));
         }
         t.addRow(std::move(row));
     }
     std::vector<std::string> avg{"AVG"};
     for (double s : sums)
-        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 1));
+        avg.push_back(fmtF(s / static_cast<double>(grid.size()), 1));
     t.addRow(std::move(avg));
 
     std::cout << t.render();
+
+    BenchJson json("ablate_decompose");
+    json.addTable("Ablation D", t);
+    json.write();
     return 0;
 }

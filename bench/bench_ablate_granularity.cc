@@ -10,14 +10,18 @@
  * at every executed block boundary. Reproduced shape: the execution
  * overhead outweighs the small transfer win, so block-level
  * granularity is a net loss — on both links.
+ *
+ * The method-level column replays the context's recorded trace; the
+ * block-level column replays a second trace recorded with the
+ * per-block delimiter charge (both traces come from the shared
+ * on-disk cache, so neither costs an interpretation on warm runs).
  */
 
 #include "analysis/cfg.h"
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 #include "transfer/engine.h"
-#include "transfer/schedule.h"
-#include "vm/interpreter.h"
 
 using namespace nse;
 
@@ -25,36 +29,32 @@ namespace
 {
 
 /**
- * Run the interleaved-transfer co-simulation with a configurable
- * availability reduction (bytes of the method's tail we need not wait
- * for) and per-block delimiter cost.
+ * Replay `trace` against an interleaved single-stream transfer with a
+ * configurable availability reduction (bytes of the method's tail we
+ * need not wait for).
  */
 uint64_t
-runInterleaved(BenchEntry &e, const LinkModel &link,
-               const std::map<MethodId, uint64_t> &avail_reduction,
-               uint32_t block_cost)
+replayInterleaved(const BenchEntry &e, const ExecTrace &trace,
+                  const LinkModel &link,
+                  const std::map<MethodId, uint64_t> &avail_reduction)
 {
-    Simulator &sim = *e.sim;
-    const FirstUseOrder &order = sim.ordering(OrderingSource::Test);
-    TransferLayout layout =
-        makeInterleavedLayout(e.workload.program, order, nullptr);
+    LayoutKey key;
+    key.parallel = false;
+    key.ordering = OrderingSource::Test;
+    const TransferLayout &layout = e.ctx->layout(key);
 
     TransferEngine engine(link.cyclesPerByte, 1);
-    engine.addStream(layout.streams[0].name, layout.streams[0].totalBytes);
+    engine.addStream(layout.streams[0].name,
+                     layout.streams[0].totalBytes);
     engine.scheduleStart(0, 0);
 
-    VmOptions opts;
-    opts.blockDelimiterCost = block_cost;
-    Vm vm(e.workload.program, e.workload.natives, e.workload.testInput,
-          opts);
-    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+    return replayTrace(trace, [&](MethodId id, uint64_t clock) {
         uint64_t avail = layout.of(id).availOffset;
         auto it = avail_reduction.find(id);
         if (it != avail_reduction.end())
             avail -= std::min(avail, it->second);
         return engine.waitFor(0, avail, clock);
     });
-    return vm.run().clock;
 }
 
 } // namespace
@@ -70,7 +70,11 @@ main()
     Table t({"Program", "T1 Method", "T1 Block", "Modem Method",
              "Modem Block"});
 
-    for (BenchEntry &e : benchWorkloads()) {
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<std::vector<std::string>> rows(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        BenchEntry &e = entries[i];
+
         // Block-level availability: only the method's first basic
         // block (plus header/local data) must have arrived.
         std::map<MethodId, uint64_t> reduction;
@@ -84,6 +88,16 @@ main()
                 reduction[id] = code_after_first_block;
             });
 
+        // The block-level run pays ~12 extra cycles per executed
+        // block boundary for the delimiter-arrival check; that charge
+        // changes execution totals, so it needs its own trace.
+        VmOptions block_opts;
+        block_opts.blockDelimiterCost = 12;
+        ExecTrace block_trace =
+            recordTrace(e.workload.program, e.workload.natives,
+                        e.workload.testInput, block_opts,
+                        benchCacheDir());
+
         std::vector<std::string> row{e.workload.name};
         for (const LinkModel &link : {kT1Link, kModemLink}) {
             SimConfig strict;
@@ -93,11 +107,9 @@ main()
                 e.sim->run(strict).totalCycles);
 
             uint64_t method_level =
-                runInterleaved(e, link, {}, 0);
-            // ~12 extra cycles per executed block boundary for the
-            // delimiter-arrival check.
+                replayInterleaved(e, e.ctx->trace(), link, {});
             uint64_t block_level =
-                runInterleaved(e, link, reduction, 12);
+                replayInterleaved(e, block_trace, link, reduction);
 
             row.push_back(
                 fmtF(100.0 * static_cast<double>(method_level) / base,
@@ -106,9 +118,16 @@ main()
                 fmtF(100.0 * static_cast<double>(block_level) / base,
                      1));
         }
+        rows[i] = std::move(row);
+    });
+
+    for (std::vector<std::string> &row : rows)
         t.addRow(std::move(row));
-    }
 
     std::cout << t.render();
+
+    BenchJson json("ablate_granularity");
+    json.addTable("Ablation A", t);
+    json.write();
     return 0;
 }

@@ -16,10 +16,10 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 #include "transfer/engine.h"
 #include "transfer/schedule.h"
-#include "vm/interpreter.h"
 
 using namespace nse;
 
@@ -34,41 +34,44 @@ enum class Policy
 };
 
 uint64_t
-runParallel(BenchEntry &e, const LinkModel &link, Policy policy,
-            uint64_t *mispredictions)
+replayParallel(const BenchEntry &e, const LinkModel &link,
+               Policy policy, uint64_t *mispredictions)
 {
-    Simulator &sim = *e.sim;
-    const FirstUseOrder &order = sim.ordering(OrderingSource::Test);
-    TransferLayout layout =
-        makeParallelLayout(e.workload.program, order, nullptr);
+    LayoutKey lkey;
+    lkey.parallel = true;
+    lkey.ordering = OrderingSource::Test;
+    const TransferLayout &layout = e.ctx->layout(lkey);
 
     TransferEngine engine(link.cyclesPerByte, 4);
     for (const StreamInfo &s : layout.streams)
         engine.addStream(s.name, s.totalBytes);
 
-    std::vector<uint64_t> method_cycles;
-    for (const MethodId &id : order.order)
-        method_cycles.push_back(sim.testProfile().of(id).firstUseClock);
-    StreamDemand demand = deriveStreamDemand(e.workload.program, order,
-                                             layout, method_cycles);
-
     switch (policy) {
       case Policy::Demand: {
         // Only the entry class is requested up front.
-        int entry_stream = layout.of(e.workload.program.entry()).streamIdx;
+        int entry_stream =
+            layout.of(e.workload.program.entry()).streamIdx;
         engine.scheduleStart(entry_stream, 0);
         break;
       }
       case Policy::Eager: {
         // Everything at cycle 0; the queue honours first-use order.
+        const FirstUseOrder &order =
+            e.ctx->ordering(OrderingSource::Test);
+        StreamDemand demand = deriveStreamDemand(
+            e.workload.program, order, layout,
+            e.ctx->methodCycles(OrderingSource::Test));
         uint64_t t = 0;
         for (int s : demand.streamOrder)
             engine.scheduleStart(s, t++);
         break;
       }
       case Policy::Greedy: {
-        TransferSchedule sched =
-            buildGreedySchedule(layout, demand, link, 4);
+        ScheduleKey skey;
+        skey.layout = lkey;
+        skey.cyclesPerByte = link.cyclesPerByte;
+        skey.limit = 4;
+        const TransferSchedule &sched = e.ctx->schedule(skey);
         for (size_t i = 0; i < sched.startCycle.size(); ++i)
             engine.scheduleStart(static_cast<int>(i),
                                  sched.startCycle[i]);
@@ -77,18 +80,18 @@ runParallel(BenchEntry &e, const LinkModel &link, Policy policy,
     }
 
     uint64_t misses = 0;
-    Vm vm(e.workload.program, e.workload.natives, e.workload.testInput);
-    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
-        const MethodPlacement &pl = layout.of(id);
-        engine.advanceTo(clock);
-        const Stream &s = engine.stream(pl.streamIdx);
-        if (s.state == StreamState::Idle && s.scheduledStart > clock) {
-            ++misses;
-            engine.demandStart(pl.streamIdx, clock);
-        }
-        return engine.waitFor(pl.streamIdx, pl.availOffset, clock);
-    });
-    uint64_t total = vm.run().clock;
+    uint64_t total =
+        replayTrace(e.ctx->trace(), [&](MethodId id, uint64_t clock) {
+            const MethodPlacement &pl = layout.of(id);
+            engine.advanceTo(clock);
+            const Stream &s = engine.stream(pl.streamIdx);
+            if (s.state == StreamState::Idle &&
+                s.scheduledStart > clock) {
+                ++misses;
+                engine.demandStart(pl.streamIdx, clock);
+            }
+            return engine.waitFor(pl.streamIdx, pl.availOffset, clock);
+        });
     if (mispredictions)
         *mispredictions = misses;
     return total;
@@ -107,7 +110,10 @@ main()
     Table t({"Program", "T1 Demand", "T1 Eager", "T1 Greedy",
              "Mod Demand", "Mod Eager", "Mod Greedy", "Demand Fetches"});
 
-    for (BenchEntry &e : benchWorkloads()) {
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<std::vector<std::string>> rows(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        BenchEntry &e = entries[i];
         std::vector<std::string> row{e.workload.name};
         uint64_t demand_misses = 0;
         for (const LinkModel &link : {kT1Link, kModemLink}) {
@@ -119,7 +125,7 @@ main()
             for (Policy p :
                  {Policy::Demand, Policy::Eager, Policy::Greedy}) {
                 uint64_t misses = 0;
-                uint64_t cycles = runParallel(e, link, p, &misses);
+                uint64_t cycles = replayParallel(e, link, p, &misses);
                 if (p == Policy::Demand)
                     demand_misses = misses;
                 row.push_back(fmtF(
@@ -127,9 +133,16 @@ main()
             }
         }
         row.push_back(std::to_string(demand_misses));
+        rows[i] = std::move(row);
+    });
+
+    for (std::vector<std::string> &row : rows)
         t.addRow(std::move(row));
-    }
 
     std::cout << t.render();
+
+    BenchJson json("ablate_schedule");
+    json.addTable("Ablation B", t);
+    json.write();
     return 0;
 }

@@ -4,31 +4,63 @@
  * regenerates one of the paper's tables or figures and prints it in
  * the paper's row/column shape (absolute numbers reflect our
  * substrate; the shapes are what reproduce).
+ *
+ * Every bench builds its workloads through one shared SimContext per
+ * workload (record-once) and evaluates configurations by trace
+ * replay on the ExperimentRunner pool (replay-many). Instrumented
+ * runs are cached on disk across binaries — NSE_BENCH_CACHE names the
+ * cache directory (default .nse-bench-cache; "off" disables) — so a
+ * full suite run interprets each workload input once in total.
+ * Besides its text tables, each bench writes BENCH_<name>.json
+ * (report/json.h).
  */
 
 #ifndef NSE_BENCH_BENCH_COMMON_H
 #define NSE_BENCH_BENCH_COMMON_H
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/runner.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
 namespace nse
 {
 
-/** A workload together with its lazily shared simulator. */
+/** A workload together with its shared context and simulator façade. */
 struct BenchEntry
 {
     Workload workload;
+    std::shared_ptr<const SimContext> ctx;
     std::unique_ptr<Simulator> sim;
 };
 
-/** Build all six workloads with ready simulators. */
+/** Cross-binary cache directory for instrumented runs ("" = off). */
+inline std::string
+benchCacheDir()
+{
+    const char *env = std::getenv("NSE_BENCH_CACHE");
+    std::string dir = env ? env : ".nse-bench-cache";
+    return dir == "off" ? "" : dir;
+}
+
+/** The shared experiment pool (NSE_BENCH_THREADS; 0 = hardware). */
+inline const ExperimentRunner &
+benchRunner()
+{
+    static ExperimentRunner runner([] {
+        const char *env = std::getenv("NSE_BENCH_THREADS");
+        return env ? static_cast<unsigned>(std::atoi(env)) : 0u;
+    }());
+    return runner;
+}
+
+/** Build all six workloads with ready contexts and simulators. */
 inline std::vector<BenchEntry>
 benchWorkloads()
 {
@@ -38,11 +70,24 @@ benchWorkloads()
         e.workload = std::move(w);
         out.push_back(std::move(e));
     }
+    std::string cache = benchCacheDir();
     for (BenchEntry &e : out) {
-        e.sim = std::make_unique<Simulator>(
+        e.ctx = std::make_shared<SimContext>(
             e.workload.program, e.workload.natives,
-            e.workload.trainInput, e.workload.testInput);
+            e.workload.trainInput, e.workload.testInput, cache);
+        e.sim = std::make_unique<Simulator>(e.ctx);
     }
+    return out;
+}
+
+/** The entries as grid workloads for ExperimentRunner::runGrid. */
+inline std::vector<GridWorkload>
+gridWorkloads(const std::vector<BenchEntry> &entries)
+{
+    std::vector<GridWorkload> out;
+    out.reserve(entries.size());
+    for (const BenchEntry &e : entries)
+        out.push_back({e.workload.name, e.ctx.get()});
     return out;
 }
 

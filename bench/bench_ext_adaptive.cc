@@ -23,8 +23,8 @@
 
 #include "bench/bench_common.h"
 #include "classfile/writer.h"
+#include "report/json.h"
 #include "report/table.h"
-#include "vm/interpreter.h"
 
 using namespace nse;
 
@@ -199,21 +199,21 @@ struct RunStats
 };
 
 RunStats
-runOnce(BenchEntry &e, OrderingSource src, const LinkModel &link,
+runOnce(const BenchEntry &e, OrderingSource src, const LinkModel &link,
         bool adaptive, double strict_total)
 {
     const FirstUseOrder &order = e.sim->ordering(src);
     AdaptiveInterleaver net(e.workload.program, order,
                             link.cyclesPerByte, adaptive);
     RunStats stats;
-    Vm vm(e.workload.program, e.workload.natives, e.workload.testInput);
-    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
-        uint64_t resume = net.waitFor(id, clock);
-        stats.maxStall = std::max(stats.maxStall, resume - clock);
-        return resume;
-    });
+    uint64_t total = replayTrace(
+        e.ctx->trace(), [&](MethodId id, uint64_t clock) {
+            uint64_t resume = net.waitFor(id, clock);
+            stats.maxStall = std::max(stats.maxStall, resume - clock);
+            return resume;
+        });
     stats.normalized =
-        100.0 * static_cast<double>(vm.run().clock) / strict_total;
+        100.0 * static_cast<double>(total) / strict_total;
     stats.promotions = net.promotions();
     return stats;
 }
@@ -232,7 +232,10 @@ main()
              "Fixed MaxStall M", "Adapt MaxStall M", "Promotions",
              "Mod Test Fixed %", "Mod Test Adapt %"});
 
-    for (BenchEntry &e : benchWorkloads()) {
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<std::vector<std::string>> rows(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        const BenchEntry &e = entries[i];
         SimConfig strict;
         strict.mode = SimConfig::Mode::Strict;
         strict.link = kModemLink;
@@ -247,13 +250,19 @@ main()
                               false, base);
         RunStats ca = runOnce(e, OrderingSource::Test, kModemLink,
                               true, base);
-        t.addRow({e.workload.name, fmtF(f.normalized, 1),
-                  fmtF(a.normalized, 1), fmtMillions(f.maxStall, 1),
-                  fmtMillions(a.maxStall, 1),
-                  std::to_string(a.promotions), fmtF(cf.normalized, 1),
-                  fmtF(ca.normalized, 1)});
-    }
+        rows[i] = {e.workload.name, fmtF(f.normalized, 1),
+                   fmtF(a.normalized, 1), fmtMillions(f.maxStall, 1),
+                   fmtMillions(a.maxStall, 1),
+                   std::to_string(a.promotions), fmtF(cf.normalized, 1),
+                   fmtF(ca.normalized, 1)};
+    });
+    for (std::vector<std::string> &row : rows)
+        t.addRow(std::move(row));
 
     std::cout << t.render();
+
+    BenchJson json("ext_adaptive");
+    json.addTable("Adaptive interleaving", t);
+    json.write();
     return 0;
 }

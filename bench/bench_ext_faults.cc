@@ -28,6 +28,7 @@
 
 #include "bench/bench_common.h"
 #include "classfile/writer.h"
+#include "report/json.h"
 #include "report/table.h"
 #include "transfer/faults.h"
 
@@ -88,6 +89,8 @@ main()
         "(extra cycles as % of nominal strict; schedules stay nominal;\n"
         "S = strict, NS = parallel Train limit 4; NS must degrade less)");
 
+    std::vector<BenchEntry> entries = benchWorkloads();
+    BenchJson json("ext_faults");
     for (const LinkModel &link : {kT1Link, kModemLink}) {
         std::vector<std::string> headers{"Program (" +
                                          std::string(link.name) + ")"};
@@ -99,7 +102,9 @@ main()
         headers.push_back("Degr Mcyc NS sev");
         Table t(std::move(headers));
 
-        for (BenchEntry &e : benchWorkloads()) {
+        std::vector<std::vector<std::string>> rows(entries.size());
+        benchRunner().parallelFor(entries.size(), [&](size_t i) {
+            const BenchEntry &e = entries[i];
             SimConfig strict;
             strict.mode = SimConfig::Mode::Strict;
             strict.link = link;
@@ -147,9 +152,13 @@ main()
             row.push_back(std::to_string(sev_retries_s) + "/" +
                           std::to_string(sev_retries_ns));
             row.push_back(fmtMillions(sev_degraded_ns, 1));
+            rows[i] = std::move(row);
+        });
+        for (std::vector<std::string> &row : rows)
             t.addRow(std::move(row));
-        }
         std::cout << t.render() << "\n";
+        json.addTable(cat(link.name, " link"), t);
     }
+    json.write();
     return 0;
 }

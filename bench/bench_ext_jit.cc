@@ -21,15 +21,19 @@
  * Expected shape: eager JIT recovers most of the compile time on slow
  * links (compilation fully hidden under the modem transfer), while on
  * fast links it degenerates toward lazy JIT.
+ *
+ * Every policy's first-use hook only moves the clock forward, so all
+ * three replay the context's recorded trace instead of re-running the
+ * interpreter.
  */
 
 #include <algorithm>
 #include <cmath>
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 #include "transfer/engine.h"
-#include "vm/interpreter.h"
 
 using namespace nse;
 
@@ -53,24 +57,25 @@ enum class JitPolicy
 };
 
 uint64_t
-runJit(BenchEntry &e, const LinkModel &link, JitPolicy policy)
+runJit(const BenchEntry &e, const LinkModel &link, JitPolicy policy)
 {
-    Simulator &sim = *e.sim;
-    const FirstUseOrder &order = sim.ordering(OrderingSource::Test);
-    TransferLayout layout =
-        makeInterleavedLayout(e.workload.program, order, nullptr);
+    LayoutKey lkey;
+    lkey.parallel = false;
+    lkey.ordering = OrderingSource::Test;
+    const TransferLayout &layout = e.ctx->layout(lkey);
+    const ExecTrace &trace = e.ctx->trace();
 
     if (policy == JitPolicy::StrictLazy) {
         // Full transfer, then execution with compile-at-first-use.
         uint64_t transfer = static_cast<uint64_t>(
             std::ceil(static_cast<double>(layout.totalBytes) *
                       link.cyclesPerByte));
-        Vm vm(e.workload.program, e.workload.natives,
-              e.workload.testInput);
-        vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
-            return clock + compileCost(e.workload.program.method(id));
-        });
-        return transfer + vm.run().clock;
+        uint64_t exec =
+            replayTrace(trace, [&](MethodId id, uint64_t clock) {
+                return clock +
+                       compileCost(e.workload.program.method(id));
+            });
+        return transfer + exec;
     }
 
     TransferEngine engine(link.cyclesPerByte, 1);
@@ -83,6 +88,8 @@ runJit(BenchEntry &e, const LinkModel &link, JitPolicy policy)
     // compileDone[m] = max(arrival_m, compiler-free time) + cost.
     std::map<MethodId, uint64_t> compile_done;
     if (policy == JitPolicy::NonStrictEager) {
+        const FirstUseOrder &order =
+            e.ctx->ordering(OrderingSource::Test);
         uint64_t compiler_free = 0;
         for (const MethodId &id : order.order) {
             uint64_t arrival = static_cast<uint64_t>(
@@ -96,8 +103,7 @@ runJit(BenchEntry &e, const LinkModel &link, JitPolicy policy)
         }
     }
 
-    Vm vm(e.workload.program, e.workload.natives, e.workload.testInput);
-    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+    return replayTrace(trace, [&](MethodId id, uint64_t clock) {
         uint64_t ready =
             engine.waitFor(0, layout.of(id).availOffset, clock);
         if (policy == JitPolicy::NonStrictLazy)
@@ -105,7 +111,6 @@ runJit(BenchEntry &e, const LinkModel &link, JitPolicy policy)
         // Eager: the background compiler may already be done.
         return std::max(ready, compile_done[id]);
     });
-    return vm.run().clock;
 }
 
 } // namespace
@@ -120,22 +125,29 @@ main()
 
     Table t({"Program", "T1 Lazy", "T1 Eager", "Modem Lazy",
              "Modem Eager"});
-    std::vector<double> sums(4, 0.0);
+
     std::vector<BenchEntry> entries = benchWorkloads();
-    for (BenchEntry &e : entries) {
-        std::vector<std::string> row{e.workload.name};
-        size_t col = 0;
+    std::vector<std::vector<double>> pcts(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        const BenchEntry &e = entries[i];
         for (const LinkModel &link : {kT1Link, kModemLink}) {
             double base = static_cast<double>(
                 runJit(e, link, JitPolicy::StrictLazy));
             for (JitPolicy p : {JitPolicy::NonStrictLazy,
                                 JitPolicy::NonStrictEager}) {
-                double pct =
+                pcts[i].push_back(
                     100.0 * static_cast<double>(runJit(e, link, p)) /
-                    base;
-                sums[col++] += pct;
-                row.push_back(fmtF(pct, 1));
+                    base);
             }
+        }
+    });
+
+    std::vector<double> sums(4, 0.0);
+    for (size_t i = 0; i < entries.size(); ++i) {
+        std::vector<std::string> row{entries[i].workload.name};
+        for (size_t c = 0; c < 4; ++c) {
+            sums[c] += pcts[i][c];
+            row.push_back(fmtF(pcts[i][c], 1));
         }
         t.addRow(std::move(row));
     }
@@ -145,5 +157,9 @@ main()
     t.addRow(std::move(avg));
 
     std::cout << t.render();
+
+    BenchJson json("ext_jit");
+    json.addTable("JIT overlap", t);
+    json.write();
     return 0;
 }

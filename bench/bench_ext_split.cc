@@ -18,6 +18,7 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 #include "restructure/split.h"
 
@@ -33,9 +34,9 @@ struct Row
 };
 
 Row
-measure(const Workload &w)
+measure(std::shared_ptr<const SimContext> ctx)
 {
-    Simulator sim(w.program, w.natives, w.trainInput, w.testInput);
+    Simulator sim(std::move(ctx));
     SimConfig strict;
     strict.mode = SimConfig::Mode::Strict;
     strict.link = kModemLink;
@@ -64,21 +65,34 @@ main()
     Table t({"Program", "Tails Added", "Latency Before M",
              "Latency After M", "Norm Before", "Norm After"});
 
-    for (const std::string name :
-         {"BIT", "Hanoi", "JavaCup", "Jess", "JHLZip", "TestDes"}) {
-        Workload plain = makeWorkload(name);
-        Row before = measure(plain);
+    const std::vector<std::string> names{"BIT",    "Hanoi",  "JavaCup",
+                                         "Jess",   "JHLZip", "TestDes"};
+    std::vector<std::vector<std::string>> rows(names.size());
+    benchRunner().parallelFor(names.size(), [&](size_t i) {
+        Workload plain = makeWorkload(names[i]);
+        Row before = measure(std::make_shared<SimContext>(
+            plain.program, plain.natives, plain.trainInput,
+            plain.testInput, benchCacheDir()));
 
-        Workload split_wl = makeWorkload(name);
+        Workload split_wl = makeWorkload(names[i]);
         SplitStats stats = splitLargeMethods(split_wl.program, 2'048);
-        Row after = measure(split_wl);
+        Row after = measure(std::make_shared<SimContext>(
+            split_wl.program, split_wl.natives, split_wl.trainInput,
+            split_wl.testInput, benchCacheDir()));
 
-        t.addRow({name, std::to_string(stats.tailsCreated),
-                  fmtMillions(before.invocation),
-                  fmtMillions(after.invocation),
-                  fmtF(before.normalized, 1), fmtF(after.normalized, 1)});
-    }
+        rows[i] = {names[i], std::to_string(stats.tailsCreated),
+                   fmtMillions(before.invocation),
+                   fmtMillions(after.invocation),
+                   fmtF(before.normalized, 1),
+                   fmtF(after.normalized, 1)};
+    });
+    for (std::vector<std::string> &row : rows)
+        t.addRow(std::move(row));
 
     std::cout << t.render();
+
+    BenchJson json("ext_split");
+    json.addTable("Procedure splitting", t);
+    json.write();
     return 0;
 }

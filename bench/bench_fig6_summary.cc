@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -42,32 +43,40 @@ main()
 
     std::vector<BenchEntry> entries = benchWorkloads();
 
+    // One grid cell per (series, link, ordering) bar of the figure.
+    std::vector<GridCell> cells;
+    for (const Series &sr : series) {
+        for (const LinkModel &link : links) {
+            for (OrderingSource ord : orders) {
+                GridCell c;
+                c.label =
+                    cat(sr.name, " ", link.name, " ", orderingName(ord));
+                c.config.mode = sr.mode;
+                c.config.ordering = ord;
+                c.config.link = link;
+                c.config.parallelLimit = 4;
+                c.config.dataPartition = sr.partition;
+                cells.push_back(std::move(c));
+            }
+        }
+    }
+
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
+
     Table t({"Series", "T1 SCG", "T1 Train", "T1 Test", "Modem SCG",
              "Modem Train", "Modem Test"});
     std::map<std::string, std::vector<double>> values;
 
-    for (const Series &sr : series) {
-        std::vector<std::string> row{sr.name};
-        for (const LinkModel &link : links) {
-            for (OrderingSource ord : orders) {
-                double sum = 0;
-                for (BenchEntry &e : entries) {
-                    SimConfig strict;
-                    strict.mode = SimConfig::Mode::Strict;
-                    strict.link = link;
-                    SimResult base = e.sim->run(strict);
-                    SimConfig cfg;
-                    cfg.mode = sr.mode;
-                    cfg.ordering = ord;
-                    cfg.link = link;
-                    cfg.parallelLimit = 4;
-                    cfg.dataPartition = sr.partition;
-                    sum += normalizedPct(e.sim->run(cfg), base);
-                }
-                double avg = sum / static_cast<double>(entries.size());
-                values[sr.name].push_back(avg);
-                row.push_back(fmtF(avg, 1));
-            }
+    for (size_t s = 0; s < 4; ++s) {
+        std::vector<std::string> row{series[s].name};
+        for (size_t c = 0; c < 6; ++c) {
+            double sum = 0;
+            for (const GridRow &gr : grid)
+                sum += gr.cells[s * 6 + c].pct;
+            double avg = sum / static_cast<double>(grid.size());
+            values[series[s].name].push_back(avg);
+            row.push_back(fmtF(avg, 1));
         }
         t.addRow(std::move(row));
     }
@@ -87,5 +96,9 @@ main()
                       << " " << fmtF(v, 1) << "  " << sr.name << "\n";
         }
     }
+
+    BenchJson json("fig6_summary");
+    json.addTable("Figure 6", t);
+    json.write();
     return 0;
 }

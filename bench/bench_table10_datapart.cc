@@ -7,6 +7,7 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -30,37 +31,47 @@ main()
              "IFT T1 SCG", "IFT T1 Train", "IFT T1 Test", "IFT Mod SCG",
              "IFT Mod Train", "IFT Mod Test"});
 
-    std::vector<BenchEntry> entries = benchWorkloads();
-    std::vector<double> sums(12, 0.0);
-    for (BenchEntry &e : entries) {
-        std::vector<std::string> row{e.workload.name};
-        size_t col = 0;
-        for (SimConfig::Mode mode : modes) {
-            for (const LinkModel &link : links) {
-                SimConfig strict;
-                strict.mode = SimConfig::Mode::Strict;
-                strict.link = link;
-                SimResult base = e.sim->run(strict);
-                for (OrderingSource ord : orders) {
-                    SimConfig cfg;
-                    cfg.mode = mode;
-                    cfg.ordering = ord;
-                    cfg.link = link;
-                    cfg.parallelLimit = 4;
-                    cfg.dataPartition = true;
-                    double pct = normalizedPct(e.sim->run(cfg), base);
-                    sums[col++] += pct;
-                    row.push_back(fmtF(pct, 0));
-                }
+    std::vector<GridCell> cells;
+    for (SimConfig::Mode mode : modes) {
+        for (const LinkModel &link : links) {
+            for (OrderingSource ord : orders) {
+                GridCell c;
+                c.label = cat(mode == SimConfig::Mode::Parallel
+                                  ? "PFT"
+                                  : "IFT",
+                              " ", link.name, " ", orderingName(ord));
+                c.config.mode = mode;
+                c.config.ordering = ord;
+                c.config.link = link;
+                c.config.parallelLimit = 4;
+                c.config.dataPartition = true;
+                cells.push_back(std::move(c));
             }
+        }
+    }
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
+
+    std::vector<double> sums(cells.size(), 0.0);
+    for (const GridRow &gr : grid) {
+        std::vector<std::string> row{gr.workload};
+        for (size_t i = 0; i < gr.cells.size(); ++i) {
+            sums[i] += gr.cells[i].pct;
+            row.push_back(fmtF(gr.cells[i].pct, 0));
         }
         t.addRow(std::move(row));
     }
     std::vector<std::string> avg{"AVG"};
     for (double s : sums)
-        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 0));
+        avg.push_back(fmtF(s / static_cast<double>(grid.size()), 0));
     t.addRow(std::move(avg));
 
     std::cout << t.render();
+
+    BenchJson json("table10_datapart");
+    json.addTable("Table 10", t);
+    json.write();
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.h"
 #include "profile/first_use_profile.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -49,5 +50,10 @@ main()
     }
 
     std::cout << desc.render() << "\n" << stats.render();
+
+    BenchJson json("table2_stats");
+    json.addTable("Table 1", desc);
+    json.addTable("Table 2", stats);
+    json.write();
     return 0;
 }

@@ -8,34 +8,10 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
-
-namespace
-{
-
-void
-linkColumns(Simulator &sim, const LinkModel &link, Table &table,
-            const std::string &name, double cpi, uint64_t exec)
-{
-    SimConfig cfg;
-    cfg.mode = SimConfig::Mode::Strict;
-    cfg.link = link;
-    SimResult r = sim.run(cfg);
-    table.addRow({
-        name,
-        fmtF(cpi, 0),
-        fmtMillions(exec),
-        fmtMillions(r.transferCycles),
-        fmtMillions(r.totalCycles),
-        fmtF(100.0 * static_cast<double>(r.transferCycles) /
-                 static_cast<double>(r.totalCycles),
-             1),
-    });
-}
-
-} // namespace
 
 int
 main()
@@ -49,14 +25,37 @@ main()
     Table modem({"Program", "CPI", "Exe Cycles M", "Transfer Cycles M",
                  "Total Strict M", "% Transfer"});
 
+    std::vector<BenchEntry> entries = benchWorkloads();
+
+    std::vector<GridCell> cells(2);
+    cells[0].label = "T1 strict";
+    cells[0].config.mode = SimConfig::Mode::Strict;
+    cells[0].config.link = kT1Link;
+    cells[1].label = "Modem strict";
+    cells[1].config.mode = SimConfig::Mode::Strict;
+    cells[1].config.link = kModemLink;
+
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
+
     double cpi_sum = 0;
     int n = 0;
-    for (BenchEntry &e : benchWorkloads()) {
-        const VmResult &exec = e.sim->testProfile().result;
-        linkColumns(*e.sim, kT1Link, t1, e.workload.name, exec.cpi(),
-                    exec.execCycles);
-        linkColumns(*e.sim, kModemLink, modem, e.workload.name,
-                    exec.cpi(), exec.execCycles);
+    for (size_t w = 0; w < grid.size(); ++w) {
+        const VmResult &exec = entries[w].sim->testProfile().result;
+        Table *tables[] = {&t1, &modem};
+        for (size_t c = 0; c < 2; ++c) {
+            const SimResult &r = grid[w].cells[c].result;
+            tables[c]->addRow({
+                grid[w].workload,
+                fmtF(exec.cpi(), 0),
+                fmtMillions(exec.execCycles),
+                fmtMillions(r.transferCycles),
+                fmtMillions(r.totalCycles),
+                fmtF(100.0 * static_cast<double>(r.transferCycles) /
+                         static_cast<double>(r.totalCycles),
+                     1),
+            });
+        }
         cpi_sum += exec.cpi();
         ++n;
     }
@@ -66,5 +65,10 @@ main()
               << "--- Modem link (134,698 cycles/byte) ---\n"
               << modem.render() << "\nAVG CPI: " << fmtF(cpi_sum / n, 0)
               << "\n";
+
+    BenchJson json("table3_basecase");
+    json.addTable("T1 link", t1);
+    json.addTable("Modem link", modem);
+    json.write();
     return 0;
 }

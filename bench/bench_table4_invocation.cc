@@ -10,6 +10,7 @@
  */
 
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -27,29 +28,42 @@ withPct(uint64_t cycles, uint64_t strict)
     return cat(fmtMillions(cycles), " (", fmtF(pct, 0), ")");
 }
 
-void
-linkTable(std::vector<BenchEntry> &entries, const LinkModel &link)
+Table
+linkTable(const std::vector<BenchEntry> &entries, const LinkModel &link)
 {
     Table t({"Program", "Strict M", "NonStrict M (%dec)",
              "Data Part. M (%dec)"});
+
+    struct Latencies
+    {
+        uint64_t strict = 0, ns = 0, dp = 0;
+    };
+    std::vector<Latencies> lat(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        lat[i].strict = entries[i].sim->strictInvocationLatency(link);
+        lat[i].ns =
+            entries[i].sim->nonStrictInvocationLatency(link, false);
+        lat[i].dp =
+            entries[i].sim->nonStrictInvocationLatency(link, true);
+    });
+
     uint64_t sum_strict = 0;
     double sum_ns_pct = 0, sum_dp_pct = 0;
-    for (BenchEntry &e : entries) {
-        uint64_t strict = e.sim->strictInvocationLatency(link);
-        uint64_t ns = e.sim->nonStrictInvocationLatency(link, false);
-        uint64_t dp = e.sim->nonStrictInvocationLatency(link, true);
-        t.addRow({e.workload.name, fmtMillions(strict),
-                  withPct(ns, strict), withPct(dp, strict)});
-        sum_strict += strict;
-        sum_ns_pct += 100.0 * (1.0 - static_cast<double>(ns) / strict);
-        sum_dp_pct += 100.0 * (1.0 - static_cast<double>(dp) / strict);
+    for (size_t i = 0; i < entries.size(); ++i) {
+        t.addRow({entries[i].workload.name, fmtMillions(lat[i].strict),
+                  withPct(lat[i].ns, lat[i].strict),
+                  withPct(lat[i].dp, lat[i].strict)});
+        sum_strict += lat[i].strict;
+        sum_ns_pct += 100.0 * (1.0 - static_cast<double>(lat[i].ns) /
+                                         lat[i].strict);
+        sum_dp_pct += 100.0 * (1.0 - static_cast<double>(lat[i].dp) /
+                                         lat[i].strict);
     }
     double n = static_cast<double>(entries.size());
     t.addRow({"AVG", fmtMillions(sum_strict / entries.size()),
               cat("(", fmtF(sum_ns_pct / n, 0), ")"),
               cat("(", fmtF(sum_dp_pct / n, 0), ")")});
-    std::cout << "--- " << link.name << " link ---\n" << t.render()
-              << "\n";
+    return t;
 }
 
 } // namespace
@@ -61,7 +75,14 @@ main()
                 "Invocation latency: strict vs non-strict vs "
                 "non-strict + data partitioning");
     std::vector<BenchEntry> entries = benchWorkloads();
-    linkTable(entries, kT1Link);
-    linkTable(entries, kModemLink);
+
+    BenchJson json("table4_invocation");
+    for (const LinkModel &link : {kT1Link, kModemLink}) {
+        Table t = linkTable(entries, link);
+        std::cout << "--- " << link.name << " link ---\n" << t.render()
+                  << "\n";
+        json.addTable(cat(link.name, " link"), t);
+    }
+    json.write();
     return 0;
 }

@@ -9,5 +9,5 @@
 int
 main()
 {
-    return nse::runParallelTable(nse::kT1Link);
+    return nse::runParallelTable(nse::kT1Link, "table5_parallel_t1");
 }

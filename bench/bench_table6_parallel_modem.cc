@@ -9,5 +9,5 @@
 int
 main()
 {
-    return nse::runParallelTable(nse::kModemLink);
+    return nse::runParallelTable(nse::kModemLink, "table6_parallel_modem");
 }

@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.h"
 #include "classfile/writer.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -64,5 +65,10 @@ main()
 
     std::cout << "--- Percent of global data ---\n" << global.render()
               << "\n--- Percent of constant pool ---\n" << cpool.render();
+
+    BenchJson json("table8_globaldata");
+    json.addTable("Percent of global data", global);
+    json.addTable("Percent of constant pool", cpool);
+    json.write();
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.h"
 #include "classfile/writer.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace nse;
@@ -22,14 +23,22 @@ main()
     Table t({"Program", "Local Data KB", "Global Data KB",
              "% Needed First", "% In Methods", "% Unused"});
 
-    double sums[5] = {0, 0, 0, 0, 0};
     std::vector<BenchEntry> entries = benchWorkloads();
-    for (BenchEntry &e : entries) {
+
+    struct Row
+    {
+        uint64_t local = 0;
+        uint64_t globalTotal = 0;
+        double neededFirst = 0, inMethods = 0, unused = 0;
+    };
+    std::vector<Row> rows(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        const BenchEntry &e = entries[i];
         const Program &prog = e.workload.program;
 
-        uint64_t local = 0;
+        Row &r = rows[i];
         for (uint16_t c = 0; c < prog.classCount(); ++c)
-            local += layoutOf(prog.classAt(c)).localDataBytes;
+            r.local += layoutOf(prog.classAt(c)).localDataBytes;
 
         const DataPartition &part =
             e.sim->partition(OrderingSource::Test);
@@ -38,17 +47,23 @@ main()
         for (auto &[id, mp] : e.sim->testProfile().methods)
             executed.insert(id);
         GlobalDataUsage usage = analyzeUsage(prog, part, executed);
+        r.globalTotal = usage.total();
+        r.neededFirst = usage.pctNeededFirst();
+        r.inMethods = usage.pctInMethods();
+        r.unused = usage.pctUnused();
+    });
 
-        t.addRow({e.workload.name, fmtKb(local, 1),
-                  fmtKb(usage.total(), 1),
-                  fmtF(usage.pctNeededFirst(), 0),
-                  fmtF(usage.pctInMethods(), 0),
-                  fmtF(usage.pctUnused(), 0)});
-        sums[0] += static_cast<double>(local) / 1024.0;
-        sums[1] += static_cast<double>(usage.total()) / 1024.0;
-        sums[2] += usage.pctNeededFirst();
-        sums[3] += usage.pctInMethods();
-        sums[4] += usage.pctUnused();
+    double sums[5] = {0, 0, 0, 0, 0};
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Row &r = rows[i];
+        t.addRow({entries[i].workload.name, fmtKb(r.local, 1),
+                  fmtKb(r.globalTotal, 1), fmtF(r.neededFirst, 0),
+                  fmtF(r.inMethods, 0), fmtF(r.unused, 0)});
+        sums[0] += static_cast<double>(r.local) / 1024.0;
+        sums[1] += static_cast<double>(r.globalTotal) / 1024.0;
+        sums[2] += r.neededFirst;
+        sums[3] += r.inMethods;
+        sums[4] += r.unused;
     }
     double n = static_cast<double>(entries.size());
     t.addRow({"AVG", fmtF(sums[0] / n, 1), fmtF(sums[1] / n, 1),
@@ -56,5 +71,9 @@ main()
               fmtF(sums[4] / n, 0)});
 
     std::cout << t.render();
+
+    BenchJson json("table9_partition");
+    json.addTable("Table 9", t);
+    json.write();
     return 0;
 }

@@ -3,67 +3,114 @@
  * Shared driver for Tables 5 and 6 (parallel file transfer, one table
  * per link): normalized execution time for orderings {SCG, Train,
  * Test} x concurrent-transfer limits {1, 2, 4, unlimited}.
+ *
+ * The whole report is built as a string (parallelTableReport) so the
+ * golden-output regression test can pin the exact text without
+ * capturing a child process's stdout.
  */
 
 #ifndef NSE_BENCH_PARALLEL_TABLE_H
 #define NSE_BENCH_PARALLEL_TABLE_H
 
+#include <sstream>
+
 #include "bench/bench_common.h"
+#include "report/json.h"
 #include "report/table.h"
 
 namespace nse
 {
 
-inline int
-runParallelTable(const LinkModel &link)
+/** The 12 (ordering x limit) cells of Tables 5/6 on `link`. */
+inline std::vector<GridCell>
+parallelTableCells(const LinkModel &link)
 {
-    benchHeader(cat("Table ", link.cyclesPerByte < 10000 ? 5 : 6),
-                cat("Normalized execution time (% of strict) for "
-                    "parallel file transfer on the ",
-                    link.name,
-                    " link; orderings SCG/Train/Test, limits "
-                    "1/2/4/unlimited"));
-
     const int limits[] = {1, 2, 4, -1};
+    const char *limit_names[] = {"1", "2", "4", "Inf"};
     const OrderingSource orders[] = {OrderingSource::Static,
                                      OrderingSource::Train,
                                      OrderingSource::Test};
+    const char *order_names[] = {"SCG", "Train", "Test"};
 
-    Table t({"Program", "SCG 1", "SCG 2", "SCG 4", "SCG Inf", "Train 1",
-             "Train 2", "Train 4", "Train Inf", "Test 1", "Test 2",
-             "Test 4", "Test Inf"});
-
-    std::vector<BenchEntry> entries = benchWorkloads();
-    std::vector<double> sums(12, 0.0);
-    for (BenchEntry &e : entries) {
-        SimConfig strict;
-        strict.mode = SimConfig::Mode::Strict;
-        strict.link = link;
-        SimResult base = e.sim->run(strict);
-
-        std::vector<std::string> row{e.workload.name};
-        size_t col = 0;
-        for (OrderingSource ord : orders) {
-            for (int limit : limits) {
-                SimConfig cfg;
-                cfg.mode = SimConfig::Mode::Parallel;
-                cfg.ordering = ord;
-                cfg.link = link;
-                cfg.parallelLimit = limit;
-                double pct = normalizedPct(e.sim->run(cfg), base);
-                sums[col++] += pct;
-                row.push_back(fmtF(pct, 0));
-            }
+    std::vector<GridCell> cells;
+    for (size_t o = 0; o < 3; ++o) {
+        for (size_t l = 0; l < 4; ++l) {
+            GridCell c;
+            c.label = cat(order_names[o], " ", limit_names[l]);
+            c.config.mode = SimConfig::Mode::Parallel;
+            c.config.ordering = orders[o];
+            c.config.link = link;
+            c.config.parallelLimit = limits[l];
+            cells.push_back(std::move(c));
         }
-        t.addRow(std::move(row));
+    }
+    return cells;
+}
+
+/** Build the Table 5/6 grid for `link` over `entries` on the pool. */
+inline Table
+buildParallelTable(const LinkModel &link,
+                   const std::vector<BenchEntry> &entries)
+{
+    std::vector<GridCell> cells = parallelTableCells(link);
+
+    std::vector<std::string> headers{"Program"};
+    for (const GridCell &c : cells)
+        headers.push_back(c.label);
+    Table t(std::move(headers));
+
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
+
+    std::vector<double> sums(cells.size(), 0.0);
+    for (const GridRow &row : grid) {
+        std::vector<std::string> cells_out{row.workload};
+        for (size_t i = 0; i < row.cells.size(); ++i) {
+            sums[i] += row.cells[i].pct;
+            cells_out.push_back(fmtF(row.cells[i].pct, 0));
+        }
+        t.addRow(std::move(cells_out));
     }
 
     std::vector<std::string> avg{"AVG"};
     for (double s : sums)
-        avg.push_back(fmtF(s / static_cast<double>(entries.size()), 0));
+        avg.push_back(fmtF(s / static_cast<double>(grid.size()), 0));
     t.addRow(std::move(avg));
+    return t;
+}
 
-    std::cout << t.render();
+/** The complete bench report text (header + table) for `link`. */
+inline std::string
+parallelTableReport(const LinkModel &link,
+                    const std::vector<BenchEntry> &entries,
+                    Table *out_table = nullptr)
+{
+    Table t = buildParallelTable(link, entries);
+    std::ostringstream os;
+    os << "==== "
+       << cat("Table ", link.cyclesPerByte < 10000 ? 5 : 6)
+       << " ====\n"
+       << cat("Normalized execution time (% of strict) for "
+              "parallel file transfer on the ",
+              link.name,
+              " link; orderings SCG/Train/Test, limits "
+              "1/2/4/unlimited")
+       << "\n\n"
+       << t.render();
+    if (out_table)
+        *out_table = t;
+    return os.str();
+}
+
+inline int
+runParallelTable(const LinkModel &link, const std::string &bench_name)
+{
+    Table t({"Program"});
+    std::cout << parallelTableReport(link, benchWorkloads(), &t);
+
+    BenchJson json(bench_name);
+    json.addTable(cat("Table ", link.cyclesPerByte < 10000 ? 5 : 6), t);
+    json.write();
     return 0;
 }
 

@@ -1,0 +1,89 @@
+#include "report/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace nse
+{
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name))
+{}
+
+void
+BenchJson::addTable(const std::string &label, const Table &table)
+{
+    tables_.push_back({label, table.headers(), table.rows()});
+}
+
+std::string
+BenchJson::str() const
+{
+    std::ostringstream os;
+    auto emitStrings = [&](const std::vector<std::string> &v) {
+        os << "[";
+        for (size_t i = 0; i < v.size(); ++i)
+            os << (i ? "," : "") << jsonQuote(v[i]);
+        os << "]";
+    };
+
+    os << "{\n  \"bench\": " << jsonQuote(name_)
+       << ",\n  \"tables\": [";
+    for (size_t t = 0; t < tables_.size(); ++t) {
+        const Entry &e = tables_[t];
+        os << (t ? ",\n    {" : "\n    {");
+        os << "\"label\": " << jsonQuote(e.label) << ", \"headers\": ";
+        emitStrings(e.headers);
+        os << ", \"rows\": [";
+        for (size_t r = 0; r < e.rows.size(); ++r) {
+            os << (r ? ",\n      " : "\n      ");
+            emitStrings(e.rows[r]);
+        }
+        os << (e.rows.empty() ? "]}" : "\n    ]}");
+    }
+    os << (tables_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+    return os.str();
+}
+
+std::string
+BenchJson::write() const
+{
+    const char *dir = std::getenv("NSE_BENCH_JSON_DIR");
+    std::string d = dir ? dir : ".";
+    if (d == "off")
+        return "";
+    std::string path = d + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return "";
+    os << str();
+    return os ? path : "";
+}
+
+} // namespace nse

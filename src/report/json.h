@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable experiment output: every bench binary emits a
+ * BENCH_<name>.json next to (i.e. in addition to) its text tables, so
+ * regression tooling and plotting scripts consume structure instead
+ * of scraping aligned columns.
+ *
+ * The shape is uniform across all benches:
+ *
+ *   {
+ *     "bench": "<name>",
+ *     "tables": [
+ *       {"label": "...", "headers": [...], "rows": [[...], ...]},
+ *       ...
+ *     ]
+ *   }
+ */
+
+#ifndef NSE_REPORT_JSON_H
+#define NSE_REPORT_JSON_H
+
+#include <string>
+#include <vector>
+
+#include "report/table.h"
+
+namespace nse
+{
+
+/** JSON string literal with standard escapes. */
+std::string jsonQuote(const std::string &s);
+
+/** Collects a bench binary's tables and serializes/writes them. */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string bench_name);
+
+    /** Record one rendered table under a label ("" for the only one). */
+    void addTable(const std::string &label, const Table &table);
+
+    /** Serialize to the canonical JSON document. */
+    std::string str() const;
+
+    /**
+     * Write BENCH_<name>.json. The directory comes from the
+     * NSE_BENCH_JSON_DIR environment variable, defaulting to the
+     * current working directory; NSE_BENCH_JSON_DIR=off suppresses
+     * the file entirely. Returns the path written ("" if suppressed
+     * or on I/O failure — emitting JSON must never fail a bench).
+     */
+    std::string write() const;
+
+  private:
+    struct Entry
+    {
+        std::string label;
+        std::vector<std::string> headers;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::string name_;
+    std::vector<Entry> tables_;
+};
+
+} // namespace nse
+
+#endif // NSE_REPORT_JSON_H

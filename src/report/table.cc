@@ -57,6 +57,28 @@ Table::render() const
     return os.str();
 }
 
+namespace
+{
+
+/** RFC 4180 field quoting: quote when the cell holds a comma, quote,
+ *  or line break; double embedded quotes. */
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 std::string
 Table::renderCsv() const
 {
@@ -65,7 +87,7 @@ Table::renderCsv() const
         for (size_t i = 0; i < row.size(); ++i) {
             if (i)
                 os << ",";
-            os << row[i];
+            os << csvEscape(row[i]);
         }
         os << "\n";
     };

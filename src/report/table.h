@@ -25,10 +25,19 @@ class Table
     /** Render with aligned columns and a header rule. */
     std::string render() const;
 
-    /** Render as CSV (for plotting / regression diffs). */
+    /**
+     * Render as CSV (for plotting / regression diffs). Cells
+     * containing commas, double quotes, or newlines are quoted, with
+     * embedded quotes doubled (RFC 4180).
+     */
     std::string renderCsv() const;
 
     size_t rowCount() const { return rows_.size(); }
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
   private:
     std::vector<std::string> headers_;

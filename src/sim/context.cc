@@ -1,0 +1,504 @@
+#include "sim/context.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "classfile/writer.h"
+#include "support/error.h"
+#include "vm/interpreter.h"
+
+namespace nse
+{
+
+const char *
+orderingName(OrderingSource src)
+{
+    switch (src) {
+      case OrderingSource::Static: return "SCG";
+      case OrderingSource::Train: return "Train";
+      case OrderingSource::Test: return "Test";
+    }
+    return "?";
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Content hashing for the on-disk cache.
+//
+// A cached profile/trace is valid only for the exact program bytes,
+// native cycle costs, input values, and interpreter options that
+// produced it, so the file name is an FNV-1a hash over all of them
+// (plus a format version, so stale files are simply never found).
+// ---------------------------------------------------------------------
+
+constexpr uint64_t kCacheFormatVersion = 1;
+
+struct Fnv1a
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+    void str(const std::string &s) { u64(s.size()); bytes(s.data(), s.size()); }
+};
+
+uint64_t
+runKey(const Program &prog, const NativeRegistry &natives,
+       const std::vector<int64_t> &input, const VmOptions &opts)
+{
+    Fnv1a f;
+    f.u64(kCacheFormatVersion);
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        SerializedClass sc = writeClassFile(prog.classAt(c));
+        f.u64(sc.bytes.size());
+        f.bytes(sc.bytes.data(), sc.bytes.size());
+    }
+    f.str(prog.entryClass());
+    natives.forEach([&](const std::string &name, uint64_t cost) {
+        f.str(name);
+        f.u64(cost);
+    });
+    f.u64(input.size());
+    for (int64_t v : input)
+        f.u64(static_cast<uint64_t>(v));
+    f.u64(opts.maxBytecodes);
+    f.u64(opts.blockDelimiterCost);
+    return f.h;
+}
+
+// ---------------------------------------------------------------------
+// Binary (de)serialization. Everything recorded is integral, so the
+// round trip is exact and cached runs are byte-identical to live ones.
+// ---------------------------------------------------------------------
+
+void
+putU64(std::ostream &os, uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(b), 8);
+}
+
+bool
+getU64(std::istream &is, uint64_t &v)
+{
+    unsigned char b[8];
+    if (!is.read(reinterpret_cast<char *>(b), 8))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(b[i]) << (8 * i);
+    return true;
+}
+
+void
+putVmResult(std::ostream &os, const VmResult &r)
+{
+    putU64(os, r.clock);
+    putU64(os, r.execCycles);
+    putU64(os, r.bytecodes);
+    putU64(os, r.nativeCalls);
+    putU64(os, r.methodsExecuted);
+    putU64(os, r.output.size());
+    for (int64_t v : r.output)
+        putU64(os, static_cast<uint64_t>(v));
+}
+
+bool
+getVmResult(std::istream &is, VmResult &r)
+{
+    uint64_t n = 0;
+    if (!getU64(is, r.clock) || !getU64(is, r.execCycles) ||
+        !getU64(is, r.bytecodes) || !getU64(is, r.nativeCalls) ||
+        !getU64(is, r.methodsExecuted) || !getU64(is, n))
+        return false;
+    r.output.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t v = 0;
+        if (!getU64(is, v))
+            return false;
+        r.output[i] = static_cast<int64_t>(v);
+    }
+    return true;
+}
+
+void
+putMethodId(std::ostream &os, MethodId id)
+{
+    putU64(os, (static_cast<uint64_t>(id.classIdx) << 16) | id.methodIdx);
+}
+
+bool
+getMethodId(std::istream &is, MethodId &id)
+{
+    uint64_t v = 0;
+    if (!getU64(is, v))
+        return false;
+    id.classIdx = static_cast<uint16_t>(v >> 16);
+    id.methodIdx = static_cast<uint16_t>(v & 0xffff);
+    return true;
+}
+
+/** Write `payload` to `path` atomically (temp file + rename), so two
+ *  experiment binaries racing on the same cache entry cannot leave a
+ *  torn file behind. Failures are silent: the cache is an optimization. */
+void
+atomicWrite(const std::filesystem::path &path, const std::string &payload)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    std::filesystem::path tmp = path;
+    tmp += cat(".tmp.", ::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return;
+        os.write(payload.data(),
+                 static_cast<std::streamsize>(payload.size()));
+        if (!os)
+            return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+std::filesystem::path
+cachePath(const std::string &dir, const char *kind, uint64_t key)
+{
+    char name[64];
+    std::snprintf(name, sizeof name, "%s-%016llx.bin", kind,
+                  static_cast<unsigned long long>(key));
+    return std::filesystem::path(dir) / name;
+}
+
+std::optional<FirstUseProfile>
+loadProfile(const std::filesystem::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    FirstUseProfile p;
+    uint64_t n = 0;
+    if (!getU64(is, n))
+        return std::nullopt;
+    p.order.resize(n);
+    p.firstUseClock.resize(n);
+    for (uint64_t i = 0; i < n; ++i)
+        if (!getMethodId(is, p.order[i]))
+            return std::nullopt;
+    for (uint64_t i = 0; i < n; ++i)
+        if (!getU64(is, p.firstUseClock[i]))
+            return std::nullopt;
+    uint64_t m = 0;
+    if (!getU64(is, m))
+        return std::nullopt;
+    for (uint64_t i = 0; i < m; ++i) {
+        MethodId id;
+        MethodProfile mp;
+        if (!getMethodId(is, id) || !getU64(is, mp.firstUseClock) ||
+            !getU64(is, mp.dynamicInstrs) || !getU64(is, mp.uniqueInstrs) ||
+            !getU64(is, mp.uniqueBytes))
+            return std::nullopt;
+        p.methods.emplace(id, mp);
+    }
+    if (!getVmResult(is, p.result))
+        return std::nullopt;
+    return p;
+}
+
+void
+storeProfile(const std::filesystem::path &path, const FirstUseProfile &p)
+{
+    std::ostringstream os(std::ios::binary);
+    putU64(os, p.order.size());
+    for (MethodId id : p.order)
+        putMethodId(os, id);
+    for (uint64_t c : p.firstUseClock)
+        putU64(os, c);
+    putU64(os, p.methods.size());
+    for (const auto &[id, mp] : p.methods) {
+        putMethodId(os, id);
+        putU64(os, mp.firstUseClock);
+        putU64(os, mp.dynamicInstrs);
+        putU64(os, mp.uniqueInstrs);
+        putU64(os, mp.uniqueBytes);
+    }
+    putVmResult(os, p.result);
+    atomicWrite(path, os.str());
+}
+
+std::optional<ExecTrace>
+loadTrace(const std::filesystem::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    ExecTrace t;
+    uint64_t n = 0;
+    if (!getU64(is, n))
+        return std::nullopt;
+    t.events.resize(n);
+    for (uint64_t i = 0; i < n; ++i)
+        if (!getMethodId(is, t.events[i].method) ||
+            !getU64(is, t.events[i].execClock))
+            return std::nullopt;
+    if (!getVmResult(is, t.totals))
+        return std::nullopt;
+    return t;
+}
+
+void
+storeTrace(const std::filesystem::path &path, const ExecTrace &t)
+{
+    std::ostringstream os(std::ios::binary);
+    putU64(os, t.events.size());
+    for (const TraceEvent &ev : t.events) {
+        putMethodId(os, ev.method);
+        putU64(os, ev.execClock);
+    }
+    putVmResult(os, t.totals);
+    atomicWrite(path, os.str());
+}
+
+FirstUseProfile
+cachedProfileRun(const Program &prog, const NativeRegistry &natives,
+                 const std::vector<int64_t> &input,
+                 const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return profileRun(prog, natives, input);
+    std::filesystem::path path =
+        cachePath(cache_dir, "profile", runKey(prog, natives, input, {}));
+    if (std::optional<FirstUseProfile> p = loadProfile(path))
+        return std::move(*p);
+    FirstUseProfile p = profileRun(prog, natives, input);
+    storeProfile(path, p);
+    return p;
+}
+
+} // namespace
+
+ExecTrace
+recordTrace(const Program &prog, const NativeRegistry &natives,
+            const std::vector<int64_t> &input, const VmOptions &opts,
+            const std::string &cache_dir)
+{
+    std::filesystem::path path;
+    if (!cache_dir.empty()) {
+        path = cachePath(cache_dir, "trace",
+                         runKey(prog, natives, input, opts));
+        if (std::optional<ExecTrace> t = loadTrace(path))
+            return std::move(*t);
+    }
+
+    ExecTrace trace;
+    Vm vm(prog, natives, input, opts);
+    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+        trace.events.push_back({id, clock});
+        return clock;
+    });
+    trace.totals = vm.run();
+
+    if (!cache_dir.empty())
+        storeTrace(path, trace);
+    return trace;
+}
+
+SimContext::SimContext(const Program &prog, const NativeRegistry &natives,
+                       std::vector<int64_t> train_input,
+                       std::vector<int64_t> test_input,
+                       std::string cache_dir)
+    : prog_(prog), natives_(natives), trainInput_(std::move(train_input)),
+      testInput_(std::move(test_input)), cacheDir_(std::move(cache_dir))
+{
+    for (uint16_t c = 0; c < prog_.classCount(); ++c)
+        totalBytes_ += layoutOf(prog_.classAt(c)).totalSize;
+    entryClassBytes_ =
+        layoutOf(prog_.classByName(prog_.entryClass())).totalSize;
+}
+
+const FirstUseProfile &
+SimContext::trainProfile() const
+{
+    std::call_once(trainOnce_, [&] {
+        trainProfile_ =
+            cachedProfileRun(prog_, natives_, trainInput_, cacheDir_);
+    });
+    return *trainProfile_;
+}
+
+const FirstUseProfile &
+SimContext::testProfile() const
+{
+    std::call_once(testOnce_, [&] {
+        testProfile_ =
+            cachedProfileRun(prog_, natives_, testInput_, cacheDir_);
+    });
+    return *testProfile_;
+}
+
+const ExecTrace &
+SimContext::trace() const
+{
+    // The test profile *is* the instrumented run: its first-use order
+    // and stall-free clocks are exactly the trace events, and its
+    // VmResult the final totals — no further interpretation needed.
+    std::call_once(traceOnce_, [&] {
+        const FirstUseProfile &p = testProfile();
+        ExecTrace t;
+        t.events.reserve(p.order.size());
+        for (size_t i = 0; i < p.order.size(); ++i)
+            t.events.push_back({p.order[i], p.firstUseClock[i]});
+        t.totals = p.result;
+        trace_ = std::move(t);
+    });
+    return *trace_;
+}
+
+const FirstUseProfile &
+SimContext::profileFor(OrderingSource src) const
+{
+    NSE_ASSERT(src != OrderingSource::Static,
+               "the static ordering has no profile");
+    return src == OrderingSource::Train ? trainProfile() : testProfile();
+}
+
+const FirstUseOrder &
+SimContext::ordering(OrderingSource src) const
+{
+    {
+        std::lock_guard<std::mutex> lock(orderMu_);
+        auto it = orders_.find(src);
+        if (it != orders_.end())
+            return it->second;
+    }
+    // Compute outside the lock (profile runs are expensive); the
+    // emplace below tolerates a racing duplicate.
+    FirstUseOrder order;
+    switch (src) {
+      case OrderingSource::Static:
+        order = staticFirstUse(prog_);
+        break;
+      case OrderingSource::Train:
+      case OrderingSource::Test:
+        order = completeWithStatic(prog_, profileFor(src).order);
+        break;
+    }
+    std::lock_guard<std::mutex> lock(orderMu_);
+    return orders_.emplace(src, std::move(order)).first->second;
+}
+
+const DataPartition &
+SimContext::partition(OrderingSource src) const
+{
+    {
+        std::lock_guard<std::mutex> lock(partitionMu_);
+        auto it = partitions_.find(src);
+        if (it != partitions_.end())
+            return it->second;
+    }
+    DataPartition part = partitionGlobalData(prog_, ordering(src));
+    std::lock_guard<std::mutex> lock(partitionMu_);
+    return partitions_.emplace(src, std::move(part)).first->second;
+}
+
+const TransferLayout &
+SimContext::layout(const LayoutKey &key) const
+{
+    {
+        std::lock_guard<std::mutex> lock(layoutMu_);
+        auto it = layouts_.find(key);
+        if (it != layouts_.end())
+            return it->second;
+    }
+    const FirstUseOrder &order = ordering(key.ordering);
+    const DataPartition *part =
+        key.partitioned ? &partition(key.ordering) : nullptr;
+    TransferLayout layout = key.parallel
+                                ? makeParallelLayout(prog_, order, part)
+                                : makeInterleavedLayout(prog_, order, part);
+
+    if (key.classStrict) {
+        // Strict at class granularity: a method is available only
+        // when the last byte of its class's stream segment is. For
+        // the per-class streams that is the stream end; in the
+        // interleaved file it is the latest offset of the class.
+        std::vector<uint64_t> class_end(prog_.classCount(), 0);
+        for (uint16_t c = 0; c < prog_.classCount(); ++c)
+            for (const MethodPlacement &pl : layout.place[c])
+                class_end[c] = std::max(class_end[c], pl.availOffset);
+        for (uint16_t c = 0; c < prog_.classCount(); ++c) {
+            for (MethodPlacement &pl : layout.place[c]) {
+                pl.availOffset =
+                    key.parallel ? layout.streams[static_cast<size_t>(
+                                                      pl.streamIdx)]
+                                       .totalBytes
+                                 : class_end[c];
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(layoutMu_);
+    return layouts_.emplace(key, std::move(layout)).first->second;
+}
+
+const std::vector<uint64_t> &
+SimContext::methodCycles(OrderingSource src) const
+{
+    {
+        std::lock_guard<std::mutex> lock(cyclesMu_);
+        auto it = cycles_.find(src);
+        if (it != cycles_.end())
+            return it->second;
+    }
+    const FirstUseOrder &order = ordering(src);
+    std::vector<uint64_t> cycles;
+    if (src == OrderingSource::Static) {
+        cycles = staticFirstUseCycles(prog_, order);
+    } else {
+        const FirstUseProfile &profile = profileFor(src);
+        cycles.reserve(order.order.size());
+        for (const MethodId &id : order.order)
+            cycles.push_back(profile.of(id).firstUseClock);
+    }
+    std::lock_guard<std::mutex> lock(cyclesMu_);
+    return cycles_.emplace(src, std::move(cycles)).first->second;
+}
+
+const TransferSchedule &
+SimContext::schedule(const ScheduleKey &key) const
+{
+    {
+        std::lock_guard<std::mutex> lock(scheduleMu_);
+        auto it = schedules_.find(key);
+        if (it != schedules_.end())
+            return it->second;
+    }
+    const TransferLayout &lay = layout(key.layout);
+    StreamDemand demand =
+        deriveStreamDemand(prog_, ordering(key.layout.ordering), lay,
+                           methodCycles(key.layout.ordering));
+    LinkModel link{"memo", key.cyclesPerByte};
+    TransferSchedule sched =
+        buildGreedySchedule(lay, demand, link, key.limit);
+    std::lock_guard<std::mutex> lock(scheduleMu_);
+    return schedules_.emplace(key, std::move(sched)).first->second;
+}
+
+} // namespace nse

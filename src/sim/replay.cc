@@ -1,0 +1,204 @@
+#include "sim/replay.h"
+
+#include "transfer/engine.h"
+#include "transfer/schedule.h"
+#include "vm/interpreter.h"
+
+namespace nse
+{
+
+double
+normalizedPct(const SimResult &result, const SimResult &strict)
+{
+    // Degenerate baseline (empty program): define the ratio as 100%
+    // instead of poisoning report tables with inf/NaN.
+    if (strict.totalCycles == 0)
+        return 100.0;
+    return 100.0 * static_cast<double>(result.totalCycles) /
+           static_cast<double>(strict.totalCycles);
+}
+
+uint64_t
+wholeProgramTransferCycles(uint64_t total_bytes, uint64_t entry_bytes,
+                           const LinkModel &link, const FaultPlan &plan,
+                           uint64_t *invocation_latency,
+                           uint64_t *retry_count,
+                           uint64_t *degraded_cycles)
+{
+    if (plan.nominal()) {
+        if (invocation_latency)
+            *invocation_latency = transferCost(entry_bytes, link);
+        return transferCost(total_bytes, link);
+    }
+    TransferEngine engine(link.cyclesPerByte, 1, plan);
+    int s = engine.addStream("whole-program", total_bytes);
+    engine.scheduleStart(s, 0);
+    uint64_t entry_arrival = engine.waitFor(s, entry_bytes, 0);
+    if (invocation_latency)
+        *invocation_latency = entry_arrival;
+    uint64_t done = engine.finishAll();
+    if (retry_count)
+        *retry_count = engine.retryCount();
+    if (degraded_cycles)
+        *degraded_cycles = engine.degradedCycles();
+    return done;
+}
+
+namespace
+{
+
+LayoutKey
+layoutKeyOf(const SimConfig &cfg)
+{
+    LayoutKey key;
+    key.parallel = cfg.mode == SimConfig::Mode::Parallel;
+    key.ordering = cfg.ordering;
+    key.partitioned = cfg.dataPartition;
+    key.classStrict = cfg.classStrict;
+    return key;
+}
+
+SimResult
+runStrict(const SimContext &ctx, const SimConfig &cfg)
+{
+    const VmResult &exec = ctx.testProfile().result;
+    SimResult r;
+    r.transferCycles = wholeProgramTransferCycles(
+        ctx.totalBytes(), ctx.entryClassBytes(), cfg.link, cfg.faults,
+        &r.invocationLatency, &r.retryCount, &r.degradedCycles);
+    r.execCycles = exec.execCycles;
+    r.totalCycles = r.transferCycles + r.execCycles;
+    r.stallCycles = r.transferCycles;
+    r.bytecodes = exec.bytecodes;
+    r.cpi = exec.cpi();
+    return r;
+}
+
+/**
+ * Set up the transfer engine for an overlapped run: register every
+ * layout stream, then either apply the memoized greedy schedule
+ * (parallel) or start the single interleaved file at cycle 0.
+ */
+TransferEngine
+makeOverlappedEngine(const SimContext &ctx, const SimConfig &cfg,
+                     const TransferLayout &layout)
+{
+    bool parallel = cfg.mode == SimConfig::Mode::Parallel;
+    TransferEngine engine(cfg.link.cyclesPerByte,
+                          parallel ? cfg.parallelLimit : 1, cfg.faults);
+    for (const StreamInfo &s : layout.streams)
+        engine.addStream(s.name, s.totalBytes);
+
+    if (parallel) {
+        ScheduleKey skey;
+        skey.layout = layoutKeyOf(cfg);
+        skey.cyclesPerByte = cfg.link.cyclesPerByte;
+        skey.limit = cfg.parallelLimit;
+        const TransferSchedule &sched = ctx.schedule(skey);
+        for (size_t i = 0; i < sched.startCycle.size(); ++i)
+            engine.scheduleStart(static_cast<int>(i),
+                                 sched.startCycle[i]);
+    } else {
+        engine.scheduleStart(0, 0);
+    }
+    return engine;
+}
+
+} // namespace
+
+SimResult
+runReplay(const SimContext &ctx, const SimConfig &cfg)
+{
+    if (cfg.mode == SimConfig::Mode::Strict)
+        return runStrict(ctx, cfg);
+
+    bool parallel = cfg.mode == SimConfig::Mode::Parallel;
+    const TransferLayout &layout = ctx.layout(layoutKeyOf(cfg));
+    TransferEngine engine = makeOverlappedEngine(ctx, cfg, layout);
+
+    SimResult r;
+    bool entry_seen = false;
+    const ExecTrace &trace = ctx.trace();
+    uint64_t final_clock =
+        replayTrace(trace, [&](MethodId id, uint64_t clock) {
+            const MethodPlacement &pl = layout.of(id);
+            if (parallel) {
+                engine.advanceTo(clock);
+                const Stream &s = engine.stream(pl.streamIdx);
+                if (s.state == StreamState::Idle &&
+                    s.scheduledStart > clock) {
+                    // Misprediction (§5.1): the class is needed but
+                    // neither transferring nor about to — fetch it on
+                    // demand.
+                    ++r.mispredictions;
+                    engine.demandStart(pl.streamIdx, clock);
+                }
+            }
+            uint64_t resume =
+                engine.waitFor(pl.streamIdx, pl.availOffset, clock);
+            r.stallCycles += resume - clock;
+            if (!entry_seen) {
+                entry_seen = true;
+                r.invocationLatency = resume;
+            }
+            return resume;
+        });
+
+    r.totalCycles = final_clock;
+    r.execCycles = trace.totals.execCycles;
+    r.transferCycles = wholeProgramTransferCycles(
+        ctx.totalBytes(), ctx.entryClassBytes(), cfg.link, cfg.faults);
+    r.bytecodes = trace.totals.bytecodes;
+    r.cpi = trace.totals.cpi();
+    r.retryCount = engine.retryCount();
+    r.degradedCycles = engine.degradedCycles();
+    return r;
+}
+
+SimResult
+runLiveReference(const SimContext &ctx, const SimConfig &cfg)
+{
+    if (cfg.mode == SimConfig::Mode::Strict)
+        return runStrict(ctx, cfg);
+
+    bool parallel = cfg.mode == SimConfig::Mode::Parallel;
+    const TransferLayout &layout = ctx.layout(layoutKeyOf(cfg));
+    TransferEngine engine = makeOverlappedEngine(ctx, cfg, layout);
+
+    SimResult r;
+    bool entry_seen = false;
+    Vm vm(ctx.program(), ctx.natives(), ctx.testInput());
+    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+        const MethodPlacement &pl = layout.of(id);
+        if (parallel) {
+            engine.advanceTo(clock);
+            const Stream &s = engine.stream(pl.streamIdx);
+            if (s.state == StreamState::Idle &&
+                s.scheduledStart > clock) {
+                ++r.mispredictions;
+                engine.demandStart(pl.streamIdx, clock);
+            }
+        }
+        uint64_t resume = engine.waitFor(pl.streamIdx, pl.availOffset,
+                                         clock);
+        r.stallCycles += resume - clock;
+        if (!entry_seen) {
+            entry_seen = true;
+            r.invocationLatency = resume;
+        }
+        return resume;
+    });
+
+    VmResult exec = vm.run();
+    r.totalCycles = exec.clock;
+    r.execCycles = exec.execCycles;
+    r.transferCycles = wholeProgramTransferCycles(
+        ctx.totalBytes(), ctx.entryClassBytes(), cfg.link, cfg.faults);
+    r.bytecodes = exec.bytecodes;
+    r.cpi = exec.cpi();
+    r.retryCount = engine.retryCount();
+    r.degradedCycles = engine.degradedCycles();
+    return r;
+}
+
+} // namespace nse

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The trace-replay executor (the replay-many half of
+ * record-once/replay-many).
+ *
+ * A live co-simulation runs the interpreter with a first-use hook
+ * that stalls the clock on transfer waits. But the hook never changes
+ * *what* executes: the sequence of first-use events and the exec
+ * cycles between them are invariant across every transfer
+ * configuration. So one recorded ExecTrace replays against a fresh
+ * TransferEngine with the exact misprediction / demand-fetch / stall
+ * logic of the live run — no interpreter in the loop — and produces a
+ * field-for-field identical SimResult (proven by tests/replay_test.cc
+ * against runLiveReference, the retained interpreter-in-the-loop
+ * implementation).
+ */
+
+#ifndef NSE_SIM_REPLAY_H
+#define NSE_SIM_REPLAY_H
+
+#include "sim/context.h"
+#include "support/error.h"
+#include "transfer/faults.h"
+#include "transfer/link.h"
+
+namespace nse
+{
+
+/** One simulated configuration. */
+struct SimConfig
+{
+    enum class Mode : uint8_t
+    {
+        Strict,
+        Parallel,
+        Interleaved,
+    };
+
+    Mode mode = Mode::Strict;
+    OrderingSource ordering = OrderingSource::Static;
+    LinkModel link = kT1Link;
+    /** Concurrent class-file transfers; <= 0 = unlimited. */
+    int parallelLimit = 4;
+    bool dataPartition = false;
+    /**
+     * Class-strict ablation: keep the scheduled/pipelined transfer but
+     * require a method's *whole class file* before it may run —
+     * isolating how much of the win comes from mere class pipelining
+     * versus true method-level non-strictness.
+     */
+    bool classStrict = false;
+    /**
+     * Link behavior the run is *evaluated* under (transfer/faults.h).
+     * Schedules are always built against the nominal link; a
+     * non-nominal plan degrades the evaluation only — mispredictions
+     * and demand fetches absorb the slack. The default plan is
+     * all-nominal and reproduces the constant-rate engine exactly.
+     */
+    FaultPlan faults;
+};
+
+/** Measurements of one simulated run. */
+struct SimResult
+{
+    /** Cycles until the program begins executing. */
+    uint64_t invocationLatency = 0;
+    /** Cycles from invocation to program completion (incl. stalls). */
+    uint64_t totalCycles = 0;
+    uint64_t execCycles = 0;
+    /**
+     * Cycles to transfer the complete program front-to-back on a
+     * single connection under the run's fault plan — the paper's
+     * Table 3 figure and the denominator of every "% transfer"
+     * column. Under the (default) nominal plan this is
+     * ceil(totalBytes x cyclesPerByte); under a degraded plan it is
+     * the faulted figure, in every mode (strict and overlapped runs
+     * evaluated under the same plan report the same value).
+     */
+    uint64_t transferCycles = 0;
+    /** Cycles execution spent stalled waiting on transfer. */
+    uint64_t stallCycles = 0;
+    /** First uses whose class was neither transferring nor scheduled. */
+    uint64_t mispredictions = 0;
+    uint64_t bytecodes = 0;
+    double cpi = 0.0;
+    /** Retry attempts across all connection drops (0 when nominal). */
+    uint64_t retryCount = 0;
+    /** Cycles the link ran degraded or a stream sat in retry backoff. */
+    uint64_t degradedCycles = 0;
+};
+
+/**
+ * Percent normalized execution time (smaller is better, paper §7.2).
+ * A zero-cycle strict baseline (degenerate empty program) normalizes
+ * to 100.0 rather than dividing by zero.
+ */
+double normalizedPct(const SimResult &result, const SimResult &strict);
+
+/**
+ * Execute one configuration by trace replay (always on the test
+ * input). Thread-safe: concurrent calls on one context are fine.
+ */
+SimResult runReplay(const SimContext &ctx, const SimConfig &cfg);
+
+/**
+ * The original interpreter-in-the-loop co-simulation, retained as the
+ * reference implementation the replay executor is verified against.
+ * Orders of magnitude slower than runReplay; use only in tests.
+ */
+SimResult runLiveReference(const SimContext &ctx, const SimConfig &cfg);
+
+/**
+ * Cycles to transfer the complete program (`total_bytes`) front-to-back
+ * on one connection under `plan`, with the entry class's first
+ * `entry_bytes` at the head of the file. A nominal plan reduces to
+ * transferCost(total_bytes, link); a faulted plan is evaluated on the
+ * piecewise-rate TransferEngine with the entry class's arrival
+ * observed first — the identical event sequence the strict simulation
+ * uses, so strict and overlapped runs under the same (link, plan)
+ * report byte-identical figures. If `invocation_latency` is non-null
+ * it receives the entry class's (possibly faulted) arrival cycle.
+ */
+uint64_t wholeProgramTransferCycles(uint64_t total_bytes,
+                                    uint64_t entry_bytes,
+                                    const LinkModel &link,
+                                    const FaultPlan &plan,
+                                    uint64_t *invocation_latency = nullptr,
+                                    uint64_t *retry_count = nullptr,
+                                    uint64_t *degraded_cycles = nullptr);
+
+/**
+ * Replay the recorded trace against an arbitrary wait function, which
+ * plays exactly the role of the VM first-use hook: it is called once
+ * per first-use event with (method, clock) and returns the (>=) clock
+ * at which execution proceeds. Returns the final clock — the trace's
+ * stall-free clock plus every injected stall. This is the primitive
+ * custom co-simulations (schedule policies, JIT models, adaptive
+ * transfer) build on instead of re-running the interpreter.
+ */
+template <typename WaitFn>
+uint64_t
+replayTrace(const ExecTrace &trace, WaitFn &&wait)
+{
+    uint64_t stalls = 0;
+    for (const TraceEvent &ev : trace.events) {
+        uint64_t clock = ev.execClock + stalls;
+        uint64_t resume = wait(ev.method, clock);
+        NSE_ASSERT(resume >= clock,
+                   "replay wait moved the clock backwards");
+        stalls += resume - clock;
+    }
+    return trace.totals.clock + stalls;
+}
+
+} // namespace nse
+
+#endif // NSE_SIM_REPLAY_H

@@ -1,0 +1,90 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace nse
+{
+
+ExperimentRunner::ExperimentRunner(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+void
+ExperimentRunner::parallelFor(size_t n,
+                              const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+    unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(threads_, n));
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Work-stealing by atomic counter: threads race for the next
+    // index, but every result lands in its caller-owned slot, so the
+    // interleaving cannot be observed in the output.
+    std::atomic<size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (std::thread &t : pool)
+        t.join();
+
+    for (std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+std::vector<GridRow>
+ExperimentRunner::runGrid(const std::vector<GridWorkload> &workloads,
+                          const std::vector<GridCell> &cells) const
+{
+    std::vector<GridRow> rows(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        rows[w].workload = workloads[w].name;
+        rows[w].cells.resize(cells.size());
+    }
+
+    size_t n = workloads.size() * cells.size();
+    parallelFor(n, [&](size_t i) {
+        size_t w = i / cells.size();
+        size_t c = i % cells.size();
+        const SimContext &ctx = *workloads[w].ctx;
+        const SimConfig &cfg = cells[c].config;
+
+        CellResult &out = rows[w].cells[c];
+        out.result = runReplay(ctx, cfg);
+        SimConfig strict;
+        strict.mode = SimConfig::Mode::Strict;
+        strict.link = cfg.link;
+        out.strict = runReplay(ctx, strict);
+        out.pct = normalizedPct(out.result, out.strict);
+    });
+    return rows;
+}
+
+} // namespace nse

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The parallel experiment runner: a declarative (workload x config)
+ * grid executed on a thread pool with deterministic result ordering.
+ *
+ * Every experiment binary used to hand-roll the same double loop —
+ * for each workload, for each configuration cell, run the simulator
+ * and normalize against the strict baseline. The runner owns that
+ * loop: a grid is a list of labelled SimConfigs evaluated against a
+ * list of contexts; results come back indexed [workload][cell]
+ * regardless of which thread computed what, so parallel and serial
+ * runs of the same grid are bit-identical (tests/runner_test.cc pins
+ * this).
+ *
+ * The pool is also exposed directly (parallelFor) for experiment
+ * stages that are not config grids: building the contexts themselves
+ * (the expensive interpreter runs), or custom trace replays.
+ */
+
+#ifndef NSE_SIM_RUNNER_H
+#define NSE_SIM_RUNNER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+#include "sim/replay.h"
+
+namespace nse
+{
+
+/** One labelled configuration column of an experiment grid. */
+struct GridCell
+{
+    std::string label;
+    SimConfig config;
+};
+
+/** One (workload, cell) measurement. */
+struct CellResult
+{
+    SimResult result;
+    /** Strict baseline on the cell's link (nominal fault plan). */
+    SimResult strict;
+    /** normalizedPct(result, strict) — the paper's headline metric. */
+    double pct = 0.0;
+};
+
+/** One workload's row of grid measurements, in cell order. */
+struct GridRow
+{
+    std::string workload;
+    std::vector<CellResult> cells;
+};
+
+/** A workload the runner can evaluate: a name plus its context. */
+struct GridWorkload
+{
+    std::string name;
+    const SimContext *ctx = nullptr;
+};
+
+/** Fixed-size worker pool with deterministic result placement. */
+class ExperimentRunner
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run fn(0), ..., fn(n-1) across the pool and return when all
+     * completed. Results are whatever fn writes into caller-owned,
+     * per-index slots, which makes output ordering independent of
+     * thread interleaving. fn must be thread-safe across distinct
+     * indices. Exceptions from fn are rethrown on the caller thread
+     * (the first one thrown, by index).
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t)> &fn) const;
+
+    /**
+     * Evaluate every grid cell for every workload on the pool.
+     * Results are in (workload, cell) order. Cells replay against
+     * each workload's recorded trace; the strict baseline per cell is
+     * computed on the cell's link with a nominal fault plan (the
+     * normalization the paper's tables use).
+     */
+    std::vector<GridRow> runGrid(const std::vector<GridWorkload> &workloads,
+                                 const std::vector<GridCell> &cells) const;
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace nse
+
+#endif // NSE_SIM_RUNNER_H

@@ -1,271 +1,44 @@
 #include "sim/simulator.h"
 
-#include <cmath>
-
-#include "classfile/writer.h"
-#include "support/error.h"
-#include "transfer/engine.h"
-#include "transfer/schedule.h"
-#include "vm/interpreter.h"
-
 namespace nse
 {
-
-const char *
-orderingName(OrderingSource src)
-{
-    switch (src) {
-      case OrderingSource::Static: return "SCG";
-      case OrderingSource::Train: return "Train";
-      case OrderingSource::Test: return "Test";
-    }
-    return "?";
-}
-
-double
-normalizedPct(const SimResult &result, const SimResult &strict)
-{
-    // Degenerate baseline (empty program): define the ratio as 100%
-    // instead of poisoning report tables with inf/NaN.
-    if (strict.totalCycles == 0)
-        return 100.0;
-    return 100.0 * static_cast<double>(result.totalCycles) /
-           static_cast<double>(strict.totalCycles);
-}
-
-namespace
-{
-
-uint64_t
-transferCost(uint64_t bytes, const LinkModel &link)
-{
-    return static_cast<uint64_t>(
-        std::ceil(static_cast<double>(bytes) * link.cyclesPerByte));
-}
-
-} // namespace
 
 Simulator::Simulator(const Program &prog, const NativeRegistry &natives,
                      std::vector<int64_t> train_input,
                      std::vector<int64_t> test_input)
-    : prog_(prog), natives_(natives), trainInput_(std::move(train_input)),
-      testInput_(std::move(test_input))
-{
-    for (uint16_t c = 0; c < prog_.classCount(); ++c)
-        totalBytes_ += layoutOf(prog_.classAt(c)).totalSize;
-    entryClassBytes_ =
-        layoutOf(prog_.classByName(prog_.entryClass())).totalSize;
-}
+    : ctx_(std::make_shared<SimContext>(prog, natives,
+                                        std::move(train_input),
+                                        std::move(test_input)))
+{}
 
-const FirstUseProfile &
-Simulator::trainProfile()
-{
-    if (!trainProfile_)
-        trainProfile_ = profileRun(prog_, natives_, trainInput_);
-    return *trainProfile_;
-}
-
-const FirstUseProfile &
-Simulator::testProfile()
-{
-    if (!testProfile_)
-        testProfile_ = profileRun(prog_, natives_, testInput_);
-    return *testProfile_;
-}
-
-const FirstUseOrder &
-Simulator::ordering(OrderingSource src)
-{
-    auto it = orders_.find(src);
-    if (it != orders_.end())
-        return it->second;
-
-    FirstUseOrder order;
-    switch (src) {
-      case OrderingSource::Static:
-        order = staticFirstUse(prog_);
-        break;
-      case OrderingSource::Train:
-        order = completeWithStatic(prog_, trainProfile().order);
-        break;
-      case OrderingSource::Test:
-        order = completeWithStatic(prog_, testProfile().order);
-        break;
-    }
-    return orders_.emplace(src, std::move(order)).first->second;
-}
-
-const DataPartition &
-Simulator::partition(OrderingSource src)
-{
-    auto it = partitions_.find(src);
-    if (it != partitions_.end())
-        return it->second;
-    DataPartition part = partitionGlobalData(prog_, ordering(src));
-    return partitions_.emplace(src, std::move(part)).first->second;
-}
-
-std::vector<uint64_t>
-Simulator::methodCycles(OrderingSource src, const FirstUseOrder &order)
-{
-    if (src == OrderingSource::Static)
-        return staticFirstUseCycles(prog_, order);
-
-    const FirstUseProfile &profile =
-        src == OrderingSource::Train ? trainProfile() : testProfile();
-    std::vector<uint64_t> cycles;
-    cycles.reserve(order.order.size());
-    for (const MethodId &id : order.order)
-        cycles.push_back(profile.of(id).firstUseClock);
-    return cycles;
-}
+Simulator::Simulator(std::shared_ptr<const SimContext> ctx)
+    : ctx_(std::move(ctx))
+{}
 
 uint64_t
 Simulator::strictInvocationLatency(const LinkModel &link) const
 {
     // Strict execution begins once the first class file — the one
     // holding main — has fully transferred.
-    return transferCost(entryClassBytes_, link);
+    return transferCost(ctx_->entryClassBytes(), link);
 }
 
 uint64_t
 Simulator::nonStrictInvocationLatency(const LinkModel &link,
-                                      bool data_partition)
+                                      bool data_partition) const
 {
     // Non-strict execution begins once the entry class's global data
     // (or, partitioned, just its needed-first chunk and main's GMD)
     // plus the entry method itself have transferred. The entry method
     // is first in every ordering, so any ordering gives the same
     // figure; use the static one.
-    const FirstUseOrder &order = ordering(OrderingSource::Static);
-    const DataPartition *part =
-        data_partition ? &partition(OrderingSource::Static) : nullptr;
-    TransferLayout layout = makeParallelLayout(prog_, order, part);
-    return transferCost(layout.of(prog_.entry()).availOffset, link);
-}
-
-SimResult
-Simulator::runStrict(const SimConfig &cfg)
-{
-    const VmResult &exec = testProfile().result;
-    SimResult r;
-    if (cfg.faults.nominal()) {
-        // Closed form on the constant link; kept as the reference the
-        // faulted path must reproduce when the plan is all-nominal.
-        r.transferCycles = transferCost(totalBytes_, cfg.link);
-        r.invocationLatency = strictInvocationLatency(cfg.link);
-    } else {
-        // Evaluate the whole-program transfer under the fault plan:
-        // one stream, front-to-back, entry class first (so invocation
-        // latency is the faulted arrival of the entry class's bytes).
-        TransferEngine engine(cfg.link.cyclesPerByte, 1, cfg.faults);
-        int s = engine.addStream("whole-program", totalBytes_);
-        engine.scheduleStart(s, 0);
-        r.invocationLatency = engine.waitFor(s, entryClassBytes_, 0);
-        r.transferCycles = engine.finishAll();
-        r.retryCount = engine.retryCount();
-        r.degradedCycles = engine.degradedCycles();
-    }
-    r.execCycles = exec.execCycles;
-    r.totalCycles = r.transferCycles + r.execCycles;
-    r.stallCycles = r.transferCycles;
-    r.bytecodes = exec.bytecodes;
-    r.cpi = exec.cpi();
-    return r;
-}
-
-SimResult
-Simulator::runOverlapped(const SimConfig &cfg)
-{
-    bool parallel = cfg.mode == SimConfig::Mode::Parallel;
-    const FirstUseOrder &order = ordering(cfg.ordering);
-    const DataPartition *part =
-        cfg.dataPartition ? &partition(cfg.ordering) : nullptr;
-    TransferLayout layout =
-        parallel ? makeParallelLayout(prog_, order, part)
-                 : makeInterleavedLayout(prog_, order, part);
-
-    if (cfg.classStrict) {
-        // Strict at class granularity: a method is available only
-        // when the last byte of its class's stream segment is. For
-        // the per-class streams that is the stream end; in the
-        // interleaved file it is the latest offset of the class.
-        std::vector<uint64_t> class_end(prog_.classCount(), 0);
-        for (uint16_t c = 0; c < prog_.classCount(); ++c)
-            for (const MethodPlacement &pl : layout.place[c])
-                class_end[c] = std::max(class_end[c], pl.availOffset);
-        for (uint16_t c = 0; c < prog_.classCount(); ++c) {
-            for (MethodPlacement &pl : layout.place[c]) {
-                pl.availOffset =
-                    parallel ? layout.streams[static_cast<size_t>(
-                                                  pl.streamIdx)]
-                                   .totalBytes
-                             : class_end[c];
-            }
-        }
-    }
-
-    TransferEngine engine(cfg.link.cyclesPerByte,
-                          parallel ? cfg.parallelLimit : 1, cfg.faults);
-    for (const StreamInfo &s : layout.streams)
-        engine.addStream(s.name, s.totalBytes);
-
-    if (parallel) {
-        StreamDemand demand = deriveStreamDemand(
-            prog_, order, layout, methodCycles(cfg.ordering, order));
-        TransferSchedule sched =
-            buildGreedySchedule(layout, demand, cfg.link,
-                                cfg.parallelLimit, &cfg.faults);
-        for (size_t i = 0; i < sched.startCycle.size(); ++i)
-            engine.scheduleStart(static_cast<int>(i),
-                                 sched.startCycle[i]);
-    } else {
-        engine.scheduleStart(0, 0);
-    }
-
-    SimResult r;
-    bool entry_seen = false;
-    Vm vm(prog_, natives_, testInput_);
-    vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
-        const MethodPlacement &pl = layout.of(id);
-        if (parallel) {
-            engine.advanceTo(clock);
-            const Stream &s = engine.stream(pl.streamIdx);
-            if (s.state == StreamState::Idle &&
-                s.scheduledStart > clock) {
-                // Misprediction (§5.1): the class is needed but neither
-                // transferring nor about to — fetch it on demand.
-                ++r.mispredictions;
-                engine.demandStart(pl.streamIdx, clock);
-            }
-        }
-        uint64_t resume = engine.waitFor(pl.streamIdx, pl.availOffset,
-                                         clock);
-        r.stallCycles += resume - clock;
-        if (!entry_seen) {
-            entry_seen = true;
-            r.invocationLatency = resume;
-        }
-        return resume;
-    });
-
-    VmResult exec = vm.run();
-    r.totalCycles = exec.clock;
-    r.execCycles = exec.execCycles;
-    r.transferCycles = transferCost(totalBytes_, cfg.link);
-    r.bytecodes = exec.bytecodes;
-    r.cpi = exec.cpi();
-    r.retryCount = engine.retryCount();
-    r.degradedCycles = engine.degradedCycles();
-    return r;
-}
-
-SimResult
-Simulator::run(const SimConfig &cfg)
-{
-    if (cfg.mode == SimConfig::Mode::Strict)
-        return runStrict(cfg);
-    return runOverlapped(cfg);
+    LayoutKey key;
+    key.parallel = true;
+    key.ordering = OrderingSource::Static;
+    key.partitioned = data_partition;
+    const TransferLayout &layout = ctx_->layout(key);
+    return transferCost(layout.of(ctx_->program().entry()).availOffset,
+                        link);
 }
 
 } // namespace nse

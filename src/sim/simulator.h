@@ -1,13 +1,19 @@
 /**
  * @file
- * The experiment driver: couples real program execution with the
+ * The experiment driver: couples recorded program execution with the
  * transfer simulation and reproduces the paper's measurement setup.
  *
+ * Simulator is a thin façade over the split experiment stack:
+ *  - SimContext (sim/context.h) — the immutable per-workload
+ *    precomputation bundle (profiles, orderings, partitions, layouts,
+ *    schedules, and the recorded execution trace);
+ *  - the trace-replay executor (sim/replay.h) — executes any
+ *    SimConfig against the trace with no interpreter in the loop;
+ *  - ExperimentRunner (sim/runner.h) — runs (workload x config) grids
+ *    on a thread pool.
+ *
  * A Simulator owns one workload (program + natives + train/test
- * inputs). It caches the train/test first-use profiles and the three
- * orderings the paper evaluates — SCG (static call graph), Train
- * (train-input profile guiding a test-input run), and Test (perfect:
- * test profile guiding the test run) — and executes any SimConfig:
+ * inputs) and executes any SimConfig:
  *
  *   Strict       the paper's baseline: the whole program transfers,
  *                then execution runs (Table 3's total strict cycles);
@@ -15,99 +21,22 @@
  *                a greedy schedule (§5.1), limits 1/2/4/unlimited;
  *   Interleaved  non-strict execution with the single interleaved
  *                virtual file (§5.2);
- * each optionally with global-data partitioning (§7.3).
+ * each optionally with global-data partitioning (§7.3). The three
+ * orderings the paper evaluates — SCG (static call graph), Train
+ * (train-input profile guiding a test-input run), and Test (perfect:
+ * test profile guiding the test run) — come from the context.
  */
 
 #ifndef NSE_SIM_SIMULATOR_H
 #define NSE_SIM_SIMULATOR_H
 
-#include <map>
 #include <memory>
-#include <optional>
 
-#include "analysis/first_use.h"
-#include "profile/first_use_profile.h"
-#include "program/program.h"
-#include "restructure/data_partition.h"
-#include "restructure/layout.h"
-#include "transfer/faults.h"
-#include "transfer/link.h"
-#include "vm/natives.h"
+#include "sim/context.h"
+#include "sim/replay.h"
 
 namespace nse
 {
-
-/** Which first-use predictor guides restructuring and scheduling. */
-enum class OrderingSource : uint8_t
-{
-    Static, ///< SCG: static call-graph estimation (§4.1)
-    Train,  ///< train-input profile, evaluated on the test input
-    Test,   ///< test-input profile (perfect prediction)
-};
-
-const char *orderingName(OrderingSource src);
-
-/** One simulated configuration. */
-struct SimConfig
-{
-    enum class Mode : uint8_t
-    {
-        Strict,
-        Parallel,
-        Interleaved,
-    };
-
-    Mode mode = Mode::Strict;
-    OrderingSource ordering = OrderingSource::Static;
-    LinkModel link = kT1Link;
-    /** Concurrent class-file transfers; <= 0 = unlimited. */
-    int parallelLimit = 4;
-    bool dataPartition = false;
-    /**
-     * Class-strict ablation: keep the scheduled/pipelined transfer but
-     * require a method's *whole class file* before it may run —
-     * isolating how much of the win comes from mere class pipelining
-     * versus true method-level non-strictness.
-     */
-    bool classStrict = false;
-    /**
-     * Link behavior the run is *evaluated* under (transfer/faults.h).
-     * Schedules are always built against the nominal link; a
-     * non-nominal plan degrades the evaluation only — mispredictions
-     * and demand fetches absorb the slack. The default plan is
-     * all-nominal and reproduces the constant-rate engine exactly.
-     */
-    FaultPlan faults;
-};
-
-/** Measurements of one simulated run. */
-struct SimResult
-{
-    /** Cycles until the program begins executing. */
-    uint64_t invocationLatency = 0;
-    /** Cycles from invocation to program completion (incl. stalls). */
-    uint64_t totalCycles = 0;
-    uint64_t execCycles = 0;
-    /** Cycles to transfer the complete program (paper Table 3). */
-    uint64_t transferCycles = 0;
-    /** Cycles execution spent stalled waiting on transfer. */
-    uint64_t stallCycles = 0;
-    /** First uses whose class was neither transferring nor scheduled. */
-    uint64_t mispredictions = 0;
-    uint64_t bytecodes = 0;
-    double cpi = 0.0;
-    /** Retry attempts across all connection drops (0 when nominal). */
-    uint64_t retryCount = 0;
-    /** Cycles the link ran degraded or a stream sat in retry backoff. */
-    uint64_t degradedCycles = 0;
-};
-
-/**
- * Percent normalized execution time (smaller is better, paper §7.2).
- * A zero-cycle strict baseline (degenerate empty program) normalizes
- * to 100.0 rather than dividing by zero.
- */
-double normalizedPct(const SimResult &result, const SimResult &strict);
 
 /** Drives every experiment configuration for one workload. */
 class Simulator
@@ -117,39 +46,38 @@ class Simulator
               std::vector<int64_t> train_input,
               std::vector<int64_t> test_input);
 
+    /** Wrap an already-built (possibly shared) context. */
+    explicit Simulator(std::shared_ptr<const SimContext> ctx);
+
     /** Execute one configuration (always on the test input). */
-    SimResult run(const SimConfig &cfg);
+    SimResult run(const SimConfig &cfg) { return runReplay(*ctx_, cfg); }
 
     /** Invocation latency without running: strict vs non-strict vs
      *  non-strict + data partitioning (paper Table 4). */
     uint64_t strictInvocationLatency(const LinkModel &link) const;
     uint64_t nonStrictInvocationLatency(const LinkModel &link,
-                                        bool data_partition);
+                                        bool data_partition) const;
 
-    const FirstUseProfile &trainProfile();
-    const FirstUseProfile &testProfile();
-    const FirstUseOrder &ordering(OrderingSource src);
-    const DataPartition &partition(OrderingSource src);
+    const FirstUseProfile &trainProfile() { return ctx_->trainProfile(); }
+    const FirstUseProfile &testProfile() { return ctx_->testProfile(); }
 
-    const Program &program() const { return prog_; }
+    const FirstUseOrder &
+    ordering(OrderingSource src)
+    {
+        return ctx_->ordering(src);
+    }
+
+    const DataPartition &
+    partition(OrderingSource src)
+    {
+        return ctx_->partition(src);
+    }
+
+    const Program &program() const { return ctx_->program(); }
+    const SimContext &context() const { return *ctx_; }
 
   private:
-    SimResult runStrict(const SimConfig &cfg);
-    SimResult runOverlapped(const SimConfig &cfg);
-    std::vector<uint64_t> methodCycles(OrderingSource src,
-                                       const FirstUseOrder &order);
-
-    const Program &prog_;
-    const NativeRegistry &natives_;
-    std::vector<int64_t> trainInput_;
-    std::vector<int64_t> testInput_;
-
-    std::optional<FirstUseProfile> trainProfile_;
-    std::optional<FirstUseProfile> testProfile_;
-    std::map<OrderingSource, FirstUseOrder> orders_;
-    std::map<OrderingSource, DataPartition> partitions_;
-    uint64_t totalBytes_ = 0;
-    uint64_t entryClassBytes_ = 0;
+    std::shared_ptr<const SimContext> ctx_;
 };
 
 } // namespace nse

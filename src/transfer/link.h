@@ -10,6 +10,9 @@
 #ifndef NSE_TRANSFER_LINK_H
 #define NSE_TRANSFER_LINK_H
 
+#include <cmath>
+#include <cstdint>
+
 namespace nse
 {
 
@@ -19,6 +22,14 @@ struct LinkModel
     const char *name;
     double cyclesPerByte;
 };
+
+/** Cycles to move `bytes` over the nominal link, rounded up. */
+inline uint64_t
+transferCost(uint64_t bytes, const LinkModel &link)
+{
+    return static_cast<uint64_t>(
+        std::ceil(static_cast<double>(bytes) * link.cyclesPerByte));
+}
 
 /** T1 link (1 Mbit/s at 500 MHz). */
 inline constexpr LinkModel kT1Link{"T1", 3815.0};

@@ -38,6 +38,14 @@ NativeRegistry::lookup(std::string_view qualified_name) const
     return it->second;
 }
 
+void
+NativeRegistry::forEach(
+    const std::function<void(const std::string &, uint64_t)> &fn) const
+{
+    for (const auto &[name, native] : natives_)
+        fn(name, native.cycleCost);
+}
+
 NativeRegistry
 standardNatives()
 {

@@ -63,6 +63,15 @@ class NativeRegistry
     /** Lookup; fatal()s on unknown natives. */
     const NativeMethod &lookup(std::string_view qualified_name) const;
 
+    /**
+     * Visit every registered native in name order. Cycle costs are
+     * part of a program's timing identity, so content-addressed
+     * caches of instrumented runs hash them alongside the class
+     * bytes (sim/context.cc).
+     */
+    void forEach(const std::function<void(const std::string &name,
+                                          uint64_t cycle_cost)> &fn) const;
+
   private:
     std::map<std::string, NativeMethod, std::less<>> natives_;
 };

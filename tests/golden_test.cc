@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Golden-output regression test: the Table 5 report (parallel file
+ * transfer on the T1 link, the paper's headline table) must stay
+ * byte-identical to the committed fixture. Any change to the VM's
+ * cycle accounting, the restructurer, the transfer engine, the greedy
+ * scheduler, the replay executor, or the table renderer shows up here
+ * as a diff — deliberate changes regenerate the fixture.
+ */
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "bench/parallel_table.h"
+
+namespace nse
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.is_open()) << "missing golden fixture " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(Golden, Table5ReportIsByteIdentical)
+{
+    std::string expected =
+        readFile(std::string(NSE_SOURCE_DIR) +
+                 "/tests/golden/table5_t1.txt");
+    std::string actual = parallelTableReport(kT1Link, benchWorkloads());
+    EXPECT_EQ(expected, actual)
+        << "Table 5 drifted from tests/golden/table5_t1.txt. If the "
+           "change is intentional, regenerate the fixture with:\n"
+           "  build/bench/bench_table5_parallel_t1 > "
+           "tests/golden/table5_t1.txt";
+}
+
+} // namespace
+} // namespace nse

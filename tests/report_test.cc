@@ -1,10 +1,12 @@
 /**
  * @file
- * Tests for the table renderer used by every bench binary.
+ * Tests for the table renderer and JSON emitter used by every bench
+ * binary.
  */
 
 #include <gtest/gtest.h>
 
+#include "report/json.h"
 #include "report/table.h"
 #include "support/error.h"
 
@@ -41,11 +43,45 @@ TEST(Table, RejectsMisshapenRows)
     EXPECT_EQ(t.rowCount(), 0u);
 }
 
-TEST(Table, CsvEscapesNothingButJoins)
+TEST(Table, CsvPlainCellsJoinUnquoted)
 {
     Table t({"x", "y"});
     t.addRow({"1", "2"});
     EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesCommasQuotesAndLineBreaks)
+{
+    Table t({"name", "value"});
+    t.addRow({"a,b", "plain"});
+    t.addRow({"say \"hi\"", "line\nbreak"});
+    t.addRow({"cr\rcell", "trailing,"});
+    EXPECT_EQ(t.renderCsv(), "name,value\n"
+                             "\"a,b\",plain\n"
+                             "\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+                             "\"cr\rcell\",\"trailing,\"\n");
+}
+
+TEST(Json, QuoteEscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("tab\there"), "\"tab\\there\"");
+    EXPECT_EQ(jsonQuote("ctl\x01"), "\"ctl\\u0001\"");
+    EXPECT_EQ(jsonQuote("nl\n"), "\"nl\\n\"");
+}
+
+TEST(Json, BenchDocumentShape)
+{
+    Table t({"Program", "Pct"});
+    t.addRow({"BIT", "54"});
+    BenchJson json("unit");
+    json.addTable("Table X", t);
+    std::string doc = json.str();
+    EXPECT_NE(doc.find("\"bench\": \"unit\""), std::string::npos);
+    EXPECT_NE(doc.find("\"label\": \"Table X\""), std::string::npos);
+    EXPECT_NE(doc.find("[\"Program\",\"Pct\"]"), std::string::npos);
+    EXPECT_NE(doc.find("[\"BIT\",\"54\"]"), std::string::npos);
 }
 
 TEST(Format, Helpers)

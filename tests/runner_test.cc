@@ -1,0 +1,166 @@
+/**
+ * @file
+ * ExperimentRunner tests: deterministic result placement regardless
+ * of worker count (a 1-thread and a 2-thread pool must produce
+ * identical grids, down to the serialized JSON), exception
+ * propagation, and grid normalization against the strict baseline.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <stdexcept>
+
+#include "report/json.h"
+#include "sim/runner.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+std::vector<GridCell>
+sampleCells()
+{
+    std::vector<GridCell> cells;
+    for (OrderingSource ord : {OrderingSource::Static,
+                               OrderingSource::Train,
+                               OrderingSource::Test}) {
+        GridCell parallel;
+        parallel.label = cat("par-", orderingName(ord));
+        parallel.config.mode = SimConfig::Mode::Parallel;
+        parallel.config.ordering = ord;
+        parallel.config.link = kModemLink;
+        parallel.config.parallelLimit = 2;
+        cells.push_back(std::move(parallel));
+
+        GridCell inter;
+        inter.label = cat("int-", orderingName(ord));
+        inter.config.mode = SimConfig::Mode::Interleaved;
+        inter.config.ordering = ord;
+        inter.config.link = kT1Link;
+        inter.config.dataPartition = true;
+        cells.push_back(std::move(inter));
+    }
+    return cells;
+}
+
+std::string
+gridJson(const std::vector<GridRow> &grid)
+{
+    Table t({"Workload", "Cell", "Total", "Stall", "Pct"});
+    for (const GridRow &row : grid) {
+        for (size_t c = 0; c < row.cells.size(); ++c) {
+            const CellResult &cell = row.cells[c];
+            t.addRow({row.workload, std::to_string(c),
+                      std::to_string(cell.result.totalCycles),
+                      std::to_string(cell.result.stallCycles),
+                      fmtF(cell.pct, 6)});
+        }
+    }
+    BenchJson json("runner-grid");
+    json.addTable("grid", t);
+    return json.str();
+}
+
+TEST(Runner, GridIsIdenticalAcrossWorkerCounts)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+
+    SyntheticSpec spec;
+    spec.seed = 77;
+    spec.classCount = 6;
+    spec.methodsPerClass = 4;
+    Program prog = makeSyntheticProgram(spec);
+    NativeRegistry natives = standardNatives();
+    SimContext synth_ctx(prog, natives, {1, 2}, {5, 4, 3});
+
+    std::vector<GridWorkload> workloads{{"Zipper", &ctx},
+                                        {"Synthetic", &synth_ctx}};
+    std::vector<GridCell> cells = sampleCells();
+
+    std::vector<GridRow> serial =
+        ExperimentRunner(1).runGrid(workloads, cells);
+    std::vector<GridRow> parallel =
+        ExperimentRunner(2).runGrid(workloads, cells);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t w = 0; w < serial.size(); ++w) {
+        EXPECT_EQ(serial[w].workload, parallel[w].workload);
+        ASSERT_EQ(serial[w].cells.size(), cells.size());
+        ASSERT_EQ(parallel[w].cells.size(), cells.size());
+        for (size_t c = 0; c < cells.size(); ++c) {
+            const CellResult &a = serial[w].cells[c];
+            const CellResult &b = parallel[w].cells[c];
+            EXPECT_EQ(a.result.totalCycles, b.result.totalCycles);
+            EXPECT_EQ(a.result.invocationLatency,
+                      b.result.invocationLatency);
+            EXPECT_EQ(a.result.stallCycles, b.result.stallCycles);
+            EXPECT_EQ(a.result.transferCycles, b.result.transferCycles);
+            EXPECT_EQ(a.strict.totalCycles, b.strict.totalCycles);
+            EXPECT_EQ(a.pct, b.pct);
+        }
+    }
+    // And the serialized artifact is byte-identical.
+    EXPECT_EQ(gridJson(serial), gridJson(parallel));
+}
+
+TEST(Runner, GridNormalizesAgainstStrictOnTheCellLink)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    std::vector<GridWorkload> workloads{{"Zipper", &ctx}};
+    std::vector<GridCell> cells = sampleCells();
+
+    std::vector<GridRow> grid =
+        ExperimentRunner(2).runGrid(workloads, cells);
+    ASSERT_EQ(grid.size(), 1u);
+    for (size_t c = 0; c < cells.size(); ++c) {
+        const CellResult &cell = grid[0].cells[c];
+        SimConfig strict;
+        strict.mode = SimConfig::Mode::Strict;
+        strict.link = cells[c].config.link;
+        SimResult base = runReplay(ctx, strict);
+        EXPECT_EQ(cell.strict.totalCycles, base.totalCycles);
+        EXPECT_EQ(cell.pct, normalizedPct(cell.result, base));
+    }
+}
+
+TEST(Runner, ParallelForCoversEveryIndexOnce)
+{
+    ExperimentRunner runner(3);
+    std::vector<std::atomic<int>> hits(101);
+    for (auto &h : hits)
+        h = 0;
+    runner.parallelFor(hits.size(),
+                       [&](size_t i) { hits[i].fetch_add(1); });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, ParallelForRethrowsFirstExceptionByIndex)
+{
+    ExperimentRunner runner(2);
+    try {
+        runner.parallelFor(16, [&](size_t i) {
+            if (i == 5 || i == 11)
+                throw std::runtime_error(cat("boom-", i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom-5");
+    }
+}
+
+TEST(Runner, ZeroThreadsFallsBackToHardware)
+{
+    EXPECT_GE(ExperimentRunner(0).threads(), 1u);
+    EXPECT_EQ(ExperimentRunner(4).threads(), 4u);
+}
+
+} // namespace
+} // namespace nse
