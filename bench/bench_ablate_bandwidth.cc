@@ -18,8 +18,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Ablation C",
                 "Normalized execution time (% of strict) vs link cost "
                 "(cycles/byte); parallel limit 4, Test ordering, data "
@@ -64,7 +65,9 @@ main()
     std::cout << t.render();
 
     BenchJson json("ablate_bandwidth");
+    setBenchMetrics(json, summarizeGrid(grid));
     json.addTable("Ablation C", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

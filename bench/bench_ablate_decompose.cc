@@ -24,8 +24,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Ablation D",
                 "Decomposition of the win (normalized % of strict; "
                 "parallel limit 4, Test ordering)");
@@ -77,7 +78,9 @@ main()
     std::cout << t.render();
 
     BenchJson json("ablate_decompose");
+    setBenchMetrics(json, summarizeGrid(grid));
     json.addTable("Ablation D", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

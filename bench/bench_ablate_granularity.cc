@@ -60,8 +60,9 @@ replayInterleaved(const BenchEntry &e, const ExecTrace &trace,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Ablation A (paper section 4)",
                 "Method-level vs basic-block-level non-strictness: "
                 "normalized time (% of strict), interleaved transfer, "
@@ -128,6 +129,7 @@ main()
 
     BenchJson json("ablate_granularity");
     json.addTable("Ablation A", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

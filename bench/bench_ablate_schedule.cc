@@ -100,8 +100,9 @@ replayParallel(const BenchEntry &e, const LinkModel &link,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Ablation B (paper section 5.1)",
                 "Transfer-schedule policies for parallel transfer "
                 "(limit 4, Test ordering): normalized time and demand "
@@ -143,6 +144,7 @@ main()
 
     BenchJson json("ablate_schedule");
     json.addTable("Ablation B", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

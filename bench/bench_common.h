@@ -12,7 +12,10 @@
  * cache directory (default .nse-bench-cache; "off" disables) — so a
  * full suite run interprets each workload input once in total.
  * Besides its text tables, each bench writes BENCH_<name>.json
- * (report/json.h).
+ * (report/json.h) carrying the observability counters under
+ * "metrics", and accepts --trace-out=<file> to additionally record
+ * one canonical observed run as a Chrome trace-event JSON
+ * (chrome://tracing / Perfetto).
  */
 
 #ifndef NSE_BENCH_BENCH_COMMON_H
@@ -25,6 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/stall.h"
 #include "sim/runner.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
@@ -97,6 +103,72 @@ benchHeader(const std::string &artifact, const std::string &caption)
 {
     std::cout << "==== " << artifact << " ====\n"
               << caption << "\n\n";
+}
+
+/** Destination of the --trace-out Chrome trace ("" = not requested). */
+inline std::string &
+benchTraceOut()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Parse the shared bench flags. Call first in every bench main.
+ * Supported: --trace-out=<file> (write one observed run as Chrome
+ * trace-event JSON; see maybeWriteBenchTrace). Unknown flags warn on
+ * stderr and are ignored so wrappers can pass suites uniform args.
+ */
+inline void
+benchInit(int argc, char **argv)
+{
+    const std::string kTraceOut = "--trace-out=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(kTraceOut, 0) == 0) {
+            benchTraceOut() = arg.substr(kTraceOut.size());
+        } else {
+            std::cerr << "warning: unknown bench flag " << arg
+                      << " (supported: --trace-out=<file>)\n";
+        }
+    }
+}
+
+/** Write the bench JSON and surface where it went (stderr, so stdout
+ *  stays byte-identical to the golden report text). */
+inline void
+writeBenchJson(const BenchJson &json)
+{
+    std::string path = json.write();
+    if (!path.empty())
+        std::cerr << "bench JSON: " << path << "\n";
+}
+
+/**
+ * Honor --trace-out: observe one canonical run of the first workload
+ * (Parallel / Train ordering / T1 link / limit 4 — the paper's
+ * headline configuration), write it as Chrome trace-event JSON, and
+ * print its stall attribution. No-op when the flag was not given, so
+ * un-traced bench output is unchanged.
+ */
+inline void
+maybeWriteBenchTrace(const std::vector<BenchEntry> &entries)
+{
+    const std::string &path = benchTraceOut();
+    if (path.empty() || entries.empty())
+        return;
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = OrderingSource::Train;
+    cfg.link = kT1Link;
+    cfg.parallelLimit = 4;
+    EventTrace trace;
+    SimResult r = runReplay(*entries.front().ctx, cfg, &trace);
+    if (writeChromeTraceFile(trace, path)) {
+        std::cerr << "trace (" << entries.front().workload.name
+                  << ", Parallel/Train/T1): " << path << "\n";
+    }
+    std::cout << "\n" << buildStallReport(trace, r).render();
 }
 
 } // namespace nse

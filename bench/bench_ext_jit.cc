@@ -116,8 +116,9 @@ runJit(const BenchEntry &e, const LinkModel &link, JitPolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Extension (paper section 8)",
                 "Overlapping JIT compilation with transfer: total "
                 "cycles normalized to strict+JIT (interleaved "
@@ -160,6 +161,7 @@ main()
 
     BenchJson json("ext_jit");
     json.addTable("JIT overlap", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

@@ -55,8 +55,9 @@ measure(std::shared_ptr<const SimContext> ctx)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Extension (paper section 4)",
                 "Procedure splitting at a 2KB method threshold: "
                 "non-strict invocation latency (Mcycles, modem) and "
@@ -93,6 +94,6 @@ main()
 
     BenchJson json("ext_split");
     json.addTable("Procedure splitting", t);
-    json.write();
+    writeBenchJson(json);
     return 0;
 }

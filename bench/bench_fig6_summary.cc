@@ -17,8 +17,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 6",
                 "Average normalized execution time (% of strict) — "
                 "the paper's summary bar chart as data + ASCII bars");
@@ -98,7 +99,9 @@ main()
     }
 
     BenchJson json("fig6_summary");
+    setBenchMetrics(json, summarizeGrid(grid));
     json.addTable("Figure 6", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

@@ -13,8 +13,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table 10",
                 "Normalized execution time (% of strict) with global "
                 "data partitioning; parallel transfer uses limit 4");
@@ -71,7 +72,9 @@ main()
     std::cout << t.render();
 
     BenchJson json("table10_datapart");
+    setBenchMetrics(json, summarizeGrid(grid));
     json.addTable("Table 10", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

@@ -14,8 +14,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table 1 + Table 2",
                 "Benchmarks and their general statistics "
                 "(dynamic columns: test input, train in parentheses)");
@@ -25,7 +26,8 @@ main()
                  "Dyn Instrs K Test(Train)", "Static Instrs K",
                  "% Executed", "Total Methods", "Instrs/Method"});
 
-    for (BenchEntry &e : benchWorkloads()) {
+    std::vector<BenchEntry> entries = benchWorkloads();
+    for (BenchEntry &e : entries) {
         desc.addRow({e.workload.name, e.workload.description});
 
         ProgramStatics st = collectStatics(e.workload.program);
@@ -54,6 +56,7 @@ main()
     BenchJson json("table2_stats");
     json.addTable("Table 1", desc);
     json.addTable("Table 2", stats);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

@@ -14,8 +14,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table 3",
                 "Base case statistics per link (cycles in millions; "
                 "strict = full transfer then execution)");
@@ -67,8 +68,10 @@ main()
               << "\n";
 
     BenchJson json("table3_basecase");
+    setBenchMetrics(json, summarizeGrid(grid));
     json.addTable("T1 link", t1);
     json.addTable("Modem link", modem);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

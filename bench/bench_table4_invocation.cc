@@ -69,8 +69,9 @@ linkTable(const std::vector<BenchEntry> &entries, const LinkModel &link)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table 4",
                 "Invocation latency: strict vs non-strict vs "
                 "non-strict + data partitioning");
@@ -83,6 +84,7 @@ main()
                   << "\n";
         json.addTable(cat(link.name, " link"), t);
     }
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

@@ -7,7 +7,8 @@
 #include "bench/parallel_table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nse::benchInit(argc, argv);
     return nse::runParallelTable(nse::kModemLink, "table6_parallel_modem");
 }

@@ -5,62 +5,11 @@
  * three orderings.
  */
 
-#include "bench/bench_common.h"
-#include "report/json.h"
-#include "report/table.h"
-
-using namespace nse;
+#include "bench/interleaved_table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    benchHeader("Table 7",
-                "Normalized execution time (% of strict) for "
-                "interleaved file transfer");
-
-    const OrderingSource orders[] = {OrderingSource::Static,
-                                     OrderingSource::Train,
-                                     OrderingSource::Test};
-    const LinkModel links[] = {kT1Link, kModemLink};
-
-    Table t({"Program", "T1 SCG", "T1 Train", "T1 Test", "Modem SCG",
-             "Modem Train", "Modem Test"});
-
-    std::vector<GridCell> cells;
-    for (const LinkModel &link : links) {
-        for (OrderingSource ord : orders) {
-            GridCell c;
-            c.label = cat(link.name, " ", orderingName(ord));
-            c.config.mode = SimConfig::Mode::Interleaved;
-            c.config.ordering = ord;
-            c.config.link = link;
-            cells.push_back(std::move(c));
-        }
-    }
-
-    std::vector<BenchEntry> entries = benchWorkloads();
-    std::vector<GridRow> grid =
-        benchRunner().runGrid(gridWorkloads(entries), cells);
-
-    std::vector<double> sums(cells.size(), 0.0);
-    for (const GridRow &gr : grid) {
-        std::vector<std::string> row{gr.workload};
-        for (size_t i = 0; i < gr.cells.size(); ++i) {
-            sums[i] += gr.cells[i].pct;
-            row.push_back(fmtF(gr.cells[i].pct, 0));
-        }
-        t.addRow(std::move(row));
-    }
-
-    std::vector<std::string> avg{"AVG"};
-    for (double s : sums)
-        avg.push_back(fmtF(s / static_cast<double>(grid.size()), 0));
-    t.addRow(std::move(avg));
-
-    std::cout << t.render();
-
-    BenchJson json("table7_interleaved");
-    json.addTable("Table 7", t);
-    json.write();
-    return 0;
+    nse::benchInit(argc, argv);
+    return nse::runInterleavedTable("table7_interleaved");
 }

@@ -15,8 +15,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table 8",
                 "Breakdown of global data and constant pool (percent "
                 "of containing structure)");
@@ -25,7 +26,8 @@ main()
     Table cpool({"Program", "Utf8", "Ints", "Float", "Long", "Double",
                  "String", "Class", "FRef", "MRef", "NandT", "IMRef"});
 
-    for (BenchEntry &e : benchWorkloads()) {
+    std::vector<BenchEntry> entries = benchWorkloads();
+    for (BenchEntry &e : entries) {
         GlobalDataBreakdown total;
         for (uint16_t c = 0; c < e.workload.program.classCount(); ++c) {
             ClassFileLayout l = layoutOf(e.workload.program.classAt(c));
@@ -69,6 +71,7 @@ main()
     BenchJson json("table8_globaldata");
     json.addTable("Percent of global data", global);
     json.addTable("Percent of constant pool", cpool);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

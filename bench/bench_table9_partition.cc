@@ -14,8 +14,9 @@
 using namespace nse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table 9",
                 "Local vs global data, and the global-data split into "
                 "needed-first / in-methods / unused (test-input run)");
@@ -74,6 +75,7 @@ main()
 
     BenchJson json("table9_partition");
     json.addTable("Table 9", t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }

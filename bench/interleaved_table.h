@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared driver for Table 7 (interleaved file transfer): normalized
+ * execution time for the single virtual file, for both links and the
+ * three orderings.
+ *
+ * Like parallel_table.h, the report is built as a string
+ * (interleavedTableReport) so the golden-output regression test can
+ * pin the exact text without capturing a child process's stdout.
+ */
+
+#ifndef NSE_BENCH_INTERLEAVED_TABLE_H
+#define NSE_BENCH_INTERLEAVED_TABLE_H
+
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "report/json.h"
+#include "report/table.h"
+
+namespace nse
+{
+
+/** The 6 (link x ordering) cells of Table 7. */
+inline std::vector<GridCell>
+interleavedTableCells()
+{
+    const OrderingSource orders[] = {OrderingSource::Static,
+                                     OrderingSource::Train,
+                                     OrderingSource::Test};
+    const LinkModel links[] = {kT1Link, kModemLink};
+
+    std::vector<GridCell> cells;
+    for (const LinkModel &link : links) {
+        for (OrderingSource ord : orders) {
+            GridCell c;
+            c.label = cat(link.name, " ", orderingName(ord));
+            c.config.mode = SimConfig::Mode::Interleaved;
+            c.config.ordering = ord;
+            c.config.link = link;
+            cells.push_back(std::move(c));
+        }
+    }
+    return cells;
+}
+
+/** Build the Table 7 grid over `entries` on the pool. */
+inline Table
+buildInterleavedTable(const std::vector<BenchEntry> &entries,
+                      std::vector<GridRow> *out_grid = nullptr)
+{
+    std::vector<GridCell> cells = interleavedTableCells();
+
+    Table t({"Program", "T1 SCG", "T1 Train", "T1 Test", "Modem SCG",
+             "Modem Train", "Modem Test"});
+
+    std::vector<GridRow> grid =
+        benchRunner().runGrid(gridWorkloads(entries), cells);
+
+    std::vector<double> sums(cells.size(), 0.0);
+    for (const GridRow &gr : grid) {
+        std::vector<std::string> row{gr.workload};
+        for (size_t i = 0; i < gr.cells.size(); ++i) {
+            sums[i] += gr.cells[i].pct;
+            row.push_back(fmtF(gr.cells[i].pct, 0));
+        }
+        t.addRow(std::move(row));
+    }
+
+    std::vector<std::string> avg{"AVG"};
+    for (double s : sums)
+        avg.push_back(fmtF(s / static_cast<double>(grid.size()), 0));
+    t.addRow(std::move(avg));
+    if (out_grid)
+        *out_grid = std::move(grid);
+    return t;
+}
+
+/** The complete bench report text (header + table). */
+inline std::string
+interleavedTableReport(const std::vector<BenchEntry> &entries,
+                       Table *out_table = nullptr,
+                       std::vector<GridRow> *out_grid = nullptr)
+{
+    Table t = buildInterleavedTable(entries, out_grid);
+    std::ostringstream os;
+    os << "==== Table 7 ====\n"
+       << "Normalized execution time (% of strict) for interleaved "
+          "file transfer"
+       << "\n\n"
+       << t.render();
+    if (out_table)
+        *out_table = t;
+    return os.str();
+}
+
+inline int
+runInterleavedTable(const std::string &bench_name)
+{
+    std::vector<BenchEntry> entries = benchWorkloads();
+    Table t({"Program"});
+    std::vector<GridRow> grid;
+    std::cout << interleavedTableReport(entries, &t, &grid);
+
+    BenchJson json(bench_name);
+    setBenchMetrics(json, summarizeGrid(grid));
+    json.addTable("Table 7", t);
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
+    return 0;
+}
+
+} // namespace nse
+
+#endif // NSE_BENCH_INTERLEAVED_TABLE_H

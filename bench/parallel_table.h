@@ -50,7 +50,8 @@ parallelTableCells(const LinkModel &link)
 /** Build the Table 5/6 grid for `link` over `entries` on the pool. */
 inline Table
 buildParallelTable(const LinkModel &link,
-                   const std::vector<BenchEntry> &entries)
+                   const std::vector<BenchEntry> &entries,
+                   std::vector<GridRow> *out_grid = nullptr)
 {
     std::vector<GridCell> cells = parallelTableCells(link);
 
@@ -76,6 +77,8 @@ buildParallelTable(const LinkModel &link,
     for (double s : sums)
         avg.push_back(fmtF(s / static_cast<double>(grid.size()), 0));
     t.addRow(std::move(avg));
+    if (out_grid)
+        *out_grid = std::move(grid);
     return t;
 }
 
@@ -83,9 +86,10 @@ buildParallelTable(const LinkModel &link,
 inline std::string
 parallelTableReport(const LinkModel &link,
                     const std::vector<BenchEntry> &entries,
-                    Table *out_table = nullptr)
+                    Table *out_table = nullptr,
+                    std::vector<GridRow> *out_grid = nullptr)
 {
-    Table t = buildParallelTable(link, entries);
+    Table t = buildParallelTable(link, entries, out_grid);
     std::ostringstream os;
     os << "==== "
        << cat("Table ", link.cyclesPerByte < 10000 ? 5 : 6)
@@ -105,12 +109,16 @@ parallelTableReport(const LinkModel &link,
 inline int
 runParallelTable(const LinkModel &link, const std::string &bench_name)
 {
+    std::vector<BenchEntry> entries = benchWorkloads();
     Table t({"Program"});
-    std::cout << parallelTableReport(link, benchWorkloads(), &t);
+    std::vector<GridRow> grid;
+    std::cout << parallelTableReport(link, entries, &t, &grid);
 
     BenchJson json(bench_name);
+    setBenchMetrics(json, summarizeGrid(grid));
     json.addTable(cat("Table ", link.cyclesPerByte < 10000 ? 5 : 6), t);
-    json.write();
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
     return 0;
 }
 

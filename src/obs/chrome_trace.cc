@@ -1,0 +1,231 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "report/json.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+constexpr int kTransferPid = 1;
+constexpr int kExecPid = 2;
+
+/** Record one trace-event JSON object. Viewers sort by ts, so append
+ *  order need not be time order. */
+void
+emit(std::vector<std::string> &out, uint64_t ts, std::string json)
+{
+    (void)ts;
+    out.push_back(std::move(json));
+}
+
+std::string
+metaEvent(const char *what, int pid, int tid, const std::string &name)
+{
+    return cat("{\"name\":", jsonQuote(what), ",\"ph\":\"M\",\"pid\":",
+               pid, ",\"tid\":", tid, ",\"args\":{\"name\":",
+               jsonQuote(name), "}}");
+}
+
+std::string
+slice(const std::string &name, int pid, int tid, uint64_t ts,
+      uint64_t dur, const std::string &args = "{}")
+{
+    return cat("{\"name\":", jsonQuote(name),
+               ",\"ph\":\"X\",\"pid\":", pid, ",\"tid\":", tid,
+               ",\"ts\":", ts, ",\"dur\":", dur, ",\"args\":", args,
+               "}");
+}
+
+std::string
+instant(const std::string &name, int pid, int tid, uint64_t ts,
+        const std::string &args = "{}")
+{
+    return cat("{\"name\":", jsonQuote(name),
+               ",\"ph\":\"i\",\"s\":\"t\",\"pid\":", pid,
+               ",\"tid\":", tid, ",\"ts\":", ts, ",\"args\":", args,
+               "}");
+}
+
+std::string
+flow(char phase, uint64_t id, int pid, int tid, uint64_t ts)
+{
+    std::string ev = cat("{\"name\":\"stall\",\"cat\":\"stall\",\"ph\":\"",
+                         phase, "\",\"id\":", id, ",\"pid\":", pid,
+                         ",\"tid\":", tid, ",\"ts\":", ts);
+    if (phase == 'f')
+        ev += ",\"bp\":\"e\"";
+    return ev + "}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(const EventTrace &trace, std::ostream &os)
+{
+    // Cycle-sorted copy: producers may report a crossing one
+    // integration step after its exact cycle.
+    std::vector<ObsEvent> events = trace.events();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ObsEvent &x, const ObsEvent &y) {
+                         return x.cycle < y.cycle;
+                     });
+    uint64_t horizon = 0;
+    for (const ObsEvent &ev : events)
+        horizon = std::max({horizon, ev.cycle, ev.a});
+
+    std::vector<std::string> out;
+    emit(out, 0, metaEvent("process_name", kTransferPid, 0, "transfer"));
+    emit(out, 0, metaEvent("process_name", kExecPid, 0, "execution"));
+    emit(out, 0, metaEvent("thread_name", kExecPid, 1, "first-use waits"));
+
+    size_t streamCount = trace.streams().size();
+    for (const ObsEvent &ev : events)
+        if (ev.stream >= 0)
+            streamCount = std::max(streamCount,
+                                   static_cast<size_t>(ev.stream) + 1);
+    for (size_t s = 0; s < streamCount; ++s) {
+        emit(out, 0,
+             metaEvent("thread_name", kTransferPid,
+                       static_cast<int>(s) + 1,
+                       trace.streamName(static_cast<int>(s))));
+    }
+
+    // Per-stream open transfer span (UINT64_MAX = none) and the cycle
+    // of its pending drop (for the retry slice).
+    std::vector<uint64_t> open(streamCount, UINT64_MAX);
+    std::vector<uint64_t> dropAt(streamCount, UINT64_MAX);
+    uint64_t flowId = 0;
+
+    auto tidOf = [](int stream) { return stream + 1; };
+
+    for (const ObsEvent &ev : events) {
+        auto s = static_cast<size_t>(ev.stream >= 0 ? ev.stream : 0);
+        switch (ev.kind) {
+          case ObsKind::StreamStart:
+            if (ev.stream >= 0)
+                open[s] = ev.cycle;
+            break;
+          case ObsKind::StreamQueue:
+            if (ev.stream >= 0)
+                emit(out, ev.cycle,
+                     instant("queued", kTransferPid, tidOf(ev.stream),
+                             ev.cycle));
+            break;
+          case ObsKind::StreamDrop:
+            if (ev.stream >= 0 && open[s] != UINT64_MAX) {
+                emit(out, open[s],
+                     slice("transfer", kTransferPid, tidOf(ev.stream),
+                           open[s], ev.cycle - open[s],
+                           cat("{\"dropOffset\":", ev.a, "}")));
+                open[s] = UINT64_MAX;
+                dropAt[s] = ev.cycle;
+            }
+            break;
+          case ObsKind::StreamResume:
+            if (ev.stream >= 0 && dropAt[s] != UINT64_MAX) {
+                emit(out, dropAt[s],
+                     slice("retry", kTransferPid, tidOf(ev.stream),
+                           dropAt[s], ev.cycle - dropAt[s]));
+                dropAt[s] = UINT64_MAX;
+            }
+            break;
+          case ObsKind::StreamComplete:
+            if (ev.stream >= 0 && open[s] != UINT64_MAX) {
+                emit(out, open[s],
+                     slice("transfer", kTransferPid, tidOf(ev.stream),
+                           open[s], ev.cycle - open[s],
+                           cat("{\"bytes\":", ev.a, "}")));
+                open[s] = UINT64_MAX;
+            }
+            break;
+          case ObsKind::WatchCross:
+            if (ev.stream >= 0)
+                emit(out, ev.cycle,
+                     instant("watch", kTransferPid, tidOf(ev.stream),
+                             ev.cycle,
+                             cat("{\"offset\":", ev.a, "}")));
+            break;
+          case ObsKind::MethodWait: {
+            uint64_t stall = ev.a - ev.cycle;
+            if (stall == 0)
+                break;
+            emit(out, ev.cycle,
+                 slice(cat("wait m", ev.cls, ".", ev.method), kExecPid,
+                       1, ev.cycle, stall,
+                       cat("{\"stream\":",
+                           jsonQuote(trace.streamName(ev.stream)),
+                           ",\"offset\":", ev.b, "}")));
+            if (ev.stream >= 0) {
+                // Flow arrow: the awaited stream releases execution.
+                ++flowId;
+                emit(out, ev.a,
+                     flow('s', flowId, kTransferPid, tidOf(ev.stream),
+                          ev.a));
+                emit(out, ev.a,
+                     flow('f', flowId, kExecPid, 1, ev.a));
+            }
+            break;
+          }
+          case ObsKind::Mispredict:
+            emit(out, ev.cycle,
+                 instant(cat("mispredict m", ev.cls, ".", ev.method),
+                         kExecPid, 1, ev.cycle));
+            break;
+          case ObsKind::RunEnd:
+            emit(out, ev.cycle,
+                 instant("run-end", kExecPid, 1, ev.cycle,
+                         cat("{\"execCycles\":", ev.a, "}")));
+            break;
+        }
+    }
+    // Close any span still open at the horizon (run ended mid-flight).
+    for (size_t s = 0; s < streamCount; ++s) {
+        if (open[s] != UINT64_MAX && horizon > open[s]) {
+            emit(out, open[s],
+                 slice("transfer", kTransferPid,
+                       tidOf(static_cast<int>(s)), open[s],
+                       horizon - open[s]));
+        }
+        if (dropAt[s] != UINT64_MAX && horizon > dropAt[s]) {
+            emit(out, dropAt[s],
+                 slice("retry", kTransferPid,
+                       tidOf(static_cast<int>(s)), dropAt[s],
+                       horizon - dropAt[s]));
+        }
+    }
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    for (size_t i = 0; i < out.size(); ++i)
+        os << (i ? ",\n" : "\n") << out[i];
+    os << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const EventTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr,
+                     "warning: cannot open trace output %s\n",
+                     path.c_str());
+        return false;
+    }
+    writeChromeTrace(trace, os);
+    os.flush();
+    if (!os) {
+        std::fprintf(stderr, "warning: short write to trace output %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace nse

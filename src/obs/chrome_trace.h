@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto exporter for a recorded EventTrace.
+ *
+ * Renders one run as a trace viewable in chrome://tracing or
+ * ui.perfetto.dev: every transfer stream is a track of "transfer" /
+ * "retry" slices, watch crossings and mispredictions are instants,
+ * first-use waits are slices on an "execution" track, and each
+ * stalled wait gets a flow arrow from the awaited stream's track to
+ * the cycle execution resumed — the paper's Figures 2-4, animated.
+ *
+ * Cycles are emitted as microseconds (the format's native unit); the
+ * absolute scale is meaningless, the shapes are the point.
+ */
+
+#ifndef NSE_OBS_CHROME_TRACE_H
+#define NSE_OBS_CHROME_TRACE_H
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace nse
+{
+
+/** Serialize the trace as a Chrome trace-event JSON document. */
+void writeChromeTrace(const EventTrace &trace, std::ostream &os);
+
+/** As above, to a file. Returns false (with a stderr warning) when
+ *  the file cannot be written. */
+bool writeChromeTraceFile(const EventTrace &trace,
+                          const std::string &path);
+
+} // namespace nse
+
+#endif // NSE_OBS_CHROME_TRACE_H

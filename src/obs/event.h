@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structured run events: the vocabulary of the observability layer.
+ *
+ * The paper's whole argument is about *where time goes* — which
+ * method's first use stalls on which class's bytes (Figures 2-4,
+ * Tables 4-7). SimResult only reports end-of-run aggregates; this
+ * layer records the individual moments those aggregates are made of:
+ * every stream lifecycle edge in the transfer engine (start, queue,
+ * drop, resume, complete), every watch crossing, and every method
+ * first-use wait in the replay executor, each as one timestamped
+ * ObsEvent.
+ *
+ * Producers emit through the EventSink interface and hold a plain
+ * pointer that defaults to null: with no sink attached every
+ * instrumentation site is a single branch, so the un-observed hot
+ * path (the full bench suite) pays nothing measurable. EventTrace
+ * (obs/trace.h) is the standard in-memory sink; exporters
+ * (obs/chrome_trace.h) and the stall-attribution report (obs/stall.h)
+ * consume the recorded trace after the run.
+ *
+ * Naming: ObsEvent is a *run observation*; the similarly named
+ * TraceEvent in sim/context.h is a recorded first-use point of an
+ * instrumented execution (the replay input, not an observation).
+ */
+
+#ifndef NSE_OBS_EVENT_H
+#define NSE_OBS_EVENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace nse
+{
+
+/** What happened. See ObsEvent for the per-kind payload fields. */
+enum class ObsKind : uint8_t
+{
+    StreamStart,    ///< stream began (or resumed counting) transfer
+    StreamQueue,    ///< stream ready but waiting for a connection slot
+    StreamDrop,     ///< connection lost at a byte offset; retrying
+    StreamResume,   ///< retry succeeded; transfer continues
+    StreamComplete, ///< all bytes arrived
+    WatchCross,     ///< a watched byte offset arrived
+    MethodWait,     ///< a first use waited for its method's bytes
+    Mispredict,     ///< first use of a class neither active nor due
+    RunEnd,         ///< replay finished (cycle = SimResult::totalCycles)
+};
+
+const char *obsKindName(ObsKind kind);
+
+/**
+ * One timestamped observation. Fixed-size POD so recording is an
+ * append into a vector; kind-specific payloads ride in a/b:
+ *
+ *   StreamStart     a = byte offset the transfer (re)starts from
+ *   StreamQueue     —
+ *   StreamDrop      a = drop offset, b = cycle the retry resolves
+ *   StreamResume    a = resume offset
+ *   StreamComplete  a = total bytes
+ *   WatchCross      a = watched offset
+ *   MethodWait      a = resume cycle (>= cycle; difference = stall),
+ *                   b = availability offset awaited; cls/method set
+ *   Mispredict      cls/method set
+ *   RunEnd          a = execute cycles of the run
+ */
+struct ObsEvent
+{
+    uint64_t cycle = 0;
+    ObsKind kind = ObsKind::RunEnd;
+    int32_t stream = -1; ///< transfer stream; -1 = whole program
+    int32_t cls = -1;    ///< method identity for MethodWait/Mispredict
+    int32_t method = -1;
+    uint64_t a = 0;
+    uint64_t b = 0;
+};
+
+/**
+ * Where events go. Implementations must tolerate events arriving
+ * slightly out of cycle order (a watch crossing is reported at the
+ * integration step that detects it, timestamped with the exact
+ * earlier crossing cycle); consumers sort when order matters.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /** Record one event. Called on the run's thread only. */
+    virtual void record(const ObsEvent &ev) = 0;
+
+    /**
+     * Announce a stream's identity before (or when) its events start
+     * flowing, so consumers can render names instead of indices.
+     * Default: ignore.
+     */
+    virtual void
+    noteStream(int stream, const std::string &name, uint64_t totalBytes)
+    {
+        (void)stream;
+        (void)name;
+        (void)totalBytes;
+    }
+};
+
+} // namespace nse
+
+#endif // NSE_OBS_EVENT_H

@@ -1,0 +1,52 @@
+#include "obs/metrics.h"
+
+namespace nse
+{
+
+void
+RunMetrics::add(const SimResult &r)
+{
+    ++runs;
+    totalCycles += r.totalCycles;
+    execCycles += r.execCycles;
+    stallCycles += r.stallCycles;
+    retryCount += r.retryCount;
+    degradedCycles += r.degradedCycles;
+    mispredictions += r.mispredictions;
+}
+
+void
+RunMetrics::add(const EventTrace &t)
+{
+    ++tracedRuns;
+    eventCount += t.size();
+}
+
+RunMetrics
+summarizeGrid(const std::vector<GridRow> &rows)
+{
+    RunMetrics m;
+    for (const GridRow &row : rows) {
+        for (const CellResult &cell : row.cells) {
+            m.add(cell.result);
+            m.add(cell.strict);
+        }
+    }
+    return m;
+}
+
+void
+setBenchMetrics(BenchJson &json, const RunMetrics &m)
+{
+    json.setMetric("runs", m.runs);
+    json.setMetric("totalCycles", m.totalCycles);
+    json.setMetric("execCycles", m.execCycles);
+    json.setMetric("stallCycles", m.stallCycles);
+    json.setMetric("retryCount", m.retryCount);
+    json.setMetric("degradedCycles", m.degradedCycles);
+    json.setMetric("mispredictions", m.mispredictions);
+    json.setMetric("eventCount", m.eventCount);
+    json.setMetric("tracedRuns", m.tracedRuns);
+}
+
+} // namespace nse

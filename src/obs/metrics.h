@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Run-counter aggregation: folds SimResults (usually a whole
+ * experiment grid) and recorded EventTraces into the flat counter set
+ * every bench publishes under the "metrics" key of its
+ * BENCH_<name>.json — so regression tooling can watch stall totals,
+ * retry counts, and degraded cycles drift without parsing tables.
+ */
+
+#ifndef NSE_OBS_METRICS_H
+#define NSE_OBS_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "report/json.h"
+#include "sim/runner.h"
+
+namespace nse
+{
+
+/** Counters accumulated over any number of runs. */
+struct RunMetrics
+{
+    uint64_t runs = 0;
+    uint64_t totalCycles = 0;
+    uint64_t execCycles = 0;
+    uint64_t stallCycles = 0;
+    uint64_t retryCount = 0;
+    uint64_t degradedCycles = 0;
+    uint64_t mispredictions = 0;
+    /** Observability events recorded (0 when tracing was off). */
+    uint64_t eventCount = 0;
+    uint64_t tracedRuns = 0;
+
+    void add(const SimResult &r);
+    void add(const EventTrace &t);
+};
+
+/** Fold every measured cell (results and strict baselines). */
+RunMetrics summarizeGrid(const std::vector<GridRow> &rows);
+
+/** Publish the counters as the bench document's "metrics" object. */
+void setBenchMetrics(BenchJson &json, const RunMetrics &m);
+
+} // namespace nse
+
+#endif // NSE_OBS_METRICS_H

@@ -1,0 +1,86 @@
+#include "obs/stall.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+StallReport
+buildStallReport(const EventTrace &trace, const SimResult &result)
+{
+    StallReport rep;
+    rep.execCycles = result.execCycles;
+    rep.totalCycles = result.totalCycles;
+    rep.mispredictions = result.mispredictions;
+
+    std::map<int, StallBucket> buckets;
+    std::map<std::pair<int32_t, int32_t>, MethodStall> methods;
+    for (const ObsEvent &ev : trace.events()) {
+        if (ev.kind != ObsKind::MethodWait)
+            continue;
+        NSE_ASSERT(ev.a >= ev.cycle,
+                   "method-wait resumes before it starts");
+        uint64_t stall = ev.a - ev.cycle;
+        rep.attributedStallCycles += stall;
+
+        StallBucket &b = buckets[ev.stream];
+        b.stream = ev.stream;
+        b.stallCycles += stall;
+        ++b.waits;
+        if (stall > 0)
+            ++b.stalledWaits;
+
+        MethodStall &m = methods[{ev.cls, ev.method}];
+        m.cls = ev.cls;
+        m.method = ev.method;
+        m.stream = ev.stream;
+        m.stallCycles += stall;
+    }
+
+    for (auto &[stream, bucket] : buckets) {
+        bucket.name = trace.streamName(stream);
+        rep.byStream.push_back(std::move(bucket));
+    }
+    std::stable_sort(rep.byStream.begin(), rep.byStream.end(),
+                     [](const StallBucket &x, const StallBucket &y) {
+                         return x.stallCycles > y.stallCycles;
+                     });
+    for (auto &[key, m] : methods)
+        rep.byMethod.push_back(m);
+    std::stable_sort(rep.byMethod.begin(), rep.byMethod.end(),
+                     [](const MethodStall &x, const MethodStall &y) {
+                         return x.stallCycles > y.stallCycles;
+                     });
+    return rep;
+}
+
+std::string
+StallReport::render() const
+{
+    std::ostringstream os;
+    os << "stall attribution: total=" << totalCycles
+       << " exec=" << execCycles << " stall=" << attributedStallCycles
+       << " drain=" << drainCycles
+       << " mispredict=" << mispredictions
+       << (reconstructs() ? "" : "  [DOES NOT RECONSTRUCT]") << "\n";
+    for (const StallBucket &b : byStream) {
+        double pct =
+            totalCycles
+                ? 100.0 * static_cast<double>(b.stallCycles) /
+                      static_cast<double>(totalCycles)
+                : 0.0;
+        char pbuf[32];
+        std::snprintf(pbuf, sizeof pbuf, "%.1f%%", pct);
+        os << "  " << b.name << ": " << b.stallCycles << " cycles ("
+           << pbuf << "), " << b.stalledWaits << "/" << b.waits
+           << " waits stalled\n";
+    }
+    return os.str();
+}
+
+} // namespace nse

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stall attribution: fold a run's EventTrace into a breakdown of idle
+ * cycles charged to the class (stream) and method whose bytes were
+ * awaited — the observable form of the paper's central question,
+ * "which first use stalls on which class's bytes".
+ *
+ * Every MethodWait event carries the wait's start cycle and resume
+ * cycle; the difference is idle time attributed to the awaited
+ * stream. The report's invariant (checked in tests/obs_test.cc) is
+ * that the decomposition exactly reconstructs the run:
+ *
+ *   attributedStallCycles + execCycles + drainCycles
+ *     == SimResult::totalCycles
+ *
+ * In the current execution model a run's clock stops when the last
+ * bytecode executes, so the post-exec transfer drain term is zero by
+ * construction; it is carried explicitly so the identity stays
+ * meaningful for models whose runs end at transfer completion (and so
+ * a nonzero drain is a loud signal the model changed).
+ */
+
+#ifndef NSE_OBS_STALL_H
+#define NSE_OBS_STALL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/replay.h"
+
+namespace nse
+{
+
+/** Idle cycles charged to one awaited stream (class file). */
+struct StallBucket
+{
+    int stream = -1; ///< -1 = the strict whole-program wait
+    std::string name;
+    uint64_t stallCycles = 0;
+    uint64_t waits = 0; ///< MethodWait events on this stream
+    /** Waits that actually stalled (resume > start). */
+    uint64_t stalledWaits = 0;
+};
+
+/** Idle cycles charged to one awaited method. */
+struct MethodStall
+{
+    int32_t cls = -1;
+    int32_t method = -1;
+    int stream = -1;
+    uint64_t stallCycles = 0;
+};
+
+/** The full per-run attribution. */
+struct StallReport
+{
+    /** Buckets with at least one wait, largest stall first. */
+    std::vector<StallBucket> byStream;
+    /** Per awaited method, largest stall first. */
+    std::vector<MethodStall> byMethod;
+
+    uint64_t attributedStallCycles = 0; ///< sum over MethodWait events
+    uint64_t execCycles = 0;
+    uint64_t drainCycles = 0; ///< post-exec transfer drain (see @file)
+    uint64_t totalCycles = 0;
+    uint64_t mispredictions = 0;
+
+    /** The reconstruction identity the whole layer is built around. */
+    bool
+    reconstructs() const
+    {
+        return attributedStallCycles + execCycles + drainCycles ==
+               totalCycles;
+    }
+
+    /** Human-readable breakdown (one line per stream bucket). */
+    std::string render() const;
+};
+
+/**
+ * Build the attribution for one run from its recorded events and
+ * result. The events must come from the same run the result measures
+ * (runReplay / runLiveReference with the trace attached as sink).
+ */
+StallReport buildStallReport(const EventTrace &trace,
+                             const SimResult &result);
+
+} // namespace nse
+
+#endif // NSE_OBS_STALL_H

@@ -1,0 +1,44 @@
+#include "obs/trace.h"
+
+namespace nse
+{
+
+const char *
+obsKindName(ObsKind kind)
+{
+    switch (kind) {
+      case ObsKind::StreamStart: return "stream-start";
+      case ObsKind::StreamQueue: return "stream-queue";
+      case ObsKind::StreamDrop: return "stream-drop";
+      case ObsKind::StreamResume: return "stream-resume";
+      case ObsKind::StreamComplete: return "stream-complete";
+      case ObsKind::WatchCross: return "watch-cross";
+      case ObsKind::MethodWait: return "method-wait";
+      case ObsKind::Mispredict: return "mispredict";
+      case ObsKind::RunEnd: return "run-end";
+    }
+    return "unknown";
+}
+
+std::string
+EventTrace::streamName(int stream) const
+{
+    if (stream < 0)
+        return "whole-program";
+    auto idx = static_cast<size_t>(stream);
+    if (idx < streams_.size() && !streams_[idx].name.empty())
+        return streams_[idx].name;
+    return "stream-" + std::to_string(stream);
+}
+
+std::vector<ObsEvent>
+EventTrace::ofKind(ObsKind kind) const
+{
+    std::vector<ObsEvent> out;
+    for (const ObsEvent &ev : events_)
+        if (ev.kind == kind)
+            out.push_back(ev);
+    return out;
+}
+
+} // namespace nse

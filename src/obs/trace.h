@@ -1,0 +1,85 @@
+/**
+ * @file
+ * EventTrace: the standard in-memory EventSink — an append-only
+ * per-run event log plus per-kind counters and the stream name table.
+ *
+ * One trace observes one run (one replay, or one hand-driven
+ * TransferEngine). Recording is push_back into a reserved vector;
+ * consumers read the whole log after the run (chrome_trace.h renders
+ * it, stall.h folds it into an attribution report).
+ */
+
+#ifndef NSE_OBS_TRACE_H
+#define NSE_OBS_TRACE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace nse
+{
+
+/** Identity of one observed transfer stream. */
+struct ObsStream
+{
+    std::string name;
+    uint64_t totalBytes = 0;
+};
+
+/** In-memory event log of one observed run. */
+class EventTrace : public EventSink
+{
+  public:
+    static constexpr size_t kKindCount =
+        static_cast<size_t>(ObsKind::RunEnd) + 1;
+
+    EventTrace() { events_.reserve(256); }
+
+    void
+    record(const ObsEvent &ev) override
+    {
+        events_.push_back(ev);
+        ++counts_[static_cast<size_t>(ev.kind)];
+    }
+
+    void
+    noteStream(int stream, const std::string &name,
+               uint64_t totalBytes) override
+    {
+        auto idx = static_cast<size_t>(stream);
+        if (streams_.size() <= idx)
+            streams_.resize(idx + 1);
+        streams_[idx] = {name, totalBytes};
+    }
+
+    const std::vector<ObsEvent> &events() const { return events_; }
+    const std::vector<ObsStream> &streams() const { return streams_; }
+
+    size_t
+    count(ObsKind kind) const
+    {
+        return counts_[static_cast<size_t>(kind)];
+    }
+
+    /** Total recorded events. */
+    size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Stream display name ("whole-program" for stream -1). */
+    std::string streamName(int stream) const;
+
+    /** Events of one kind, in recording order. */
+    std::vector<ObsEvent> ofKind(ObsKind kind) const;
+
+  private:
+    std::vector<ObsEvent> events_;
+    std::vector<ObsStream> streams_;
+    std::array<size_t, kKindCount> counts_{};
+};
+
+} // namespace nse
+
+#endif // NSE_OBS_TRACE_H

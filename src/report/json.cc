@@ -42,6 +42,32 @@ BenchJson::addTable(const std::string &label, const Table &table)
     tables_.push_back({label, table.headers(), table.rows()});
 }
 
+void
+BenchJson::setMetricRaw(const std::string &key, std::string rendered)
+{
+    for (auto &[k, v] : metrics_) {
+        if (k == key) {
+            v = std::move(rendered);
+            return;
+        }
+    }
+    metrics_.emplace_back(key, std::move(rendered));
+}
+
+void
+BenchJson::setMetric(const std::string &key, uint64_t value)
+{
+    setMetricRaw(key, std::to_string(value));
+}
+
+void
+BenchJson::setMetric(const std::string &key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    setMetricRaw(key, buf);
+}
+
 std::string
 BenchJson::str() const
 {
@@ -54,7 +80,12 @@ BenchJson::str() const
     };
 
     os << "{\n  \"bench\": " << jsonQuote(name_)
-       << ",\n  \"tables\": [";
+       << ",\n  \"metrics\": {";
+    for (size_t m = 0; m < metrics_.size(); ++m) {
+        os << (m ? ", " : "") << jsonQuote(metrics_[m].first) << ": "
+           << metrics_[m].second;
+    }
+    os << "},\n  \"tables\": [";
     for (size_t t = 0; t < tables_.size(); ++t) {
         const Entry &e = tables_[t];
         os << (t ? ",\n    {" : "\n    {");
@@ -80,10 +111,21 @@ BenchJson::write() const
         return "";
     std::string path = d + "/BENCH_" + name_ + ".json";
     std::ofstream os(path, std::ios::trunc);
-    if (!os)
+    if (!os) {
+        std::fprintf(stderr,
+                     "warning: cannot open bench JSON output %s\n",
+                     path.c_str());
         return "";
+    }
     os << str();
-    return os ? path : "";
+    os.flush();
+    if (!os) {
+        std::fprintf(stderr,
+                     "warning: short write to bench JSON output %s\n",
+                     path.c_str());
+        return "";
+    }
+    return path;
 }
 
 } // namespace nse

@@ -9,17 +9,25 @@
  *
  *   {
  *     "bench": "<name>",
+ *     "metrics": {"runs": 12, "stallCycles": 34, ...},
  *     "tables": [
  *       {"label": "...", "headers": [...], "rows": [[...], ...]},
  *       ...
  *     ]
  *   }
+ *
+ * "metrics" carries the run counters of the observability layer
+ * (obs/metrics.h): stall totals, retry counts, degraded cycles, event
+ * counts. It is always present (empty when a bench sets none) so
+ * consumers can rely on the shape.
  */
 
 #ifndef NSE_REPORT_JSON_H
 #define NSE_REPORT_JSON_H
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "report/table.h"
@@ -39,6 +47,11 @@ class BenchJson
     /** Record one rendered table under a label ("" for the only one). */
     void addTable(const std::string &label, const Table &table);
 
+    /** Set one "metrics" counter (last set wins; insertion order is
+     *  preserved in the document). */
+    void setMetric(const std::string &key, uint64_t value);
+    void setMetric(const std::string &key, double value);
+
     /** Serialize to the canonical JSON document. */
     std::string str() const;
 
@@ -47,7 +60,9 @@ class BenchJson
      * NSE_BENCH_JSON_DIR environment variable, defaulting to the
      * current working directory; NSE_BENCH_JSON_DIR=off suppresses
      * the file entirely. Returns the path written ("" if suppressed
-     * or on I/O failure — emitting JSON must never fail a bench).
+     * or on I/O failure — emitting JSON never fails a bench, but a
+     * failure prints a one-line warning to stderr so CI smoke checks
+     * that assert on the file are not left guessing).
      */
     std::string write() const;
 
@@ -59,8 +74,12 @@ class BenchJson
         std::vector<std::vector<std::string>> rows;
     };
 
+    void setMetricRaw(const std::string &key, std::string rendered);
+
     std::string name_;
     std::vector<Entry> tables_;
+    /** (key, rendered JSON value), in insertion order. */
+    std::vector<std::pair<std::string, std::string>> metrics_;
 };
 
 } // namespace nse

@@ -23,7 +23,7 @@ wholeProgramTransferCycles(uint64_t total_bytes, uint64_t entry_bytes,
                            const LinkModel &link, const FaultPlan &plan,
                            uint64_t *invocation_latency,
                            uint64_t *retry_count,
-                           uint64_t *degraded_cycles)
+                           uint64_t *degraded_cycles, EventSink *obs)
 {
     if (plan.nominal()) {
         if (invocation_latency)
@@ -31,6 +31,7 @@ wholeProgramTransferCycles(uint64_t total_bytes, uint64_t entry_bytes,
         return transferCost(total_bytes, link);
     }
     TransferEngine engine(link.cyclesPerByte, 1, plan);
+    engine.setSink(obs);
     int s = engine.addStream("whole-program", total_bytes);
     engine.scheduleStart(s, 0);
     uint64_t entry_arrival = engine.waitFor(s, entry_bytes, 0);
@@ -58,19 +59,75 @@ layoutKeyOf(const SimConfig &cfg)
     return key;
 }
 
+void
+observe(EventSink *obs, const ObsEvent &ev)
+{
+    if (obs)
+        obs->record(ev);
+}
+
+/** One first-use wait, attributed to the awaited stream/method. */
+void
+observeWait(EventSink *obs, uint64_t clock, uint64_t resume,
+            int stream, MethodId id, uint64_t offset)
+{
+    if (!obs)
+        return;
+    ObsEvent ev;
+    ev.cycle = clock;
+    ev.kind = ObsKind::MethodWait;
+    ev.stream = stream;
+    ev.cls = id.classIdx;
+    ev.method = id.methodIdx;
+    ev.a = resume;
+    ev.b = offset;
+    obs->record(ev);
+}
+
+void
+observeMispredict(EventSink *obs, uint64_t clock, int stream,
+                  MethodId id)
+{
+    if (!obs)
+        return;
+    ObsEvent ev;
+    ev.cycle = clock;
+    ev.kind = ObsKind::Mispredict;
+    ev.stream = stream;
+    ev.cls = id.classIdx;
+    ev.method = id.methodIdx;
+    obs->record(ev);
+}
+
+void
+observeEnd(EventSink *obs, const SimResult &r)
+{
+    ObsEvent ev;
+    ev.cycle = r.totalCycles;
+    ev.kind = ObsKind::RunEnd;
+    ev.a = r.execCycles;
+    observe(obs, ev);
+}
+
 SimResult
-runStrict(const SimContext &ctx, const SimConfig &cfg)
+runStrict(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
 {
     const VmResult &exec = ctx.testProfile().result;
     SimResult r;
     r.transferCycles = wholeProgramTransferCycles(
         ctx.totalBytes(), ctx.entryClassBytes(), cfg.link, cfg.faults,
-        &r.invocationLatency, &r.retryCount, &r.degradedCycles);
+        &r.invocationLatency, &r.retryCount, &r.degradedCycles, obs);
     r.execCycles = exec.execCycles;
     r.totalCycles = r.transferCycles + r.execCycles;
     r.stallCycles = r.transferCycles;
     r.bytecodes = exec.bytecodes;
     r.cpi = exec.cpi();
+    // Strict is one wait: the entry method's first use at cycle 0
+    // blocks until the whole program has arrived (stream -1, the
+    // single-connection whole-program transfer).
+    observeWait(obs, 0, r.transferCycles, /*stream=*/-1,
+                ctx.program().entry(), /*offset=*/0);
+    observeEnd(obs, r);
     return r;
 }
 
@@ -107,14 +164,15 @@ makeOverlappedEngine(const SimContext &ctx, const SimConfig &cfg,
 } // namespace
 
 SimResult
-runReplay(const SimContext &ctx, const SimConfig &cfg)
+runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
 {
     if (cfg.mode == SimConfig::Mode::Strict)
-        return runStrict(ctx, cfg);
+        return runStrict(ctx, cfg, obs);
 
     bool parallel = cfg.mode == SimConfig::Mode::Parallel;
     const TransferLayout &layout = ctx.layout(layoutKeyOf(cfg));
     TransferEngine engine = makeOverlappedEngine(ctx, cfg, layout);
+    engine.setSink(obs);
 
     SimResult r;
     bool entry_seen = false;
@@ -131,12 +189,15 @@ runReplay(const SimContext &ctx, const SimConfig &cfg)
                     // neither transferring nor about to — fetch it on
                     // demand.
                     ++r.mispredictions;
+                    observeMispredict(obs, clock, pl.streamIdx, id);
                     engine.demandStart(pl.streamIdx, clock);
                 }
             }
             uint64_t resume =
                 engine.waitFor(pl.streamIdx, pl.availOffset, clock);
             r.stallCycles += resume - clock;
+            observeWait(obs, clock, resume, pl.streamIdx, id,
+                        pl.availOffset);
             if (!entry_seen) {
                 entry_seen = true;
                 r.invocationLatency = resume;
@@ -152,18 +213,21 @@ runReplay(const SimContext &ctx, const SimConfig &cfg)
     r.cpi = trace.totals.cpi();
     r.retryCount = engine.retryCount();
     r.degradedCycles = engine.degradedCycles();
+    observeEnd(obs, r);
     return r;
 }
 
 SimResult
-runLiveReference(const SimContext &ctx, const SimConfig &cfg)
+runLiveReference(const SimContext &ctx, const SimConfig &cfg,
+                 EventSink *obs)
 {
     if (cfg.mode == SimConfig::Mode::Strict)
-        return runStrict(ctx, cfg);
+        return runStrict(ctx, cfg, obs);
 
     bool parallel = cfg.mode == SimConfig::Mode::Parallel;
     const TransferLayout &layout = ctx.layout(layoutKeyOf(cfg));
     TransferEngine engine = makeOverlappedEngine(ctx, cfg, layout);
+    engine.setSink(obs);
 
     SimResult r;
     bool entry_seen = false;
@@ -176,12 +240,15 @@ runLiveReference(const SimContext &ctx, const SimConfig &cfg)
             if (s.state == StreamState::Idle &&
                 s.scheduledStart > clock) {
                 ++r.mispredictions;
+                observeMispredict(obs, clock, pl.streamIdx, id);
                 engine.demandStart(pl.streamIdx, clock);
             }
         }
         uint64_t resume = engine.waitFor(pl.streamIdx, pl.availOffset,
                                          clock);
         r.stallCycles += resume - clock;
+        observeWait(obs, clock, resume, pl.streamIdx, id,
+                    pl.availOffset);
         if (!entry_seen) {
             entry_seen = true;
             r.invocationLatency = resume;
@@ -198,6 +265,7 @@ runLiveReference(const SimContext &ctx, const SimConfig &cfg)
     r.cpi = exec.cpi();
     r.retryCount = engine.retryCount();
     r.degradedCycles = engine.degradedCycles();
+    observeEnd(obs, r);
     return r;
 }
 

@@ -18,6 +18,7 @@
 #ifndef NSE_SIM_REPLAY_H
 #define NSE_SIM_REPLAY_H
 
+#include "obs/event.h"
 #include "sim/context.h"
 #include "support/error.h"
 #include "transfer/faults.h"
@@ -99,15 +100,25 @@ double normalizedPct(const SimResult &result, const SimResult &strict);
 /**
  * Execute one configuration by trace replay (always on the test
  * input). Thread-safe: concurrent calls on one context are fine.
+ *
+ * `obs` optionally observes the run (obs/event.h): every transfer
+ * stream edge and watch crossing from the engine, one MethodWait
+ * event per first-use (stalled or not), Mispredict instants, and a
+ * final RunEnd. Null (the default) records nothing and costs nothing;
+ * a sink must only be shared across concurrent runs if it is itself
+ * thread-safe (EventTrace is not — use one per run).
  */
-SimResult runReplay(const SimContext &ctx, const SimConfig &cfg);
+SimResult runReplay(const SimContext &ctx, const SimConfig &cfg,
+                    EventSink *obs = nullptr);
 
 /**
  * The original interpreter-in-the-loop co-simulation, retained as the
  * reference implementation the replay executor is verified against.
  * Orders of magnitude slower than runReplay; use only in tests.
+ * Observes into `obs` identically to runReplay.
  */
-SimResult runLiveReference(const SimContext &ctx, const SimConfig &cfg);
+SimResult runLiveReference(const SimContext &ctx, const SimConfig &cfg,
+                           EventSink *obs = nullptr);
 
 /**
  * Cycles to transfer the complete program (`total_bytes`) front-to-back
@@ -126,7 +137,8 @@ uint64_t wholeProgramTransferCycles(uint64_t total_bytes,
                                     const FaultPlan &plan,
                                     uint64_t *invocation_latency = nullptr,
                                     uint64_t *retry_count = nullptr,
-                                    uint64_t *degraded_cycles = nullptr);
+                                    uint64_t *degraded_cycles = nullptr,
+                                    EventSink *obs = nullptr);
 
 /**
  * Replay the recorded trace against an arbitrary wait function, which

@@ -60,8 +60,10 @@ ExperimentRunner::parallelFor(size_t n,
 }
 
 std::vector<GridRow>
-ExperimentRunner::runGrid(const std::vector<GridWorkload> &workloads,
-                          const std::vector<GridCell> &cells) const
+ExperimentRunner::runGrid(
+    const std::vector<GridWorkload> &workloads,
+    const std::vector<GridCell> &cells,
+    const std::function<EventSink *(size_t, size_t)> &sink_for) const
 {
     std::vector<GridRow> rows(workloads.size());
     for (size_t w = 0; w < workloads.size(); ++w) {
@@ -77,7 +79,8 @@ ExperimentRunner::runGrid(const std::vector<GridWorkload> &workloads,
         const SimConfig &cfg = cells[c].config;
 
         CellResult &out = rows[w].cells[c];
-        out.result = runReplay(ctx, cfg);
+        out.result = runReplay(ctx, cfg, sink_for ? sink_for(w, c)
+                                                  : nullptr);
         SimConfig strict;
         strict.mode = SimConfig::Mode::Strict;
         strict.link = cfg.link;

@@ -87,9 +87,19 @@ class ExperimentRunner
      * each workload's recorded trace; the strict baseline per cell is
      * computed on the cell's link with a nominal fault plan (the
      * normalization the paper's tables use).
+     *
+     * `sink_for`, when non-null, supplies the observer for each
+     * (workload, cell) measurement run (obs/event.h); return null to
+     * skip a cell. It is called from worker threads — it must be
+     * thread-safe, and each returned sink observes exactly one run so
+     * per-run sinks (EventTrace) need no locking. Strict baselines
+     * are not observed.
      */
-    std::vector<GridRow> runGrid(const std::vector<GridWorkload> &workloads,
-                                 const std::vector<GridCell> &cells) const;
+    std::vector<GridRow>
+    runGrid(const std::vector<GridWorkload> &workloads,
+            const std::vector<GridCell> &cells,
+            const std::function<EventSink *(size_t workload, size_t cell)>
+                &sink_for = nullptr) const;
 
   private:
     unsigned threads_;

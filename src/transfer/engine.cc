@@ -8,6 +8,28 @@
 namespace nse
 {
 
+namespace
+{
+
+/** t + ceil(cycles), saturating to "never" (UINT64_MAX). A completion
+ *  estimate can exceed the uint64 cycle range (a huge stream sharing
+ *  a glacial link); casting such a double is UB and wraps to a small
+ *  value on x86-64, which turns the event loop into one-cycle steps.
+ *  A saturated estimate contributes no event, like a rate-0 stream. */
+uint64_t
+completionAt(uint64_t t, double cycles)
+{
+    double est = std::ceil(cycles);
+    // 2^64 is exactly representable; anything at or beyond it cannot
+    // be cast.
+    if (est >= 18446744073709551616.0)
+        return UINT64_MAX;
+    auto c = static_cast<uint64_t>(est);
+    return t > UINT64_MAX - c ? UINT64_MAX : t + c;
+}
+
+} // namespace
+
 TransferEngine::TransferEngine(double cycles_per_byte, int max_concurrent)
     : TransferEngine(cycles_per_byte, max_concurrent, FaultPlan{})
 {}
@@ -20,6 +42,33 @@ TransferEngine::TransferEngine(double cycles_per_byte, int max_concurrent,
     NSE_CHECK(cycles_per_byte > 0, "non-positive link cost");
 }
 
+void
+TransferEngine::setSink(EventSink *sink)
+{
+    sink_ = sink;
+    if (!sink_)
+        return;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        sink_->noteStream(static_cast<int>(i), streams_[i].name,
+                          static_cast<uint64_t>(streams_[i].totalBytes));
+    }
+}
+
+void
+TransferEngine::emit(ObsKind kind, uint64_t cycle, int stream,
+                     uint64_t a, uint64_t b)
+{
+    if (!sink_)
+        return;
+    ObsEvent ev;
+    ev.cycle = cycle;
+    ev.kind = kind;
+    ev.stream = stream;
+    ev.a = a;
+    ev.b = b;
+    sink_->record(ev);
+}
+
 int
 TransferEngine::addStream(std::string name, uint64_t total_bytes)
 {
@@ -28,6 +77,8 @@ TransferEngine::addStream(std::string name, uint64_t total_bytes)
     s.name = std::move(name);
     s.totalBytes = static_cast<double>(total_bytes);
     int idx = static_cast<int>(streams_.size());
+    if (sink_)
+        sink_->noteStream(idx, s.name, total_bytes);
     streams_.push_back(std::move(s));
     drops_.push_back(plan_.dropsFor(idx, total_bytes));
     nextDrop_.push_back(0);
@@ -79,10 +130,13 @@ TransferEngine::markActive(size_t idx, uint64_t now)
     s.state = StreamState::Active;
     s.startedAt = now;
     ++active_;
+    emit(ObsKind::StreamStart, now, static_cast<int>(idx),
+         static_cast<uint64_t>(s.arrivedBytes));
     // An empty needed prefix arrives the moment the stream starts.
     if (watchSet_[idx] && watchOffset_[idx] <= 0.0 &&
         watchCrossed_[idx] == UINT64_MAX) {
         watchCrossed_[idx] = now;
+        emit(ObsKind::WatchCross, now, static_cast<int>(idx), 0);
     }
 }
 
@@ -96,6 +150,7 @@ TransferEngine::activateOrQueue(int stream, uint64_t now, bool front)
         markActive(static_cast<size_t>(stream), now);
     } else {
         s.state = StreamState::Queued;
+        emit(ObsKind::StreamQueue, now, stream);
         if (front)
             queue_.push_front(stream);
         else
@@ -125,15 +180,18 @@ TransferEngine::nextEventAfter(uint64_t t) const
         if (s.state == StreamState::Idle &&
             s.scheduledStart != UINT64_MAX && s.scheduledStart > t) {
             next = std::min(next, s.scheduledStart);
-        } else if (s.state == StreamState::Active) {
+        } else if (s.state == StreamState::Active && rate > 0.0) {
             // The next stop for this stream: completion, or pausing at
             // its next drop offset. Exact while the rate holds; a
             // trace boundary before then fires first and we
-            // re-estimate at the new rate.
+            // re-estimate at the new rate. During a full outage
+            // (rate 0) no bytes move, so the stream contributes no
+            // event — the trace's next change point below bounds the
+            // step instead (ceil(x / 0) would be UB to cast).
             double remaining = stopBytes(i) - s.arrivedBytes;
-            uint64_t done_at =
-                t + static_cast<uint64_t>(std::ceil(remaining / rate));
-            next = std::min(next, std::max(done_at, t + 1));
+            uint64_t done_at = completionAt(t, remaining / rate);
+            if (done_at != UINT64_MAX)
+                next = std::min(next, std::max(done_at, t + 1));
         } else if (s.state == StreamState::Suspended &&
                    resumeAt_[i] > t) {
             next = std::min(next, resumeAt_[i]);
@@ -168,10 +226,17 @@ TransferEngine::progressTo(uint64_t t)
         if (watchSet_[i] && watchOffset_[i] > 0 &&
             watchCrossed_[i] == UINT64_MAX &&
             s.arrivedBytes + kEps >= watchOffset_[i]) {
+            // rate can be 0 here only when the offset was already
+            // within kEps at segment entry; the crossing is "now".
             double need = watchOffset_[i] - before;
             watchCrossed_[i] =
-                time_ + static_cast<uint64_t>(
-                            std::ceil(std::max(0.0, need) / rate));
+                rate > 0.0
+                    ? time_ + static_cast<uint64_t>(std::ceil(
+                                  std::max(0.0, need) / rate))
+                    : time_;
+            emit(ObsKind::WatchCross, watchCrossed_[i],
+                 static_cast<int>(i),
+                 static_cast<uint64_t>(watchOffset_[i]));
         }
     }
     time_ = t;
@@ -181,7 +246,8 @@ void
 TransferEngine::processEventsAt(uint64_t t)
 {
     // Completions first: they free slots for queued/scheduled streams.
-    for (Stream &s : streams_) {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
         if (s.state == StreamState::Active &&
             s.arrivedBytes >= s.totalBytes - kEps) {
             s.arrivedBytes = s.totalBytes;
@@ -189,6 +255,8 @@ TransferEngine::processEventsAt(uint64_t t)
             s.finishedAt = t;
             NSE_ASSERT(active_ > 0, "active count underflow");
             --active_;
+            emit(ObsKind::StreamComplete, t, static_cast<int>(i),
+                 static_cast<uint64_t>(s.totalBytes));
         }
     }
     // Drops: a stream whose cursor reached its next drop offset loses
@@ -210,6 +278,8 @@ TransferEngine::processEventsAt(uint64_t t)
             NSE_ASSERT(active_ > 0, "active count underflow");
             --active_;
             ++suspended_;
+            emit(ObsKind::StreamDrop, t, static_cast<int>(i),
+                 d.offsetBytes, resumeAt_[i]);
         }
     }
     // Retries that succeeded by now resume transferring.
@@ -221,6 +291,8 @@ TransferEngine::processEventsAt(uint64_t t)
             NSE_ASSERT(suspended_ > 0, "suspended count underflow");
             --suspended_;
             ++active_;
+            emit(ObsKind::StreamResume, t, static_cast<int>(i),
+                 static_cast<uint64_t>(s.arrivedBytes));
         }
     }
     // Scheduled starts due by now.
@@ -305,23 +377,26 @@ TransferEngine::waitFor(int stream, uint64_t offset, uint64_t now)
 
     while (s.arrivedBytes + kEps < target) {
         uint64_t ev = nextEventAfter(time_);
-        if (s.state == StreamState::Active) {
-            double rate = perStreamRate();
+        double rate = perStreamRate();
+        if (s.state == StreamState::Active && rate > 0.0) {
             // Crossing estimate at the current rate, valid up to the
             // next event (nextEventAfter caps it at trace boundaries
-            // and this stream's own drop offsets).
+            // and this stream's own drop offsets). During a full
+            // outage (rate 0) there is no crossing to estimate; the
+            // trace's next change point is already in `ev`.
             double remaining =
                 std::min(target, stopBytes(static_cast<size_t>(
                                      stream))) -
                 s.arrivedBytes;
-            uint64_t cross =
-                time_ +
-                static_cast<uint64_t>(std::ceil(remaining / rate));
-            ev = std::min(ev, std::max(cross, time_ + 1));
-        } else if (ev == UINT64_MAX) {
+            uint64_t cross = completionAt(time_, remaining / rate);
+            if (cross != UINT64_MAX)
+                ev = std::min(ev, std::max(cross, time_ + 1));
+        }
+        if (ev == UINT64_MAX) {
             fatal("waiting on stream ", s.name,
-                  " which will never transfer (not started, nothing "
-                  "scheduled)");
+                  " which will never transfer (not started and "
+                  "nothing scheduled, or the link is in a permanent "
+                  "zero-bandwidth outage)");
         }
         progressTo(ev);
         processEventsAt(ev);
@@ -343,6 +418,7 @@ TransferEngine::setWatch(int stream, uint64_t offset)
         // Already crossed (a zero-byte prefix counts as crossed the
         // moment the stream starts).
         watchCrossed_[si] = time_;
+        emit(ObsKind::WatchCross, time_, stream, offset);
     } else {
         watchCrossed_[si] = UINT64_MAX;
     }

@@ -15,8 +15,11 @@
  * byte progress piecewise — every rate change (trace boundary, start,
  * completion, drop, resume) is an event, so within each integration
  * step the per-stream rate is exactly constant and watches/waitFor
- * stay cycle-exact under rate changes. A default (all-nominal) plan
- * reproduces the constant-rate engine byte-for-byte.
+ * stay cycle-exact under rate changes. A multiplier-0 window (a full
+ * outage) is legal: no bytes move and the next event is the trace's
+ * next change point, never a division by the zero rate. A default
+ * (all-nominal) plan reproduces the constant-rate engine
+ * byte-for-byte.
  *
  * The engine advances lazily: the co-simulation asks it to advance to
  * the VM clock, to start streams (scheduled ahead of time, or
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event.h"
 #include "transfer/faults.h"
 
 namespace nse
@@ -128,6 +132,15 @@ class TransferEngine
      *  stream was in flight, or with any stream suspended on retry. */
     uint64_t degradedCycles() const { return degradedCycles_; }
 
+    /**
+     * Attach an event sink (obs/event.h); null detaches. Streams
+     * already registered are announced immediately, then every
+     * lifecycle edge (start, queue, drop, resume, complete) and watch
+     * crossing is recorded as it happens. With no sink attached every
+     * instrumentation site is a single null check.
+     */
+    void setSink(EventSink *sink);
+
   private:
     static constexpr double kEps = 1e-6;
 
@@ -141,8 +154,11 @@ class TransferEngine
      *  drop offset (transfer pauses there until the retry succeeds). */
     double stopBytes(size_t idx) const;
     bool slotFree() const;
+    void emit(ObsKind kind, uint64_t cycle, int stream, uint64_t a = 0,
+              uint64_t b = 0);
 
     double cyclesPerByte_;
+    EventSink *sink_ = nullptr;
     int maxConcurrent_;
     FaultPlan plan_;
     uint64_t time_ = 0;

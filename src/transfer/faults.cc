@@ -17,9 +17,8 @@ BandwidthTrace::BandwidthTrace(std::vector<RateSegment> segments)
     NSE_CHECK(segments_.front().startCycle == 0,
               "first trace segment must start at cycle 0");
     for (size_t i = 0; i < segments_.size(); ++i) {
-        NSE_CHECK(segments_[i].multiplier > 0,
-                  "trace multiplier must be positive (model outages as "
-                  "drop events)");
+        NSE_CHECK(segments_[i].multiplier >= 0,
+                  "trace multiplier must be non-negative");
         if (i > 0) {
             NSE_CHECK(segments_[i - 1].startCycle <
                           segments_[i].startCycle,
@@ -63,8 +62,8 @@ BandwidthTrace::bursts(uint64_t seed, uint64_t meanWindowCycles,
                        double degradedMultiplier, uint64_t horizonCycles)
 {
     NSE_CHECK(meanWindowCycles > 0, "burst window must be positive");
-    NSE_CHECK(degradedMultiplier > 0, "degraded multiplier must be "
-                                      "positive");
+    NSE_CHECK(degradedMultiplier >= 0, "degraded multiplier must be "
+                                       "non-negative");
     Rng rng(seed ^ 0x6c1b8e5a2f9d3c47ULL);
     std::vector<RateSegment> segs;
     uint64_t t = 0;

@@ -46,9 +46,11 @@ struct RateSegment
 /**
  * A piecewise-constant bandwidth multiplier over simulation cycles.
  * An empty trace is the nominal link (multiplier 1.0 forever).
- * Multipliers must be positive: full outages are modeled as drop
- * events with retry delays, not as zero-bandwidth windows, which
- * keeps every active transfer's completion time finite.
+ * A multiplier of 0 is a full outage window: no bytes move until the
+ * next segment (the engine steps straight to the trace's next change
+ * point). A trace whose *final* segment is 0 is a permanent outage —
+ * waiting on an active stream then reports the fatal
+ * "will never transfer" instead of looping.
  */
 class BandwidthTrace
 {
@@ -56,7 +58,7 @@ class BandwidthTrace
     BandwidthTrace() = default;
 
     /** Segments must be sorted by startCycle, first at cycle 0,
-     *  multipliers > 0. */
+     *  multipliers >= 0 (0 = full outage). */
     explicit BandwidthTrace(std::vector<RateSegment> segments);
 
     /** Bandwidth multiplier in effect at `cycle`. */

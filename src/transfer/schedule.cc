@@ -70,6 +70,15 @@ staticFirstUseCycles(const Program &prog, const FirstUseOrder &order)
 namespace
 {
 
+/** Saturating add: commitments near UINT64_MAX must clamp, not wrap
+ *  (a wrapped commitment reads as "due almost immediately" and
+ *  poisons every later placement). */
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
 /**
  * Greedy scheduler working state: places one class at a time in
  * first-use order, maintaining per-placed-class *commitments* — the
@@ -195,10 +204,10 @@ class GreedyPlacer
         if (!safe(trig)) {
             uint64_t lo = trig;
             // Past the last commitment window everything is safe.
-            uint64_t hi = trig + 1;
+            uint64_t hi = satAdd(trig, 1);
             for (uint64_t c : commitment_)
                 if (c != UINT64_MAX)
-                    hi = std::max(hi, c + 1);
+                    hi = std::max(hi, satAdd(c, 1));
             while (lo < hi) {
                 uint64_t mid = lo + (hi - lo) / 2;
                 if (safe(mid))
@@ -247,7 +256,10 @@ class GreedyPlacer
         // Achieved arrivals get 10% slack: a later urgent class may
         // overlap this one a little (the paper's Figure 4, where B
         // starts before A finishes) but may not materially delay it.
-        uint64_t achieved = arrivals[si] + arrivals[si] / 10;
+        // Saturating: a placed stream whose prefix lands near the end
+        // of the cycle range (a never-finishing stream on an absurdly
+        // slow link) must commit to "never", not wrap to "now".
+        uint64_t achieved = satAdd(arrivals[si], arrivals[si] / 10);
         commitment_[si] = (deadline == UINT64_MAX)
                               ? achieved
                               : std::max(deadline, achieved);

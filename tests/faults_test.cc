@@ -57,10 +57,22 @@ TEST(Trace, ValidationRejectsBadSegments)
 {
     EXPECT_THROW(BandwidthTrace(std::vector<RateSegment>{}), FatalError);
     EXPECT_THROW(BandwidthTrace({{5, 1.0}}), FatalError); // not at 0
-    EXPECT_THROW(BandwidthTrace({{0, 1.0}, {10, 0.0}}),
-                 FatalError); // zero multiplier
+    EXPECT_THROW(BandwidthTrace({{0, 1.0}, {10, -0.5}}),
+                 FatalError); // negative multiplier
     EXPECT_THROW(BandwidthTrace({{0, 1.0}, {10, 0.5}, {10, 1.0}}),
                  FatalError); // not strictly sorted
+}
+
+TEST(Trace, ZeroMultiplierIsLegalOutage)
+{
+    // A full outage window is a valid trace segment (it used to be
+    // rejected; the engine now treats it as rate 0 until the next
+    // change point).
+    BandwidthTrace t({{0, 1.0}, {10, 0.0}, {20, 1.0}});
+    EXPECT_DOUBLE_EQ(t.multiplierAt(10), 0.0);
+    EXPECT_DOUBLE_EQ(t.multiplierAt(19), 0.0);
+    EXPECT_DOUBLE_EQ(t.multiplierAt(20), 1.0);
+    EXPECT_EQ(t.nextChangeAfter(10), 20u);
 }
 
 TEST(Trace, BurstsAreDeterministicAndWellFormed)
@@ -272,6 +284,88 @@ TEST(FaultedEngine, DemandStartDuringDegradedWindow)
     e.demandStart(s, 10'000);
     EXPECT_EQ(e.waitFor(s, 100, 10'000), 30'000u); // 100 B at 200 c/B
     EXPECT_EQ(e.degradedCycles(), 20'000u);
+}
+
+// ------------------------------------------- zero-bandwidth outages
+
+TEST(FaultedEngine, ZeroBandwidthWindowPausesTransfer)
+{
+    // 1000 B at 100 c/B with a full outage in [30'000, 80'000): 300 B
+    // land before the outage, nothing moves inside it, and the
+    // remaining 700 B take 70'000 cycles after it — no ceil(x/0)
+    // anywhere (the regression this pins ran that division and cast
+    // the resulting infinity, which is UB).
+    FaultPlan p;
+    p.trace = BandwidthTrace({{0, 1.0}, {30'000, 0.0}, {80'000, 1.0}});
+    TransferEngine e(kCpb, -1, p);
+    int s = e.addStream("a", 1000);
+    e.scheduleStart(s, 0);
+    EXPECT_EQ(e.waitFor(s, 300, 0), 30'000u);
+    // Waits that land inside the window resolve at its far edge.
+    EXPECT_EQ(e.waitFor(s, 301, 0), 80'100u);
+    EXPECT_EQ(e.waitFor(s, 1000, 0), 150'000u);
+    EXPECT_EQ(e.degradedCycles(), 50'000u);
+    EXPECT_EQ(e.retryCount(), 0u);
+}
+
+TEST(FaultedEngine, AdvanceToAcrossOutageWindow)
+{
+    // advanceTo must step over the outage without estimating a
+    // completion at rate 0.
+    FaultPlan p;
+    p.trace = BandwidthTrace({{0, 1.0}, {10'000, 0.0}, {20'000, 1.0}});
+    TransferEngine e(kCpb, -1, p);
+    int s = e.addStream("a", 1000);
+    e.scheduleStart(s, 0);
+    e.advanceTo(15'000); // mid-outage
+    EXPECT_DOUBLE_EQ(e.stream(s).arrivedBytes, 100.0);
+    e.advanceTo(30'000);
+    EXPECT_DOUBLE_EQ(e.stream(s).arrivedBytes, 200.0);
+    EXPECT_EQ(e.finishAll(), 110'000u);
+}
+
+TEST(FaultedEngine, WatchCrossingDefersPastOutage)
+{
+    FaultPlan p;
+    p.trace = BandwidthTrace({{0, 1.0}, {5'000, 0.0}, {9'000, 1.0}});
+    TransferEngine e(kCpb, -1, p);
+    int s = e.addStream("a", 1000);
+    e.scheduleStart(s, 0);
+    e.setWatch(s, 60); // 50 B by 5'000; 10 more only after 9'000
+    e.runWatches();
+    EXPECT_EQ(e.watchedArrival(s), 10'000u);
+}
+
+TEST(FaultedEngine, PermanentOutageIsFatalNotUB)
+{
+    // A trace ending in a 0-multiplier segment never delivers another
+    // byte: waiting must die with the "never transfer" diagnostic
+    // instead of dividing by zero or spinning.
+    FaultPlan p;
+    p.trace = BandwidthTrace({{0, 1.0}, {10'000, 0.0}});
+    TransferEngine e(kCpb, -1, p);
+    int s = e.addStream("a", 1000);
+    e.scheduleStart(s, 0);
+    EXPECT_EQ(e.waitFor(s, 100, 0), 10'000u); // delivered pre-outage
+    EXPECT_THROW(e.waitFor(s, 101, 0), FatalError);
+}
+
+TEST(FaultedEngine, OutageOverlappingRetryWindow)
+{
+    // A drop whose retry resolves inside an outage window: the stream
+    // resumes its slot at the retry cycle but moves no bytes until
+    // bandwidth returns.
+    FaultPlan p;
+    p.retryTimeoutCycles = 10'000;
+    p.forcedDrops = {{{500, 1}}};
+    p.trace = BandwidthTrace({{0, 1.0}, {55'000, 0.0}, {90'000, 1.0}});
+    TransferEngine e(kCpb, -1, p);
+    int s = e.addStream("a", 1000);
+    e.scheduleStart(s, 0);
+    // 500 B by 50'000, drop, retry resolves at 60'000 (mid-outage),
+    // bytes resume at 90'000, last 500 B by 140'000.
+    EXPECT_EQ(e.waitFor(s, 1000, 0), 140'000u);
+    EXPECT_EQ(e.retryCount(), 1u);
 }
 
 // ----------------------------------------------- nominal equivalence

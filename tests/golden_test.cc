@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 #include <sstream>
 
+#include "bench/interleaved_table.h"
 #include "bench/parallel_table.h"
 
 namespace nse
@@ -40,6 +41,18 @@ TEST(Golden, Table5ReportIsByteIdentical)
            "change is intentional, regenerate the fixture with:\n"
            "  build/bench/bench_table5_parallel_t1 > "
            "tests/golden/table5_t1.txt";
+}
+
+TEST(Golden, Table7ReportIsByteIdentical)
+{
+    std::string expected = readFile(std::string(NSE_SOURCE_DIR) +
+                                    "/tests/golden/table7.txt");
+    std::string actual = interleavedTableReport(benchWorkloads());
+    EXPECT_EQ(expected, actual)
+        << "Table 7 drifted from tests/golden/table7.txt. If the "
+           "change is intentional, regenerate the fixture with:\n"
+           "  build/bench/bench_table7_interleaved > "
+           "tests/golden/table7.txt";
 }
 
 } // namespace

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Observability-layer tests: exact engine event sequences, the
+ * stall-attribution reconstruction invariant across a sampled
+ * (workload x config) grid — including fault plans with full
+ * zero-bandwidth outage windows — Chrome trace-event export, metric
+ * aggregation, and the runner's per-cell sink hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/stall.h"
+#include "obs/trace.h"
+#include "sim/replay.h"
+#include "sim/runner.h"
+#include "support/error.h"
+#include "transfer/engine.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+constexpr double kCpb = 100.0;
+
+// ------------------------------------------------------- event trace
+
+TEST(EventTrace, CountsAndLookups)
+{
+    EventTrace t;
+    EXPECT_TRUE(t.empty());
+    t.noteStream(1, "B.class", 500);
+
+    ObsEvent ev;
+    ev.kind = ObsKind::MethodWait;
+    ev.cycle = 10;
+    ev.a = 25;
+    ev.stream = 1;
+    t.record(ev);
+    ev.kind = ObsKind::RunEnd;
+    t.record(ev);
+
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.count(ObsKind::MethodWait), 1u);
+    EXPECT_EQ(t.count(ObsKind::RunEnd), 1u);
+    EXPECT_EQ(t.count(ObsKind::StreamDrop), 0u);
+    EXPECT_EQ(t.ofKind(ObsKind::MethodWait).size(), 1u);
+    EXPECT_EQ(t.ofKind(ObsKind::MethodWait)[0].a, 25u);
+
+    EXPECT_EQ(t.streamName(1), "B.class");
+    EXPECT_EQ(t.streamName(0), "stream-0"); // announced gap
+    EXPECT_EQ(t.streamName(7), "stream-7"); // never announced
+    EXPECT_EQ(t.streamName(-1), "whole-program");
+
+    EXPECT_STREQ(obsKindName(ObsKind::StreamDrop), "stream-drop");
+    EXPECT_STREQ(obsKindName(ObsKind::MethodWait), "method-wait");
+}
+
+// ----------------------------------------------------- engine events
+
+/** The (kind, cycle, stream) triple of one expected event. */
+struct Expect
+{
+    ObsKind kind;
+    uint64_t cycle;
+    int stream;
+};
+
+TEST(EngineEvents, ExactLifecycleSequence)
+{
+    // limit 1; a (100 B) drops at byte 50 and retries for 10'000
+    // cycles; b (50 B) queues behind it. A watch at byte 60 of `a`
+    // crosses mid-segment after the resume.
+    FaultPlan p;
+    p.retryTimeoutCycles = 10'000;
+    p.forcedDrops = {{{50, 1}}};
+    TransferEngine e(kCpb, 1, p);
+    EventTrace t;
+    e.setSink(&t);
+    int a = e.addStream("a", 100);
+    int b = e.addStream("b", 50);
+    e.scheduleStart(a, 0);
+    e.scheduleStart(b, 0);
+    e.setWatch(a, 60);
+    e.finishAll();
+
+    ASSERT_EQ(t.streams().size(), 2u);
+    EXPECT_EQ(t.streamName(a), "a");
+    EXPECT_EQ(t.streams()[1].totalBytes, 50u);
+
+    const Expect want[] = {
+        {ObsKind::StreamStart, 0, a},
+        {ObsKind::StreamQueue, 0, b},
+        {ObsKind::StreamDrop, 5'000, a},
+        {ObsKind::StreamResume, 15'000, a},
+        {ObsKind::WatchCross, 16'000, a},
+        {ObsKind::StreamComplete, 20'000, a},
+        {ObsKind::StreamStart, 20'000, b},
+        {ObsKind::StreamComplete, 25'000, b},
+    };
+    ASSERT_EQ(t.size(), std::size(want));
+    for (size_t i = 0; i < std::size(want); ++i) {
+        const ObsEvent &ev = t.events()[i];
+        EXPECT_EQ(ev.kind, want[i].kind) << "event " << i;
+        EXPECT_EQ(ev.cycle, want[i].cycle) << "event " << i;
+        EXPECT_EQ(ev.stream, want[i].stream) << "event " << i;
+    }
+    // Payloads: the drop carries (offset, retry-resolve cycle); the
+    // completion carries total bytes.
+    const ObsEvent drop = t.ofKind(ObsKind::StreamDrop)[0];
+    EXPECT_EQ(drop.a, 50u);
+    EXPECT_EQ(drop.b, 15'000u);
+    EXPECT_EQ(t.ofKind(ObsKind::WatchCross)[0].a, 60u);
+    EXPECT_EQ(t.ofKind(ObsKind::StreamComplete)[0].a, 100u);
+}
+
+TEST(EngineEvents, SinkAttachedLateLearnsExistingStreams)
+{
+    TransferEngine e(kCpb, -1);
+    e.addStream("early", 10);
+    EventTrace t;
+    e.setSink(&t);
+    ASSERT_EQ(t.streams().size(), 1u);
+    EXPECT_EQ(t.streams()[0].name, "early");
+    EXPECT_EQ(t.streams()[0].totalBytes, 10u);
+}
+
+TEST(EngineEvents, DetachedSinkRecordsNothing)
+{
+    TransferEngine e(kCpb, -1);
+    EventTrace t;
+    e.setSink(&t);
+    e.setSink(nullptr);
+    int s = e.addStream("a", 10);
+    e.scheduleStart(s, 0);
+    e.finishAll();
+    EXPECT_TRUE(t.empty());
+    EXPECT_TRUE(t.streams().empty());
+}
+
+// ----------------------------------------------- stall attribution
+
+/** Fault plan with a full outage window inside the transfer. */
+FaultPlan
+outagePlan()
+{
+    FaultPlan plan;
+    plan.trace =
+        BandwidthTrace({{0, 1.0}, {100'000, 0.0}, {200'000, 1.0}});
+    return plan;
+}
+
+/** Degraded bursts plus seeded connection drops. */
+FaultPlan
+stormPlan()
+{
+    FaultPlan plan;
+    plan.trace = BandwidthTrace::bursts(/*seed=*/7, 400'000, 0.7,
+                                        200'000'000);
+    plan.dropSeed = 7;
+    plan.dropsPerMByte = 2'000.0;
+    plan.maxAttempts = 2;
+    plan.retryTimeoutCycles = 120'000;
+    return plan;
+}
+
+void
+checkAttribution(const SimContext &ctx, const SimConfig &cfg,
+                 const std::string &what)
+{
+    EventTrace trace;
+    SimResult r = runReplay(ctx, cfg, &trace);
+    StallReport rep = buildStallReport(trace, r);
+
+    // The reconstruction identity: every idle cycle is attributed to
+    // exactly one awaited stream, and nothing else is missing.
+    EXPECT_TRUE(rep.reconstructs()) << what << "\n" << rep.render();
+    EXPECT_EQ(rep.attributedStallCycles, r.stallCycles) << what;
+    EXPECT_EQ(rep.execCycles, r.execCycles) << what;
+    EXPECT_EQ(rep.totalCycles, r.totalCycles) << what;
+    EXPECT_EQ(rep.drainCycles, 0u) << what;
+    EXPECT_EQ(rep.mispredictions, r.mispredictions) << what;
+    EXPECT_EQ(trace.count(ObsKind::Mispredict), r.mispredictions)
+        << what;
+    EXPECT_EQ(trace.count(ObsKind::RunEnd), 1u) << what;
+    EXPECT_GE(trace.count(ObsKind::MethodWait), 1u) << what;
+
+    // Buckets decompose the attributed total and arrive sorted.
+    uint64_t bucketSum = 0;
+    for (const StallBucket &b : rep.byStream) {
+        bucketSum += b.stallCycles;
+        EXPECT_GE(b.waits, b.stalledWaits) << what;
+        EXPECT_FALSE(b.name.empty()) << what;
+    }
+    EXPECT_EQ(bucketSum, rep.attributedStallCycles) << what;
+    for (size_t i = 1; i < rep.byStream.size(); ++i)
+        EXPECT_GE(rep.byStream[i - 1].stallCycles,
+                  rep.byStream[i].stallCycles)
+            << what;
+    uint64_t methodSum = 0;
+    for (const MethodStall &m : rep.byMethod)
+        methodSum += m.stallCycles;
+    EXPECT_EQ(methodSum, rep.attributedStallCycles) << what;
+}
+
+TEST(StallAttribution, ReconstructsAcrossConfigGrid)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+
+    const SimConfig::Mode modes[] = {SimConfig::Mode::Strict,
+                                     SimConfig::Mode::Parallel,
+                                     SimConfig::Mode::Interleaved};
+    struct Variant
+    {
+        const char *name;
+        LinkModel link;
+        int limit;
+        FaultPlan faults;
+    };
+    const Variant variants[] = {
+        {"t1-nominal", kT1Link, 4, {}},
+        {"modem-outage", kModemLink, 4, outagePlan()},
+        {"t1-storm", kT1Link, 2, stormPlan()},
+    };
+    for (const Variant &v : variants) {
+        for (SimConfig::Mode mode : modes) {
+            SimConfig cfg;
+            cfg.mode = mode;
+            cfg.ordering = OrderingSource::Train;
+            cfg.link = v.link;
+            cfg.parallelLimit = v.limit;
+            cfg.faults = v.faults;
+            checkAttribution(ctx, cfg,
+                             cat(v.name,
+                                 " mode=", static_cast<int>(mode)));
+        }
+    }
+}
+
+TEST(StallAttribution, StrictIsOneWholeProgramWait)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    SimConfig cfg; // Strict
+    EventTrace trace;
+    SimResult r = runReplay(ctx, cfg, &trace);
+    StallReport rep = buildStallReport(trace, r);
+
+    ASSERT_EQ(rep.byStream.size(), 1u);
+    EXPECT_EQ(rep.byStream[0].stream, -1);
+    EXPECT_EQ(rep.byStream[0].name, "whole-program");
+    EXPECT_EQ(rep.byStream[0].waits, 1u);
+    EXPECT_EQ(rep.byStream[0].stallCycles, r.transferCycles);
+    EXPECT_TRUE(rep.reconstructs());
+}
+
+TEST(StallAttribution, LiveReferenceObservesIdentically)
+{
+    // The retained interpreter-in-the-loop reference must emit the
+    // same observations as the replay executor, event for event.
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = OrderingSource::Train;
+    cfg.faults = outagePlan();
+
+    EventTrace replay, live;
+    runReplay(ctx, cfg, &replay);
+    runLiveReference(ctx, cfg, &live);
+    ASSERT_EQ(replay.size(), live.size());
+    for (size_t i = 0; i < replay.size(); ++i) {
+        const ObsEvent &x = replay.events()[i];
+        const ObsEvent &y = live.events()[i];
+        EXPECT_EQ(x.kind, y.kind) << "event " << i;
+        EXPECT_EQ(x.cycle, y.cycle) << "event " << i;
+        EXPECT_EQ(x.stream, y.stream) << "event " << i;
+        EXPECT_EQ(x.cls, y.cls) << "event " << i;
+        EXPECT_EQ(x.method, y.method) << "event " << i;
+        EXPECT_EQ(x.a, y.a) << "event " << i;
+        EXPECT_EQ(x.b, y.b) << "event " << i;
+    }
+}
+
+TEST(StallAttribution, RenderSummarizesBuckets)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Interleaved;
+    EventTrace trace;
+    SimResult r = runReplay(ctx, cfg, &trace);
+    StallReport rep = buildStallReport(trace, r);
+    std::string text = rep.render();
+    EXPECT_NE(text.find("stall attribution:"), std::string::npos);
+    EXPECT_NE(text.find("waits stalled"), std::string::npos);
+    EXPECT_EQ(text.find("[DOES NOT RECONSTRUCT]"), std::string::npos);
+}
+
+// ------------------------------------------------------ chrome trace
+
+/** Structural JSON check: balanced braces/brackets outside strings. */
+bool
+balancedJson(const std::string &s)
+{
+    int depth = 0;
+    bool in_str = false, esc = false;
+    for (char c : s) {
+        if (in_str) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            if (--depth < 0)
+                return false;
+    }
+    return depth == 0 && !in_str;
+}
+
+TEST(ChromeTrace, EmitsStructurallyValidDocument)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = OrderingSource::Train;
+    cfg.faults = stormPlan();
+    EventTrace trace;
+    runReplay(ctx, cfg, &trace);
+
+    std::ostringstream os;
+    writeChromeTrace(trace, os);
+    std::string doc = os.str();
+
+    EXPECT_TRUE(balancedJson(doc));
+    EXPECT_EQ(doc.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    // Streams render as named transfer slices; drops as retry slices.
+    EXPECT_NE(doc.find("\"name\":\"transfer\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"retry\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"run-end\""), std::string::npos);
+    // Stalled waits produce flow arrows in s/f pairs.
+    size_t flows = 0;
+    for (size_t at = doc.find("\"ph\":\"s\""); at != std::string::npos;
+         at = doc.find("\"ph\":\"s\"", at + 1))
+        ++flows;
+    size_t fins = 0;
+    for (size_t at = doc.find("\"ph\":\"f\""); at != std::string::npos;
+         at = doc.find("\"ph\":\"f\"", at + 1))
+        ++fins;
+    EXPECT_GT(flows, 0u);
+    EXPECT_EQ(flows, fins);
+}
+
+TEST(ChromeTrace, FileWriteFailureWarnsAndReturnsFalse)
+{
+    EventTrace trace;
+    testing::internal::CaptureStderr();
+    bool ok =
+        writeChromeTraceFile(trace, "/nonexistent-dir/nope/t.json");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("warning: cannot open trace output"),
+              std::string::npos);
+}
+
+// ------------------------------------------------- metrics + runner
+
+TEST(Metrics, GridSinkObservesEveryCellAndFoldsCounters)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    std::vector<GridWorkload> workloads = {{"zipper", &ctx}};
+
+    SimConfig par;
+    par.mode = SimConfig::Mode::Parallel;
+    par.ordering = OrderingSource::Train;
+    SimConfig inter;
+    inter.mode = SimConfig::Mode::Interleaved;
+    inter.faults = outagePlan();
+    std::vector<GridCell> cells = {{"par", par}, {"inter", inter}};
+
+    std::vector<EventTrace> traces(workloads.size() * cells.size());
+    ExperimentRunner runner(2);
+    std::vector<GridRow> rows = runner.runGrid(
+        workloads, cells, [&](size_t w, size_t c) {
+            return &traces[w * cells.size() + c];
+        });
+
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].cells.size(), 2u);
+    RunMetrics m = summarizeGrid(rows);
+    EXPECT_EQ(m.runs, 4u); // 2 cells x (result + strict baseline)
+    for (size_t i = 0; i < traces.size(); ++i) {
+        EXPECT_FALSE(traces[i].empty()) << "cell " << i;
+        EXPECT_EQ(traces[i].count(ObsKind::RunEnd), 1u) << "cell " << i;
+        m.add(traces[i]);
+    }
+    EXPECT_EQ(m.tracedRuns, 2u);
+    EXPECT_GT(m.eventCount, 0u);
+    EXPECT_GT(m.totalCycles, 0u);
+    EXPECT_GT(m.stallCycles, 0u);
+
+    // Each observed run's attribution reconstructs its cell's result.
+    for (size_t c = 0; c < cells.size(); ++c) {
+        StallReport rep =
+            buildStallReport(traces[c], rows[0].cells[c].result);
+        EXPECT_TRUE(rep.reconstructs()) << "cell " << c;
+    }
+
+    BenchJson json("obs_unit");
+    setBenchMetrics(json, m);
+    std::string doc = json.str();
+    EXPECT_NE(doc.find("\"runs\": 4"), std::string::npos);
+    EXPECT_NE(doc.find("\"tracedRuns\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("\"eventCount\": "), std::string::npos);
+    EXPECT_NE(doc.find("\"degradedCycles\": "), std::string::npos);
+}
+
+} // namespace
+} // namespace nse

@@ -4,6 +4,7 @@
  * binary.
  */
 
+#include <cstdlib>
 #include <gtest/gtest.h>
 
 #include "report/json.h"
@@ -82,6 +83,45 @@ TEST(Json, BenchDocumentShape)
     EXPECT_NE(doc.find("\"label\": \"Table X\""), std::string::npos);
     EXPECT_NE(doc.find("[\"Program\",\"Pct\"]"), std::string::npos);
     EXPECT_NE(doc.find("[\"BIT\",\"54\"]"), std::string::npos);
+}
+
+TEST(Json, MetricsObjectAlwaysPresentAndOrdered)
+{
+    BenchJson json("unit");
+    EXPECT_NE(json.str().find("\"metrics\": {}"), std::string::npos);
+
+    json.setMetric("runs", uint64_t{12});
+    json.setMetric("cpi", 1.5);
+    json.setMetric("runs", uint64_t{13}); // last set wins, in place
+    std::string doc = json.str();
+    EXPECT_NE(doc.find("\"metrics\": {\"runs\": 13, \"cpi\": 1.5}"),
+              std::string::npos);
+}
+
+TEST(Json, WriteFailurePrintsWarningAndReturnsEmpty)
+{
+    BenchJson json("unwritable");
+    setenv("NSE_BENCH_JSON_DIR", "/nonexistent-dir/nope", 1);
+    testing::internal::CaptureStderr();
+    std::string path = json.write();
+    std::string err = testing::internal::GetCapturedStderr();
+    unsetenv("NSE_BENCH_JSON_DIR");
+    EXPECT_EQ(path, "");
+    EXPECT_NE(err.find("warning: cannot open bench JSON output"),
+              std::string::npos);
+    EXPECT_NE(err.find("BENCH_unwritable.json"), std::string::npos);
+}
+
+TEST(Json, WriteSuppressedReturnsEmptyWithoutWarning)
+{
+    BenchJson json("suppressed");
+    setenv("NSE_BENCH_JSON_DIR", "off", 1);
+    testing::internal::CaptureStderr();
+    std::string path = json.write();
+    std::string err = testing::internal::GetCapturedStderr();
+    unsetenv("NSE_BENCH_JSON_DIR");
+    EXPECT_EQ(path, "");
+    EXPECT_EQ(err, "");
 }
 
 TEST(Format, Helpers)

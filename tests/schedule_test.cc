@@ -195,6 +195,32 @@ TEST(Greedy, NeverUsedClassesTrail)
     EXPECT_GE(s.startCycle[di], entry_solo);
 }
 
+TEST(Greedy, CommitmentSaturatesInsteadOfWrapping)
+{
+    // A placed stream whose needed prefix arrives near the end of the
+    // uint64 cycle range (a huge file on a glacial link): its
+    // 10%-slack commitment must saturate to "never", not wrap. The
+    // wrapped commitment read as "due almost immediately" and forced
+    // every later placement's binary search past a phantom window.
+    TransferLayout layout;
+    layout.streams = {{"entry", 0, 17'000'000'000ull},
+                      {"later", 1, 100}};
+    StreamDemand d;
+    d.streamOrder = {0, 1};
+    d.prefixBytes = {17'000'000'000ull, 100};
+    d.deadline = {0, UINT64_MAX};
+    d.deps.resize(2);
+
+    // 17e9 B x 1e9 c/B ~ 1.7e19 cycles; +10% exceeds UINT64_MAX.
+    LinkModel glacial{"glacial", 1e9};
+    TransferSchedule s = buildGreedySchedule(layout, d, glacial, -1);
+    EXPECT_EQ(s.startCycle[0], 0u);
+    // Deadline-free and dependency-free, so its trigger is cycle 0 and
+    // the saturated ("never") commitment cannot veto it. The wrapped
+    // commitment used to push this start out to ~2.6e17 cycles.
+    EXPECT_EQ(s.startCycle[1], 0u);
+}
+
 TEST(Greedy, DemandSizeMismatchRejected)
 {
     Fig4 f;
