@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Extension — multi-client shared-uplink server.
+ *
+ * The paper evaluates one client on one link; a deployed code server
+ * multiplexes many. This bench runs fleets of N clients — each a real
+ * workload replayed in the paper's headline non-strict configuration
+ * (Parallel / Train ordering / T1 link / limit 4) — through the
+ * src/server/ simulation, competing for one uplink with capacity for
+ * two T1 clients, under each BandwidthAllocator policy.
+ *
+ * Reported per (allocator, fleet size): the p50/p95/p99 of per-client
+ * stall cycles, the fleet makespan, and Jain's fairness index over
+ * per-client slowdown (client total cycles / its own solo total).
+ * Expected shape: stalls and makespan grow once N exceeds the
+ * uplink's two-client capacity; equal share keeps fairness near 1.0
+ * at every N, weighted share trades fairness for its heavy clients,
+ * and deadline ("earliest first-use wait wins") minimizes the stall
+ * percentiles at small N but is the least fair under saturation —
+ * non-strict execution degrades gracefully rather than serially even
+ * when the server, not the link, is the bottleneck.
+ */
+
+#include <cstdint>
+
+#include "bench/bench_common.h"
+#include "report/json.h"
+#include "report/table.h"
+#include "server/server_sim.h"
+
+using namespace nse;
+
+namespace
+{
+
+constexpr size_t kFleetSizes[] = {2, 4, 8, 16};
+
+/** The paper's headline non-strict configuration. */
+SimConfig
+headlineConfig()
+{
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = OrderingSource::Train;
+    cfg.link = kT1Link;
+    cfg.parallelLimit = 4;
+    return cfg;
+}
+
+/** Fleet of n clients cycling through the bench workloads; odd
+ *  clients are "heavy" (weight 2) so weighted share differentiates. */
+std::vector<ClientSpec>
+makeFleet(const std::vector<BenchEntry> &entries, size_t n)
+{
+    std::vector<ClientSpec> fleet;
+    fleet.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const BenchEntry &e = entries[i % entries.size()];
+        ClientSpec spec;
+        spec.ctx = e.ctx.get();
+        spec.config = headlineConfig();
+        spec.weight = i % 2 ? 2.0 : 1.0;
+        spec.name = cat(e.workload.name, "-", i);
+        fleet.push_back(std::move(spec));
+    }
+    return fleet;
+}
+
+struct CellOutcome
+{
+    uint64_t p50 = 0, p95 = 0, p99 = 0;
+    uint64_t makespan = 0;
+    double fairness = 0.0;
+    RunMetrics metrics;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchInit(argc, argv);
+    benchHeader(
+        "Extension — multi-client shared-uplink server",
+        "Fleets of Parallel/Train/T1/limit-4 clients sharing one uplink\n"
+        "(capacity = 2 T1 clients; seeded uniform arrivals); per-client\n"
+        "stall percentiles, fleet makespan, Jain fairness of slowdown");
+
+    std::vector<BenchEntry> entries = benchWorkloads();
+    const double capacity = 2.0 * linkRate(kT1Link);
+
+    // Solo baselines, one per workload (slowdown denominators).
+    std::vector<uint64_t> solo(entries.size());
+    benchRunner().parallelFor(entries.size(), [&](size_t i) {
+        solo[i] = runReplay(*entries[i].ctx, headlineConfig(), nullptr)
+                      .totalCycles;
+    });
+
+    BenchJson json("ext_server");
+    RunMetrics metrics;
+    const char *allocators[] = {"equal", "weighted", "deadline"};
+    for (const char *name : allocators) {
+        Table t({cat("Fleet (", name, ")"), "p50 stall Mcyc",
+                 "p95 stall Mcyc", "p99 stall Mcyc", "Makespan Mcyc",
+                 "Jain slowdown"});
+
+        constexpr size_t kCells =
+            sizeof kFleetSizes / sizeof kFleetSizes[0];
+        std::vector<CellOutcome> cells(kCells);
+        benchRunner().parallelFor(kCells, [&](size_t ci) {
+            size_t n = kFleetSizes[ci];
+            std::vector<ClientSpec> fleet = makeFleet(entries, n);
+            auto alloc = makeAllocator(name);
+            ServerOptions opts;
+            opts.uplinkBytesPerCycle = capacity;
+            opts.allocator = alloc.get();
+            opts.arrivals.kind = ArrivalKind::Uniform;
+            opts.arrivals.seed = 1998;
+            opts.arrivals.windowCycles = 2'000'000;
+            ServerResult sr = runServer(fleet, opts);
+
+            CellOutcome &cell = cells[ci];
+            std::vector<uint64_t> stalls;
+            std::vector<double> slowdowns;
+            for (size_t i = 0; i < sr.clients.size(); ++i) {
+                const SimResult &r = sr.clients[i].sim;
+                stalls.push_back(r.stallCycles);
+                slowdowns.push_back(
+                    static_cast<double>(r.totalCycles) /
+                    static_cast<double>(solo[i % entries.size()]));
+                cell.metrics.add(r);
+            }
+            cell.p50 = percentile(stalls, 50);
+            cell.p95 = percentile(stalls, 95);
+            cell.p99 = percentile(stalls, 99);
+            cell.makespan = sr.makespan;
+            cell.fairness = jainFairness(slowdowns);
+        });
+
+        for (size_t ci = 0; ci < kCells; ++ci) {
+            const CellOutcome &cell = cells[ci];
+            t.addRow({cat(kFleetSizes[ci], " clients"),
+                      fmtMillions(cell.p50, 2), fmtMillions(cell.p95, 2),
+                      fmtMillions(cell.p99, 2),
+                      fmtMillions(cell.makespan, 1),
+                      fmtF(cell.fairness, 3)});
+            metrics.runs += cell.metrics.runs;
+            metrics.totalCycles += cell.metrics.totalCycles;
+            metrics.execCycles += cell.metrics.execCycles;
+            metrics.stallCycles += cell.metrics.stallCycles;
+            metrics.retryCount += cell.metrics.retryCount;
+            metrics.degradedCycles += cell.metrics.degradedCycles;
+            metrics.mispredictions += cell.metrics.mispredictions;
+        }
+        std::cout << t.render() << "\n";
+        json.addTable(cat(name, " allocator"), t);
+    }
+
+    setBenchMetrics(json, metrics);
+    json.setMetric("uplink_bytes_per_cycle", capacity);
+    json.setMetric("fleet_sizes",
+                   static_cast<uint64_t>(sizeof kFleetSizes /
+                                         sizeof kFleetSizes[0]));
+    writeBenchJson(json);
+    maybeWriteBenchTrace(entries);
+    return 0;
+}

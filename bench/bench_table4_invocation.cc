@@ -54,10 +54,12 @@ linkTable(const std::vector<BenchEntry> &entries, const LinkModel &link)
                   withPct(lat[i].ns, lat[i].strict),
                   withPct(lat[i].dp, lat[i].strict)});
         sum_strict += lat[i].strict;
-        sum_ns_pct += 100.0 * (1.0 - static_cast<double>(lat[i].ns) /
-                                         lat[i].strict);
-        sum_dp_pct += 100.0 * (1.0 - static_cast<double>(lat[i].dp) /
-                                         lat[i].strict);
+        sum_ns_pct +=
+            100.0 * (1.0 - static_cast<double>(lat[i].ns) /
+                               static_cast<double>(lat[i].strict));
+        sum_dp_pct +=
+            100.0 * (1.0 - static_cast<double>(lat[i].dp) /
+                               static_cast<double>(lat[i].strict));
     }
     double n = static_cast<double>(entries.size());
     t.addRow({"AVG", fmtMillions(sum_strict / entries.size()),

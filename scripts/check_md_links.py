@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo's *.md files
+points at a file or directory that exists.
+
+Scans the repository root and one directory level down (the repo keeps
+its documentation at the top level; tests/golden etc. hold no docs).
+External links (http/https/mailto) are not fetched — CI must not
+depend on the network — and intra-document anchors are checked only
+for the target file's existence, not the heading.
+
+Usage: scripts/check_md_links.py [repo-root]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target up to the first unescaped ')'; images too.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "chrome://")
+
+
+def md_files(root):
+    for entry in sorted(os.listdir(root)):
+        path = os.path.join(root, entry)
+        if entry.endswith(".md") and os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path) and not entry.startswith("."):
+            for sub in sorted(os.listdir(path)):
+                if sub.endswith(".md"):
+                    yield os.path.join(path, sub)
+
+
+def check_file(path, root):
+    errors = []
+    text = open(path, encoding="utf-8").read()
+    # Fenced code blocks routinely contain example-only links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for lineno_text in text.splitlines():
+        for match in LINK_RE.finditer(lineno_text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = []
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {checked} markdown files, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

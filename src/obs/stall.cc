@@ -59,6 +59,49 @@ buildStallReport(const EventTrace &trace, const SimResult &result)
     return rep;
 }
 
+StallReport
+mergeStallReports(const std::vector<StallReport> &parts)
+{
+    StallReport rep;
+    std::map<std::pair<int, std::string>, StallBucket> buckets;
+    std::map<std::pair<int32_t, int32_t>, MethodStall> methods;
+    for (const StallReport &p : parts) {
+        rep.attributedStallCycles += p.attributedStallCycles;
+        rep.execCycles += p.execCycles;
+        rep.drainCycles += p.drainCycles;
+        rep.totalCycles += p.totalCycles;
+        rep.mispredictions += p.mispredictions;
+        for (const StallBucket &b : p.byStream) {
+            StallBucket &m = buckets[{b.stream, b.name}];
+            m.stream = b.stream;
+            m.name = b.name;
+            m.stallCycles += b.stallCycles;
+            m.waits += b.waits;
+            m.stalledWaits += b.stalledWaits;
+        }
+        for (const MethodStall &ms : p.byMethod) {
+            MethodStall &m = methods[{ms.cls, ms.method}];
+            m.cls = ms.cls;
+            m.method = ms.method;
+            m.stream = ms.stream;
+            m.stallCycles += ms.stallCycles;
+        }
+    }
+    for (auto &[key, bucket] : buckets)
+        rep.byStream.push_back(std::move(bucket));
+    std::stable_sort(rep.byStream.begin(), rep.byStream.end(),
+                     [](const StallBucket &x, const StallBucket &y) {
+                         return x.stallCycles > y.stallCycles;
+                     });
+    for (auto &[key, m] : methods)
+        rep.byMethod.push_back(m);
+    std::stable_sort(rep.byMethod.begin(), rep.byMethod.end(),
+                     [](const MethodStall &x, const MethodStall &y) {
+                         return x.stallCycles > y.stallCycles;
+                     });
+    return rep;
+}
+
 std::string
 StallReport::render() const
 {

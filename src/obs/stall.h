@@ -87,6 +87,17 @@ struct StallReport
 StallReport buildStallReport(const EventTrace &trace,
                              const SimResult &result);
 
+/**
+ * Sum per-client reports into one fleet-wide attribution (the
+ * multi-client server in src/server/ produces one report per client).
+ * Stream buckets merge by (stream id, name) — distinct clients of the
+ * same workload/layout share buckets, heterogeneous fleets keep
+ * distinct names apart — and method rows merge by (cls, method).
+ * Every total is the sum of the parts, so the merged report
+ * reconstructs exactly when every part does.
+ */
+StallReport mergeStallReports(const std::vector<StallReport> &parts);
+
 } // namespace nse
 
 #endif // NSE_OBS_STALL_H

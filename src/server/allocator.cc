@@ -1,0 +1,131 @@
+#include "server/allocator.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/**
+ * Generalized water-filling: split `capacity` across the demanding
+ * clients in proportion to weightOf(i), capping each client at its
+ * nominal rate and re-splitting the surplus until no client is
+ * capped. Terminates in at most |demanding| rounds (each round caps
+ * at least one client or is the last). Deterministic: clients are
+ * scanned in index order and the arithmetic never depends on set
+ * iteration order.
+ */
+template <typename WeightFn>
+void
+waterFill(double capacity, const std::vector<ClientDemand> &demands,
+          std::vector<double> &rates, WeightFn weightOf)
+{
+    std::vector<size_t> unsat;
+    for (size_t i = 0; i < demands.size(); ++i)
+        if (demands[i].demanding && demands[i].nominalRate > 0.0)
+            unsat.push_back(i);
+
+    double remaining = capacity;
+    while (!unsat.empty() && remaining > 0.0) {
+        double weightSum = 0.0;
+        for (size_t i : unsat)
+            weightSum += weightOf(i);
+        if (weightSum <= 0.0)
+            break;
+        bool capped = false;
+        std::vector<size_t> still;
+        for (size_t i : unsat) {
+            double share = remaining * weightOf(i) / weightSum;
+            // The cap test tolerates FP residue from the re-split
+            // arithmetic: a share within rounding of the nominal rate
+            // IS the nominal rate (an ulp-under share would otherwise
+            // throttle the engine by an ulp, which the engine counts
+            // as a degraded link for the whole transfer).
+            if (demands[i].nominalRate <= share * (1.0 + 1e-12)) {
+                // Capped at the client's own link; surplus re-splits.
+                rates[i] = demands[i].nominalRate;
+                capped = true;
+            } else {
+                still.push_back(i);
+            }
+        }
+        if (capped) {
+            // Rebuild the residual from scratch (capacity minus every
+            // assigned rate, in index order) so the arithmetic never
+            // depends on which round capped whom.
+            remaining = capacity;
+            for (size_t j = 0; j < demands.size(); ++j)
+                remaining -= rates[j];
+            unsat = std::move(still);
+            continue;
+        }
+        // No one capped: final proportional split.
+        for (size_t i : unsat)
+            rates[i] = remaining * weightOf(i) / weightSum;
+        break;
+    }
+}
+
+} // namespace
+
+void
+EqualShareAllocator::allocate(double capacity,
+                              const std::vector<ClientDemand> &demands,
+                              std::vector<double> &rates) const
+{
+    waterFill(capacity, demands, rates, [](size_t) { return 1.0; });
+}
+
+void
+WeightedShareAllocator::allocate(double capacity,
+                                 const std::vector<ClientDemand> &demands,
+                                 std::vector<double> &rates) const
+{
+    for (const ClientDemand &d : demands)
+        if (d.demanding)
+            NSE_CHECK(d.weight > 0.0, "non-positive client weight");
+    waterFill(capacity, demands, rates,
+              [&](size_t i) { return demands[i].weight; });
+}
+
+void
+DeadlineAllocator::allocate(double capacity,
+                            const std::vector<ClientDemand> &demands,
+                            std::vector<double> &rates) const
+{
+    std::vector<size_t> order;
+    for (size_t i = 0; i < demands.size(); ++i)
+        if (demands[i].demanding && demands[i].nominalRate > 0.0)
+            order.push_back(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return demands[a].nextFirstUse <
+                                demands[b].nextFirstUse;
+                     });
+    double remaining = capacity;
+    for (size_t i : order) {
+        if (remaining <= 0.0)
+            break;
+        rates[i] = std::min(demands[i].nominalRate, remaining);
+        remaining -= rates[i];
+    }
+}
+
+std::unique_ptr<BandwidthAllocator>
+makeAllocator(const std::string &name)
+{
+    if (name == "equal")
+        return std::make_unique<EqualShareAllocator>();
+    if (name == "weighted")
+        return std::make_unique<WeightedShareAllocator>();
+    if (name == "deadline")
+        return std::make_unique<DeadlineAllocator>();
+    fatal("unknown allocator: ", name,
+          " (expected equal, weighted, or deadline)");
+}
+
+} // namespace nse

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Pluggable cross-client bandwidth allocation for the shared-uplink
+ * server simulation (server/server_sim.h).
+ *
+ * The paper's insight is that *ordering by first use* decides who
+ * stalls: within one program, bytes that execute first should arrive
+ * first. A server pushing many programs down one uplink faces the
+ * same question one level up — which *client's* bytes should move
+ * first — so the allocator interface exposes exactly the signal the
+ * per-file scheduler uses: each client's next first-use deadline.
+ *
+ * An allocator is called at every allocation instant (any cycle the
+ * demand set or its deadlines change) with a snapshot of per-client
+ * demand, and distributes the uplink capacity as per-client byte
+ * rates. The contract:
+ *
+ *  - rates[i] <= demands[i].nominalRate — a client can never receive
+ *    more than its own downlink sustains;
+ *  - sum(rates) <= capacity (checked by tests via the server's
+ *    allocation probe);
+ *  - non-demanding clients receive exactly 0;
+ *  - the result is a pure, deterministic function of the arguments
+ *    (the server's k-thread == 1-thread determinism depends on it);
+ *  - a single demanding client whose nominal rate fits the capacity
+ *    receives exactly its nominal rate, so a one-client server run
+ *    reproduces the solo engine bit-for-bit.
+ */
+
+#ifndef NSE_SERVER_ALLOCATOR_H
+#define NSE_SERVER_ALLOCATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nse
+{
+
+/** One client's demand snapshot at an allocation instant. */
+struct ClientDemand
+{
+    int client = -1;
+    /** Bytes/cycle the client's own link sustains (1/cyclesPerByte). */
+    double nominalRate = 0.0;
+    /** Relative share weight (WeightedShareAllocator). */
+    double weight = 1.0;
+    /**
+     * Global cycle of the client's next (or current) first-use wait:
+     * for a blocked client, the cycle it blocked — already in the
+     * past, maximally urgent; for an executing client, the known next
+     * first-use instant of its recorded trace. UINT64_MAX = unknown.
+     */
+    uint64_t nextFirstUse = UINT64_MAX;
+    /** True when the client's engine is actively moving bytes. */
+    bool demanding = false;
+};
+
+/** Distributes the uplink capacity across demanding clients. */
+class BandwidthAllocator
+{
+  public:
+    virtual ~BandwidthAllocator() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Fill rates[i] (bytes/cycle) for demands[i] under the contract
+     * documented at the top of this file. `rates` arrives sized to
+     * `demands` and zeroed.
+     */
+    virtual void allocate(double capacity,
+                          const std::vector<ClientDemand> &demands,
+                          std::vector<double> &rates) const = 0;
+};
+
+/**
+ * Equal fair share with water-filling: capacity splits evenly across
+ * demanding clients; a client whose nominal rate is below its share
+ * is capped there and the surplus re-splits among the rest.
+ */
+class EqualShareAllocator : public BandwidthAllocator
+{
+  public:
+    const char *name() const override { return "equal"; }
+    void allocate(double capacity,
+                  const std::vector<ClientDemand> &demands,
+                  std::vector<double> &rates) const override;
+};
+
+/** Weighted fair share: as above, but shares are proportional to
+ *  each demanding client's weight (weights must be > 0). */
+class WeightedShareAllocator : public BandwidthAllocator
+{
+  public:
+    const char *name() const override { return "weighted"; }
+    void allocate(double capacity,
+                  const std::vector<ClientDemand> &demands,
+                  std::vector<double> &rates) const override;
+};
+
+/**
+ * Deadline-aware "earliest first-use wait wins": demanding clients
+ * are served in ascending nextFirstUse order (ties by client index),
+ * each up to its nominal rate, until the capacity is exhausted — the
+ * cross-client form of first-use ordering. A blocked client (whose
+ * deadline is already in the past) therefore preempts prefetching
+ * ones; late-deadline clients may be starved for a while, which is
+ * safe because every allocation instant re-ranks.
+ */
+class DeadlineAllocator : public BandwidthAllocator
+{
+  public:
+    const char *name() const override { return "deadline"; }
+    void allocate(double capacity,
+                  const std::vector<ClientDemand> &demands,
+                  std::vector<double> &rates) const override;
+};
+
+/** Allocator by name ("equal", "weighted", "deadline"); fatal()s on
+ *  unknown names. */
+std::unique_ptr<BandwidthAllocator>
+makeAllocator(const std::string &name);
+
+} // namespace nse
+
+#endif // NSE_SERVER_ALLOCATOR_H

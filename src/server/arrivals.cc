@@ -1,0 +1,69 @@
+#include "server/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace nse
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Simultaneous:
+        return "simultaneous";
+      case ArrivalKind::Staggered:
+        return "staggered";
+      case ArrivalKind::Uniform:
+        return "uniform";
+      case ArrivalKind::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+std::vector<uint64_t>
+ArrivalPlan::cycles(size_t n) const
+{
+    std::vector<uint64_t> out;
+    out.reserve(n);
+    Rng rng(seed ^ 0xa55a5aa5u);
+    uint64_t clock = 0;
+    for (size_t i = 0; i < n; ++i) {
+        switch (kind) {
+          case ArrivalKind::Simultaneous:
+            out.push_back(0);
+            break;
+          case ArrivalKind::Staggered:
+            out.push_back(static_cast<uint64_t>(i) * meanGapCycles);
+            break;
+          case ArrivalKind::Uniform:
+            NSE_CHECK(windowCycles > 0,
+                      "uniform arrivals need windowCycles > 0");
+            out.push_back(rng.below(windowCycles));
+            break;
+          case ArrivalKind::Bursty: {
+            NSE_CHECK(meanGapCycles > 0,
+                      "bursty arrivals need meanGapCycles > 0");
+            // Inverse-CDF exponential gap from a uniform in (0, 1];
+            // the +1 keeps the draw strictly positive so log() is
+            // finite.
+            double u =
+                (static_cast<double>(rng.below(1u << 20)) + 1.0) /
+                static_cast<double>(1u << 20);
+            double gap = -static_cast<double>(meanGapCycles) *
+                         std::log(u);
+            clock += static_cast<uint64_t>(gap);
+            out.push_back(clock);
+            break;
+          }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace nse

@@ -1,0 +1,537 @@
+#include "server/server_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return b > UINT64_MAX - a ? UINT64_MAX : a + b;
+}
+
+void
+emitWait(EventSink *sink, uint64_t clock, uint64_t resume, int stream,
+         MethodId id, uint64_t offset)
+{
+    if (!sink)
+        return;
+    ObsEvent ev;
+    ev.cycle = clock;
+    ev.kind = ObsKind::MethodWait;
+    ev.stream = stream;
+    ev.cls = id.classIdx;
+    ev.method = id.methodIdx;
+    ev.a = resume;
+    ev.b = offset;
+    sink->record(ev);
+}
+
+void
+emitMispredict(EventSink *sink, uint64_t clock, int stream, MethodId id)
+{
+    if (!sink)
+        return;
+    ObsEvent ev;
+    ev.cycle = clock;
+    ev.kind = ObsKind::Mispredict;
+    ev.stream = stream;
+    ev.cls = id.classIdx;
+    ev.method = id.methodIdx;
+    sink->record(ev);
+}
+
+void
+emitEnd(EventSink *sink, const SimResult &r)
+{
+    if (!sink)
+        return;
+    ObsEvent ev;
+    ev.cycle = r.totalCycles;
+    ev.kind = ObsKind::RunEnd;
+    ev.a = r.execCycles;
+    sink->record(ev);
+}
+
+/** Per-client live state of the server event loop. All cycles are
+ *  client-local unless suffixed with "Global". */
+struct ClientRt
+{
+    enum class Phase : uint8_t
+    {
+        Pending,   ///< not arrived yet
+        Executing, ///< replaying between first-use waits
+        Blocked,   ///< a first use is waiting on stream bytes
+        Finished,
+    };
+
+    const ClientSpec *spec = nullptr;
+    uint64_t arrival = 0;
+    std::unique_ptr<TransferEngine> engine;
+    const TransferLayout *layout = nullptr; ///< null for Strict
+    const ExecTrace *trace = nullptr;       ///< null for Strict
+    bool parallel = false;
+    /** Strict clients run a two-wait script instead of the trace:
+     *  1 = waiting on the entry class, 2 = waiting on the whole
+     *  program, 3 = executing to completion. 0 = not strict. */
+    int strictStage = 0;
+
+    Phase phase = Phase::Pending;
+    size_t eventIdx = 0;
+    uint64_t stalls = 0;
+    bool entrySeen = false;
+
+    int blockStream = -1;
+    int blockObsStream = -1; ///< stream id recorded in MethodWait
+    uint64_t blockOffset = 0;
+    uint64_t blockClock = 0;
+    MethodId blockMethod{};
+
+    EventSink *sink = nullptr;
+    double nominalRate = 0.0;
+    /** Externally applied share multiplier (engine's externalRate).
+     *  Starts at the engine's default so an uncontended client never
+     *  has its rate touched at all. */
+    double mult = 1.0;
+
+    /** Cached global-cycle candidates for the next event. */
+    uint64_t nextAction = UINT64_MAX;
+    uint64_t nextEngineEv = UINT64_MAX;
+
+    ServerClientResult out;
+};
+
+} // namespace
+
+double
+jainFairness(const std::vector<double> &xs)
+{
+    double sum = 0.0, sq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sq += x * x;
+    }
+    if (xs.empty() || sq == 0.0)
+        return 1.0;
+    return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+uint64_t
+percentile(std::vector<uint64_t> xs, double p)
+{
+    if (xs.empty())
+        return 0;
+    std::sort(xs.begin(), xs.end());
+    double rank = p / 100.0 * static_cast<double>(xs.size());
+    auto idx = static_cast<size_t>(std::ceil(rank));
+    if (idx > 0)
+        --idx;
+    if (idx >= xs.size())
+        idx = xs.size() - 1;
+    return xs[idx];
+}
+
+namespace
+{
+
+/** Advance a client's engine to the global cycle T (no-op if there). */
+void
+engineAdvance(ClientRt &rt, uint64_t T)
+{
+    uint64_t local = T - rt.arrival;
+    if (rt.engine->time() < local)
+        rt.engine->advanceTo(local);
+}
+
+/**
+ * Past its last first-use wait, a client just runs to its finish
+ * cycle: no future wait can need bytes, so it stops demanding and its
+ * engine freezes where the last wait left it — the exact horizon a
+ * solo runReplay observes, which keeps retryCount/degradedCycles
+ * identical to the solo run (and releases the uplink to peers).
+ */
+bool
+draining(const ClientRt &rt)
+{
+    return rt.phase == ClientRt::Phase::Executing &&
+           (rt.strictStage == 3 ||
+            rt.eventIdx >= rt.trace->events.size());
+}
+
+void
+completeWait(ClientRt &rt, uint64_t clock, uint64_t resume,
+             int obsStream, MethodId id, uint64_t offset)
+{
+    rt.stalls += resume - clock;
+    rt.out.sim.stallCycles += resume - clock;
+    emitWait(rt.sink, clock, resume, obsStream, id, offset);
+    if (!rt.entrySeen) {
+        rt.entrySeen = true;
+        rt.out.sim.invocationLatency = resume;
+    }
+}
+
+void
+finishClient(ClientRt &rt, uint64_t finishLocal)
+{
+    const SimContext &ctx = *rt.spec->ctx;
+    SimResult &r = rt.out.sim;
+    r.totalCycles = finishLocal;
+    if (rt.strictStage) {
+        const VmResult &exec = ctx.testProfile().result;
+        r.execCycles = exec.execCycles;
+        r.bytecodes = exec.bytecodes;
+        r.cpi = exec.cpi();
+    } else {
+        r.execCycles = rt.trace->totals.execCycles;
+        r.bytecodes = rt.trace->totals.bytecodes;
+        r.cpi = rt.trace->totals.cpi();
+    }
+    // The paper's reference figure (and every table's denominator):
+    // the whole program front-to-back on the client's own link under
+    // its own plan, unthrottled by the server.
+    r.transferCycles = wholeProgramTransferCycles(
+        ctx.totalBytes(), ctx.entryClassBytes(), rt.spec->config.link,
+        rt.spec->config.faults);
+    r.retryCount = rt.engine->retryCount();
+    r.degradedCycles = rt.engine->degradedCycles();
+    emitEnd(rt.sink, r);
+    rt.out.finished = rt.arrival + finishLocal;
+    rt.phase = ClientRt::Phase::Finished;
+}
+
+/**
+ * Run the client's replay forward as far as global cycle T allows:
+ * resolve an arrived block, process every first-use wait whose clock
+ * is due, and finish the run when its final clock is due. The
+ * client's engine must already be advanced to T. Mirrors runReplay's
+ * wait body statement for statement so per-wait accounting (stalls,
+ * mispredictions, invocation latency, observed events) is identical.
+ */
+void
+progressClient(ClientRt &rt, uint64_t T)
+{
+    for (;;) {
+        uint64_t local = T - rt.arrival;
+        if (rt.phase == ClientRt::Phase::Blocked) {
+            if (!rt.engine->hasArrived(rt.blockStream, rt.blockOffset))
+                return;
+            uint64_t resume =
+                std::max(rt.blockClock, rt.engine->time());
+            if (rt.strictStage == 1) {
+                // Entry class arrived: that is the invocation
+                // latency, but strict execution still waits for the
+                // whole program. No wait event yet — solo runStrict
+                // reports the entire transfer as ONE MethodWait, so
+                // keep blockClock at 0 and widen the target.
+                rt.entrySeen = true;
+                rt.out.sim.invocationLatency = resume;
+                rt.strictStage = 2;
+                rt.blockOffset = rt.spec->ctx->totalBytes();
+                continue;
+            }
+            if (rt.strictStage == 2) {
+                completeWait(rt, rt.blockClock, resume, rt.blockObsStream,
+                             rt.blockMethod, 0);
+                rt.strictStage = 3;
+                rt.phase = ClientRt::Phase::Executing;
+                continue;
+            }
+            completeWait(rt, rt.blockClock, resume, rt.blockObsStream,
+                         rt.blockMethod, rt.blockOffset);
+            rt.phase = ClientRt::Phase::Executing;
+            ++rt.eventIdx;
+            continue;
+        }
+        if (rt.phase != ClientRt::Phase::Executing)
+            return;
+
+        if (rt.strictStage == 3) {
+            const VmResult &exec = rt.spec->ctx->testProfile().result;
+            uint64_t fin = exec.execCycles + rt.stalls;
+            if (fin > local)
+                return;
+            finishClient(rt, fin);
+            return;
+        }
+        if (rt.eventIdx >= rt.trace->events.size()) {
+            uint64_t fin = rt.trace->totals.clock + rt.stalls;
+            if (fin > local)
+                return;
+            finishClient(rt, fin);
+            return;
+        }
+        const TraceEvent &te = rt.trace->events[rt.eventIdx];
+        uint64_t clock = te.execClock + rt.stalls;
+        if (clock > local)
+            return;
+        NSE_ASSERT(clock == local,
+                   "server loop missed a first-use instant");
+        rt.engine->advanceTo(clock);
+        const MethodPlacement &pl = rt.layout->of(te.method);
+        if (rt.parallel) {
+            const Stream &s = rt.engine->stream(pl.streamIdx);
+            if (s.state == StreamState::Idle &&
+                s.scheduledStart > clock) {
+                // Misprediction (§5.1): needed but neither
+                // transferring nor about to — demand-fetch it.
+                ++rt.out.sim.mispredictions;
+                emitMispredict(rt.sink, clock, pl.streamIdx, te.method);
+                rt.engine->demandStart(pl.streamIdx, clock);
+            }
+        }
+        if (rt.engine->hasArrived(pl.streamIdx, pl.availOffset)) {
+            uint64_t resume = std::max(clock, rt.engine->time());
+            completeWait(rt, clock, resume, pl.streamIdx, te.method,
+                         pl.availOffset);
+            ++rt.eventIdx;
+            continue;
+        }
+        rt.phase = ClientRt::Phase::Blocked;
+        rt.blockClock = clock;
+        rt.blockStream = pl.streamIdx;
+        rt.blockObsStream = pl.streamIdx;
+        rt.blockOffset = pl.availOffset;
+        rt.blockMethod = te.method;
+        return;
+    }
+}
+
+/** Build the client's engine and initial wait state at arrival. */
+void
+setupClient(ClientRt &rt, size_t idx, const ServerOptions &opts)
+{
+    const ClientSpec &spec = *rt.spec;
+    const SimContext &ctx = *spec.ctx;
+    const SimConfig &cfg = spec.config;
+    rt.sink = opts.sinkFor ? opts.sinkFor(idx) : nullptr;
+    rt.nominalRate = linkRate(cfg.link);
+    if (cfg.mode == SimConfig::Mode::Strict) {
+        rt.engine = std::make_unique<TransferEngine>(
+            cfg.link.cyclesPerByte, 1, cfg.faults);
+        rt.engine->setSink(rt.sink);
+        int s = rt.engine->addStream("whole-program", ctx.totalBytes());
+        rt.engine->scheduleStart(s, 0);
+        rt.strictStage = 1;
+        rt.phase = ClientRt::Phase::Blocked;
+        rt.blockStream = s;
+        rt.blockObsStream = -1; // the strict whole-program wait
+        rt.blockOffset = ctx.entryClassBytes();
+        rt.blockClock = 0;
+        rt.blockMethod = ctx.program().entry();
+    } else {
+        rt.parallel = cfg.mode == SimConfig::Mode::Parallel;
+        rt.layout = &ctx.layout(layoutKeyOf(cfg));
+        rt.engine = std::make_unique<TransferEngine>(
+            makeOverlappedEngine(ctx, cfg, *rt.layout));
+        rt.engine->setSink(rt.sink);
+        rt.trace = &ctx.trace();
+        rt.phase = ClientRt::Phase::Executing;
+    }
+    // Fire cycle-0 scheduled starts so the demand snapshot below
+    // sees the streams active (runReplay gets this from its first
+    // waitFor at clock 0).
+    rt.engine->advanceTo(0);
+}
+
+/** Recompute the client's cached event candidates (global cycles). */
+void
+computeCandidates(ClientRt &rt)
+{
+    switch (rt.phase) {
+      case ClientRt::Phase::Pending:
+        rt.nextAction = rt.arrival;
+        rt.nextEngineEv = UINT64_MAX;
+        return;
+      case ClientRt::Phase::Blocked:
+        rt.nextAction = satAdd(
+            rt.arrival,
+            rt.engine->nextStepToward(rt.blockStream, rt.blockOffset));
+        rt.nextEngineEv = UINT64_MAX;
+        return;
+      case ClientRt::Phase::Executing: {
+        uint64_t local;
+        if (rt.strictStage == 3) {
+            local = rt.spec->ctx->testProfile().result.execCycles +
+                    rt.stalls;
+        } else if (rt.eventIdx < rt.trace->events.size()) {
+            local = rt.trace->events[rt.eventIdx].execClock + rt.stalls;
+        } else {
+            local = rt.trace->totals.clock + rt.stalls;
+        }
+        rt.nextAction = satAdd(rt.arrival, local);
+        rt.nextEngineEv = draining(rt)
+                              ? UINT64_MAX
+                              : satAdd(rt.arrival,
+                                       rt.engine->nextEventTime());
+        return;
+      }
+      case ClientRt::Phase::Finished:
+        rt.nextAction = UINT64_MAX;
+        rt.nextEngineEv = UINT64_MAX;
+        return;
+    }
+}
+
+} // namespace
+
+ServerResult
+runServer(const std::vector<ClientSpec> &clients,
+          const ServerOptions &opts)
+{
+    NSE_CHECK(opts.uplinkBytesPerCycle > 0.0,
+              "server uplink capacity must be positive");
+    NSE_CHECK(opts.allocator != nullptr, "server needs an allocator");
+    size_t n = clients.size();
+    NSE_CHECK(n > 0, "server needs at least one client");
+
+    std::vector<uint64_t> arrivals = opts.arrivals.cycles(n);
+    std::vector<ClientRt> rts(n);
+    for (size_t i = 0; i < n; ++i) {
+        NSE_CHECK(clients[i].ctx != nullptr,
+                  "client spec without a context");
+        rts[i].spec = &clients[i];
+        rts[i].arrival = arrivals[i];
+        rts[i].out.arrival = arrivals[i];
+        rts[i].out.name = clients[i].name.empty()
+                              ? cat("client-", i)
+                              : clients[i].name;
+        computeCandidates(rts[i]);
+    }
+
+    bool shard = opts.pool != nullptr && n >= opts.parallelThreshold;
+    auto forEach = [&](const std::vector<size_t> &idx, auto &&fn) {
+        if (shard && idx.size() > 1) {
+            opts.pool->parallelFor(idx.size(),
+                                   [&](size_t k) { fn(idx[k]); });
+        } else {
+            for (size_t k : idx)
+                fn(k);
+        }
+    };
+
+    ServerResult result;
+    std::vector<ClientDemand> demands(n);
+    std::vector<double> rates(n, 0.0), prevRates(n, 0.0);
+    std::vector<size_t> actors, retimed;
+    size_t finished = 0;
+
+    while (finished < n) {
+        // Next global event: the earliest client action (arrival,
+        // first-use instant, blocked crossing bound) or engine event.
+        uint64_t T = UINT64_MAX;
+        for (const ClientRt &rt : rts)
+            T = std::min({T, rt.nextAction, rt.nextEngineEv});
+        if (T == UINT64_MAX) {
+            fatal("server event loop stalled with ", n - finished,
+                  " unfinished clients (a blocked client can never "
+                  "make progress)");
+        }
+
+        // Who acts at T. Candidates are exact, so equality is the
+        // membership test.
+        actors.clear();
+        for (size_t i = 0; i < n; ++i) {
+            if (rts[i].phase != ClientRt::Phase::Finished &&
+                (rts[i].nextAction == T || rts[i].nextEngineEv == T)) {
+                actors.push_back(i);
+            }
+        }
+
+        // Integrate every acting engine to T under the rates in
+        // effect since the previous event (per-client state only:
+        // shards deterministically).
+        forEach(actors, [&](size_t i) {
+            if (rts[i].engine && !draining(rts[i]))
+                engineAdvance(rts[i], T);
+        });
+
+        // Client-level transitions, in index order: arrivals first
+        // (so a client arriving at T competes for bandwidth from T
+        // on), then replay progress for everyone due.
+        for (size_t i : actors) {
+            ClientRt &rt = rts[i];
+            if (rt.phase == ClientRt::Phase::Pending) {
+                setupClient(rt, i, opts);
+                engineAdvance(rt, T);
+            }
+            progressClient(rt, T);
+            if (rt.phase == ClientRt::Phase::Finished)
+                ++finished;
+        }
+
+        // Re-snapshot demand and re-divide the uplink from T onward.
+        for (size_t i = 0; i < n; ++i) {
+            ClientDemand &d = demands[i];
+            const ClientRt &rt = rts[i];
+            d.client = static_cast<int>(i);
+            d.nominalRate = rt.nominalRate;
+            d.weight = rt.spec->weight;
+            bool running = rt.phase == ClientRt::Phase::Executing ||
+                           rt.phase == ClientRt::Phase::Blocked;
+            d.demanding = running && !draining(rt) &&
+                          rt.engine->activeCount() > 0;
+            if (rt.phase == ClientRt::Phase::Blocked)
+                d.nextFirstUse = rt.arrival + rt.blockClock;
+            else if (rt.phase == ClientRt::Phase::Executing)
+                d.nextFirstUse = rt.nextAction;
+            else
+                d.nextFirstUse = UINT64_MAX;
+        }
+        rates.assign(n, 0.0);
+        opts.allocator->allocate(opts.uplinkBytesPerCycle, demands,
+                                 rates);
+        if (rates != prevRates) {
+            ++result.allocationIntervals;
+            if (opts.allocationProbe)
+                opts.allocationProbe(T, rates);
+            prevRates = rates;
+        }
+
+        // Apply changed shares: advance the engine to T first so the
+        // new rate only governs cycles after T.
+        retimed.clear();
+        for (size_t i = 0; i < n; ++i) {
+            ClientRt &rt = rts[i];
+            if (!rt.engine || rt.phase == ClientRt::Phase::Finished)
+                continue;
+            double mult = rt.nominalRate > 0.0
+                              ? rates[i] / rt.nominalRate
+                              : 0.0;
+            if (!demands[i].demanding)
+                mult = rt.mult; // idle engine: leave the share alone
+            if (mult != rt.mult) {
+                rt.mult = mult;
+                retimed.push_back(i);
+            }
+        }
+        forEach(retimed, [&](size_t i) {
+            engineAdvance(rts[i], T);
+            rts[i].engine->setExternalRate(rts[i].mult);
+        });
+
+        // Refresh candidates for every touched client.
+        for (size_t i : retimed)
+            actors.push_back(i);
+        std::sort(actors.begin(), actors.end());
+        actors.erase(std::unique(actors.begin(), actors.end()),
+                     actors.end());
+        forEach(actors, [&](size_t i) { computeCandidates(rts[i]); });
+    }
+
+    result.clients.reserve(n);
+    for (ClientRt &rt : rts) {
+        result.makespan = std::max(result.makespan, rt.out.finished);
+        result.clients.push_back(std::move(rt.out));
+    }
+    return result;
+}
+
+} // namespace nse

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Multi-client shared-uplink server simulation.
+ *
+ * The paper evaluates one client pulling one program over one link;
+ * this module models the server side of that deployment: N clients,
+ * each replaying an existing (SimContext, SimConfig) pair against its
+ * own TransferEngine, compete for one uplink whose capacity a
+ * pluggable BandwidthAllocator (server/allocator.h) divides among
+ * them. Arrivals come from a seeded deterministic ArrivalPlan
+ * (server/arrivals.h); per-client FaultPlans ride along unchanged in
+ * each client's SimConfig.
+ *
+ * The core is a batched event-driven loop over piecewise-constant
+ * per-client rates — the N-client generalization of the engine's own
+ * nextEventAfter machinery. Between any two global events every
+ * client's rate is exactly constant, so each client's engine
+ * integrates its own streams exactly as a solo run would; at every
+ * event (a client arrival, a first-use wait, an unblock, any engine's
+ * internal stream event) the demand set is re-snapshotted, the
+ * allocator re-divides the uplink, and every engine whose share
+ * changed is advanced to the event cycle before the new rate is
+ * applied. Blocked clients are stepped with the engine's own
+ * nextStepToward bound — the identical arithmetic waitFor uses — so a
+ * one-client server run reproduces the solo runReplay SimResult
+ * cycle-for-cycle (tests/server_test.cc pins this), and a fleet whose
+ * uplink never saturates reproduces every client's solo result
+ * simultaneously.
+ *
+ * Scaling: per-event engine advancement and candidate recomputation
+ * touch only per-client state, so they shard across an
+ * ExperimentRunner pool; allocation itself is a serial fold in client
+ * index order. Results are bit-identical for any thread count.
+ *
+ * Observability: each client can be given its own EventSink; it sees
+ * the same event stream a solo runReplay would emit (engine lifecycle
+ * edges, MethodWait/Mispredict/RunEnd), timestamped in *client-local*
+ * cycles, so buildStallReport and the Chrome trace exporter work
+ * unchanged per client.
+ */
+
+#ifndef NSE_SERVER_SERVER_SIM_H
+#define NSE_SERVER_SERVER_SIM_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "server/allocator.h"
+#include "server/arrivals.h"
+#include "sim/replay.h"
+#include "sim/runner.h"
+
+namespace nse
+{
+
+/** One simulated client: a workload context plus the configuration
+ *  its transfers and replay run under. */
+struct ClientSpec
+{
+    const SimContext *ctx = nullptr;
+    SimConfig config;
+    /** Relative uplink share (WeightedShareAllocator). */
+    double weight = 1.0;
+    /** Label used in results; "" = "client-<index>". */
+    std::string name;
+};
+
+/** Server-side simulation parameters. */
+struct ServerOptions
+{
+    /** Uplink capacity, bytes per cycle; must be > 0. A convenient
+     *  scale: linkRate(kT1Link) is one T1 client's nominal demand. */
+    double uplinkBytesPerCycle = 0.0;
+    /** Cross-client allocation policy; must be non-null. */
+    const BandwidthAllocator *allocator = nullptr;
+    ArrivalPlan arrivals;
+    /** Optional pool for sharding per-client work; null = serial. */
+    const ExperimentRunner *pool = nullptr;
+    /** Minimum client count before the pool engages (per-event
+     *  sharding has fixed overhead; small fleets run serial). */
+    size_t parallelThreshold = 128;
+    /**
+     * Per-client observer factory (obs/event.h); null = unobserved.
+     * Called once per client at its arrival, from the event loop
+     * thread; each returned sink observes exactly that client (in
+     * client-local cycles) and must not be shared across clients.
+     */
+    std::function<EventSink *(size_t client)> sinkFor;
+    /**
+     * Test/diagnostic hook: called at every allocation instant with
+     * the global cycle and the per-client byte rates just assigned.
+     * Tests assert sum(rates) <= uplink here.
+     */
+    std::function<void(uint64_t cycle,
+                       const std::vector<double> &rates)>
+        allocationProbe;
+};
+
+/** One client's outcome. `sim` is measured in client-local cycles
+ *  (cycle 0 = the client's arrival), field-for-field comparable with
+ *  a solo runReplay of the same (ctx, config). */
+struct ServerClientResult
+{
+    std::string name;
+    uint64_t arrival = 0;  ///< global arrival cycle
+    uint64_t finished = 0; ///< global cycle the replay completed
+    SimResult sim;
+};
+
+/** The whole fleet's outcome. */
+struct ServerResult
+{
+    std::vector<ServerClientResult> clients;
+    /** Global cycle the last client finished. */
+    uint64_t makespan = 0;
+    /** Allocation instants at which the rate vector changed. */
+    uint64_t allocationIntervals = 0;
+};
+
+/** Run the fleet to completion. */
+ServerResult runServer(const std::vector<ClientSpec> &clients,
+                       const ServerOptions &opts);
+
+/** Nominal byte rate of a link (bytes/cycle) — uplink sizing helper. */
+inline double
+linkRate(const LinkModel &link)
+{
+    return 1.0 / link.cyclesPerByte;
+}
+
+/** Jain's fairness index of xs: (sum x)^2 / (n * sum x^2), in
+ *  (0, 1]; 1.0 = perfectly even. Empty or all-zero input => 1.0. */
+double jainFairness(const std::vector<double> &xs);
+
+/** The p-th percentile (0..100, nearest-rank) of xs; 0 when empty. */
+uint64_t percentile(std::vector<uint64_t> xs, double p);
+
+} // namespace nse
+
+#endif // NSE_SERVER_SERVER_SIM_H

@@ -45,9 +45,6 @@ wholeProgramTransferCycles(uint64_t total_bytes, uint64_t entry_bytes,
     return done;
 }
 
-namespace
-{
-
 LayoutKey
 layoutKeyOf(const SimConfig &cfg)
 {
@@ -58,6 +55,9 @@ layoutKeyOf(const SimConfig &cfg)
     key.classStrict = cfg.classStrict;
     return key;
 }
+
+namespace
+{
 
 void
 observe(EventSink *obs, const ObsEvent &ev)
@@ -131,11 +131,8 @@ runStrict(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
     return r;
 }
 
-/**
- * Set up the transfer engine for an overlapped run: register every
- * layout stream, then either apply the memoized greedy schedule
- * (parallel) or start the single interleaved file at cycle 0.
- */
+} // namespace
+
 TransferEngine
 makeOverlappedEngine(const SimContext &ctx, const SimConfig &cfg,
                      const TransferLayout &layout)
@@ -160,8 +157,6 @@ makeOverlappedEngine(const SimContext &ctx, const SimConfig &cfg,
     }
     return engine;
 }
-
-} // namespace
 
 SimResult
 runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)

@@ -21,6 +21,7 @@
 #include "obs/event.h"
 #include "sim/context.h"
 #include "support/error.h"
+#include "transfer/engine.h"
 #include "transfer/faults.h"
 #include "transfer/link.h"
 
@@ -89,6 +90,22 @@ struct SimResult
     /** Cycles the link ran degraded or a stream sat in retry backoff. */
     uint64_t degradedCycles = 0;
 };
+
+/** The memoized-layout identity a configuration selects. */
+LayoutKey layoutKeyOf(const SimConfig &cfg);
+
+/**
+ * Set up the transfer engine for an overlapped (Parallel or
+ * Interleaved) run: register every layout stream, then either apply
+ * the context's memoized greedy schedule (parallel) or start the
+ * single interleaved file at cycle 0. Shared by the replay executor
+ * and the multi-client server simulation (server/server_sim.h), so a
+ * server client's per-link engine is constructed identically to a
+ * solo run's.
+ */
+TransferEngine makeOverlappedEngine(const SimContext &ctx,
+                                    const SimConfig &cfg,
+                                    const TransferLayout &layout);
 
 /**
  * Percent normalized execution time (smaller is better, paper §7.2).

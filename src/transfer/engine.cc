@@ -111,8 +111,48 @@ TransferEngine::perStreamRate() const
 {
     if (active_ == 0)
         return 0.0;
-    return plan_.trace.multiplierAt(time_) /
+    // extRate_ defaults to 1.0; multiplying by it exactly is a no-op,
+    // so an unthrottled engine is bit-identical to the pre-server one.
+    return plan_.trace.multiplierAt(time_) * extRate_ /
            (cyclesPerByte_ * static_cast<double>(active_));
+}
+
+void
+TransferEngine::setExternalRate(double multiplier)
+{
+    NSE_CHECK(multiplier >= 0.0, "negative external rate multiplier");
+    extRate_ = multiplier;
+}
+
+uint64_t
+TransferEngine::nextStepToward(int stream, uint64_t offset) const
+{
+    auto si = static_cast<size_t>(stream);
+    NSE_ASSERT(si < streams_.size(), "bad stream id ", stream);
+    uint64_t ev = nextEventAfter(time_);
+    const Stream &s = streams_[si];
+    double rate = perStreamRate();
+    if (s.state == StreamState::Active && rate > 0.0) {
+        // Identical arithmetic to waitFor's crossing estimate, so an
+        // external loop stepping to this bound reproduces waitFor's
+        // integration segments exactly.
+        double remaining =
+            std::min(static_cast<double>(offset), stopBytes(si)) -
+            s.arrivedBytes;
+        uint64_t cross = completionAt(time_, remaining / rate);
+        if (cross != UINT64_MAX)
+            ev = std::min(ev, std::max(cross, time_ + 1));
+    }
+    return ev;
+}
+
+bool
+TransferEngine::hasArrived(int stream, uint64_t offset) const
+{
+    auto si = static_cast<size_t>(stream);
+    NSE_ASSERT(si < streams_.size(), "bad stream id ", stream);
+    return streams_[si].arrivedBytes + kEps >=
+           static_cast<double>(offset);
 }
 
 bool
@@ -213,7 +253,8 @@ TransferEngine::progressTo(uint64_t t)
     // crosses one inside [time_, t).
     double rate = perStreamRate();
     double delta = static_cast<double>(t - time_) * rate;
-    if ((active_ > 0 && plan_.trace.multiplierAt(time_) < 1.0) ||
+    if ((active_ > 0 &&
+         plan_.trace.multiplierAt(time_) * extRate_ < 1.0) ||
         suspended_ > 0) {
         degradedCycles_ += t - time_;
     }

@@ -125,6 +125,46 @@ class TransferEngine
     size_t activeCount() const { return active_; }
     bool allDone() const;
 
+    /**
+     * Externally imposed rate multiplier, composed multiplicatively
+     * with the fault plan's bandwidth trace. This is how a server
+     * simulation (server/server_sim.h) throttles one client's link to
+     * its allocated share of a shared uplink: the allocator decides a
+     * share, the server advances every engine to the allocation
+     * instant, then sets the new multiplier — so within any
+     * integration step the effective rate is still exactly constant.
+     * 0 is legal (a fully starved client: no bytes move until the
+     * next allocation). The caller must have advanced the engine to
+     * the cycle the new rate takes effect; the default of 1.0
+     * reproduces the unthrottled engine byte-for-byte.
+     */
+    void setExternalRate(double multiplier);
+    double externalRate() const { return extRate_; }
+
+    /**
+     * The next internal event strictly after the current time, at
+     * current rates: a scheduled start, a completion or drop-offset
+     * estimate, a retry resume, or a bandwidth-trace change point.
+     * UINT64_MAX = none. Pure query; the external event loop of the
+     * server simulation uses it to bound global steps so allocation
+     * changes never land inside an integration segment.
+     */
+    uint64_t nextEventTime() const { return nextEventAfter(time_); }
+
+    /**
+     * The exact step bound waitFor would take toward `offset` bytes
+     * of `stream`: min(nextEventTime(), the crossing estimate at the
+     * current rate). UINT64_MAX when no progress is possible at
+     * current rates. Pure query — advancing to exactly this bound and
+     * re-querying reproduces waitFor's step sequence (and therefore
+     * its cycle-exact results) from outside the engine.
+     */
+    uint64_t nextStepToward(int stream, uint64_t offset) const;
+
+    /** waitFor's arrival predicate as a pure query: have `offset`
+     *  bytes of the stream arrived (within the engine's epsilon)? */
+    bool hasArrived(int stream, uint64_t offset) const;
+
     /** Total retry attempts across all drop events triggered so far. */
     uint64_t retryCount() const { return retryCount_; }
 
@@ -161,6 +201,8 @@ class TransferEngine
     EventSink *sink_ = nullptr;
     int maxConcurrent_;
     FaultPlan plan_;
+    /** Server-imposed share of the link (setExternalRate). */
+    double extRate_ = 1.0;
     uint64_t time_ = 0;
     size_t active_ = 0;
     size_t suspended_ = 0;

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Acceptance gate of the multi-client server simulation (src/server/):
+ *
+ *  - a one-client server run reproduces the solo runReplay SimResult
+ *    cycle-for-cycle and event-for-event (the exactness contract the
+ *    whole module is designed around);
+ *  - a fleet whose uplink never saturates reproduces every client's
+ *    solo result simultaneously;
+ *  - results are bit-identical for any thread count;
+ *  - at every allocation instant the rates conserve uplink capacity
+ *    and respect per-client nominal caps;
+ *  - allocator policies order outcomes the way they promise
+ *    (weighted favors weight, deadline favors the earliest waiter);
+ *  - per-client stall reports reconstruct, and their merge (satellite
+ *    of the same PR) reconstructs the fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/stall.h"
+#include "obs/trace.h"
+#include "server/server_sim.h"
+#include "support/error.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+FaultPlan
+faultyPlan()
+{
+    FaultPlan plan;
+    plan.trace = BandwidthTrace::bursts(/*seed=*/7, 400'000, 0.7,
+                                        200'000'000);
+    plan.dropSeed = 7;
+    plan.dropsPerMByte = 40.0;
+    plan.maxAttempts = 2;
+    plan.retryTimeoutCycles = 120'000;
+    return plan;
+}
+
+SimConfig
+baseConfig(SimConfig::Mode mode, LinkModel link)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.ordering = OrderingSource::Train;
+    cfg.link = link;
+    cfg.parallelLimit = 2;
+    return cfg;
+}
+
+/** The shared test workload context (expensive: built once). */
+const SimContext &
+zipperCtx()
+{
+    static Workload wl = makeZipper();
+    static SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                          wl.testInput);
+    return ctx;
+}
+
+const SimContext &
+hanoiCtx()
+{
+    static Workload wl = makeHanoi();
+    static SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                          wl.testInput);
+    return ctx;
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.invocationLatency, b.invocationLatency) << what;
+    EXPECT_EQ(a.totalCycles, b.totalCycles) << what;
+    EXPECT_EQ(a.execCycles, b.execCycles) << what;
+    EXPECT_EQ(a.transferCycles, b.transferCycles) << what;
+    EXPECT_EQ(a.stallCycles, b.stallCycles) << what;
+    EXPECT_EQ(a.mispredictions, b.mispredictions) << what;
+    EXPECT_EQ(a.bytecodes, b.bytecodes) << what;
+    EXPECT_EQ(a.cpi, b.cpi) << what;
+    EXPECT_EQ(a.retryCount, b.retryCount) << what;
+    EXPECT_EQ(a.degradedCycles, b.degradedCycles) << what;
+}
+
+void
+expectSameEvents(const EventTrace &a, const EventTrace &b,
+                 const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const ObsEvent &x = a.events()[i];
+        const ObsEvent &y = b.events()[i];
+        EXPECT_EQ(x.cycle, y.cycle) << what << " event " << i;
+        EXPECT_EQ(x.kind, y.kind) << what << " event " << i;
+        EXPECT_EQ(x.stream, y.stream) << what << " event " << i;
+        EXPECT_EQ(x.cls, y.cls) << what << " event " << i;
+        EXPECT_EQ(x.method, y.method) << what << " event " << i;
+        EXPECT_EQ(x.a, y.a) << what << " event " << i;
+        EXPECT_EQ(x.b, y.b) << what << " event " << i;
+    }
+}
+
+/** Run a fleet with one EventTrace per client. */
+ServerResult
+runObserved(const std::vector<ClientSpec> &clients,
+            ServerOptions opts,
+            std::vector<std::unique_ptr<EventTrace>> &sinks)
+{
+    sinks.clear();
+    for (size_t i = 0; i < clients.size(); ++i)
+        sinks.push_back(std::make_unique<EventTrace>());
+    opts.sinkFor = [&](size_t i) { return sinks[i].get(); };
+    return runServer(clients, opts);
+}
+
+TEST(ServerSim, OneClientMatchesSoloReplayExactly)
+{
+    const SimContext &ctx = zipperCtx();
+    EqualShareAllocator equal;
+    struct Case
+    {
+        const char *name;
+        SimConfig cfg;
+    };
+    std::vector<Case> cases;
+    for (SimConfig::Mode mode :
+         {SimConfig::Mode::Parallel, SimConfig::Mode::Interleaved}) {
+        SimConfig nominal = baseConfig(mode, kT1Link);
+        cases.push_back({"nominal", nominal});
+        SimConfig faulted = baseConfig(mode, kModemLink);
+        faulted.faults = faultyPlan();
+        cases.push_back({"faulted", faulted});
+    }
+    for (const Case &c : cases) {
+        EventTrace solo;
+        SimResult ref = runReplay(ctx, c.cfg, &solo);
+
+        ServerOptions opts;
+        opts.uplinkBytesPerCycle = linkRate(c.cfg.link);
+        opts.allocator = &equal;
+        std::vector<std::unique_ptr<EventTrace>> sinks;
+        ServerResult sr =
+            runObserved({{&ctx, c.cfg, 1.0, "only"}}, opts, sinks);
+
+        std::string what = cat(c.name, " mode=",
+                               static_cast<int>(c.cfg.mode));
+        ASSERT_EQ(sr.clients.size(), 1u);
+        expectSameResult(sr.clients[0].sim, ref, what);
+        EXPECT_EQ(sr.clients[0].arrival, 0u) << what;
+        EXPECT_EQ(sr.clients[0].finished, ref.totalCycles) << what;
+        EXPECT_EQ(sr.makespan, ref.totalCycles) << what;
+        expectSameEvents(*sinks[0], solo, what);
+    }
+}
+
+TEST(ServerSim, OneClientStrictMatchesSoloWithinOneCycle)
+{
+    // Strict solo uses the nominal-plan closed form
+    // (ceil(bytes * cpb)) while the server integrates the engine
+    // (bytes / (1/cpb)); the two roundings may differ by one cycle.
+    // Under a fault plan both sides run the same engine arithmetic.
+    const SimContext &ctx = zipperCtx();
+    EqualShareAllocator equal;
+    for (bool faulted : {false, true}) {
+        SimConfig cfg = baseConfig(SimConfig::Mode::Strict, kT1Link);
+        if (faulted)
+            cfg.faults = faultyPlan();
+        SimResult ref = runReplay(ctx, cfg, nullptr);
+
+        ServerOptions opts;
+        opts.uplinkBytesPerCycle = linkRate(cfg.link);
+        opts.allocator = &equal;
+        ServerResult sr = runServer({{&ctx, cfg, 1.0, "only"}}, opts);
+
+        const SimResult &got = sr.clients[0].sim;
+        std::string what = faulted ? "strict faulted" : "strict nominal";
+        auto near = [&](uint64_t a, uint64_t b) {
+            return a > b ? a - b <= 1 : b - a <= 1;
+        };
+        EXPECT_TRUE(near(got.invocationLatency, ref.invocationLatency))
+            << what << " " << got.invocationLatency << " vs "
+            << ref.invocationLatency;
+        EXPECT_TRUE(near(got.totalCycles, ref.totalCycles))
+            << what << " " << got.totalCycles << " vs "
+            << ref.totalCycles;
+        EXPECT_TRUE(near(got.stallCycles, ref.stallCycles))
+            << what << " " << got.stallCycles << " vs "
+            << ref.stallCycles;
+        EXPECT_EQ(got.execCycles, ref.execCycles) << what;
+        EXPECT_EQ(got.transferCycles, ref.transferCycles) << what;
+        EXPECT_EQ(got.retryCount, ref.retryCount) << what;
+    }
+}
+
+TEST(ServerSim, AmpleUplinkReproducesEverySoloResult)
+{
+    // Capacity = the sum of every client's nominal link rate: the
+    // water-filling allocator caps everyone at nominal, the external
+    // multiplier never leaves 1.0, and every client must match its
+    // solo run exactly — even with staggered arrivals and faults.
+    std::vector<ClientSpec> clients;
+    SimConfig parT1 = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    SimConfig intModem =
+        baseConfig(SimConfig::Mode::Interleaved, kModemLink);
+    SimConfig faulted = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    faulted.faults = faultyPlan();
+    clients.push_back({&zipperCtx(), parT1, 1.0, "zipper-par"});
+    clients.push_back({&hanoiCtx(), intModem, 1.0, "hanoi-int"});
+    clients.push_back({&zipperCtx(), faulted, 1.0, "zipper-faulted"});
+
+    double capacity = 0.0;
+    for (const ClientSpec &c : clients)
+        capacity += linkRate(c.config.link);
+
+    EqualShareAllocator equal;
+    ServerOptions opts;
+    opts.uplinkBytesPerCycle = capacity;
+    opts.allocator = &equal;
+    opts.arrivals.kind = ArrivalKind::Staggered;
+    opts.arrivals.meanGapCycles = 250'000;
+    ServerResult sr = runServer(clients, opts);
+
+    std::vector<uint64_t> arrivals = opts.arrivals.cycles(3);
+    for (size_t i = 0; i < clients.size(); ++i) {
+        SimResult ref =
+            runReplay(*clients[i].ctx, clients[i].config, nullptr);
+        expectSameResult(sr.clients[i].sim, ref,
+                         sr.clients[i].name);
+        EXPECT_EQ(sr.clients[i].arrival, arrivals[i]);
+        EXPECT_EQ(sr.clients[i].finished,
+                  arrivals[i] + ref.totalCycles);
+    }
+}
+
+TEST(ServerSim, ThreadCountDoesNotChangeResults)
+{
+    // k-thread == 1-thread, byte for byte: every result field and
+    // every observed event. parallelThreshold = 1 forces the pool
+    // onto every per-event phase even for this small fleet.
+    std::vector<ClientSpec> clients;
+    SimConfig parallel = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    SimConfig faulted = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    faulted.faults = faultyPlan();
+    SimConfig inter = baseConfig(SimConfig::Mode::Interleaved, kT1Link);
+    for (int i = 0; i < 2; ++i) {
+        clients.push_back({&zipperCtx(), parallel, 1.0,
+                           cat("par-", i)});
+        clients.push_back({&zipperCtx(), faulted, 2.0,
+                           cat("faulted-", i)});
+        clients.push_back({&hanoiCtx(), inter, 1.0, cat("int-", i)});
+    }
+
+    ServerOptions opts;
+    opts.uplinkBytesPerCycle = 1.5 * linkRate(kT1Link); // contended
+    opts.allocator = nullptr;                           // set below
+    opts.arrivals.kind = ArrivalKind::Uniform;
+    opts.arrivals.seed = 11;
+    opts.arrivals.windowCycles = 400'000;
+
+    for (const char *name : {"equal", "weighted", "deadline"}) {
+        auto alloc = makeAllocator(name);
+        opts.allocator = alloc.get();
+
+        opts.pool = nullptr;
+        std::vector<std::unique_ptr<EventTrace>> serialSinks;
+        ServerResult serial = runObserved(clients, opts, serialSinks);
+
+        ExperimentRunner pool(3);
+        opts.pool = &pool;
+        opts.parallelThreshold = 1;
+        std::vector<std::unique_ptr<EventTrace>> pooledSinks;
+        ServerResult pooled = runObserved(clients, opts, pooledSinks);
+        opts.pool = nullptr;
+        opts.parallelThreshold = 128;
+
+        EXPECT_EQ(serial.makespan, pooled.makespan) << name;
+        EXPECT_EQ(serial.allocationIntervals,
+                  pooled.allocationIntervals)
+            << name;
+        ASSERT_EQ(serial.clients.size(), pooled.clients.size());
+        for (size_t i = 0; i < serial.clients.size(); ++i) {
+            std::string what = cat(name, " client ", i);
+            EXPECT_EQ(serial.clients[i].arrival,
+                      pooled.clients[i].arrival)
+                << what;
+            EXPECT_EQ(serial.clients[i].finished,
+                      pooled.clients[i].finished)
+                << what;
+            expectSameResult(serial.clients[i].sim,
+                             pooled.clients[i].sim, what);
+            expectSameEvents(*serialSinks[i], *pooledSinks[i], what);
+        }
+    }
+}
+
+TEST(ServerSim, AllocationsConserveCapacityAndRespectCaps)
+{
+    std::vector<ClientSpec> clients;
+    SimConfig parallel = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    SimConfig faulted = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    faulted.faults = faultyPlan();
+    SimConfig modem =
+        baseConfig(SimConfig::Mode::Interleaved, kModemLink);
+    clients.push_back({&zipperCtx(), parallel, 1.0, "a"});
+    clients.push_back({&zipperCtx(), faulted, 3.0, "b"});
+    clients.push_back({&hanoiCtx(), modem, 1.0, "c"});
+    clients.push_back({&hanoiCtx(), parallel, 2.0, "d"});
+
+    double capacity = 1.25 * linkRate(kT1Link);
+    for (const char *name : {"equal", "weighted", "deadline"}) {
+        auto alloc = makeAllocator(name);
+        ServerOptions opts;
+        opts.uplinkBytesPerCycle = capacity;
+        opts.allocator = alloc.get();
+        size_t instants = 0;
+        opts.allocationProbe = [&](uint64_t,
+                                   const std::vector<double> &rates) {
+            ++instants;
+            double sum = 0.0;
+            for (size_t i = 0; i < rates.size(); ++i) {
+                EXPECT_GE(rates[i], 0.0) << name;
+                EXPECT_LE(rates[i],
+                          linkRate(clients[i].config.link) + 1e-12)
+                    << name << " client " << i;
+                sum += rates[i];
+            }
+            EXPECT_LE(sum, capacity + 1e-9) << name;
+        };
+        ServerResult sr = runServer(clients, opts);
+        EXPECT_GT(instants, 0u) << name;
+        EXPECT_EQ(instants, sr.allocationIntervals) << name;
+        for (const ServerClientResult &c : sr.clients)
+            EXPECT_GT(c.sim.totalCycles, 0u) << name;
+    }
+}
+
+TEST(ServerSim, ContentionNeverSpeedsAClientUp)
+{
+    const SimContext &ctx = zipperCtx();
+    SimConfig cfg = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    SimResult solo = runReplay(ctx, cfg, nullptr);
+
+    EqualShareAllocator equal;
+    ServerOptions opts;
+    opts.uplinkBytesPerCycle = linkRate(kT1Link); // one link, two users
+    opts.allocator = &equal;
+    std::vector<std::unique_ptr<EventTrace>> sinks;
+    ServerResult sr = runObserved(
+        {{&ctx, cfg, 1.0, "a"}, {&ctx, cfg, 1.0, "b"}}, opts, sinks);
+
+    std::vector<StallReport> reports;
+    for (size_t i = 0; i < sr.clients.size(); ++i) {
+        const SimResult &got = sr.clients[i].sim;
+        EXPECT_GE(got.totalCycles, solo.totalCycles);
+        EXPECT_GE(got.stallCycles, solo.stallCycles);
+        EXPECT_EQ(got.execCycles, solo.execCycles);
+        // The paper's reference figure is capacity-independent.
+        EXPECT_EQ(got.transferCycles, solo.transferCycles);
+        // Per-client observability survives sharing: the stall
+        // attribution identity holds for each client's own trace.
+        StallReport rep = buildStallReport(*sinks[i], got);
+        EXPECT_TRUE(rep.reconstructs()) << rep.render();
+        reports.push_back(std::move(rep));
+    }
+    StallReport fleet = mergeStallReports(reports);
+    EXPECT_TRUE(fleet.reconstructs()) << fleet.render();
+    EXPECT_EQ(fleet.totalCycles, reports[0].totalCycles +
+                                     reports[1].totalCycles);
+    EXPECT_EQ(fleet.attributedStallCycles,
+              reports[0].attributedStallCycles +
+                  reports[1].attributedStallCycles);
+}
+
+TEST(ServerSim, WeightedAllocatorFavorsHeavierClient)
+{
+    const SimContext &ctx = zipperCtx();
+    SimConfig cfg = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    WeightedShareAllocator weighted;
+    ServerOptions opts;
+    opts.uplinkBytesPerCycle = linkRate(kT1Link);
+    opts.allocator = &weighted;
+    ServerResult sr = runServer(
+        {{&ctx, cfg, 3.0, "heavy"}, {&ctx, cfg, 1.0, "light"}}, opts);
+    EXPECT_LT(sr.clients[0].sim.stallCycles,
+              sr.clients[1].sim.stallCycles);
+    EXPECT_LE(sr.clients[0].finished, sr.clients[1].finished);
+}
+
+TEST(ServerSim, DeadlineAllocatorServesEarliestWaiterFirst)
+{
+    // The policy's contract, on crafted demands: capacity flows in
+    // ascending nextFirstUse order, each client capped at its own
+    // nominal rate; non-demanding clients get nothing.
+    DeadlineAllocator deadline;
+    std::vector<ClientDemand> demands(3);
+    demands[0] = {0, 4.0, 1.0, /*nextFirstUse=*/900, true};
+    demands[1] = {1, 4.0, 1.0, /*nextFirstUse=*/100, true};
+    demands[2] = {2, 4.0, 1.0, /*nextFirstUse=*/0, false};
+
+    std::vector<double> rates(3, 0.0);
+    deadline.allocate(6.0, demands, rates);
+    EXPECT_DOUBLE_EQ(rates[1], 4.0); // earliest waiter: full nominal
+    EXPECT_DOUBLE_EQ(rates[0], 2.0); // next: the residual
+    EXPECT_DOUBLE_EQ(rates[2], 0.0); // not demanding
+
+    // Ties resolve by client index (stable sort), keeping the
+    // allocation deterministic.
+    demands[0].nextFirstUse = 100;
+    rates.assign(3, 0.0);
+    deadline.allocate(5.0, demands, rates);
+    EXPECT_DOUBLE_EQ(rates[0], 4.0);
+    EXPECT_DOUBLE_EQ(rates[1], 1.0);
+
+    // End to end, the policy is work-conserving and never degrades
+    // the fleet below what its clients can absorb: with capacity for
+    // one T1 client, somebody is always being served, so the earliest
+    // waiter at every instant resumes as fast as a solo run would.
+    const SimContext &ctx = zipperCtx();
+    SimConfig cfg = baseConfig(SimConfig::Mode::Parallel, kT1Link);
+    SimResult solo = runReplay(ctx, cfg, nullptr);
+    ServerOptions opts;
+    opts.uplinkBytesPerCycle = linkRate(kT1Link);
+    opts.allocator = &deadline;
+    ServerResult sr = runServer(
+        {{&ctx, cfg, 1.0, "first"}, {&ctx, cfg, 1.0, "second"}}, opts);
+    for (const ServerClientResult &c : sr.clients) {
+        EXPECT_GE(c.sim.totalCycles, solo.totalCycles) << c.name;
+        EXPECT_EQ(c.sim.execCycles, solo.execCycles) << c.name;
+    }
+    EXPECT_GE(sr.makespan, solo.totalCycles);
+}
+
+TEST(ServerSim, ArrivalPlansAreDeterministicAndSorted)
+{
+    ArrivalPlan plan;
+    plan.kind = ArrivalKind::Simultaneous;
+    EXPECT_EQ(plan.cycles(3), (std::vector<uint64_t>{0, 0, 0}));
+
+    plan.kind = ArrivalKind::Staggered;
+    plan.meanGapCycles = 100;
+    EXPECT_EQ(plan.cycles(3), (std::vector<uint64_t>{0, 100, 200}));
+
+    for (ArrivalKind kind : {ArrivalKind::Uniform, ArrivalKind::Bursty}) {
+        plan.kind = kind;
+        plan.seed = 42;
+        plan.windowCycles = 10'000;
+        plan.meanGapCycles = 500;
+        std::vector<uint64_t> a = plan.cycles(8);
+        EXPECT_EQ(a, plan.cycles(8)) << arrivalKindName(kind);
+        EXPECT_TRUE(std::is_sorted(a.begin(), a.end()))
+            << arrivalKindName(kind);
+        plan.seed = 43;
+        EXPECT_NE(a, plan.cycles(8)) << arrivalKindName(kind);
+    }
+}
+
+TEST(ServerSim, AllocatorFactoryAndHelpers)
+{
+    EXPECT_STREQ(makeAllocator("equal")->name(), "equal");
+    EXPECT_STREQ(makeAllocator("weighted")->name(), "weighted");
+    EXPECT_STREQ(makeAllocator("deadline")->name(), "deadline");
+    EXPECT_THROW(makeAllocator("nope"), FatalError);
+
+    EXPECT_DOUBLE_EQ(jainFairness({1.0, 1.0, 1.0, 1.0}), 1.0);
+    EXPECT_NEAR(jainFairness({1.0, 0.0}), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(jainFairness({}), 1.0);
+
+    EXPECT_EQ(percentile({}, 50), 0u);
+    EXPECT_EQ(percentile({7}, 50), 7u);
+    std::vector<uint64_t> xs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+    EXPECT_EQ(percentile(xs, 50), 50u);
+    EXPECT_EQ(percentile(xs, 95), 100u);
+    EXPECT_EQ(percentile(xs, 100), 100u);
+}
+
+} // namespace
+} // namespace nse
