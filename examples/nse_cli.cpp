@@ -4,7 +4,7 @@
  *
  * Subcommands:
  *   stats <workload>                 static + dynamic program statistics
- *   order <workload> [scg|train|test] print the first-use ordering
+ *   order <workload> [scg|rta|train|test] print the first-use ordering
  *   simulate <workload> [options]    run one transfer configuration
  *   split <workload> <maxBytes>      procedure-split, then re-simulate
  *   save <workload> <dir>            write a loadable program archive
@@ -13,7 +13,7 @@
  * simulate options:
  *   --link t1|modem       (default modem)
  *   --mode strict|parallel|interleaved   (default parallel)
- *   --order scg|train|test               (default test)
+ *   --order scg|rta|train|test           (default test)
  *   --limit N             concurrent transfers, 0 = unlimited (default 4)
  *   --partition           enable global-data partitioning
  *
@@ -56,6 +56,8 @@ parseOrder(const std::string &s)
 {
     if (s == "scg")
         return OrderingSource::Static;
+    if (s == "rta")
+        return OrderingSource::RtaStatic;
     if (s == "train")
         return OrderingSource::Train;
     if (s == "test")

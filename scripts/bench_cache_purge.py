@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Offline LRU purge for the bench profile/trace cache.
+
+The bench harness caches profile runs and replay traces as
+content-addressed ``*.bin`` files (default directory
+``.nse-bench-cache``; override with ``NSE_BENCH_CACHE``). The harness
+itself evicts oldest-mtime files past a size cap after each store
+(``NSE_BENCH_CACHE_MAX_MB``, default 256); this script applies the same
+policy offline, so a cache grown under a larger cap — or by an older
+build with no cap — can be trimmed without running a bench.
+
+Eviction policy (identical to the in-process one):
+  * only regular ``*.bin`` files count toward, and are eligible for,
+    eviction;
+  * files are removed oldest-mtime-first until the directory fits the
+    cap (the harness bumps mtime on every cache hit, so mtime order is
+    LRU order);
+  * a cap of 0 disables purging (prints the usage summary only).
+
+Exit status: 0 on success (including nothing to do), 1 on a bad
+argument or unreadable directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Trim a bench cache directory to a size cap, "
+        "evicting least-recently-used *.bin files first."
+    )
+    parser.add_argument(
+        "cache_dir",
+        nargs="?",
+        default=os.environ.get("NSE_BENCH_CACHE", ".nse-bench-cache"),
+        help="cache directory (default: $NSE_BENCH_CACHE or "
+        ".nse-bench-cache)",
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=int,
+        default=int(os.environ.get("NSE_BENCH_CACHE_MAX_MB", "256")),
+        help="size cap in MiB; 0 reports usage without purging "
+        "(default: $NSE_BENCH_CACHE_MAX_MB or 256)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print what would be evicted without deleting",
+    )
+    args = parser.parse_args(argv)
+    if args.max_mb < 0:
+        parser.error("--max-mb must be >= 0")
+    return args
+
+
+def main(argv: list[str]) -> int:
+    args = parse_args(argv)
+    if not os.path.isdir(args.cache_dir):
+        # A missing cache is a no-op, not an error: nothing to purge.
+        print(f"{args.cache_dir}: no such directory (nothing to purge)")
+        return 0
+
+    entries = []  # (mtime, size, path)
+    total = 0
+    for name in os.listdir(args.cache_dir):
+        if not name.endswith(".bin"):
+            continue
+        path = os.path.join(args.cache_dir, name)
+        try:
+            st = os.stat(path, follow_symlinks=False)
+        except OSError:
+            continue  # raced with a concurrent eviction
+        if not os.path.isfile(path):
+            continue
+        entries.append((st.st_mtime, st.st_size, path))
+        total += st.st_size
+
+    cap = args.max_mb * 1024 * 1024
+    print(
+        f"{args.cache_dir}: {len(entries)} file(s), "
+        f"{total / (1024 * 1024):.1f} MiB"
+        + (f" (cap {args.max_mb} MiB)" if cap else " (cap disabled)")
+    )
+    if cap == 0 or total <= cap:
+        return 0
+
+    entries.sort()  # oldest mtime first = least recently used
+    evicted = 0
+    freed = 0
+    for _, size, path in entries:
+        if total <= cap:
+            break
+        if args.dry_run:
+            print(f"would evict {path} ({size} bytes)")
+        else:
+            try:
+                os.remove(path)
+            except OSError as exc:
+                print(f"warning: {path}: {exc}", file=sys.stderr)
+                continue
+        total -= size
+        freed += size
+        evicted += 1
+
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"{verb} {evicted} file(s), {freed / (1024 * 1024):.1f} MiB; "
+        f"now {total / (1024 * 1024):.1f} MiB"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,328 @@
+#include "analysis/audit.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/reach.h"
+#include "report/json.h"
+#include "support/error.h"
+#include "vm/verifier.h"
+
+namespace nse
+{
+
+namespace
+{
+
+const char *
+severityName(AuditSeverity s)
+{
+    switch (s) {
+    case AuditSeverity::Info: return "info";
+    case AuditSeverity::Warning: return "warning";
+    case AuditSeverity::Error: return "error";
+    }
+    panic("bad severity");
+}
+
+const char *
+kindName(AuditDepKind k)
+{
+    switch (k) {
+    case AuditDepKind::CpStructural: return "cp-structural";
+    case AuditDepKind::CpOwnedEntry: return "cp-owned-entry";
+    case AuditDepKind::CpUnusedEntry: return "cp-unused-entry";
+    case AuditDepKind::Callee: return "callee-order";
+    case AuditDepKind::SchedulePrefix: return "schedule-prefix";
+    case AuditDepKind::Placement: return "placement";
+    }
+    panic("bad dep kind");
+}
+
+/** Where a cp dependency of class c arrives in the stream. */
+struct DepArrival
+{
+    uint64_t offset;
+    AuditDepKind kind;
+    int owner; // partition owner, or -1 when unpartitioned
+};
+
+DepArrival
+cpArrival(const TransferLayout &layout, const DataPartition *part,
+          uint16_t c, uint16_t idx)
+{
+    if (!part)
+        return {layout.classPrefixEnd[c], AuditDepKind::CpStructural, -1};
+    int owner = part->classes[c].assignment[idx].owner;
+    if (owner == -1)
+        return {layout.classPrefixEnd[c], AuditDepKind::CpStructural, -1};
+    if (owner == -2)
+        return {layout.unusedEnd[c], AuditDepKind::CpUnusedEntry, -2};
+    return {layout.gmdEnd[c][static_cast<size_t>(owner)],
+            AuditDepKind::CpOwnedEntry, owner};
+}
+
+void
+checkCpDependencies(const Program &prog, const TransferLayout &layout,
+                    const DataPartition *part, AuditReport &report)
+{
+    prog.forEachMethod([&](MethodId id, const ClassFile &cf,
+                           const MethodInfo &m) {
+        uint64_t avail = layout.of(id).availOffset;
+        for (uint16_t idx : methodCpDependencies(cf, m)) {
+            DepArrival at = cpArrival(layout, part, id.classIdx, idx);
+            if (at.offset <= avail)
+                continue;
+            AuditDiagnostic d;
+            d.severity = AuditSeverity::Error;
+            d.kind = at.kind;
+            d.method = id;
+            d.methodLabel = prog.methodLabel(id);
+            d.cpIdx = idx;
+            d.needOffset = avail;
+            d.arriveOffset = at.offset;
+            switch (at.kind) {
+            case AuditDepKind::CpStructural:
+                d.detail = "constant-pool entry in the class prefix "
+                           "arrives after the method's delimiter";
+                d.fixHint = "emit the class's global prefix before any "
+                            "of its transfer units";
+                break;
+            case AuditDepKind::CpUnusedEntry:
+                d.detail = "constant-pool entry the partition classed "
+                           "as unused is live in this method";
+                d.fixHint = "rebuild the partition from the same "
+                            "ordering the layout uses so the entry "
+                            "joins a needed chunk";
+                break;
+            default:
+                d.detail = cat("constant-pool entry travels in the GMD "
+                               "chunk of ",
+                               prog.methodLabel(MethodId{
+                                   id.classIdx,
+                                   static_cast<uint16_t>(at.owner)}),
+                               ", which transfers later");
+                d.fixHint = "partition and layout must be built from "
+                            "the same first-use ordering; the owning "
+                            "method must precede its dependents";
+                break;
+            }
+            report.diags.push_back(std::move(d));
+        }
+    });
+}
+
+void
+checkCalleeOrder(const Program &prog, const CallGraph &cg,
+                 const FirstUseOrder &order, const TransferLayout &layout,
+                 AuditReport &report)
+{
+    auto rank = order.ranks(prog);
+    std::set<std::pair<MethodId, MethodId>> reported;
+    prog.forEachMethod([&](MethodId id, const ClassFile &,
+                           const MethodInfo &m) {
+        if (m.isNative() || !cg.rtaReachable(id))
+            return;
+        const MethodPlacement &caller = layout.of(id);
+        for (const CallSite &site : cg.node(id).sites) {
+            for (const MethodId &t : site.rtaTargets) {
+                if (rank[t.classIdx][t.methodIdx] >=
+                    rank[id.classIdx][id.methodIdx])
+                    continue; // callee predicted after caller: fine
+                const MethodPlacement &callee = layout.of(t);
+                if (callee.streamIdx != caller.streamIdx ||
+                    callee.availOffset <= caller.availOffset)
+                    continue;
+                if (!reported.emplace(id, t).second)
+                    continue;
+                AuditDiagnostic d;
+                d.severity = AuditSeverity::Warning;
+                d.kind = AuditDepKind::Callee;
+                d.method = id;
+                d.methodLabel = prog.methodLabel(id);
+                d.needOffset = caller.availOffset;
+                d.arriveOffset = callee.availOffset;
+                d.detail = cat("callee ", prog.methodLabel(t),
+                               " is predicted first-used earlier but "
+                               "placed later in the stream");
+                d.fixHint = "rebuild the layout from the ordering it "
+                            "claims to follow";
+                report.diags.push_back(std::move(d));
+            }
+        }
+    });
+}
+
+void
+checkSchedule(const Program &prog, const TransferLayout &layout,
+              const ScheduleAuditInput &in, AuditReport &report)
+{
+    int entry_class = static_cast<int>(prog.entry().classIdx);
+    for (size_t s = 0; s < layout.streams.size(); ++s) {
+        const StreamInfo &stream = layout.streams[s];
+        // Execution cannot begin before the entry stream's prefix
+        // arrives, so its deadline clock starts only then; skip it
+        // (and the single interleaved stream, which contains it).
+        if (stream.classIdx == entry_class || stream.classIdx < 0)
+            continue;
+        uint64_t deadline = in.demand.deadline[s];
+        if (deadline == UINT64_MAX)
+            continue; // predicted never used: no deadline
+        uint64_t lower_bound =
+            in.schedule.startCycle[s] +
+            transferCost(in.demand.prefixBytes[s], in.link);
+        if (lower_bound <= deadline)
+            continue;
+        AuditDiagnostic d;
+        // Info, not Warning: on the paper's links most deadlines are
+        // provably unmeetable (transfer-bound regime) and the runtime
+        // absorbs the miss with a demand fetch; the finding flags
+        // startup-latency cost, not a broken configuration.
+        d.severity = AuditSeverity::Info;
+        d.kind = AuditDepKind::SchedulePrefix;
+        d.methodLabel = stream.name;
+        d.needOffset = deadline;
+        d.arriveOffset = lower_bound;
+        d.detail = cat("stream ", stream.name, " needs ",
+                       in.demand.prefixBytes[s],
+                       " prefix bytes by its first-use deadline but "
+                       "cannot receive them even uncontended on ",
+                       in.link.name);
+        d.fixHint = "start the stream earlier or shrink its needed "
+                    "prefix (reorder / partition)";
+        report.diags.push_back(std::move(d));
+    }
+}
+
+void
+checkPlacement(const Program &prog, const CallGraph &cg,
+               const TransferLayout &layout, AuditReport &report)
+{
+    ReachClassification reach = classifyReach(prog, cg);
+    struct Placed
+    {
+        uint64_t offset;
+        MethodId id;
+        MethodTemp temp;
+    };
+    std::map<int, std::vector<Placed>> per_stream;
+    prog.forEachMethod([&](MethodId id, const ClassFile &,
+                           const MethodInfo &) {
+        const MethodPlacement &p = layout.of(id);
+        per_stream[p.streamIdx].push_back(
+            {p.availOffset, id, reach.of(id)});
+    });
+    for (auto &[stream, methods] : per_stream) {
+        std::stable_sort(methods.begin(), methods.end(),
+                         [](const Placed &a, const Placed &b) {
+                             return a.offset < b.offset;
+                         });
+        uint64_t last_hot = 0;
+        bool any_hot = false;
+        for (const Placed &p : methods) {
+            if (p.temp == MethodTemp::Hot) {
+                last_hot = p.offset;
+                any_hot = true;
+            }
+        }
+        if (!any_hot)
+            continue;
+        for (const Placed &p : methods) {
+            if (p.temp == MethodTemp::Hot || p.offset >= last_hot)
+                continue;
+            AuditDiagnostic d;
+            d.severity = AuditSeverity::Info;
+            d.kind = AuditDepKind::Placement;
+            d.method = p.id;
+            d.methodLabel = prog.methodLabel(p.id);
+            d.needOffset = last_hot;
+            d.arriveOffset = p.offset;
+            d.detail = cat(p.temp == MethodTemp::Cold ? "cold" : "dead",
+                           " method transfers before hot methods of "
+                           "its stream");
+            d.fixHint = "demote unreachable methods to the stream tail";
+            report.diags.push_back(std::move(d));
+        }
+    }
+}
+
+} // namespace
+
+std::string
+AuditReport::render() const
+{
+    std::ostringstream os;
+    for (const AuditDiagnostic &d : diags) {
+        os << severityName(d.severity) << ": " << kindName(d.kind)
+           << ": " << d.methodLabel;
+        if (d.cpIdx >= 0)
+            os << " cp#" << d.cpIdx;
+        os << ": " << d.detail << " (needed by " << d.needOffset
+           << ", arrives " << d.arriveOffset << "); fix: " << d.fixHint
+           << "\n";
+    }
+    os << errorCount << " error(s), " << warningCount
+       << " warning(s), " << infoCount << " info(s)\n";
+    return os.str();
+}
+
+std::string
+AuditReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"nse-audit-v1\",\n"
+       << "  \"errors\": " << errorCount
+       << ",\n  \"warnings\": " << warningCount
+       << ",\n  \"infos\": " << infoCount
+       << ",\n  \"diagnostics\": [";
+    for (size_t i = 0; i < diags.size(); ++i) {
+        const AuditDiagnostic &d = diags[i];
+        os << (i ? "," : "") << "\n    {\"severity\": "
+           << jsonQuote(severityName(d.severity))
+           << ", \"kind\": " << jsonQuote(kindName(d.kind))
+           << ", \"method\": " << jsonQuote(d.methodLabel)
+           << ", \"cpIdx\": " << d.cpIdx
+           << ", \"needOffset\": " << d.needOffset
+           << ", \"arriveOffset\": " << d.arriveOffset
+           << ", \"detail\": " << jsonQuote(d.detail)
+           << ", \"fixHint\": " << jsonQuote(d.fixHint) << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+AuditReport
+auditNonStrictSafety(const Program &prog, const CallGraph &cg,
+                     const FirstUseOrder &order,
+                     const TransferLayout &layout,
+                     const DataPartition *part,
+                     const ScheduleAuditInput *sched)
+{
+    AuditReport report;
+    checkCpDependencies(prog, layout, part, report);
+    checkCalleeOrder(prog, cg, order, layout, report);
+    if (sched)
+        checkSchedule(prog, layout, *sched, report);
+    checkPlacement(prog, cg, layout, report);
+
+    // Deterministic presentation: errors first, then warnings, infos;
+    // stable within a severity (check order, then discovery order).
+    std::stable_sort(report.diags.begin(), report.diags.end(),
+                     [](const AuditDiagnostic &a,
+                        const AuditDiagnostic &b) {
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                     });
+    for (const AuditDiagnostic &d : report.diags) {
+        switch (d.severity) {
+        case AuditSeverity::Error: ++report.errorCount; break;
+        case AuditSeverity::Warning: ++report.warningCount; break;
+        case AuditSeverity::Info: ++report.infoCount; break;
+        }
+    }
+    return report;
+}
+
+} // namespace nse

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Non-strict-safety auditor: a static lint over a (program, layout,
+ * schedule) triple.
+ *
+ * Non-strict execution (paper §3) lets a method start once its own
+ * delimiter arrives, before the rest of its class file does. That is
+ * only safe when everything the method touches *first* — constant-pool
+ * entries resolved during verification/linking, its GMD partition
+ * chunk, the callees it immediately invokes — has arrived no later
+ * than the method itself. The restructurer is supposed to guarantee
+ * this by construction; the auditor proves it for a concrete
+ * configuration, so a mismatched (ordering, partition, layout)
+ * combination is caught as structured diagnostics instead of silent
+ * runtime stalls or a VerifyError on the client.
+ *
+ * Checks, by severity:
+ *  - Error: a constant-pool dependency of a method (from the
+ *    verifier's decode-level extraction, methodCpDependencies) arrives
+ *    at a stream offset after the method's delimiter. This includes
+ *    entries assigned to a *later* method's GMD chunk and entries the
+ *    partitioner classed as unused — both arise when the partition or
+ *    layout was built from a different ordering than the other.
+ *  - Warning: a call edge whose callee the ordering predicts to be
+ *    first-used before its caller, yet the layout delivers after the
+ *    caller (layout contradicts the ordering it supposedly follows).
+ *  - Info: a cold or dead method placed before hot methods of the
+ *    same stream (wasted early bandwidth, not a safety issue); or,
+ *    when a transfer schedule is supplied, a stream whose needed
+ *    prefix provably cannot arrive by its first-use deadline even
+ *    uncontended (a definite miss, but on the paper's links an
+ *    expected, demand-fetch-absorbed startup cost rather than a
+ *    configuration defect).
+ *
+ * A configuration is non-strict safe iff the report has no errors.
+ */
+
+#ifndef NSE_ANALYSIS_AUDIT_H
+#define NSE_ANALYSIS_AUDIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/first_use.h"
+#include "program/program.h"
+#include "restructure/data_partition.h"
+#include "restructure/layout.h"
+#include "transfer/link.h"
+#include "transfer/schedule.h"
+
+namespace nse
+{
+
+enum class AuditSeverity : uint8_t
+{
+    Info,
+    Warning,
+    Error,
+};
+
+/** What kind of dependency a diagnostic is about. */
+enum class AuditDepKind : uint8_t
+{
+    CpStructural,   ///< entry in the class's structural prefix
+    CpOwnedEntry,   ///< entry owned by another method's GMD chunk
+    CpUnusedEntry,  ///< entry the partitioner classed as unused
+    Callee,         ///< predicted-earlier callee
+    SchedulePrefix, ///< stream prefix vs first-use deadline
+    Placement,      ///< cold/dead method ahead of hot ones
+};
+
+/** One finding. Offsets are stream-local byte positions. */
+struct AuditDiagnostic
+{
+    AuditSeverity severity = AuditSeverity::Info;
+    AuditDepKind kind = AuditDepKind::CpStructural;
+    /** The dependent method (the one that would stall or fault). */
+    MethodId method;
+    std::string methodLabel;
+    /** Constant-pool index of the late entry; -1 when not cp-related. */
+    int cpIdx = -1;
+    /** Offset/cycle by which the dependency is needed. */
+    uint64_t needOffset = 0;
+    /** Offset/cycle at which the dependency actually arrives. */
+    uint64_t arriveOffset = 0;
+    std::string detail;
+    std::string fixHint;
+};
+
+/** Audit result: diagnostics plus severity tallies. */
+struct AuditReport
+{
+    std::vector<AuditDiagnostic> diags;
+    size_t errorCount = 0;
+    size_t warningCount = 0;
+    size_t infoCount = 0;
+
+    /** Non-strict safe: nothing arrives after its dependent. */
+    bool ok() const { return errorCount == 0; }
+
+    /** Human-readable rendering, one line per diagnostic. */
+    std::string render() const;
+
+    /** Machine-readable document (schema "nse-audit-v1"). */
+    std::string toJson() const;
+};
+
+/** Optional schedule-level inputs for the prefix-deadline check. */
+struct ScheduleAuditInput
+{
+    const TransferSchedule &schedule;
+    const StreamDemand &demand;
+    const LinkModel &link;
+};
+
+/**
+ * Audit one configuration. `order` must be the ordering the layout
+ * was built from; `part` is the partition baked into the layout (null
+ * when unpartitioned); `sched` enables the schedule check.
+ */
+AuditReport auditNonStrictSafety(const Program &prog, const CallGraph &cg,
+                                 const FirstUseOrder &order,
+                                 const TransferLayout &layout,
+                                 const DataPartition *part,
+                                 const ScheduleAuditInput *sched = nullptr);
+
+} // namespace nse
+
+#endif // NSE_ANALYSIS_AUDIT_H

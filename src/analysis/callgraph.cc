@@ -1,0 +1,190 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+
+#include "bytecode/instruction.h"
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** Per-site dispatch table: (receiver class, resolved target) for
+ *  every class that understands the site's name+descriptor. */
+using DispatchTable = std::vector<std::pair<uint16_t, MethodId>>;
+
+/** Mark every method reachable from entry, dispatching virtual sites
+ *  through `targetsOf`. Returns the number of marked methods. */
+template <typename TargetsFn>
+size_t
+markReachable(const CallGraph &cg, const Program &prog,
+              std::vector<std::vector<bool>> &reach, TargetsFn targetsOf)
+{
+    for (auto &row : reach)
+        std::fill(row.begin(), row.end(), false);
+    size_t count = 0;
+    std::vector<MethodId> work{prog.entry()};
+    reach[work[0].classIdx][work[0].methodIdx] = true;
+    while (!work.empty()) {
+        MethodId id = work.back();
+        work.pop_back();
+        ++count;
+        for (const CallSite &site : cg.node(id).sites) {
+            for (const MethodId &t : targetsOf(id, site)) {
+                if (!reach[t.classIdx][t.methodIdx]) {
+                    reach[t.classIdx][t.methodIdx] = true;
+                    work.push_back(t);
+                }
+            }
+        }
+    }
+    return count;
+}
+
+} // namespace
+
+CallGraph
+buildCallGraph(const Program &prog)
+{
+    CallGraph cg;
+    size_t nc = prog.classCount();
+    cg.nodes_.resize(nc);
+    cg.rta_.resize(nc);
+    cg.cha_.resize(nc);
+    for (uint16_t c = 0; c < nc; ++c) {
+        size_t nm = prog.classAt(c).methods.size();
+        cg.nodes_[c].resize(nm);
+        cg.rta_[c].assign(nm, false);
+        cg.cha_[c].assign(nm, false);
+    }
+
+    // Pass 1: decode bodies; record NEW sites, static resolution, and
+    // the full per-site dispatch table (basis of both CHA and RTA).
+    std::vector<std::vector<std::vector<DispatchTable>>> dispatch(nc);
+    for (uint16_t c = 0; c < nc; ++c)
+        dispatch[c].resize(prog.classAt(c).methods.size());
+    prog.forEachMethod([&](MethodId id, const ClassFile &cf,
+                           const MethodInfo &m) {
+        MethodNode &node = cg.nodes_[id.classIdx][id.methodIdx];
+        node.native = m.isNative();
+        if (node.native)
+            return;
+        std::vector<Instruction> insts = decodeCode(m.code);
+        for (uint32_t i = 0; i < insts.size(); ++i) {
+            const Instruction &inst = insts[i];
+            if (inst.op == Opcode::NEW) {
+                int cidx = prog.classIndex(cf.cpool.className(
+                    static_cast<uint16_t>(inst.operand)));
+                if (cidx >= 0)
+                    node.allocates.push_back(
+                        static_cast<uint16_t>(cidx));
+                continue;
+            }
+            if (!isInvoke(inst.op))
+                continue;
+            CallSite site;
+            site.instIndex = i;
+            site.cpIdx = static_cast<uint16_t>(inst.operand);
+            site.isVirtual = inst.op == Opcode::INVOKEVIRTUAL;
+            auto ref = cf.cpool.memberRef(site.cpIdx);
+            DispatchTable table;
+            if (site.isVirtual) {
+                site.staticTarget = prog.resolveVirtual(
+                    ref.className, ref.name, ref.descriptor);
+                // Receivers are untyped references in this substrate,
+                // so any class that understands the message is a
+                // dispatch candidate.
+                for (uint16_t d = 0; d < nc; ++d) {
+                    if (auto t = prog.tryResolveVirtual(d, ref.name,
+                                                        ref.descriptor))
+                        table.emplace_back(d, *t);
+                }
+            } else {
+                site.staticTarget = prog.resolveStatic(
+                    ref.className, ref.name, ref.descriptor);
+            }
+
+            // chaTargets: staticTarget first, rest ascending.
+            std::set<MethodId> targets;
+            for (const auto &[d, t] : table)
+                targets.insert(t);
+            targets.insert(site.staticTarget);
+            site.chaTargets.push_back(site.staticTarget);
+            for (const MethodId &t : targets) {
+                if (!(t == site.staticTarget))
+                    site.chaTargets.push_back(t);
+            }
+            dispatch[id.classIdx][id.methodIdx].push_back(
+                std::move(table));
+            node.sites.push_back(std::move(site));
+        }
+        std::sort(node.allocates.begin(), node.allocates.end());
+        node.allocates.erase(std::unique(node.allocates.begin(),
+                                         node.allocates.end()),
+                             node.allocates.end());
+    });
+
+    // Pass 2: RTA fixpoint. Alternate (a) reachability under dispatch
+    // restricted to the current instantiated set with (b) growing the
+    // set from NEW sites in reachable methods, until neither changes.
+    // The final sweep runs with a stable instantiated set, so rta_ is
+    // consistent with instantiated_.
+    auto rtaTargetsOf = [&](MethodId id,
+                            const CallSite &site) -> std::vector<MethodId> {
+        if (!site.isVirtual)
+            return {site.staticTarget};
+        const MethodNode &node = cg.nodes_[id.classIdx][id.methodIdx];
+        size_t sidx = static_cast<size_t>(&site - node.sites.data());
+        std::set<MethodId> out;
+        for (const auto &[d, t] : dispatch[id.classIdx][id.methodIdx][sidx])
+            if (cg.instantiated_.count(d))
+                out.insert(t);
+        return {out.begin(), out.end()};
+    };
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        cg.rtaCount_ = markReachable(cg, prog, cg.rta_, rtaTargetsOf);
+        prog.forEachMethod([&](MethodId id, const ClassFile &,
+                               const MethodInfo &) {
+            if (!cg.rta_[id.classIdx][id.methodIdx])
+                return;
+            for (uint16_t cls : cg.node(id).allocates)
+                if (cg.instantiated_.insert(cls).second)
+                    grew = true;
+        });
+    }
+
+    // Pass 3: CHA reachability, and per-site rtaTargets under the
+    // final instantiated set (chaTargets order, filtered).
+    cg.chaCount_ = markReachable(
+        cg, prog, cg.cha_,
+        [](MethodId, const CallSite &site) -> const std::vector<MethodId> & {
+            return site.chaTargets;
+        });
+    prog.forEachMethod([&](MethodId id, const ClassFile &,
+                           const MethodInfo &m) {
+        if (m.isNative())
+            return;
+        MethodNode &node = cg.nodes_[id.classIdx][id.methodIdx];
+        for (size_t s = 0; s < node.sites.size(); ++s) {
+            CallSite &site = node.sites[s];
+            if (!site.isVirtual) {
+                site.rtaTargets = site.chaTargets;
+                continue;
+            }
+            std::set<MethodId> live;
+            for (const auto &[d, t] : dispatch[id.classIdx][id.methodIdx][s])
+                if (cg.instantiated_.count(d))
+                    live.insert(t);
+            for (const MethodId &t : site.chaTargets)
+                if (live.count(t))
+                    site.rtaTargets.push_back(t);
+        }
+    });
+    return cg;
+}
+
+} // namespace nse

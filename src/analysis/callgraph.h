@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Whole-program call graph with CHA and RTA virtual-dispatch
+ * resolution.
+ *
+ * The per-block `calls` vector in cfg.h resolves each virtual site to
+ * a single target from the static receiver class — sound for the
+ * estimator's traversal order but blind to dispatch: it can neither
+ * enumerate the other overriders a site may reach (needed for
+ * soundness arguments) nor prune targets whose receiver class is
+ * never instantiated (needed for precision). This module builds both
+ * views once per program:
+ *
+ *  - CHA (class hierarchy analysis): a virtual site reaches every
+ *    method a class in the program could dispatch it to. Because the
+ *    verifier tracks only {Int, Ref} — receivers are untyped
+ *    references — the candidate set is every class that understands
+ *    the name+descriptor, not just the declared receiver's subtype
+ *    cone.
+ *  - RTA (rapid type analysis): dispatch candidates are restricted to
+ *    classes actually instantiated on some reachable path. The
+ *    instantiated set is seeded from NEW sites in RTA-reachable
+ *    methods and grown to a fixpoint. This is sound for the substrate
+ *    because NEW is the only instance-allocation source (LDC strings
+ *    intern as int arrays, not instances) and natives cannot call
+ *    back into bytecode.
+ *
+ * Downstream consumers: the RTA-pruned static first-use estimator
+ * (first_use.h), hot/cold/dead method classification (reach.h), and
+ * the non-strict-safety auditor (audit.h).
+ */
+
+#ifndef NSE_ANALYSIS_CALLGRAPH_H
+#define NSE_ANALYSIS_CALLGRAPH_H
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "program/program.h"
+
+namespace nse
+{
+
+/** One INVOKE instruction inside a method body. */
+struct CallSite
+{
+    /** Decode-order instruction index within the method. */
+    uint32_t instIndex = 0;
+    /** Constant-pool index of the MethodRef operand. */
+    uint16_t cpIdx = 0;
+    bool isVirtual = false;
+    /** Single-target resolution from the static receiver class —
+     *  exactly what cfg.h's per-block `calls` records. */
+    MethodId staticTarget;
+    /** CHA candidates: every method some program class could dispatch
+     *  this site to. staticTarget first, rest ascending by MethodId.
+     *  For static calls this is just {staticTarget}. */
+    std::vector<MethodId> chaTargets;
+    /** RTA candidates: chaTargets restricted to dispatch from
+     *  instantiated classes. Subset of chaTargets; may be empty for a
+     *  virtual site whose receiver class is never instantiated. */
+    std::vector<MethodId> rtaTargets;
+};
+
+/** Call-graph node for one method. */
+struct MethodNode
+{
+    bool native = false;
+    /** Call sites in instruction order. */
+    std::vector<CallSite> sites;
+    /** Class indices allocated by NEW instructions in this body
+     *  (deduplicated, ascending). */
+    std::vector<uint16_t> allocates;
+};
+
+/** Whole-program call graph; build with buildCallGraph(). */
+class CallGraph
+{
+  public:
+    const MethodNode &
+    node(MethodId id) const
+    {
+        return nodes_[id.classIdx][id.methodIdx];
+    }
+
+    /** Classes allocated somewhere RTA-reachable. */
+    const std::set<uint16_t> &
+    instantiated() const
+    {
+        return instantiated_;
+    }
+
+    bool
+    isInstantiated(uint16_t class_idx) const
+    {
+        return instantiated_.count(class_idx) != 0;
+    }
+
+    /** Reachable from the entry following RTA-pruned edges. */
+    bool
+    rtaReachable(MethodId id) const
+    {
+        return rta_[id.classIdx][id.methodIdx];
+    }
+
+    /** Reachable from the entry following CHA edges. */
+    bool
+    chaReachable(MethodId id) const
+    {
+        return cha_[id.classIdx][id.methodIdx];
+    }
+
+    size_t rtaReachableCount() const { return rtaCount_; }
+    size_t chaReachableCount() const { return chaCount_; }
+
+  private:
+    friend CallGraph buildCallGraph(const Program &prog);
+
+    std::vector<std::vector<MethodNode>> nodes_;
+    std::set<uint16_t> instantiated_;
+    std::vector<std::vector<bool>> rta_;
+    std::vector<std::vector<bool>> cha_;
+    size_t rtaCount_ = 0;
+    size_t chaCount_ = 0;
+};
+
+/**
+ * Build the call graph: decode every method body, resolve each INVOKE
+ * site under static/CHA/RTA dispatch, and run the RTA
+ * instantiated-set fixpoint from the program entry.
+ */
+CallGraph buildCallGraph(const Program &prog);
+
+} // namespace nse
+
+#endif // NSE_ANALYSIS_CALLGRAPH_H

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/cfg.h"
+#include "analysis/reach.h"
 #include "support/error.h"
 
 namespace nse
@@ -12,11 +13,19 @@ namespace nse
 namespace
 {
 
-/** Interprocedural modified-DFS driver. */
+/** Interprocedural modified-DFS driver. Callee resolution goes
+ *  through the call graph: the legacy static estimate follows each
+ *  site's single staticTarget; the RTA-pruned estimate follows
+ *  rtaTargets (statically-resolved target first, so the orders agree
+ *  wherever pruning removes nothing). */
 class StaticEstimator
 {
   public:
-    explicit StaticEstimator(const Program &prog) : prog_(prog) {}
+    StaticEstimator(const Program &prog, const CallGraph &cg,
+                    bool use_rta)
+        : prog_(prog), cg_(cg), useRta_(use_rta)
+    {
+    }
 
     std::vector<MethodId>
     run()
@@ -35,6 +44,24 @@ class StaticEstimator
         if (prog_.method(id).isNative())
             return;
         traverse(buildCfg(prog_, id));
+    }
+
+    void
+    visitCallsIn(const Cfg &cfg, const BasicBlock &blk)
+    {
+        // The order calls are first encountered is the predicted
+        // first-use order: descend into callees immediately, in
+        // instruction order.
+        for (const CallSite &site : cg_.node(cfg.method).sites) {
+            if (site.instIndex < blk.first || site.instIndex > blk.last)
+                continue;
+            if (!useRta_) {
+                visitMethod(site.staticTarget);
+                continue;
+            }
+            for (const MethodId &target : site.rtaTargets)
+                visitMethod(target);
+        }
     }
 
     void
@@ -73,10 +100,7 @@ class StaticEstimator
                 continue;
             seen[blk] = true;
 
-            // The order calls are first encountered is the predicted
-            // first-use order: descend into callees immediately.
-            for (auto &[target, is_virtual] : cfg.blocks[blk].calls)
-                visitMethod(target);
+            visitCallsIn(cfg, cfg.blocks[blk]);
 
             // Partition successors: a back edge completes its loop and
             // releases the loop's deferred exits; loop-exit edges are
@@ -109,6 +133,8 @@ class StaticEstimator
     }
 
     const Program &prog_;
+    const CallGraph &cg_;
+    bool useRta_;
     std::set<MethodId> visited_;
     std::vector<MethodId> order_;
 };
@@ -138,7 +164,8 @@ FirstUseOrder::ranks(const Program &prog) const
 FirstUseOrder
 staticFirstUse(const Program &prog)
 {
-    StaticEstimator estimator(prog);
+    CallGraph cg = buildCallGraph(prog);
+    StaticEstimator estimator(prog, cg, /*use_rta=*/false);
     FirstUseOrder out;
     out.order = estimator.run();
     out.usedCount = out.order.size();
@@ -150,6 +177,32 @@ staticFirstUse(const Program &prog)
         if (!placed.count(id))
             out.order.push_back(id);
     });
+    return out;
+}
+
+FirstUseOrder
+staticFirstUse(const Program &prog, const CallGraph &cg)
+{
+    StaticEstimator estimator(prog, cg, /*use_rta=*/true);
+    FirstUseOrder out;
+    out.order = estimator.run();
+    out.usedCount = out.order.size();
+
+    // Demote unvisited methods by temperature: cold (CHA-only
+    // reachable) ahead of dead (unreachable even under CHA), each
+    // group in program order.
+    ReachClassification reach = classifyReach(prog, cg);
+    std::set<MethodId> placed(out.order.begin(), out.order.end());
+    for (MethodTemp want :
+         {MethodTemp::Hot, MethodTemp::Cold, MethodTemp::Dead}) {
+        prog.forEachMethod([&](MethodId id, const ClassFile &,
+                               const MethodInfo &) {
+            if (reach.of(id) == want && !placed.count(id))
+                out.order.push_back(id);
+        });
+    }
+    NSE_ASSERT(out.order.size() == prog.methodCount(),
+               "RTA first-use order does not cover the program");
     return out;
 }
 

@@ -30,6 +30,8 @@
 namespace nse
 {
 
+class CallGraph;
+
 /** A predicted or measured first-use ordering over methods. */
 struct FirstUseOrder
 {
@@ -49,6 +51,17 @@ struct FirstUseOrder
 
 /** Run the static estimator over the whole program. */
 FirstUseOrder staticFirstUse(const Program &prog);
+
+/**
+ * RTA-pruned static estimate: the same modified DFS, but virtual call
+ * sites follow the call graph's rtaTargets — dispatch candidates whose
+ * receiver class is never instantiated do not pull their target
+ * forward. Methods the traversal never reaches are demoted to the
+ * tail: cold (CHA-reachable only) methods first, then dead ones, each
+ * in program order. usedCount covers the traversal-reached (hot)
+ * prefix.
+ */
+FirstUseOrder staticFirstUse(const Program &prog, const CallGraph &cg);
 
 /**
  * Complete a partial (e.g. profiled) ordering: methods missing from

@@ -1,0 +1,32 @@
+#include "analysis/reach.h"
+
+namespace nse
+{
+
+ReachClassification
+classifyReach(const Program &prog, const CallGraph &cg)
+{
+    ReachClassification out;
+    out.temp.resize(prog.classCount());
+    prog.forEachMethod([&](MethodId id, const ClassFile &,
+                           const MethodInfo &) {
+        auto &row = out.temp[id.classIdx];
+        if (row.empty())
+            row.resize(prog.classAt(id.classIdx).methods.size());
+        MethodTemp t;
+        if (cg.rtaReachable(id)) {
+            t = MethodTemp::Hot;
+            ++out.hotCount;
+        } else if (cg.chaReachable(id)) {
+            t = MethodTemp::Cold;
+            ++out.coldCount;
+        } else {
+            t = MethodTemp::Dead;
+            ++out.deadCount;
+        }
+        row[id.methodIdx] = t;
+    });
+    return out;
+}
+
+} // namespace nse

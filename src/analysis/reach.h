@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Entry-rooted method reachability classification over the call graph.
+ *
+ * Splits the program's methods into three temperatures that drive
+ * transfer placement:
+ *  - Hot: reachable from the entry along RTA-pruned edges — expected
+ *    to execute; ordered by the first-use estimator.
+ *  - Cold: reachable under CHA but not under RTA — only reachable
+ *    through a virtual dispatch whose receiver class is never
+ *    instantiated; demoted to the transfer tail ahead of dead code.
+ *  - Dead: not reachable even under CHA — can only transfer last.
+ *
+ * The split feeds the RTA-aware static first-use estimator
+ * (first_use.h): hot methods keep their predicted order, cold then
+ * dead methods are appended as the tail.
+ */
+
+#ifndef NSE_ANALYSIS_REACH_H
+#define NSE_ANALYSIS_REACH_H
+
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "program/program.h"
+
+namespace nse
+{
+
+/** Transfer temperature of one method. */
+enum class MethodTemp : uint8_t
+{
+    Hot,  ///< RTA-reachable from the entry
+    Cold, ///< CHA-reachable only
+    Dead, ///< unreachable even under CHA
+};
+
+/** Hot/cold/dead classification of a whole program. */
+struct ReachClassification
+{
+    /** Temperature per [class][method]. */
+    std::vector<std::vector<MethodTemp>> temp;
+    size_t hotCount = 0;
+    size_t coldCount = 0;
+    size_t deadCount = 0;
+
+    MethodTemp
+    of(MethodId id) const
+    {
+        return temp[id.classIdx][id.methodIdx];
+    }
+};
+
+/** Classify every method from the call graph's reachability sets. */
+ReachClassification classifyReach(const Program &prog,
+                                  const CallGraph &cg);
+
+} // namespace nse
+
+#endif // NSE_ANALYSIS_REACH_H

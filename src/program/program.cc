@@ -109,6 +109,23 @@ Program::resolveVirtual(std::string_view cls, std::string_view name,
     fatal("unresolved virtual method: ", cls, ".", name, desc);
 }
 
+std::optional<MethodId>
+Program::tryResolveVirtual(uint16_t class_idx, std::string_view name,
+                           std::string_view desc) const
+{
+    int cidx = class_idx;
+    while (cidx >= 0) {
+        const ClassFile &cf = classes_[static_cast<size_t>(cidx)];
+        int midx = cf.findMethod(name, desc);
+        if (midx >= 0) {
+            return MethodId{static_cast<uint16_t>(cidx),
+                            static_cast<uint16_t>(midx)};
+        }
+        cidx = superOf(static_cast<uint16_t>(cidx));
+    }
+    return std::nullopt;
+}
+
 int
 Program::superOf(uint16_t class_idx) const
 {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,18 @@ class Program
      */
     MethodId resolveVirtual(std::string_view cls, std::string_view name,
                             std::string_view desc) const;
+
+    /**
+     * Non-fatal virtual resolution from a class index: walk the
+     * superclass chain of `class_idx` for a matching name+descriptor.
+     * Returns nullopt when no class on the chain declares the method
+     * (the receiver type does not understand the message) — used by
+     * the call graph to enumerate dispatch candidates without
+     * committing to resolvability.
+     */
+    std::optional<MethodId> tryResolveVirtual(uint16_t class_idx,
+                                              std::string_view name,
+                                              std::string_view desc) const;
 
     /** Superclass index of class idx, or -1 for roots. */
     int superOf(uint16_t class_idx) const;

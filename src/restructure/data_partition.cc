@@ -1,56 +1,11 @@
 #include "restructure/data_partition.h"
 
-#include "bytecode/instruction.h"
 #include "classfile/writer.h"
 #include "support/error.h"
+#include "vm/verifier.h"
 
 namespace nse
 {
-
-namespace
-{
-
-/** Add an entry and everything it references to `out`. */
-void
-closure(const ConstantPool &cp, uint16_t idx, std::set<uint16_t> &out)
-{
-    if (idx == 0 || !out.insert(idx).second)
-        return;
-    const CpEntry &e = cp.at(idx);
-    switch (e.tag) {
-      case CpTag::Class:
-      case CpTag::String:
-        closure(cp, e.ref1, out);
-        break;
-      case CpTag::NameAndType:
-      case CpTag::FieldRef:
-      case CpTag::MethodRef:
-      case CpTag::InterfaceMethodRef:
-        closure(cp, e.ref1, out);
-        closure(cp, e.ref2, out);
-        break;
-      default:
-        break;
-    }
-}
-
-/** Constant-pool entries a method needs before it can run. */
-std::set<uint16_t>
-methodNeeds(const ClassFile &cf, const MethodInfo &m)
-{
-    std::set<uint16_t> needs;
-    closure(cf.cpool, m.nameIdx, needs);
-    closure(cf.cpool, m.descIdx, needs);
-    if (m.isNative())
-        return needs;
-    for (const Instruction &inst : decodeCode(m.code)) {
-        if (opcodeInfo(inst.op).operand == OperandKind::CpIdx)
-            closure(cf.cpool, static_cast<uint16_t>(inst.operand), needs);
-    }
-    return needs;
-}
-
-} // namespace
 
 uint64_t
 DataPartition::neededFirstBytes() const
@@ -105,16 +60,16 @@ partitionGlobalData(const Program &prog, const FirstUseOrder &order)
         // Structural prefix: everything the loader touches before the
         // first method header.
         std::set<uint16_t> structural;
-        closure(cp, cf.thisClassIdx, structural);
-        closure(cp, cf.superClassIdx, structural);
+        cpClosure(cp, cf.thisClassIdx, structural);
+        cpClosure(cp, cf.superClassIdx, structural);
         for (uint16_t idx : cf.interfaceIdxs)
-            closure(cp, idx, structural);
+            cpClosure(cp, idx, structural);
         for (const FieldInfo &f : cf.fields) {
-            closure(cp, f.nameIdx, structural);
-            closure(cp, f.descIdx, structural);
+            cpClosure(cp, f.nameIdx, structural);
+            cpClosure(cp, f.descIdx, structural);
         }
         for (const AttributeInfo &a : cf.attributes)
-            closure(cp, a.nameIdx, structural);
+            cpClosure(cp, a.nameIdx, structural);
         for (uint16_t idx : structural)
             part.assignment[idx].owner = -1;
 
@@ -122,7 +77,7 @@ partitionGlobalData(const Program &prog, const FirstUseOrder &order)
         NSE_ASSERT(per_class[c].size() == cf.methods.size(),
                    "ordering does not cover class ", cf.name());
         for (uint16_t midx : per_class[c]) {
-            for (uint16_t idx : methodNeeds(cf, cf.methods[midx])) {
+            for (uint16_t idx : methodCpDependencies(cf, cf.methods[midx])) {
                 if (part.assignment[idx].owner == -2) {
                     part.assignment[idx].owner = midx;
                     part.gmdBytes[midx] += part.assignment[idx].bytes;

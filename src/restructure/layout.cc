@@ -12,6 +12,9 @@ makeParallelLayout(const Program &prog, const FirstUseOrder &order,
 {
     TransferLayout out;
     out.place.resize(prog.classCount());
+    out.classPrefixEnd.resize(prog.classCount());
+    out.gmdEnd.resize(prog.classCount());
+    out.unusedEnd.resize(prog.classCount());
     auto per_class = order.perClassOrder(prog);
 
     for (uint16_t c = 0; c < prog.classCount(); ++c) {
@@ -21,15 +24,20 @@ makeParallelLayout(const Program &prog, const FirstUseOrder &order,
 
         uint64_t offset = part ? part->classes[c].neededFirstBytes
                                : cl.globalDataEnd;
+        out.classPrefixEnd[c] = offset;
+        out.gmdEnd[c].assign(cf.methods.size(), offset);
         for (uint16_t midx : per_class[c]) {
-            if (part)
+            if (part) {
                 offset += part->classes[c].gmdBytes[midx];
+                out.gmdEnd[c][midx] = offset;
+            }
             offset += cf.methods[midx].transferSize();
             out.place[c][midx] = MethodPlacement{
                 static_cast<int>(out.streams.size()), offset};
         }
         if (part)
             offset += part->classes[c].unusedBytes;
+        out.unusedEnd[c] = part ? offset : out.classPrefixEnd[c];
 
         NSE_ASSERT(offset == cl.totalSize,
                    "parallel layout does not conserve bytes for ",
@@ -47,8 +55,13 @@ makeInterleavedLayout(const Program &prog, const FirstUseOrder &order,
 {
     TransferLayout out;
     out.place.resize(prog.classCount());
-    for (uint16_t c = 0; c < prog.classCount(); ++c)
+    out.classPrefixEnd.assign(prog.classCount(), 0);
+    out.gmdEnd.resize(prog.classCount());
+    out.unusedEnd.assign(prog.classCount(), 0);
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
         out.place[c].resize(prog.classAt(c).methods.size());
+        out.gmdEnd[c].assign(prog.classAt(c).methods.size(), 0);
+    }
 
     NSE_ASSERT(order.order.size() == prog.methodCount(),
                "interleaved layout needs a complete ordering");
@@ -62,16 +75,20 @@ makeInterleavedLayout(const Program &prog, const FirstUseOrder &order,
             offset += part
                           ? part->classes[id.classIdx].neededFirstBytes
                           : layoutOf(cf).globalDataEnd;
+            out.classPrefixEnd[id.classIdx] = offset;
         }
         if (part)
             offset += part->classes[id.classIdx].gmdBytes[id.methodIdx];
+        out.gmdEnd[id.classIdx][id.methodIdx] =
+            part ? offset : out.classPrefixEnd[id.classIdx];
         offset += cf.methods[id.methodIdx].transferSize();
         out.place[id.classIdx][id.methodIdx] =
             MethodPlacement{0, offset};
     }
-    if (part) {
-        for (uint16_t c = 0; c < prog.classCount(); ++c)
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        if (part)
             offset += part->classes[c].unusedBytes;
+        out.unusedEnd[c] = part ? offset : out.classPrefixEnd[c];
     }
 
     uint64_t expected = 0;

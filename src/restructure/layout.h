@@ -57,6 +57,24 @@ struct TransferLayout
     std::vector<std::vector<MethodPlacement>> place;
     uint64_t totalBytes = 0;
 
+    // Chunk-arrival offsets, recorded so the non-strict-safety
+    // auditor (analysis/audit.h) can compare each dependency's
+    // arrival position against the dependent method's delimiter
+    // without re-deriving the stream construction.
+
+    /** Per class: stream offset at which the class's global prefix
+     *  (needed-first chunk when partitioned, whole global data
+     *  otherwise) has fully arrived. */
+    std::vector<uint64_t> classPrefixEnd;
+    /** Per [class][method]: offset at which the method's GMD chunk
+     *  has arrived. Equal to classPrefixEnd[c] when the layout was
+     *  built without a partition (entries travel with global data). */
+    std::vector<std::vector<uint64_t>> gmdEnd;
+    /** Per class: offset at which the class's unused-entry chunk has
+     *  arrived (stream tail). Equal to classPrefixEnd[c] when
+     *  unpartitioned. */
+    std::vector<uint64_t> unusedEnd;
+
     const MethodPlacement &
     of(MethodId id) const
     {

@@ -1,6 +1,8 @@
 #include "sim/context.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +20,7 @@ orderingName(OrderingSource src)
 {
     switch (src) {
       case OrderingSource::Static: return "SCG";
+      case OrderingSource::RtaStatic: return "RTA";
       case OrderingSource::Train: return "Train";
       case OrderingSource::Test: return "Test";
     }
@@ -187,6 +190,79 @@ cachePath(const std::string &dir, const char *kind, uint64_t key)
     return std::filesystem::path(dir) / name;
 }
 
+// ---------------------------------------------------------------------
+// Cache hygiene: the on-disk cache is content-addressed, so entries
+// for retired program/input versions are never overwritten — they
+// accumulate. Keep the directory below a size cap with LRU eviction:
+// loads bump the entry's mtime, stores evict oldest-mtime entries
+// until the directory fits. scripts/bench_cache_purge.py applies the
+// same policy offline.
+// ---------------------------------------------------------------------
+
+/** Size cap in bytes from NSE_BENCH_CACHE_MAX_MB (default 256 MiB);
+ *  0 disables eviction. */
+uint64_t
+cacheCapBytes()
+{
+    const char *env = std::getenv("NSE_BENCH_CACHE_MAX_MB");
+    if (!env || !*env)
+        return 256ull << 20;
+    char *end = nullptr;
+    unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end == env)
+        return 256ull << 20;
+    return static_cast<uint64_t>(mb) << 20;
+}
+
+/** Mark a cache entry recently used (failures are irrelevant). */
+void
+touchCacheFile(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
+}
+
+/** Evict oldest-mtime .bin entries until the directory fits the cap. */
+void
+evictCacheOverCap(const std::string &dir)
+{
+    uint64_t cap = cacheCapBytes();
+    if (cap == 0)
+        return;
+    struct Entry
+    {
+        std::filesystem::file_time_type mtime;
+        uint64_t size;
+        std::filesystem::path path;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec) ||
+            de.path().extension() != ".bin")
+            continue;
+        uint64_t size = de.file_size(ec);
+        if (ec)
+            continue;
+        entries.push_back({de.last_write_time(ec), size, de.path()});
+        total += size;
+    }
+    if (total <= cap)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= cap)
+            break;
+        if (std::filesystem::remove(e.path, ec))
+            total -= e.size;
+    }
+}
+
 std::optional<FirstUseProfile>
 loadProfile(const std::filesystem::path &path)
 {
@@ -285,10 +361,13 @@ cachedProfileRun(const Program &prog, const NativeRegistry &natives,
         return profileRun(prog, natives, input);
     std::filesystem::path path =
         cachePath(cache_dir, "profile", runKey(prog, natives, input, {}));
-    if (std::optional<FirstUseProfile> p = loadProfile(path))
+    if (std::optional<FirstUseProfile> p = loadProfile(path)) {
+        touchCacheFile(path);
         return std::move(*p);
+    }
     FirstUseProfile p = profileRun(prog, natives, input);
     storeProfile(path, p);
+    evictCacheOverCap(cache_dir);
     return p;
 }
 
@@ -303,8 +382,10 @@ recordTrace(const Program &prog, const NativeRegistry &natives,
     if (!cache_dir.empty()) {
         path = cachePath(cache_dir, "trace",
                          runKey(prog, natives, input, opts));
-        if (std::optional<ExecTrace> t = loadTrace(path))
+        if (std::optional<ExecTrace> t = loadTrace(path)) {
+            touchCacheFile(path);
             return std::move(*t);
+        }
     }
 
     ExecTrace trace;
@@ -315,8 +396,10 @@ recordTrace(const Program &prog, const NativeRegistry &natives,
     });
     trace.totals = vm.run();
 
-    if (!cache_dir.empty())
+    if (!cache_dir.empty()) {
         storeTrace(path, trace);
+        evictCacheOverCap(cache_dir);
+    }
     return trace;
 }
 
@@ -374,9 +457,17 @@ SimContext::trace() const
 const FirstUseProfile &
 SimContext::profileFor(OrderingSource src) const
 {
-    NSE_ASSERT(src != OrderingSource::Static,
-               "the static ordering has no profile");
+    NSE_ASSERT(src == OrderingSource::Train ||
+                   src == OrderingSource::Test,
+               "the static orderings have no profile");
     return src == OrderingSource::Train ? trainProfile() : testProfile();
+}
+
+const CallGraph &
+SimContext::callGraph() const
+{
+    std::call_once(cgOnce_, [&] { callGraph_ = buildCallGraph(prog_); });
+    return *callGraph_;
 }
 
 const FirstUseOrder &
@@ -394,6 +485,9 @@ SimContext::ordering(OrderingSource src) const
     switch (src) {
       case OrderingSource::Static:
         order = staticFirstUse(prog_);
+        break;
+      case OrderingSource::RtaStatic:
+        order = staticFirstUse(prog_, callGraph());
         break;
       case OrderingSource::Train:
       case OrderingSource::Test:
@@ -469,7 +563,8 @@ SimContext::methodCycles(OrderingSource src) const
     }
     const FirstUseOrder &order = ordering(src);
     std::vector<uint64_t> cycles;
-    if (src == OrderingSource::Static) {
+    if (src == OrderingSource::Static ||
+        src == OrderingSource::RtaStatic) {
         cycles = staticFirstUseCycles(prog_, order);
     } else {
         const FirstUseProfile &profile = profileFor(src);

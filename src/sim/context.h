@@ -34,6 +34,7 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/callgraph.h"
 #include "analysis/first_use.h"
 #include "profile/first_use_profile.h"
 #include "program/program.h"
@@ -49,9 +50,10 @@ namespace nse
 /** Which first-use predictor guides restructuring and scheduling. */
 enum class OrderingSource : uint8_t
 {
-    Static, ///< SCG: static call-graph estimation (§4.1)
-    Train,  ///< train-input profile, evaluated on the test input
-    Test,   ///< test-input profile (perfect prediction)
+    Static,    ///< SCG: static call-graph estimation (§4.1)
+    RtaStatic, ///< SCG with RTA-pruned dispatch + cold/dead demotion
+    Train,     ///< train-input profile, evaluated on the test input
+    Test,      ///< test-input profile (perfect prediction)
 };
 
 const char *orderingName(OrderingSource src);
@@ -163,6 +165,9 @@ class SimContext
      */
     const ExecTrace &trace() const;
 
+    /** Memoized whole-program call graph (CHA + RTA resolution). */
+    const CallGraph &callGraph() const;
+
     const FirstUseOrder &ordering(OrderingSource src) const;
     const DataPartition &partition(OrderingSource src) const;
 
@@ -189,10 +194,11 @@ class SimContext
     uint64_t totalBytes_ = 0;
     uint64_t entryClassBytes_ = 0;
 
-    mutable std::once_flag trainOnce_, testOnce_, traceOnce_;
+    mutable std::once_flag trainOnce_, testOnce_, traceOnce_, cgOnce_;
     mutable std::optional<FirstUseProfile> trainProfile_;
     mutable std::optional<FirstUseProfile> testProfile_;
     mutable std::optional<ExecTrace> trace_;
+    mutable std::optional<CallGraph> callGraph_;
 
     mutable std::mutex orderMu_;
     mutable std::map<OrderingSource, FirstUseOrder> orders_;

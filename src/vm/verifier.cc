@@ -494,6 +494,45 @@ MethodChecker::run()
 
 } // namespace
 
+void
+cpClosure(const ConstantPool &cp, uint16_t idx, std::set<uint16_t> &out)
+{
+    if (idx == 0 || !out.insert(idx).second)
+        return;
+    const CpEntry &e = cp.at(idx);
+    switch (e.tag) {
+      case CpTag::Class:
+      case CpTag::String:
+        cpClosure(cp, e.ref1, out);
+        break;
+      case CpTag::NameAndType:
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+        cpClosure(cp, e.ref1, out);
+        cpClosure(cp, e.ref2, out);
+        break;
+      default:
+        break;
+    }
+}
+
+std::set<uint16_t>
+methodCpDependencies(const ClassFile &cf, const MethodInfo &m)
+{
+    std::set<uint16_t> needs;
+    cpClosure(cf.cpool, m.nameIdx, needs);
+    cpClosure(cf.cpool, m.descIdx, needs);
+    if (m.isNative())
+        return needs;
+    for (const Instruction &inst : decodeCode(m.code)) {
+        if (opcodeInfo(inst.op).operand == OperandKind::CpIdx)
+            cpClosure(cf.cpool, static_cast<uint16_t>(inst.operand),
+                      needs);
+    }
+    return needs;
+}
+
 size_t
 VerifiedMethod::indexOf(uint32_t offset) const
 {

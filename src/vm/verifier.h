@@ -23,6 +23,7 @@
 #define NSE_VM_VERIFIER_H
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "bytecode/instruction.h"
@@ -66,6 +67,27 @@ struct VerifiedMethod
     /** Instruction index for a branch-target byte offset. */
     size_t indexOf(uint32_t offset) const;
 };
+
+/**
+ * Add constant-pool entry `idx` and every entry it transitively
+ * references (Class/String -> Utf8, member refs -> Class + NameAndType
+ * -> Utf8) to `out`. Index 0 is ignored.
+ */
+void cpClosure(const ConstantPool &cp, uint16_t idx,
+               std::set<uint16_t> &out);
+
+/**
+ * The constant-pool entries a method requires before its first
+ * execution: the closure of its name and descriptor strings plus, for
+ * bytecode methods, the closure of every entry its decoded code
+ * references. This is the verifier's decode-level dependency
+ * extraction, shared by global-data partitioning (which materializes
+ * the set as the method's GMD chunk) and the non-strict-safety
+ * auditor (which proves each entry arrives no later than the method's
+ * delimiter). Native methods contribute only name/descriptor.
+ */
+std::set<uint16_t> methodCpDependencies(const ClassFile &cf,
+                                        const MethodInfo &m);
 
 /** Verifies classes and methods of one program. */
 class Verifier

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the non-strict-safety auditor: a consistent
+ * (ordering, partition, layout) triple audits clean, and a layout
+ * built from a *different* ordering than its partition yields exactly
+ * the pinned cp-owned-entry errors on the method whose shared
+ * constants now travel in a later method's GMD chunk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/audit.h"
+#include "analysis/callgraph.h"
+#include "analysis/first_use.h"
+#include "program/builder.h"
+#include "restructure/data_partition.h"
+#include "restructure/layout.h"
+#include "transfer/link.h"
+#include "transfer/schedule.h"
+#include "vm/verifier.h"
+
+namespace nse
+{
+namespace
+{
+
+/**
+ * One class, three methods: main calls a then b; a calls b. a and b
+ * share one string constant (the partitioner assigns it to whichever
+ * comes first in the ordering the partition is built from) and each
+ * holds an exclusive one.
+ */
+Program
+sharedConstantProgram()
+{
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &a = t.addMethod("a", "()V");
+    a.ldcString("shared banner text, claimed by the earlier user");
+    a.emit(Opcode::POP);
+    a.ldcString("a-only constant");
+    a.emit(Opcode::POP);
+    a.invokeStatic("T", "b", "()V");
+    a.emit(Opcode::RETURN);
+    MethodBuilder &b = t.addMethod("b", "()V");
+    b.ldcString("shared banner text, claimed by the earlier user");
+    b.emit(Opcode::POP);
+    b.ldcString("b-only constant");
+    b.emit(Opcode::POP);
+    b.emit(Opcode::RETURN);
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.invokeStatic("T", "a", "()V");
+    m.invokeStatic("T", "b", "()V");
+    m.emit(Opcode::RETURN);
+    return pb.build("T");
+}
+
+/** Swap two methods in an ordering, returning the mutated copy. */
+FirstUseOrder
+swapped(const FirstUseOrder &order, MethodId x, MethodId y)
+{
+    FirstUseOrder out = order;
+    auto ix = std::find(out.order.begin(), out.order.end(), x);
+    auto iy = std::find(out.order.begin(), out.order.end(), y);
+    EXPECT_TRUE(ix != out.order.end() && iy != out.order.end());
+    std::iter_swap(ix, iy);
+    return out;
+}
+
+TEST(Audit, ConsistentConfigurationIsSafe)
+{
+    Program p = sharedConstantProgram();
+    CallGraph cg = buildCallGraph(p);
+    FirstUseOrder order = staticFirstUse(p);
+
+    for (bool partitioned : {false, true}) {
+        DataPartition part = partitionGlobalData(p, order);
+        TransferLayout layout =
+            makeParallelLayout(p, order, partitioned ? &part : nullptr);
+        AuditReport report = auditNonStrictSafety(
+            p, cg, order, layout, partitioned ? &part : nullptr);
+        EXPECT_TRUE(report.ok()) << report.render();
+        EXPECT_EQ(report.errorCount, 0u);
+        EXPECT_EQ(report.warningCount, 0u);
+    }
+}
+
+TEST(Audit, MismatchedPartitionYieldsPinnedOwnedEntryErrors)
+{
+    // Partition built where a precedes b (shared entry joins a's GMD
+    // chunk); layout built from the opposite order, so b transfers
+    // before the chunk carrying its shared constant. The audit must
+    // flag exactly b's a-owned cp dependencies — no more, no less —
+    // as cp-owned-entry errors.
+    Program p = sharedConstantProgram();
+    CallGraph cg = buildCallGraph(p);
+    MethodId a_id = p.resolveStatic("T", "a", "()V");
+    MethodId b_id = p.resolveStatic("T", "b", "()V");
+
+    FirstUseOrder o1 = staticFirstUse(p); // main, a, b
+    ASSERT_LT(o1.ranks(p)[a_id.classIdx][a_id.methodIdx],
+              o1.ranks(p)[b_id.classIdx][b_id.methodIdx]);
+    FirstUseOrder o2 = swapped(o1, a_id, b_id); // main, b, a
+
+    DataPartition part = partitionGlobalData(p, o1);
+    TransferLayout layout = makeParallelLayout(p, o2, &part);
+    AuditReport report = auditNonStrictSafety(p, cg, o2, layout, &part);
+
+    // Expected error set: every cp dependency of b that the partition
+    // assigned to a's chunk.
+    const ClassFile &cf = p.classAt(b_id.classIdx);
+    std::vector<int> expected;
+    for (uint16_t idx :
+         methodCpDependencies(cf, cf.methods[b_id.methodIdx])) {
+        if (part.classes[b_id.classIdx].assignment[idx].owner ==
+            static_cast<int>(a_id.methodIdx))
+            expected.push_back(idx);
+    }
+    ASSERT_FALSE(expected.empty());
+
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.errorCount, expected.size()) << report.render();
+    EXPECT_EQ(report.warningCount, 0u) << report.render();
+    std::vector<int> flagged;
+    for (const AuditDiagnostic &d : report.diags) {
+        if (d.severity != AuditSeverity::Error)
+            continue;
+        EXPECT_EQ(d.kind, AuditDepKind::CpOwnedEntry);
+        EXPECT_EQ(d.methodLabel, "T.b");
+        EXPECT_NE(d.detail.find("T.a"), std::string::npos);
+        EXPECT_GT(d.arriveOffset, d.needOffset);
+        flagged.push_back(d.cpIdx);
+    }
+    std::sort(flagged.begin(), flagged.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(flagged, expected);
+
+    // JSON carries the schema tag and the pinned kind.
+    std::string json = report.toJson();
+    EXPECT_NE(json.find("\"schema\": \"nse-audit-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"cp-owned-entry\""),
+              std::string::npos);
+}
+
+TEST(Audit, LayoutContradictingClaimedOrderWarns)
+{
+    // Layout follows o1 (a before b) but claims o2 (b before a): the
+    // a -> b call edge has its callee predicted earlier yet delivered
+    // later, which is a warning, not a safety error.
+    Program p = sharedConstantProgram();
+    CallGraph cg = buildCallGraph(p);
+    MethodId a_id = p.resolveStatic("T", "a", "()V");
+    MethodId b_id = p.resolveStatic("T", "b", "()V");
+    FirstUseOrder o1 = staticFirstUse(p);
+    FirstUseOrder o2 = swapped(o1, a_id, b_id);
+
+    DataPartition part = partitionGlobalData(p, o1);
+    TransferLayout layout = makeParallelLayout(p, o1, &part);
+    AuditReport report = auditNonStrictSafety(p, cg, o2, layout, &part);
+
+    EXPECT_TRUE(report.ok()) << report.render(); // still safe
+    ASSERT_EQ(report.warningCount, 1u) << report.render();
+    const AuditDiagnostic *warn = nullptr;
+    for (const AuditDiagnostic &d : report.diags)
+        if (d.severity == AuditSeverity::Warning)
+            warn = &d;
+    ASSERT_NE(warn, nullptr);
+    EXPECT_EQ(warn->kind, AuditDepKind::Callee);
+    EXPECT_EQ(warn->methodLabel, "T.a");
+    EXPECT_NE(warn->detail.find("T.b"), std::string::npos);
+}
+
+TEST(Audit, DeadMethodAheadOfHotIsInfoOnly)
+{
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &dead = t.addMethod("unused", "()V");
+    dead.emit(Opcode::RETURN);
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+    CallGraph cg = buildCallGraph(p);
+
+    // Force the dead method ahead of main in the layout.
+    FirstUseOrder order;
+    order.order = {p.resolveStatic("T", "unused", "()V"), p.entry()};
+    order.usedCount = order.order.size();
+    TransferLayout layout = makeParallelLayout(p, order, nullptr);
+
+    AuditReport report = auditNonStrictSafety(p, cg, order, layout,
+                                              nullptr);
+    EXPECT_TRUE(report.ok()) << report.render();
+    EXPECT_EQ(report.warningCount, 0u);
+    ASSERT_EQ(report.infoCount, 1u) << report.render();
+    EXPECT_EQ(report.diags.back().kind, AuditDepKind::Placement);
+    EXPECT_EQ(report.diags.back().methodLabel, "T.unused");
+}
+
+TEST(Audit, ScheduleCheckNeverEscalatesAboveInfo)
+{
+    // Prefix-vs-deadline misses are expected on the paper's links
+    // (transfer-bound regime) and must stay informational.
+    Program p = sharedConstantProgram();
+    CallGraph cg = buildCallGraph(p);
+    FirstUseOrder order = staticFirstUse(p);
+    TransferLayout layout = makeParallelLayout(p, order, nullptr);
+    StreamDemand demand = deriveStreamDemand(
+        p, order, layout, staticFirstUseCycles(p, order));
+    TransferSchedule sched =
+        buildGreedySchedule(layout, demand, kModemLink, 4);
+    ScheduleAuditInput in{sched, demand, kModemLink};
+
+    AuditReport report = auditNonStrictSafety(p, cg, order, layout,
+                                              nullptr, &in);
+    EXPECT_TRUE(report.ok()) << report.render();
+    EXPECT_EQ(report.warningCount, 0u) << report.render();
+    for (const AuditDiagnostic &d : report.diags) {
+        if (d.kind == AuditDepKind::SchedulePrefix)
+            EXPECT_EQ(d.severity, AuditSeverity::Info);
+    }
+}
+
+} // namespace
+} // namespace nse

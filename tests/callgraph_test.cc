@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the whole-program call graph (CHA/RTA dispatch
+ * resolution, the instantiated-set fixpoint), hot/cold/dead
+ * classification, and the RTA-pruned first-use estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.h"
+#include "analysis/first_use.h"
+#include "analysis/reach.h"
+#include "program/builder.h"
+
+namespace nse
+{
+namespace
+{
+
+TEST(CallGraph, StaticSitesRecordSingleTarget)
+{
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &g = t.addMethod("g", "()V");
+    g.emit(Opcode::RETURN);
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.invokeStatic("T", "g", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    const MethodNode &node = cg.node(p.resolveStatic("T", "main", "()V"));
+    ASSERT_EQ(node.sites.size(), 1u);
+    const CallSite &site = node.sites[0];
+    EXPECT_FALSE(site.isVirtual);
+    EXPECT_EQ(p.methodLabel(site.staticTarget), "T.g");
+    EXPECT_EQ(site.chaTargets, std::vector<MethodId>{site.staticTarget});
+    EXPECT_EQ(site.rtaTargets, site.chaTargets);
+    EXPECT_TRUE(cg.rtaReachable(site.staticTarget));
+    EXPECT_TRUE(cg.chaReachable(site.staticTarget));
+}
+
+TEST(CallGraph, RecursiveCyclesTerminate)
+{
+    // a -> b -> a plus a self-loop c -> c: the RTA fixpoint and both
+    // reachability sweeps must terminate and reach everything once.
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &a = t.addMethod("a", "()V");
+    a.invokeStatic("T", "b", "()V");
+    a.emit(Opcode::RETURN);
+    MethodBuilder &b = t.addMethod("b", "()V");
+    b.invokeStatic("T", "a", "()V");
+    b.emit(Opcode::RETURN);
+    MethodBuilder &c = t.addMethod("c", "()V");
+    c.invokeStatic("T", "c", "()V");
+    c.emit(Opcode::RETURN);
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.invokeStatic("T", "a", "()V");
+    m.invokeStatic("T", "c", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    EXPECT_EQ(cg.rtaReachableCount(), 4u);
+    EXPECT_EQ(cg.chaReachableCount(), 4u);
+    for (const char *name : {"a", "b", "c", "main"})
+        EXPECT_TRUE(cg.rtaReachable(p.resolveStatic("T", name, "()V")));
+
+    FirstUseOrder order = staticFirstUse(p, cg);
+    ASSERT_EQ(order.order.size(), 4u);
+    EXPECT_EQ(order.usedCount, 4u);
+    EXPECT_EQ(p.methodLabel(order.order[0]), "T.main");
+    EXPECT_EQ(p.methodLabel(order.order[1]), "T.a");
+    EXPECT_EQ(p.methodLabel(order.order[2]), "T.b");
+    EXPECT_EQ(p.methodLabel(order.order[3]), "T.c");
+}
+
+TEST(CallGraph, RtaPrunesUninstantiatedReceiverChaKeeps)
+{
+    // S.go is the only receiver of a virtual call, but no S (or any
+    // class understanding "go") is ever instantiated: CHA keeps the
+    // edge, RTA prunes it.
+    ProgramBuilder pb;
+    ClassBuilder &s = pb.addClass("S");
+    MethodBuilder &go = s.addVirtualMethod("go", "()V");
+    go.emit(Opcode::RETURN);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.emit(Opcode::ACONST_NULL);
+    m.invokeVirtual("S", "go", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    MethodId s_go = p.resolveVirtual("S", "go", "()V");
+    const MethodNode &node = cg.node(p.resolveStatic("T", "main", "()V"));
+    ASSERT_EQ(node.sites.size(), 1u);
+    EXPECT_TRUE(node.sites[0].isVirtual);
+    EXPECT_EQ(node.sites[0].chaTargets, std::vector<MethodId>{s_go});
+    EXPECT_TRUE(node.sites[0].rtaTargets.empty());
+    EXPECT_TRUE(cg.instantiated().empty());
+    EXPECT_TRUE(cg.chaReachable(s_go));
+    EXPECT_FALSE(cg.rtaReachable(s_go));
+}
+
+TEST(CallGraph, ColdDemotedBeforeDeadInRtaOrder)
+{
+    // Same shape as above plus a method nothing references: the RTA
+    // ordering appends cold (CHA-only) ahead of dead.
+    ProgramBuilder pb;
+    ClassBuilder &s = pb.addClass("S");
+    MethodBuilder &go = s.addVirtualMethod("go", "()V");
+    go.emit(Opcode::RETURN);
+    ClassBuilder &d = pb.addClass("D");
+    MethodBuilder &dead = d.addMethod("dead", "()V");
+    dead.emit(Opcode::RETURN);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.emit(Opcode::ACONST_NULL);
+    m.invokeVirtual("S", "go", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    ReachClassification reach = classifyReach(p, cg);
+    EXPECT_EQ(reach.hotCount, 1u);
+    EXPECT_EQ(reach.coldCount, 1u);
+    EXPECT_EQ(reach.deadCount, 1u);
+    EXPECT_EQ(reach.of(p.resolveVirtual("S", "go", "()V")),
+              MethodTemp::Cold);
+    EXPECT_EQ(reach.of(p.resolveStatic("D", "dead", "()V")),
+              MethodTemp::Dead);
+
+    FirstUseOrder order = staticFirstUse(p, cg);
+    ASSERT_EQ(order.order.size(), 3u);
+    EXPECT_EQ(order.usedCount, 1u);
+    EXPECT_EQ(p.methodLabel(order.order[0]), "T.main");
+    EXPECT_EQ(p.methodLabel(order.order[1]), "S.go");  // cold
+    EXPECT_EQ(p.methodLabel(order.order[2]), "D.dead"); // dead
+}
+
+TEST(CallGraph, VirtualDispatchReachesEveryInstantiatedOverrider)
+{
+    // Base and Sub both instantiated: a virtual "go" site reaches
+    // both overriders under RTA; plain static resolution sees only
+    // the declared receiver's method.
+    ProgramBuilder pb;
+    ClassBuilder &base = pb.addClass("Base");
+    MethodBuilder &bg = base.addVirtualMethod("go", "()V");
+    bg.emit(Opcode::RETURN);
+    ClassBuilder &sub = pb.addClass("Sub");
+    sub.setSuper("Base");
+    MethodBuilder &sg = sub.addVirtualMethod("go", "()V");
+    sg.emit(Opcode::RETURN);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.newObject("Base");
+    m.invokeVirtual("Base", "go", "()V");
+    m.newObject("Sub");
+    m.invokeVirtual("Base", "go", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    MethodId base_go{static_cast<uint16_t>(p.classIndex("Base")), 0};
+    MethodId sub_go{static_cast<uint16_t>(p.classIndex("Sub")), 0};
+    const MethodNode &node = cg.node(p.resolveStatic("T", "main", "()V"));
+    ASSERT_EQ(node.sites.size(), 2u);
+    // staticTarget first, remaining candidates ascending.
+    std::vector<MethodId> both{base_go, sub_go};
+    EXPECT_EQ(node.sites[0].rtaTargets, both);
+    EXPECT_EQ(node.sites[0].chaTargets, both);
+    EXPECT_TRUE(cg.isInstantiated(base_go.classIdx));
+    EXPECT_TRUE(cg.isInstantiated(sub_go.classIdx));
+    EXPECT_TRUE(cg.rtaReachable(sub_go));
+
+    // The plain static estimate never reaches Sub.go; RTA does.
+    FirstUseOrder plain = staticFirstUse(p);
+    EXPECT_EQ(plain.usedCount, 2u);
+    FirstUseOrder rta = staticFirstUse(p, cg);
+    EXPECT_EQ(rta.usedCount, 3u);
+}
+
+TEST(CallGraph, InstantiatedSetGrowsToFixpoint)
+{
+    // main allocates A; A.go allocates B; only then does the virtual
+    // "go" site also dispatch to B.go — requires a second fixpoint
+    // round.
+    ProgramBuilder pb;
+    ClassBuilder &a = pb.addClass("A");
+    MethodBuilder &ag = a.addVirtualMethod("go", "()V");
+    ag.newObject("B");
+    ag.emit(Opcode::POP);
+    ag.emit(Opcode::RETURN);
+    ClassBuilder &b = pb.addClass("B");
+    MethodBuilder &bg = b.addVirtualMethod("go", "()V");
+    bg.emit(Opcode::RETURN);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.newObject("A");
+    m.invokeVirtual("A", "go", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    EXPECT_TRUE(cg.isInstantiated(
+        static_cast<uint16_t>(p.classIndex("A"))));
+    EXPECT_TRUE(cg.isInstantiated(
+        static_cast<uint16_t>(p.classIndex("B"))));
+    EXPECT_TRUE(cg.rtaReachable(p.resolveVirtual("B", "go", "()V")));
+}
+
+} // namespace
+} // namespace nse

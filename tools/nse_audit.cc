@@ -1,0 +1,197 @@
+/**
+ * @file
+ * nse_audit — non-strict-safety auditor CLI.
+ *
+ * Statically proves (or refutes) that a transfer configuration is
+ * non-strict safe: every constant-pool entry, GMD chunk, and
+ * predicted-earlier callee a method depends on arrives no later than
+ * the method's own delimiter. See src/analysis/audit.h for the checks
+ * and severities. Exit status: 0 when no configuration has errors,
+ * 1 otherwise, 2 on usage mistakes.
+ *
+ * Usage:
+ *   nse_audit --grid [--json]
+ *       Audit all six workloads under every {scg, rta, train} x
+ *       {reordered, partitioned} configuration (parallel layouts; the
+ *       CI safety gate). One summary line per cell; diagnostics are
+ *       printed for failing cells. --json additionally dumps each
+ *       failing cell's report as JSON to stdout.
+ *
+ *   nse_audit <workload> [options]
+ *       Audit one configuration and print its full report.
+ *       --order scg|rta|train|test   ordering (default scg)
+ *       --interleaved                single-stream layout
+ *       --partition                  partition global data
+ *       --link t1|modem              schedule check link (default t1)
+ *       --json                       print the JSON report instead
+ *
+ * workloads: BIT Hanoi JavaCup Jess JHLZip TestDes
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "sim/context.h"
+#include "workloads/workload.h"
+
+using namespace nse;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: nse_audit --grid [--json]\n"
+                 "       nse_audit <workload> [--order scg|rta|train|"
+                 "test] [--interleaved] [--partition] [--link t1|"
+                 "modem] [--json]\n"
+                 "workloads: BIT Hanoi JavaCup Jess JHLZip TestDes\n";
+    return 2;
+}
+
+OrderingSource
+parseOrder(const std::string &s)
+{
+    if (s == "scg")
+        return OrderingSource::Static;
+    if (s == "rta")
+        return OrderingSource::RtaStatic;
+    if (s == "train")
+        return OrderingSource::Train;
+    if (s == "test")
+        return OrderingSource::Test;
+    fatal("unknown ordering: ", s);
+}
+
+/** Audit one (workload, layout key) cell against `link`. */
+AuditReport
+auditCell(const SimContext &ctx, const LayoutKey &key,
+          const LinkModel &link)
+{
+    const Program &prog = ctx.program();
+    const FirstUseOrder &order = ctx.ordering(key.ordering);
+    const TransferLayout &layout = ctx.layout(key);
+    const DataPartition *part =
+        key.partitioned ? &ctx.partition(key.ordering) : nullptr;
+
+    StreamDemand demand = deriveStreamDemand(
+        prog, order, layout, ctx.methodCycles(key.ordering));
+    TransferSchedule sched = buildGreedySchedule(
+        layout, demand, link, /*limit=*/4);
+    ScheduleAuditInput sin{sched, demand, link};
+    return auditNonStrictSafety(prog, ctx.callGraph(), order, layout,
+                                part, &sin);
+}
+
+int
+runGrid(bool json)
+{
+    const OrderingSource kOrders[] = {OrderingSource::Static,
+                                      OrderingSource::RtaStatic,
+                                      OrderingSource::Train};
+    size_t failures = 0;
+    for (Workload &w : allWorkloads()) {
+        SimContext ctx(w.program, w.natives, w.trainInput, w.testInput);
+        for (OrderingSource src : kOrders) {
+            for (bool partitioned : {false, true}) {
+                LayoutKey key;
+                key.parallel = true;
+                key.ordering = src;
+                key.partitioned = partitioned;
+                AuditReport report = auditCell(ctx, key, kT1Link);
+                std::cout << w.name << " " << orderingName(src) << " "
+                          << (partitioned ? "partitioned" : "reordered")
+                          << ": " << report.errorCount << " error(s), "
+                          << report.warningCount << " warning(s), "
+                          << report.infoCount << " info(s)\n";
+                if (!report.ok()) {
+                    ++failures;
+                    std::cout << report.render();
+                    if (json)
+                        std::cout << report.toJson();
+                }
+            }
+        }
+    }
+    if (failures) {
+        std::cout << failures << " configuration(s) failed the audit\n";
+        return 1;
+    }
+    std::cout << "all configurations are non-strict safe\n";
+    return 0;
+}
+
+int
+runSingle(const std::string &name, OrderingSource src, bool interleaved,
+          bool partitioned, const LinkModel &link, bool json)
+{
+    Workload w = makeWorkload(name);
+    SimContext ctx(w.program, w.natives, w.trainInput, w.testInput);
+    LayoutKey key;
+    key.parallel = !interleaved;
+    key.ordering = src;
+    key.partitioned = partitioned;
+    AuditReport report = auditCell(ctx, key, link);
+    if (json)
+        std::cout << report.toJson();
+    else
+        std::cout << report.render();
+    return report.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+    try {
+        bool json = false, grid = false, interleaved = false,
+             partitioned = false;
+        OrderingSource src = OrderingSource::Static;
+        LinkModel link = kT1Link;
+        std::string workload;
+        for (size_t i = 0; i < args.size(); ++i) {
+            const std::string &a = args[i];
+            if (a == "--grid") {
+                grid = true;
+            } else if (a == "--json") {
+                json = true;
+            } else if (a == "--interleaved") {
+                interleaved = true;
+            } else if (a == "--partition") {
+                partitioned = true;
+            } else if (a == "--order" && i + 1 < args.size()) {
+                src = parseOrder(args[++i]);
+            } else if (a == "--link" && i + 1 < args.size()) {
+                const std::string &l = args[++i];
+                if (l == "t1")
+                    link = kT1Link;
+                else if (l == "modem")
+                    link = kModemLink;
+                else
+                    fatal("unknown link: ", l);
+            } else if (!a.empty() && a[0] == '-') {
+                return usage();
+            } else if (workload.empty()) {
+                workload = a;
+            } else {
+                return usage();
+            }
+        }
+        if (grid)
+            return workload.empty() ? runGrid(json) : usage();
+        if (workload.empty())
+            return usage();
+        return runSingle(workload, src, interleaved, partitioned, link,
+                         json);
+    } catch (const FatalError &e) {
+        std::cerr << "nse_audit: " << e.what() << "\n";
+        return 1;
+    }
+}
