@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/saturate.h"
 
 namespace nse
 {
@@ -73,7 +74,7 @@ waterFill(double capacity, const std::vector<ClientDemand> &demands,
 } // namespace
 
 void
-EqualShareAllocator::allocate(double capacity,
+EqualShareAllocator::allocate(double capacity, uint64_t,
                               const std::vector<ClientDemand> &demands,
                               std::vector<double> &rates) const
 {
@@ -81,7 +82,7 @@ EqualShareAllocator::allocate(double capacity,
 }
 
 void
-WeightedShareAllocator::allocate(double capacity,
+WeightedShareAllocator::allocate(double capacity, uint64_t,
                                  const std::vector<ClientDemand> &demands,
                                  std::vector<double> &rates) const
 {
@@ -93,7 +94,7 @@ WeightedShareAllocator::allocate(double capacity,
 }
 
 void
-DeadlineAllocator::allocate(double capacity,
+DeadlineAllocator::allocate(double capacity, uint64_t,
                             const std::vector<ClientDemand> &demands,
                             std::vector<double> &rates) const
 {
@@ -115,6 +116,61 @@ DeadlineAllocator::allocate(double capacity,
     }
 }
 
+PropFairAllocator::PropFairAllocator(uint64_t aging_quantum_cycles,
+                                     uint64_t max_quanta)
+    : quantum_(aging_quantum_cycles), maxQuanta_(max_quanta)
+{
+    NSE_CHECK(quantum_ > 0, "propfair aging quantum must be > 0");
+}
+
+uint64_t
+PropFairAllocator::agedQuanta(uint64_t now, const ClientDemand &d) const
+{
+    if (d.nextFirstUse == UINT64_MAX || d.nextFirstUse >= now)
+        return 0;
+    return std::min(maxQuanta_, (now - d.nextFirstUse) / quantum_);
+}
+
+void
+PropFairAllocator::allocate(double capacity, uint64_t now,
+                            const std::vector<ClientDemand> &demands,
+                            std::vector<double> &rates) const
+{
+    for (const ClientDemand &d : demands)
+        if (d.demanding)
+            NSE_CHECK(d.weight > 0.0, "non-positive client weight");
+    waterFill(capacity, demands, rates, [&](size_t i) {
+        return demands[i].weight *
+               (1.0 + static_cast<double>(agedQuanta(now, demands[i])));
+    });
+}
+
+uint64_t
+PropFairAllocator::nextRefresh(
+    uint64_t now, const std::vector<ClientDemand> &demands) const
+{
+    // Output changes only when some demanding client's aging boost
+    // crosses its next quantum edge: at nextFirstUse + (q+1)*quantum.
+    // Clients at the max boost, or not yet past their deadline, have
+    // no upcoming edge (a deadline in the future becoming "late"
+    // coincides with the client's own first-use event, which already
+    // wakes the loop).
+    uint64_t next = UINT64_MAX;
+    for (const ClientDemand &d : demands) {
+        if (!d.demanding || d.nextFirstUse == UINT64_MAX ||
+            d.nextFirstUse > now)
+            continue;
+        uint64_t q = agedQuanta(now, d);
+        if (q >= maxQuanta_)
+            continue;
+        uint64_t edge =
+            satAdd(d.nextFirstUse, satMul(q + 1, quantum_));
+        if (edge > now)
+            next = std::min(next, edge);
+    }
+    return next;
+}
+
 std::unique_ptr<BandwidthAllocator>
 makeAllocator(const std::string &name)
 {
@@ -124,8 +180,10 @@ makeAllocator(const std::string &name)
         return std::make_unique<WeightedShareAllocator>();
     if (name == "deadline")
         return std::make_unique<DeadlineAllocator>();
+    if (name == "propfair")
+        return std::make_unique<PropFairAllocator>();
     fatal("unknown allocator: ", name,
-          " (expected equal, weighted, or deadline)");
+          " (expected equal, weighted, deadline, or propfair)");
 }
 
 } // namespace nse

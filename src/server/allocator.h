@@ -11,9 +11,9 @@
  * per-file scheduler uses: each client's next first-use deadline.
  *
  * An allocator is called at every allocation instant (any cycle the
- * demand set or its deadlines change) with a snapshot of per-client
- * demand, and distributes the uplink capacity as per-client byte
- * rates. The contract:
+ * demand set or its deadlines change) with the global cycle and a
+ * snapshot of per-client demand, and distributes the uplink capacity
+ * as per-client byte rates. The contract:
  *
  *  - rates[i] <= demands[i].nominalRate — a client can never receive
  *    more than its own downlink sustains;
@@ -25,6 +25,19 @@
  *  - a single demanding client whose nominal rate fits the capacity
  *    receives exactly its nominal rate, so a one-client server run
  *    reproduces the solo engine bit-for-bit.
+ *
+ * Incremental re-allocation (the server's priority-queue event loop
+ * skips allocator calls whose output provably cannot change) rests on
+ * two further declarations each policy makes:
+ *
+ *  - usesDeadlines(): whether the output depends on the demands'
+ *    nextFirstUse fields (or on `now`) at all. Water-filling policies
+ *    return false, so the server re-allocates only when some client's
+ *    demanding bit changes — not on every deadline movement.
+ *  - nextRefresh(now, demands): the next global cycle at which the
+ *    policy's output could change *with the demands held fixed*
+ *    (e.g. an aging boost crossing its next quantum). UINT64_MAX =
+ *    never; the server treats the returned cycle as an event.
  */
 
 #ifndef NSE_SERVER_ALLOCATOR_H
@@ -67,12 +80,32 @@ class BandwidthAllocator
 
     /**
      * Fill rates[i] (bytes/cycle) for demands[i] under the contract
-     * documented at the top of this file. `rates` arrives sized to
-     * `demands` and zeroed.
+     * documented at the top of this file. `now` is the global cycle
+     * of the allocation instant (deadline-aware policies compare it
+     * against nextFirstUse). `rates` arrives sized to `demands` and
+     * zeroed.
      */
-    virtual void allocate(double capacity,
+    virtual void allocate(double capacity, uint64_t now,
                           const std::vector<ClientDemand> &demands,
                           std::vector<double> &rates) const = 0;
+
+    /** Whether the output depends on nextFirstUse or `now`. The
+     *  server re-allocates on deadline movement only when true. */
+    virtual bool usesDeadlines() const { return false; }
+
+    /**
+     * Earliest global cycle > now at which this policy's output could
+     * change with demands held fixed (aging boosts, decay schedules);
+     * UINT64_MAX = only a demand change can move the output.
+     */
+    virtual uint64_t
+    nextRefresh(uint64_t now,
+                const std::vector<ClientDemand> &demands) const
+    {
+        (void)now;
+        (void)demands;
+        return UINT64_MAX;
+    }
 };
 
 /**
@@ -84,7 +117,7 @@ class EqualShareAllocator : public BandwidthAllocator
 {
   public:
     const char *name() const override { return "equal"; }
-    void allocate(double capacity,
+    void allocate(double capacity, uint64_t now,
                   const std::vector<ClientDemand> &demands,
                   std::vector<double> &rates) const override;
 };
@@ -95,7 +128,7 @@ class WeightedShareAllocator : public BandwidthAllocator
 {
   public:
     const char *name() const override { return "weighted"; }
-    void allocate(double capacity,
+    void allocate(double capacity, uint64_t now,
                   const std::vector<ClientDemand> &demands,
                   std::vector<double> &rates) const override;
 };
@@ -113,13 +146,52 @@ class DeadlineAllocator : public BandwidthAllocator
 {
   public:
     const char *name() const override { return "deadline"; }
-    void allocate(double capacity,
+    bool usesDeadlines() const override { return true; }
+    void allocate(double capacity, uint64_t now,
                   const std::vector<ClientDemand> &demands,
                   std::vector<double> &rates) const override;
 };
 
-/** Allocator by name ("equal", "weighted", "deadline"); fatal()s on
- *  unknown names. */
+/**
+ * Proportional-fair share with aging: water-filling over effective
+ * weights weight_i * (1 + agedQuanta_i), where agedQuanta counts
+ * whole agingQuantumCycles a demanding client has been waiting past
+ * its first-use deadline (capped at maxQuanta). Freshly-served
+ * clients compete at their configured weight; a client starved past
+ * its deadline escalates one weight step per quantum, so under
+ * overload nobody is starved indefinitely (the deadline policy's
+ * failure mode) yet short-term shares stay proportional (which
+ * strict deadline ordering destroys). The boost is a step function
+ * of (now - nextFirstUse), so the output is piecewise constant in
+ * `now` and nextRefresh() reports the next step edge exactly. Every
+ * edge is a fleet-wide re-allocation, so the default quantum is
+ * deliberately coarse (10M cycles — roughly one percent of a
+ * contended transfer at the paper's T1 scale); finer quanta buy
+ * faster escalation at a linear cost in allocator runs.
+ */
+class PropFairAllocator : public BandwidthAllocator
+{
+  public:
+    explicit PropFairAllocator(uint64_t aging_quantum_cycles = 10'000'000,
+                               uint64_t max_quanta = 16);
+    const char *name() const override { return "propfair"; }
+    bool usesDeadlines() const override { return true; }
+    void allocate(double capacity, uint64_t now,
+                  const std::vector<ClientDemand> &demands,
+                  std::vector<double> &rates) const override;
+    uint64_t
+    nextRefresh(uint64_t now,
+                const std::vector<ClientDemand> &demands) const override;
+
+  private:
+    uint64_t agedQuanta(uint64_t now, const ClientDemand &d) const;
+
+    uint64_t quantum_;
+    uint64_t maxQuanta_;
+};
+
+/** Allocator by name ("equal", "weighted", "deadline", "propfair");
+ *  fatal()s on unknown names. */
 std::unique_ptr<BandwidthAllocator>
 makeAllocator(const std::string &name);
 

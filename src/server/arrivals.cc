@@ -5,6 +5,7 @@
 
 #include "support/error.h"
 #include "support/rng.h"
+#include "support/saturate.h"
 
 namespace nse
 {
@@ -38,7 +39,11 @@ ArrivalPlan::cycles(size_t n) const
             out.push_back(0);
             break;
           case ArrivalKind::Staggered:
-            out.push_back(static_cast<uint64_t>(i) * meanGapCycles);
+            // Saturate: a huge stagger times a large fleet must clamp
+            // to "effectively never", not wrap into an early arrival
+            // that jumps the queue ahead of the whole fleet.
+            out.push_back(satMul(static_cast<uint64_t>(i),
+                                 meanGapCycles));
             break;
           case ArrivalKind::Uniform:
             NSE_CHECK(windowCycles > 0,
@@ -56,7 +61,11 @@ ArrivalPlan::cycles(size_t n) const
                 static_cast<double>(1u << 20);
             double gap = -static_cast<double>(meanGapCycles) *
                          std::log(u);
-            clock += static_cast<uint64_t>(gap);
+            // Both the double->uint64 cast and the accumulation
+            // saturate: with a near-UINT64_MAX mean gap the raw cast
+            // is UB and the sum wraps, teleporting late clients back
+            // to cycle ~0.
+            clock = satAdd(clock, satFromDouble(gap));
             out.push_back(clock);
             break;
           }

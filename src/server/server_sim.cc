@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <queue>
 
 #include "support/error.h"
+#include "support/saturate.h"
 
 namespace nse
 {
@@ -11,10 +14,21 @@ namespace nse
 namespace
 {
 
-uint64_t
-satAdd(uint64_t a, uint64_t b)
+/**
+ * Relative-epsilon rate equality, consistent with waterFill's 1e-12
+ * cap tolerance (server/allocator.cc): re-split residue within an
+ * ulp-scale band of the applied value IS the applied value. Exact
+ * comparison here lets FP jitter masquerade as a rate change, which
+ * inflates allocationIntervals and retimes every engine in the fleet
+ * for nothing. Comparisons are always against the *applied* value
+ * (not the previous computed one), so sub-epsilon drift cannot
+ * accumulate unapplied.
+ */
+bool
+nearlyEqualRate(double a, double b)
 {
-    return b > UINT64_MAX - a ? UINT64_MAX : a + b;
+    return std::abs(a - b) <=
+           1e-12 * std::max(std::abs(a), std::abs(b));
 }
 
 void
@@ -67,6 +81,7 @@ struct ClientRt
     enum class Phase : uint8_t
     {
         Pending,   ///< not arrived yet
+        AtDoor,    ///< arrived, waiting for an admission slot
         Executing, ///< replaying between first-use waits
         Blocked,   ///< a first use is waiting on stream bytes
         Finished,
@@ -74,6 +89,9 @@ struct ClientRt
 
     const ClientSpec *spec = nullptr;
     uint64_t arrival = 0;
+    /** Global cycle of admission = client-local cycle 0. Equals
+     *  `arrival` unless an admission limit queued the client. */
+    uint64_t epoch = 0;
     std::unique_ptr<TransferEngine> engine;
     const TransferLayout *layout = nullptr; ///< null for Strict
     const ExecTrace *trace = nullptr;       ///< null for Strict
@@ -113,13 +131,18 @@ struct ClientRt
 double
 jainFairness(const std::vector<double> &xs)
 {
+    if (xs.empty())
+        return 1.0;
     double sum = 0.0, sq = 0.0;
     for (double x : xs) {
         sum += x;
         sq += x * x;
     }
-    if (xs.empty() || sq == 0.0)
-        return 1.0;
+    // All-zero is degenerate (the index is 0/0), not perfectly fair:
+    // report 0.0 so a fleet that produced no signal cannot masquerade
+    // as an ideally balanced one.
+    if (sq == 0.0)
+        return 0.0;
     return sum * sum / (static_cast<double>(xs.size()) * sq);
 }
 
@@ -145,7 +168,7 @@ namespace
 void
 engineAdvance(ClientRt &rt, uint64_t T)
 {
-    uint64_t local = T - rt.arrival;
+    uint64_t local = T - rt.epoch;
     if (rt.engine->time() < local)
         rt.engine->advanceTo(local);
 }
@@ -203,7 +226,7 @@ finishClient(ClientRt &rt, uint64_t finishLocal)
     r.retryCount = rt.engine->retryCount();
     r.degradedCycles = rt.engine->degradedCycles();
     emitEnd(rt.sink, r);
-    rt.out.finished = rt.arrival + finishLocal;
+    rt.out.finished = rt.epoch + finishLocal;
     rt.phase = ClientRt::Phase::Finished;
 }
 
@@ -219,7 +242,7 @@ void
 progressClient(ClientRt &rt, uint64_t T)
 {
     for (;;) {
-        uint64_t local = T - rt.arrival;
+        uint64_t local = T - rt.epoch;
         if (rt.phase == ClientRt::Phase::Blocked) {
             if (!rt.engine->hasArrived(rt.blockStream, rt.blockOffset))
                 return;
@@ -304,7 +327,8 @@ progressClient(ClientRt &rt, uint64_t T)
     }
 }
 
-/** Build the client's engine and initial wait state at arrival. */
+/** Build the client's engine and initial wait state at admission
+ *  (global cycle rt.epoch). */
 void
 setupClient(ClientRt &rt, size_t idx, const ServerOptions &opts)
 {
@@ -335,9 +359,9 @@ setupClient(ClientRt &rt, size_t idx, const ServerOptions &opts)
         rt.trace = &ctx.trace();
         rt.phase = ClientRt::Phase::Executing;
     }
-    // Fire cycle-0 scheduled starts so the demand snapshot below
-    // sees the streams active (runReplay gets this from its first
-    // waitFor at clock 0).
+    // Fire cycle-0 scheduled starts so the demand refresh below sees
+    // the streams active (runReplay gets this from its first waitFor
+    // at clock 0).
     rt.engine->advanceTo(0);
 }
 
@@ -350,9 +374,14 @@ computeCandidates(ClientRt &rt)
         rt.nextAction = rt.arrival;
         rt.nextEngineEv = UINT64_MAX;
         return;
+      case ClientRt::Phase::AtDoor:
+        // Woken by an admission slot freeing, not by the clock.
+        rt.nextAction = UINT64_MAX;
+        rt.nextEngineEv = UINT64_MAX;
+        return;
       case ClientRt::Phase::Blocked:
         rt.nextAction = satAdd(
-            rt.arrival,
+            rt.epoch,
             rt.engine->nextStepToward(rt.blockStream, rt.blockOffset));
         rt.nextEngineEv = UINT64_MAX;
         return;
@@ -366,10 +395,10 @@ computeCandidates(ClientRt &rt)
         } else {
             local = rt.trace->totals.clock + rt.stalls;
         }
-        rt.nextAction = satAdd(rt.arrival, local);
+        rt.nextAction = satAdd(rt.epoch, local);
         rt.nextEngineEv = draining(rt)
                               ? UINT64_MAX
-                              : satAdd(rt.arrival,
+                              : satAdd(rt.epoch,
                                        rt.engine->nextEventTime());
         return;
       }
@@ -379,6 +408,23 @@ computeCandidates(ClientRt &rt)
         return;
     }
 }
+
+/** The client's single heap key: its earliest candidate. */
+uint64_t
+candidateOf(const ClientRt &rt)
+{
+    return std::min(rt.nextAction, rt.nextEngineEv);
+}
+
+/** Lazy-invalidation heap entry: stale when ver no longer matches
+ *  the client's current version. */
+struct HeapEntry
+{
+    uint64_t cycle = 0;
+    uint32_t client = 0;
+    uint32_t ver = 0;
+    bool operator>(const HeapEntry &o) const { return cycle > o.cycle; }
+};
 
 } // namespace
 
@@ -392,6 +438,9 @@ runServer(const std::vector<ClientSpec> &clients,
     size_t n = clients.size();
     NSE_CHECK(n > 0, "server needs at least one client");
 
+    const bool linear = opts.loop == ServerLoop::LinearScan;
+    const bool deadlineAware = opts.allocator->usesDeadlines();
+
     std::vector<uint64_t> arrivals = opts.arrivals.cycles(n);
     std::vector<ClientRt> rts(n);
     for (size_t i = 0; i < n; ++i) {
@@ -399,7 +448,9 @@ runServer(const std::vector<ClientSpec> &clients,
                   "client spec without a context");
         rts[i].spec = &clients[i];
         rts[i].arrival = arrivals[i];
+        rts[i].epoch = arrivals[i];
         rts[i].out.arrival = arrivals[i];
+        rts[i].out.admitted = arrivals[i];
         rts[i].out.name = clients[i].name.empty()
                               ? cat("client-", i)
                               : clients[i].name;
@@ -417,33 +468,130 @@ runServer(const std::vector<ClientSpec> &clients,
         }
     };
 
-    ServerResult result;
+    // Priority queue over per-client candidates; unused by the
+    // linear-scan reference loop.
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        pq;
+    std::vector<uint32_t> ver(n, 0);
+    auto pushCandidate = [&](size_t i) {
+        ++ver[i]; // invalidates any entry already queued
+        uint64_t c = candidateOf(rts[i]);
+        if (c != UINT64_MAX)
+            pq.push({c, static_cast<uint32_t>(i), ver[i]});
+    };
+    if (!linear)
+        for (size_t i = 0; i < n; ++i)
+            pushCandidate(i);
+
+    // Persistent demand set; the constant fields are filled once.
     std::vector<ClientDemand> demands(n);
-    std::vector<double> rates(n, 0.0), prevRates(n, 0.0);
-    std::vector<size_t> actors, retimed;
+    for (size_t i = 0; i < n; ++i) {
+        demands[i].client = static_cast<int>(i);
+        demands[i].nominalRate = linkRate(clients[i].config.link);
+        demands[i].weight = clients[i].weight;
+    }
+    // Refresh one client's mutable demand fields; returns whether a
+    // field the allocator's output can depend on changed.
+    auto refreshDemand = [&](size_t i) -> bool {
+        const ClientRt &rt = rts[i];
+        ClientDemand &d = demands[i];
+        bool running = rt.phase == ClientRt::Phase::Executing ||
+                       rt.phase == ClientRt::Phase::Blocked;
+        bool demanding = running && !draining(rt) &&
+                         rt.engine->activeCount() > 0;
+        uint64_t nfu;
+        if (rt.phase == ClientRt::Phase::Blocked)
+            nfu = satAdd(rt.epoch, rt.blockClock);
+        else if (rt.phase == ClientRt::Phase::Executing)
+            nfu = rt.nextAction;
+        else
+            nfu = UINT64_MAX;
+        bool relevant = demanding != d.demanding ||
+                        (deadlineAware && nfu != d.nextFirstUse);
+        d.demanding = demanding;
+        d.nextFirstUse = nfu;
+        return relevant;
+    };
+
+    ServerResult result;
+    std::vector<double> rates(n, 0.0), appliedRates(n, 0.0);
+    std::vector<size_t> actors, retimed, allIdx;
+    std::vector<uint8_t> dirty(n, 0);
+    std::vector<size_t> dirtyList;
+    auto markDirty = [&](size_t i) {
+        if (!dirty[i]) {
+            dirty[i] = 1;
+            dirtyList.push_back(i);
+        }
+    };
+    if (linear) {
+        allIdx.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            allIdx[i] = i;
+    }
+    // Next cycle the allocator's output could change on its own
+    // (aging edges); UINT64_MAX for demand-driven policies.
+    uint64_t allocRefreshAt = UINT64_MAX;
+    std::deque<size_t> door;
+    size_t admittedCount = 0;
     size_t finished = 0;
 
+    auto admit = [&](size_t i, uint64_t T) {
+        ClientRt &rt = rts[i];
+        rt.epoch = T;
+        rt.out.admitted = T;
+        setupClient(rt, i, opts);
+        engineAdvance(rt, T);
+        ++admittedCount;
+    };
+
     while (finished < n) {
-        // Next global event: the earliest client action (arrival,
-        // first-use instant, blocked crossing bound) or engine event.
-        uint64_t T = UINT64_MAX;
-        for (const ClientRt &rt : rts)
-            T = std::min({T, rt.nextAction, rt.nextEngineEv});
+        // Next global event: the earliest client candidate (arrival,
+        // first-use instant, blocked crossing bound, engine event)
+        // or the allocator's own refresh edge.
+        uint64_t T = allocRefreshAt;
+        actors.clear();
+        if (linear) {
+            for (const ClientRt &rt : rts)
+                T = std::min({T, rt.nextAction, rt.nextEngineEv});
+            if (T != UINT64_MAX) {
+                // Candidates are exact, so equality is the
+                // membership test.
+                for (size_t i = 0; i < n; ++i) {
+                    if (rts[i].phase != ClientRt::Phase::Finished &&
+                        (rts[i].nextAction == T ||
+                         rts[i].nextEngineEv == T)) {
+                        actors.push_back(i);
+                    }
+                }
+            }
+        } else {
+            // Drop stale entries, then read the earliest live cycle.
+            while (!pq.empty() &&
+                   pq.top().ver != ver[pq.top().client])
+                pq.pop();
+            if (!pq.empty())
+                T = std::min(T, pq.top().cycle);
+            if (T != UINT64_MAX) {
+                // Pop every live entry due at T. Each client has at
+                // most one live entry, so this is the exact actor
+                // set; sort for index-order transitions.
+                while (!pq.empty() && pq.top().cycle == T) {
+                    HeapEntry e = pq.top();
+                    pq.pop();
+                    if (e.ver == ver[e.client])
+                        actors.push_back(e.client);
+                }
+                std::sort(actors.begin(), actors.end());
+            }
+        }
         if (T == UINT64_MAX) {
             fatal("server event loop stalled with ", n - finished,
                   " unfinished clients (a blocked client can never "
                   "make progress)");
         }
-
-        // Who acts at T. Candidates are exact, so equality is the
-        // membership test.
-        actors.clear();
-        for (size_t i = 0; i < n; ++i) {
-            if (rts[i].phase != ClientRt::Phase::Finished &&
-                (rts[i].nextAction == T || rts[i].nextEngineEv == T)) {
-                actors.push_back(i);
-            }
-        }
+        ++result.events;
 
         // Integrate every acting engine to T under the rates in
         // effect since the previous event (per-client state only:
@@ -459,71 +607,114 @@ runServer(const std::vector<ClientSpec> &clients,
         for (size_t i : actors) {
             ClientRt &rt = rts[i];
             if (rt.phase == ClientRt::Phase::Pending) {
-                setupClient(rt, i, opts);
-                engineAdvance(rt, T);
+                if (opts.admissionLimit != 0 &&
+                    admittedCount >= opts.admissionLimit) {
+                    rt.phase = ClientRt::Phase::AtDoor;
+                    door.push_back(i);
+                    continue;
+                }
+                admit(i, T);
             }
             progressClient(rt, T);
-            if (rt.phase == ClientRt::Phase::Finished)
+            if (rt.phase == ClientRt::Phase::Finished) {
                 ++finished;
-        }
-
-        // Re-snapshot demand and re-divide the uplink from T onward.
-        for (size_t i = 0; i < n; ++i) {
-            ClientDemand &d = demands[i];
-            const ClientRt &rt = rts[i];
-            d.client = static_cast<int>(i);
-            d.nominalRate = rt.nominalRate;
-            d.weight = rt.spec->weight;
-            bool running = rt.phase == ClientRt::Phase::Executing ||
-                           rt.phase == ClientRt::Phase::Blocked;
-            d.demanding = running && !draining(rt) &&
-                          rt.engine->activeCount() > 0;
-            if (rt.phase == ClientRt::Phase::Blocked)
-                d.nextFirstUse = rt.arrival + rt.blockClock;
-            else if (rt.phase == ClientRt::Phase::Executing)
-                d.nextFirstUse = rt.nextAction;
-            else
-                d.nextFirstUse = UINT64_MAX;
-        }
-        rates.assign(n, 0.0);
-        opts.allocator->allocate(opts.uplinkBytesPerCycle, demands,
-                                 rates);
-        if (rates != prevRates) {
-            ++result.allocationIntervals;
-            if (opts.allocationProbe)
-                opts.allocationProbe(T, rates);
-            prevRates = rates;
-        }
-
-        // Apply changed shares: advance the engine to T first so the
-        // new rate only governs cycles after T.
-        retimed.clear();
-        for (size_t i = 0; i < n; ++i) {
-            ClientRt &rt = rts[i];
-            if (!rt.engine || rt.phase == ClientRt::Phase::Finished)
-                continue;
-            double mult = rt.nominalRate > 0.0
-                              ? rates[i] / rt.nominalRate
-                              : 0.0;
-            if (!demands[i].demanding)
-                mult = rt.mult; // idle engine: leave the share alone
-            if (mult != rt.mult) {
-                rt.mult = mult;
-                retimed.push_back(i);
+                --admittedCount;
             }
         }
-        forEach(retimed, [&](size_t i) {
-            engineAdvance(rts[i], T);
-            rts[i].engine->setExternalRate(rts[i].mult);
-        });
+        // Freed slots admit from the door, in arrival (= index)
+        // order, at this same instant.
+        while (!door.empty() &&
+               (opts.admissionLimit == 0 ||
+                admittedCount < opts.admissionLimit)) {
+            size_t i = door.front();
+            door.pop_front();
+            admit(i, T);
+            progressClient(rts[i], T);
+            if (rts[i].phase == ClientRt::Phase::Finished) {
+                ++finished;
+                --admittedCount;
+            }
+            actors.push_back(i);
+        }
 
-        // Refresh candidates for every touched client.
+        // Fresh candidates for everyone who acted, so the demand
+        // refresh below sees current next-first-use instants.
+        forEach(actors, [&](size_t i) { computeCandidates(rts[i]); });
+
+        // Incremental demand: refresh only touched clients, and call
+        // the allocator only when its output could actually change.
+        // (Linear-scan reference: refresh all, allocate always.)
+        bool needAlloc = linear || T >= allocRefreshAt;
+        if (linear) {
+            for (size_t i = 0; i < n; ++i)
+                refreshDemand(i);
+        } else {
+            for (size_t i : actors)
+                markDirty(i);
+            for (size_t i : dirtyList) {
+                if (refreshDemand(i))
+                    needAlloc = true;
+                dirty[i] = 0;
+            }
+            dirtyList.clear();
+        }
+
+        retimed.clear();
+        if (needAlloc) {
+            rates.assign(n, 0.0);
+            opts.allocator->allocate(opts.uplinkBytesPerCycle, T,
+                                     demands, rates);
+            ++result.allocatorRuns;
+            allocRefreshAt = opts.allocator->nextRefresh(T, demands);
+            bool vecChanged = false;
+            for (size_t i = 0; i < n; ++i)
+                if (!nearlyEqualRate(rates[i], appliedRates[i]))
+                    vecChanged = true;
+            if (vecChanged) {
+                ++result.allocationIntervals;
+                if (opts.allocationProbe)
+                    opts.allocationProbe(T, rates);
+                appliedRates = rates;
+                // Apply changed shares: advance the engine to T
+                // first so the new rate only governs cycles after T.
+                for (size_t i = 0; i < n; ++i) {
+                    ClientRt &rt = rts[i];
+                    if (!rt.engine ||
+                        rt.phase == ClientRt::Phase::Finished)
+                        continue;
+                    double mult = rt.nominalRate > 0.0
+                                      ? rates[i] / rt.nominalRate
+                                      : 0.0;
+                    if (!demands[i].demanding)
+                        mult = rt.mult; // idle engine: keep the share
+                    if (!nearlyEqualRate(mult, rt.mult)) {
+                        rt.mult = mult;
+                        retimed.push_back(i);
+                    }
+                }
+                forEach(retimed, [&](size_t i) {
+                    engineAdvance(rts[i], T);
+                    rts[i].engine->setExternalRate(rts[i].mult);
+                });
+                // A retimed engine may have completed streams while
+                // advancing: its demand must be re-read next event.
+                if (!linear)
+                    for (size_t i : retimed)
+                        markDirty(i);
+            }
+        }
+
+        // Refresh candidates for every touched client (retimed ones
+        // under their new rate) and requeue them.
         for (size_t i : retimed)
             actors.push_back(i);
         std::sort(actors.begin(), actors.end());
         actors.erase(std::unique(actors.begin(), actors.end()),
                      actors.end());
         forEach(actors, [&](size_t i) { computeCandidates(rts[i]); });
+        if (!linear)
+            for (size_t i : actors)
+                pushCandidate(i);
     }
 
     result.clients.reserve(n);

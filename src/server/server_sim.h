@@ -9,23 +9,48 @@
  * pluggable BandwidthAllocator (server/allocator.h) divides among
  * them. Arrivals come from a seeded deterministic ArrivalPlan
  * (server/arrivals.h); per-client FaultPlans ride along unchanged in
- * each client's SimConfig.
+ * each client's SimConfig. An optional admission limit holds arrivals
+ * at the door until a slot frees, trading queueing delay at the edge
+ * for fair-share starvation inside.
  *
  * The core is a batched event-driven loop over piecewise-constant
  * per-client rates — the N-client generalization of the engine's own
  * nextEventAfter machinery. Between any two global events every
  * client's rate is exactly constant, so each client's engine
- * integrates its own streams exactly as a solo run would; at every
- * event (a client arrival, a first-use wait, an unblock, any engine's
- * internal stream event) the demand set is re-snapshotted, the
- * allocator re-divides the uplink, and every engine whose share
- * changed is advanced to the event cycle before the new rate is
- * applied. Blocked clients are stepped with the engine's own
- * nextStepToward bound — the identical arithmetic waitFor uses — so a
- * one-client server run reproduces the solo runReplay SimResult
- * cycle-for-cycle (tests/server_test.cc pins this), and a fleet whose
- * uplink never saturates reproduces every client's solo result
- * simultaneously.
+ * integrates its own streams exactly as a solo run would. Events
+ * (client arrivals, first-use waits, unblocks, engines' internal
+ * stream events, allocator refresh edges) are drawn from a min-heap
+ * priority queue keyed by next-event global cycle with
+ * lazy-invalidation entries: each client carries a version counter,
+ * candidate recomputation pushes a fresh (cycle, client, version)
+ * entry, and stale entries are discarded at pop. Per-event work
+ * therefore touches only the clients that actually act, not the
+ * whole fleet.
+ *
+ * Demand tracking is incremental to match: the loop keeps one
+ * persistent ClientDemand per client and re-snapshots only clients
+ * whose engines or replay state were touched since the last
+ * allocation. The allocator is re-invoked only when a touched
+ * client's demanding bit changed — or, for deadline-aware policies
+ * (BandwidthAllocator::usesDeadlines), when a nextFirstUse moved, or
+ * when the policy's own nextRefresh edge (aging) is reached. Because
+ * every allocator is a pure function of (capacity, now, demands),
+ * skipped invocations provably could not have changed the rates, so
+ * the incremental loop is cycle- and event-identical to the
+ * exhaustive one; ServerOptions::loop selects the retained O(n)
+ * linear-scan reference loop, and tests/server_test.cc pins the two
+ * loops' equality event count for event count on a 512-client fleet.
+ *
+ * Rate changes are applied under a relative-epsilon test consistent
+ * with the water-filling cap tolerance (1e-12): re-split residue an
+ * ulp away from the applied rate is the applied rate, so FP jitter
+ * can neither inflate allocationIntervals nor trigger spurious
+ * whole-fleet engine retimes. Blocked clients are stepped with the
+ * engine's own nextStepToward bound — the identical arithmetic
+ * waitFor uses — so a one-client server run reproduces the solo
+ * runReplay SimResult cycle-for-cycle (tests/server_test.cc pins
+ * this), and a fleet whose uplink never saturates reproduces every
+ * client's solo result simultaneously.
  *
  * Scaling: per-event engine advancement and candidate recomputation
  * touch only per-client state, so they shard across an
@@ -35,8 +60,8 @@
  * Observability: each client can be given its own EventSink; it sees
  * the same event stream a solo runReplay would emit (engine lifecycle
  * edges, MethodWait/Mispredict/RunEnd), timestamped in *client-local*
- * cycles, so buildStallReport and the Chrome trace exporter work
- * unchanged per client.
+ * cycles (cycle 0 = the client's admission), so buildStallReport and
+ * the Chrome trace exporter work unchanged per client.
  */
 
 #ifndef NSE_SERVER_SERVER_SIM_H
@@ -67,6 +92,16 @@ struct ClientSpec
     std::string name;
 };
 
+/** Event-loop strategy (see the file comment). */
+enum class ServerLoop : uint8_t
+{
+    /** Min-heap keyed by next-event cycle, incremental demand. */
+    PriorityQueue,
+    /** O(n)-per-event linear scans and full demand re-snapshot: the
+     *  reference implementation the heap loop is tested against. */
+    LinearScan,
+};
+
 /** Server-side simulation parameters. */
 struct ServerOptions
 {
@@ -76,6 +111,17 @@ struct ServerOptions
     /** Cross-client allocation policy; must be non-null. */
     const BandwidthAllocator *allocator = nullptr;
     ArrivalPlan arrivals;
+    /** Event-loop implementation; results are identical either way. */
+    ServerLoop loop = ServerLoop::PriorityQueue;
+    /**
+     * Admission control: at most this many clients admitted (set up,
+     * demanding bandwidth) at once; later arrivals queue at the door
+     * in arrival order and are admitted as finishers free slots.
+     * 0 = unlimited. A queued client's replay clock starts at its
+     * admission, so its SimResult stays solo-comparable; the
+     * admission wait is `admitted - arrival` in the result.
+     */
+    size_t admissionLimit = 0;
     /** Optional pool for sharding per-client work; null = serial. */
     const ExperimentRunner *pool = nullptr;
     /** Minimum client count before the pool engages (per-event
@@ -83,15 +129,16 @@ struct ServerOptions
     size_t parallelThreshold = 128;
     /**
      * Per-client observer factory (obs/event.h); null = unobserved.
-     * Called once per client at its arrival, from the event loop
+     * Called once per client at its admission, from the event loop
      * thread; each returned sink observes exactly that client (in
      * client-local cycles) and must not be shared across clients.
      */
     std::function<EventSink *(size_t client)> sinkFor;
     /**
-     * Test/diagnostic hook: called at every allocation instant with
-     * the global cycle and the per-client byte rates just assigned.
-     * Tests assert sum(rates) <= uplink here.
+     * Test/diagnostic hook: called at every allocation instant at
+     * which the rate vector changed, with the global cycle and the
+     * per-client byte rates just assigned. Tests assert
+     * sum(rates) <= uplink here.
      */
     std::function<void(uint64_t cycle,
                        const std::vector<double> &rates)>
@@ -99,12 +146,15 @@ struct ServerOptions
 };
 
 /** One client's outcome. `sim` is measured in client-local cycles
- *  (cycle 0 = the client's arrival), field-for-field comparable with
- *  a solo runReplay of the same (ctx, config). */
+ *  (cycle 0 = the client's admission), field-for-field comparable
+ *  with a solo runReplay of the same (ctx, config). */
 struct ServerClientResult
 {
     std::string name;
     uint64_t arrival = 0;  ///< global arrival cycle
+    /** Global cycle the client was admitted (== arrival unless an
+     *  admission limit queued it at the door). */
+    uint64_t admitted = 0;
     uint64_t finished = 0; ///< global cycle the replay completed
     SimResult sim;
 };
@@ -115,8 +165,16 @@ struct ServerResult
     std::vector<ServerClientResult> clients;
     /** Global cycle the last client finished. */
     uint64_t makespan = 0;
-    /** Allocation instants at which the rate vector changed. */
+    /** Allocation instants at which the rate vector changed (beyond
+     *  the water-filling 1e-12 relative tolerance). */
     uint64_t allocationIntervals = 0;
+    /** Global events the loop processed (identical across loop
+     *  strategies and thread counts). */
+    uint64_t events = 0;
+    /** Allocator invocations. The priority-queue loop skips calls
+     *  whose output provably cannot change, so this is its measure
+     *  of incrementality (LinearScan: == events). */
+    uint64_t allocatorRuns = 0;
 };
 
 /** Run the fleet to completion. */
@@ -130,8 +188,13 @@ linkRate(const LinkModel &link)
     return 1.0 / link.cyclesPerByte;
 }
 
-/** Jain's fairness index of xs: (sum x)^2 / (n * sum x^2), in
- *  (0, 1]; 1.0 = perfectly even. Empty or all-zero input => 1.0. */
+/**
+ * Jain's fairness index of xs: (sum x)^2 / (n * sum x^2), in (0, 1];
+ * 1.0 = perfectly even. Empty input => 1.0 (nothing is unfair).
+ * All-zero input => 0.0: the index is undefined there, and a fleet
+ * whose every sample is zero is degenerate, not perfectly fair —
+ * returning 1.0 would mask it (tests/server_test.cc pins this).
+ */
 double jainFairness(const std::vector<double> &xs);
 
 /** The p-th percentile (0..100, nearest-rank) of xs; 0 when empty. */

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Saturating unsigned arithmetic for cycle/byte bookkeeping.
+ *
+ * Cycle counts in this codebase use UINT64_MAX as "never" (no event,
+ * no deadline, unreachable). Arithmetic near that sentinel must clamp
+ * rather than wrap: a wrapped commitment or arrival reads as "due
+ * almost immediately" and poisons every downstream decision (the
+ * greedy placer's commitments, the server loop's event candidates,
+ * arrival-plan accumulation). These helpers are the one shared home
+ * for that clamping; do not re-derive them locally.
+ */
+
+#ifndef NSE_SUPPORT_SATURATE_H
+#define NSE_SUPPORT_SATURATE_H
+
+#include <cstdint>
+
+namespace nse
+{
+
+/** a + b, clamped to UINT64_MAX on overflow. */
+inline uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/** a * b, clamped to UINT64_MAX on overflow. */
+inline uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > UINT64_MAX / b)
+        return UINT64_MAX;
+    return a * b;
+}
+
+/**
+ * Truncate a non-negative double to uint64_t, clamping to UINT64_MAX
+ * when the value is at or beyond 2^64 (where the raw cast is
+ * undefined behavior). NaN and negative inputs clamp to 0.
+ */
+inline uint64_t
+satFromDouble(double x)
+{
+    if (!(x > 0.0))
+        return 0;
+    // 2^64 is exactly representable; anything >= it must clamp.
+    if (x >= 18446744073709551616.0)
+        return UINT64_MAX;
+    return static_cast<uint64_t>(x);
+}
+
+} // namespace nse
+
+#endif // NSE_SUPPORT_SATURATE_H

@@ -4,6 +4,7 @@
 
 #include "bytecode/instruction.h"
 #include "support/error.h"
+#include "support/saturate.h"
 #include "transfer/engine.h"
 
 namespace nse
@@ -69,15 +70,6 @@ staticFirstUseCycles(const Program &prog, const FirstUseOrder &order)
 
 namespace
 {
-
-/** Saturating add: commitments near UINT64_MAX must clamp, not wrap
- *  (a wrapped commitment reads as "due almost immediately" and
- *  poisons every later placement). */
-uint64_t
-satAdd(uint64_t a, uint64_t b)
-{
-    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
-}
 
 /**
  * Greedy scheduler working state: places one class at a time in

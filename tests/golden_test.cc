@@ -8,12 +8,20 @@
  * as a diff — deliberate changes regenerate the fixture.
  */
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
 
+#include "analysis/audit.h"
+#include "analysis/callgraph.h"
+#include "analysis/first_use.h"
 #include "bench/interleaved_table.h"
 #include "bench/parallel_table.h"
+#include "program/builder.h"
+#include "restructure/data_partition.h"
+#include "restructure/layout.h"
 
 namespace nse
 {
@@ -41,6 +49,63 @@ TEST(Golden, Table5ReportIsByteIdentical)
            "change is intentional, regenerate the fixture with:\n"
            "  build/bench/bench_table5_parallel_t1 > "
            "tests/golden/table5_t1.txt";
+}
+
+TEST(Golden, AuditJsonIsByteIdentical)
+{
+    // The machine-readable auditor document (schema nse-audit-v1) is
+    // an external interface: downstream tooling parses it, so its
+    // exact shape — field names, ordering, formatting — is pinned
+    // here on a deterministic mismatched-partition report (the same
+    // recipe tests/audit_test.cc checks semantically: partition built
+    // where a precedes b, layout from the swapped order).
+    ProgramBuilder pb;
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &a = t.addMethod("a", "()V");
+    a.ldcString("shared banner text, claimed by the earlier user");
+    a.emit(Opcode::POP);
+    a.invokeStatic("T", "b", "()V");
+    a.emit(Opcode::RETURN);
+    MethodBuilder &b = t.addMethod("b", "()V");
+    b.ldcString("shared banner text, claimed by the earlier user");
+    b.emit(Opcode::POP);
+    b.emit(Opcode::RETURN);
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.invokeStatic("T", "a", "()V");
+    m.invokeStatic("T", "b", "()V");
+    m.emit(Opcode::RETURN);
+    Program p = pb.build("T");
+
+    CallGraph cg = buildCallGraph(p);
+    MethodId a_id = p.resolveStatic("T", "a", "()V");
+    MethodId b_id = p.resolveStatic("T", "b", "()V");
+    FirstUseOrder o1 = staticFirstUse(p); // main, a, b
+    FirstUseOrder o2 = o1;
+    auto ia = std::find(o2.order.begin(), o2.order.end(), a_id);
+    auto ib = std::find(o2.order.begin(), o2.order.end(), b_id);
+    ASSERT_TRUE(ia != o2.order.end() && ib != o2.order.end());
+    std::iter_swap(ia, ib); // main, b, a
+
+    DataPartition part = partitionGlobalData(p, o1);
+    TransferLayout layout = makeParallelLayout(p, o2, &part);
+    AuditReport report = auditNonStrictSafety(p, cg, o2, layout, &part);
+    ASSERT_FALSE(report.ok());
+    std::string actual = report.toJson();
+
+    std::string path =
+        std::string(NSE_SOURCE_DIR) + "/tests/golden/audit_mismatch.json";
+    const char *regen = std::getenv("NSE_REGEN_GOLDEN");
+    if (regen && *regen) {
+        std::ofstream os(path, std::ios::binary);
+        os << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    EXPECT_EQ(readFile(path), actual)
+        << "nse-audit-v1 JSON drifted from tests/golden/"
+           "audit_mismatch.json. If the schema change is intentional, "
+           "regenerate with:\n"
+           "  NSE_REGEN_GOLDEN=1 build/tests/golden_test "
+           "--gtest_filter=Golden.AuditJsonIsByteIdentical";
 }
 
 TEST(Golden, Table7ReportIsByteIdentical)

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/bytebuffer.h"
 #include "support/error.h"
 #include "support/rng.h"
+#include "support/saturate.h"
 
 namespace nse
 {
@@ -159,6 +162,42 @@ TEST(Rng, ChanceRatioRoughlyHolds)
     for (int i = 0; i < 10000; ++i)
         hits += rng.chance(1, 4);
     EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(Saturate, AddClampsAtMax)
+{
+    EXPECT_EQ(satAdd(2, 3), 5u);
+    EXPECT_EQ(satAdd(UINT64_MAX, 0), UINT64_MAX);
+    EXPECT_EQ(satAdd(UINT64_MAX, 1), UINT64_MAX);
+    EXPECT_EQ(satAdd(UINT64_MAX - 1, 1), UINT64_MAX);
+    EXPECT_EQ(satAdd(UINT64_MAX / 2 + 1, UINT64_MAX / 2 + 1),
+              UINT64_MAX);
+}
+
+TEST(Saturate, MulClampsAtMax)
+{
+    EXPECT_EQ(satMul(6, 7), 42u);
+    EXPECT_EQ(satMul(0, UINT64_MAX), 0u);
+    EXPECT_EQ(satMul(UINT64_MAX, 0), 0u);
+    EXPECT_EQ(satMul(1, UINT64_MAX), UINT64_MAX);
+    EXPECT_EQ(satMul(2, UINT64_MAX / 2 + 1), UINT64_MAX);
+    EXPECT_EQ(satMul(3, UINT64_MAX / 2), UINT64_MAX);
+    EXPECT_EQ(satMul(UINT64_MAX / 2, 2), UINT64_MAX - 1);
+}
+
+TEST(Saturate, FromDoubleHandlesEdges)
+{
+    EXPECT_EQ(satFromDouble(0.0), 0u);
+    EXPECT_EQ(satFromDouble(-1.0), 0u);
+    EXPECT_EQ(satFromDouble(2.9), 2u);
+    EXPECT_EQ(satFromDouble(1e6), 1'000'000u);
+    // The raw cast is UB from 2^64 up; the helper clamps instead.
+    EXPECT_EQ(satFromDouble(18446744073709551616.0), UINT64_MAX);
+    EXPECT_EQ(satFromDouble(1e30), UINT64_MAX);
+    EXPECT_EQ(satFromDouble(std::numeric_limits<double>::infinity()),
+              UINT64_MAX);
+    EXPECT_EQ(satFromDouble(std::numeric_limits<double>::quiet_NaN()),
+              0u);
 }
 
 } // namespace
