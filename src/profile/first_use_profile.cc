@@ -1,7 +1,5 @@
 #include "profile/first_use_profile.h"
 
-#include <set>
-
 #include "classfile/writer.h"
 #include "support/error.h"
 
@@ -31,12 +29,21 @@ FirstUseProfile::executedInstrFraction(const Program &prog) const
 
 FirstUseProfile
 profileRun(const Program &prog, const NativeRegistry &natives,
-           std::vector<int64_t> input)
+           std::vector<int64_t> input, const DecodedCache *decoded)
 {
     FirstUseProfile profile;
-    std::map<MethodId, std::set<uint32_t>> offsets_seen;
+    // The hook runs once per executed bytecode, so its bookkeeping is
+    // the profiler's hot path. Instructions overwhelmingly repeat the
+    // previous instruction's method, and byte offsets are small and
+    // dense, so a one-entry method memo plus a per-method offset
+    // bitmap replaces two map lookups per bytecode with two array
+    // indexes.
+    std::map<MethodId, std::vector<uint8_t>> offsets_seen;
+    MethodId last_id;
+    MethodProfile *last_mp = nullptr;
+    std::vector<uint8_t> *last_seen = nullptr;
 
-    Vm vm(prog, natives, std::move(input));
+    Vm vm(prog, natives, std::move(input), {}, decoded);
     vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
         profile.order.push_back(id);
         profile.firstUseClock.push_back(clock);
@@ -45,11 +52,20 @@ profileRun(const Program &prog, const NativeRegistry &natives,
     });
     vm.setInstructionHook(
         [&](MethodId id, const Instruction &inst, uint64_t) {
-            MethodProfile &mp = profile.methods[id];
-            ++mp.dynamicInstrs;
-            if (offsets_seen[id].insert(inst.offset).second) {
-                ++mp.uniqueInstrs;
-                mp.uniqueBytes += inst.size();
+            if (!last_mp || !(id == last_id)) {
+                last_id = id;
+                last_mp = &profile.methods[id];
+                last_seen = &offsets_seen[id];
+            }
+            ++last_mp->dynamicInstrs;
+            std::vector<uint8_t> &seen = *last_seen;
+            if (inst.offset >= seen.size())
+                seen.resize(inst.offset + 1, 0);
+            uint8_t &flag = seen[inst.offset];
+            if (!flag) {
+                flag = 1;
+                ++last_mp->uniqueInstrs;
+                last_mp->uniqueBytes += inst.size();
             }
         });
 

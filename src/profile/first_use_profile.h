@@ -51,10 +51,15 @@ struct FirstUseProfile
     double executedInstrFraction(const Program &prog) const;
 };
 
-/** Execute the program on `input`, collecting a first-use profile. */
+/**
+ * Execute the program on `input`, collecting a first-use profile.
+ * `decoded` optionally shares a decode cache (SimContext::decoded);
+ * the profile is bit-identical with or without it.
+ */
 FirstUseProfile profileRun(const Program &prog,
                            const NativeRegistry &natives,
-                           std::vector<int64_t> input);
+                           std::vector<int64_t> input,
+                           const DecodedCache *decoded = nullptr);
 
 /** Static program statistics (Table 2 inputs). */
 struct ProgramStatics

@@ -355,17 +355,18 @@ storeTrace(const std::filesystem::path &path, const ExecTrace &t)
 FirstUseProfile
 cachedProfileRun(const Program &prog, const NativeRegistry &natives,
                  const std::vector<int64_t> &input,
-                 const std::string &cache_dir)
+                 const std::string &cache_dir,
+                 const DecodedCache *decoded)
 {
     if (cache_dir.empty())
-        return profileRun(prog, natives, input);
+        return profileRun(prog, natives, input, decoded);
     std::filesystem::path path =
         cachePath(cache_dir, "profile", runKey(prog, natives, input, {}));
     if (std::optional<FirstUseProfile> p = loadProfile(path)) {
         touchCacheFile(path);
         return std::move(*p);
     }
-    FirstUseProfile p = profileRun(prog, natives, input);
+    FirstUseProfile p = profileRun(prog, natives, input, decoded);
     storeProfile(path, p);
     evictCacheOverCap(cache_dir);
     return p;
@@ -376,7 +377,7 @@ cachedProfileRun(const Program &prog, const NativeRegistry &natives,
 ExecTrace
 recordTrace(const Program &prog, const NativeRegistry &natives,
             const std::vector<int64_t> &input, const VmOptions &opts,
-            const std::string &cache_dir)
+            const std::string &cache_dir, const DecodedCache *decoded)
 {
     std::filesystem::path path;
     if (!cache_dir.empty()) {
@@ -389,7 +390,7 @@ recordTrace(const Program &prog, const NativeRegistry &natives,
     }
 
     ExecTrace trace;
-    Vm vm(prog, natives, input, opts);
+    Vm vm(prog, natives, input, opts, decoded);
     vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
         trace.events.push_back({id, clock});
         return clock;
@@ -420,8 +421,8 @@ const FirstUseProfile &
 SimContext::trainProfile() const
 {
     std::call_once(trainOnce_, [&] {
-        trainProfile_ =
-            cachedProfileRun(prog_, natives_, trainInput_, cacheDir_);
+        trainProfile_ = cachedProfileRun(prog_, natives_, trainInput_,
+                                         cacheDir_, &decoded());
     });
     return *trainProfile_;
 }
@@ -430,8 +431,8 @@ const FirstUseProfile &
 SimContext::testProfile() const
 {
     std::call_once(testOnce_, [&] {
-        testProfile_ =
-            cachedProfileRun(prog_, natives_, testInput_, cacheDir_);
+        testProfile_ = cachedProfileRun(prog_, natives_, testInput_,
+                                        cacheDir_, &decoded());
     });
     return *testProfile_;
 }
@@ -468,6 +469,16 @@ SimContext::callGraph() const
 {
     std::call_once(cgOnce_, [&] { callGraph_ = buildCallGraph(prog_); });
     return *callGraph_;
+}
+
+const DecodedCache &
+SimContext::decoded() const
+{
+    std::call_once(decodedOnce_, [&] {
+        decoded_ = std::make_unique<DecodedCache>(
+            prog_, /*block_delimiter_cost=*/0);
+    });
+    return *decoded_;
 }
 
 const FirstUseOrder &

@@ -28,6 +28,7 @@
 #define NSE_SIM_CONTEXT_H
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -42,6 +43,7 @@
 #include "restructure/layout.h"
 #include "transfer/link.h"
 #include "transfer/schedule.h"
+#include "vm/decoded.h"
 #include "vm/natives.h"
 
 namespace nse
@@ -84,11 +86,15 @@ struct ExecTrace
  * Record an execution trace by running the interpreter once with a
  * pass-through first-use hook. When `cache_dir` is non-empty, the
  * trace is loaded from / stored to a content-addressed file there.
+ * `decoded` optionally shares a decode cache across runs (results are
+ * bit-identical with or without it, so it is not part of the cache
+ * key).
  */
 ExecTrace recordTrace(const Program &prog, const NativeRegistry &natives,
                       const std::vector<int64_t> &input,
                       const VmOptions &opts = {},
-                      const std::string &cache_dir = "");
+                      const std::string &cache_dir = "",
+                      const DecodedCache *decoded = nullptr);
 
 /** Identity of a memoized transfer layout. */
 struct LayoutKey
@@ -168,6 +174,18 @@ class SimContext
     /** Memoized whole-program call graph (CHA + RTA resolution). */
     const CallGraph &callGraph() const;
 
+    /**
+     * Memoized decode cache (vm/decoded.h) shared by every Vm the
+     * context spawns — profile runs, trace recording, the live
+     * reference co-simulation — and by callers wanting fast repeated
+     * execution (benchmarks, the experiment runner's replay grids).
+     * Built against a zero block-delimiter cost, the default every
+     * profile/trace run uses; a Vm whose options differ silently
+     * decodes privately, so sharing is always safe. Thread-safe like
+     * every other memoized accessor.
+     */
+    const DecodedCache &decoded() const;
+
     const FirstUseOrder &ordering(OrderingSource src) const;
     const DataPartition &partition(OrderingSource src) const;
 
@@ -194,11 +212,13 @@ class SimContext
     uint64_t totalBytes_ = 0;
     uint64_t entryClassBytes_ = 0;
 
-    mutable std::once_flag trainOnce_, testOnce_, traceOnce_, cgOnce_;
+    mutable std::once_flag trainOnce_, testOnce_, traceOnce_, cgOnce_,
+        decodedOnce_;
     mutable std::optional<FirstUseProfile> trainProfile_;
     mutable std::optional<FirstUseProfile> testProfile_;
     mutable std::optional<ExecTrace> trace_;
     mutable std::optional<CallGraph> callGraph_;
+    mutable std::unique_ptr<DecodedCache> decoded_;
 
     mutable std::mutex orderMu_;
     mutable std::map<OrderingSource, FirstUseOrder> orders_;

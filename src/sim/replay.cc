@@ -172,9 +172,35 @@ runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
     SimResult r;
     bool entry_seen = false;
     const ExecTrace &trace = ctx.trace();
+    // Batched integration: inside a quiet window (nothing in flight,
+    // next scheduled start still ahead) the engine's state is frozen,
+    // so a first-use whose needed prefix has already arrived resolves
+    // to `resume == clock` by pure arithmetic — whole runs of events
+    // between watch crossings cost one predicate each instead of an
+    // engine advance. Any event the fast path cannot answer (stream
+    // mid-flight, prefix missing, possible misprediction, or an
+    // observer that must see engine-time-ordered events) falls back to
+    // the exact per-event sequence, then re-arms the window. The
+    // final advanceTo below restores the engine clock the per-event
+    // integrator would have left, keeping retry/degraded accounting
+    // and the returned SimResult field-for-field identical
+    // (tests/replay_test.cc pins this against runLiveReference).
+    uint64_t quiet = obs ? 0 : engine.quietUntil();
+    uint64_t last_resume = 0;
     uint64_t final_clock =
         replayTrace(trace, [&](MethodId id, uint64_t clock) {
             const MethodPlacement &pl = layout.of(id);
+            if (!obs && clock < quiet &&
+                engine.hasArrived(pl.streamIdx, pl.availOffset) &&
+                !(parallel && engine.stream(pl.streamIdx).state ==
+                                  StreamState::Idle)) {
+                if (!entry_seen) {
+                    entry_seen = true;
+                    r.invocationLatency = clock;
+                }
+                last_resume = clock;
+                return clock;
+            }
             if (parallel) {
                 engine.advanceTo(clock);
                 const Stream &s = engine.stream(pl.streamIdx);
@@ -197,8 +223,13 @@ runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
                 entry_seen = true;
                 r.invocationLatency = resume;
             }
+            if (!obs)
+                quiet = engine.quietUntil();
+            last_resume = resume;
             return resume;
         });
+    if (last_resume > engine.time())
+        engine.advanceTo(last_resume);
 
     r.totalCycles = final_clock;
     r.execCycles = trace.totals.execCycles;
@@ -226,7 +257,8 @@ runLiveReference(const SimContext &ctx, const SimConfig &cfg,
 
     SimResult r;
     bool entry_seen = false;
-    Vm vm(ctx.program(), ctx.natives(), ctx.testInput());
+    Vm vm(ctx.program(), ctx.natives(), ctx.testInput(), {},
+          &ctx.decoded());
     vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
         const MethodPlacement &pl = layout.of(id);
         if (parallel) {

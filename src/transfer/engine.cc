@@ -81,6 +81,7 @@ TransferEngine::addStream(std::string name, uint64_t total_bytes)
         sink_->noteStream(idx, s.name, total_bytes);
     streams_.push_back(std::move(s));
     drops_.push_back(plan_.dropsFor(idx, total_bytes));
+    dropsPending_ += drops_.back().size();
     nextDrop_.push_back(0);
     resumeAt_.push_back(UINT64_MAX);
     watchSet_.push_back(0);
@@ -155,6 +156,19 @@ TransferEngine::hasArrived(int stream, uint64_t offset) const
            static_cast<double>(offset);
 }
 
+uint64_t
+TransferEngine::quietUntil() const
+{
+    // Anything in flight can make progress (or retry) at any cycle:
+    // no quiet window. A non-empty queue implies a full slot table,
+    // which implies active streams, but check it anyway.
+    if (active_ > 0 || suspended_ > 0 || !queue_.empty())
+        return time_;
+    if (pendingStarts_ == 0)
+        return UINT64_MAX;
+    return std::max(nextStart_, time_);
+}
+
 bool
 TransferEngine::slotFree() const
 {
@@ -214,27 +228,44 @@ uint64_t
 TransferEngine::nextEventAfter(uint64_t t) const
 {
     uint64_t next = UINT64_MAX;
-    double rate = perStreamRate();
-    for (size_t i = 0; i < streams_.size(); ++i) {
-        const Stream &s = streams_[i];
-        if (s.state == StreamState::Idle &&
-            s.scheduledStart != UINT64_MAX && s.scheduledStart > t) {
-            next = std::min(next, s.scheduledStart);
-        } else if (s.state == StreamState::Active && rate > 0.0) {
-            // The next stop for this stream: completion, or pausing at
-            // its next drop offset. Exact while the rate holds; a
-            // trace boundary before then fires first and we
-            // re-estimate at the new rate. During a full outage
-            // (rate 0) no bytes move, so the stream contributes no
-            // event — the trace's next change point below bounds the
-            // step instead (ceil(x / 0) would be UB to cast).
-            double remaining = stopBytes(i) - s.arrivedBytes;
-            uint64_t done_at = completionAt(t, remaining / rate);
-            if (done_at != UINT64_MAX)
-                next = std::min(next, std::max(done_at, t + 1));
-        } else if (s.state == StreamState::Suspended &&
-                   resumeAt_[i] > t) {
-            next = std::min(next, resumeAt_[i]);
+    if (pendingStarts_ > 0) {
+        if (nextStart_ > t) {
+            // The index is exact, so this is the same bound the
+            // per-stream scan below would find.
+            next = nextStart_;
+        } else {
+            // A due start not yet processed (public pure-query use
+            // between processEventsAt calls): fall back to scanning.
+            for (const Stream &s : streams_) {
+                if (s.state == StreamState::Idle &&
+                    s.scheduledStart != UINT64_MAX &&
+                    s.scheduledStart > t) {
+                    next = std::min(next, s.scheduledStart);
+                }
+            }
+        }
+    }
+    if (active_ > 0 || suspended_ > 0) {
+        double rate = perStreamRate();
+        for (size_t i = 0; i < streams_.size(); ++i) {
+            const Stream &s = streams_[i];
+            if (s.state == StreamState::Active && rate > 0.0) {
+                // The next stop for this stream: completion, or
+                // pausing at its next drop offset. Exact while the
+                // rate holds; a trace boundary before then fires
+                // first and we re-estimate at the new rate. During a
+                // full outage (rate 0) no bytes move, so the stream
+                // contributes no event — the trace's next change
+                // point below bounds the step instead (ceil(x / 0)
+                // would be UB to cast).
+                double remaining = stopBytes(i) - s.arrivedBytes;
+                uint64_t done_at = completionAt(t, remaining / rate);
+                if (done_at != UINT64_MAX)
+                    next = std::min(next, std::max(done_at, t + 1));
+            } else if (s.state == StreamState::Suspended &&
+                       resumeAt_[i] > t) {
+                next = std::min(next, resumeAt_[i]);
+            }
         }
     }
     if (active_ > 0)
@@ -258,7 +289,7 @@ TransferEngine::progressTo(uint64_t t)
         suspended_ > 0) {
         degradedCycles_ += t - time_;
     }
-    for (size_t i = 0; i < streams_.size(); ++i) {
+    for (size_t i = 0; active_ > 0 && i < streams_.size(); ++i) {
         Stream &s = streams_[i];
         if (s.state != StreamState::Active)
             continue;
@@ -284,65 +315,100 @@ TransferEngine::progressTo(uint64_t t)
 }
 
 void
+TransferEngine::recomputeNextStart()
+{
+    pendingStarts_ = 0;
+    nextStart_ = UINT64_MAX;
+    for (const Stream &s : streams_) {
+        if (s.state == StreamState::Idle &&
+            s.scheduledStart != UINT64_MAX) {
+            ++pendingStarts_;
+            nextStart_ = std::min(nextStart_, s.scheduledStart);
+        }
+    }
+}
+
+void
 TransferEngine::processEventsAt(uint64_t t)
 {
-    // Completions first: they free slots for queued/scheduled streams.
-    for (size_t i = 0; i < streams_.size(); ++i) {
-        Stream &s = streams_[i];
-        if (s.state == StreamState::Active &&
-            s.arrivedBytes >= s.totalBytes - kEps) {
-            s.arrivedBytes = s.totalBytes;
-            s.state = StreamState::Done;
-            s.finishedAt = t;
-            NSE_ASSERT(active_ > 0, "active count underflow");
-            --active_;
-            emit(ObsKind::StreamComplete, t, static_cast<int>(i),
-                 static_cast<uint64_t>(s.totalBytes));
+    // Each pass below is gated on a counter saying it can fire at
+    // all; a skipped pass would have scanned every stream and found
+    // nothing. Pass order (completions, drops, retries, starts,
+    // queue) is load-bearing: completions free slots before starts
+    // claim them.
+    if (active_ > 0) {
+        // Completions first: they free slots for queued/scheduled
+        // streams.
+        for (size_t i = 0; i < streams_.size(); ++i) {
+            Stream &s = streams_[i];
+            if (s.state == StreamState::Active &&
+                s.arrivedBytes >= s.totalBytes - kEps) {
+                s.arrivedBytes = s.totalBytes;
+                s.state = StreamState::Done;
+                s.finishedAt = t;
+                NSE_ASSERT(active_ > 0, "active count underflow");
+                --active_;
+                emit(ObsKind::StreamComplete, t, static_cast<int>(i),
+                     static_cast<uint64_t>(s.totalBytes));
+            }
         }
     }
-    // Drops: a stream whose cursor reached its next drop offset loses
-    // its connection and retries with exponential backoff; it resumes
-    // from the drop offset (bytes already arrived are kept).
-    for (size_t i = 0; i < streams_.size(); ++i) {
-        Stream &s = streams_[i];
-        if (s.state != StreamState::Active ||
-            nextDrop_[i] >= drops_[i].size()) {
-            continue;
-        }
-        const DropEvent &d = drops_[i][nextDrop_[i]];
-        if (s.arrivedBytes + kEps >=
-            static_cast<double>(d.offsetBytes)) {
-            s.state = StreamState::Suspended;
-            resumeAt_[i] = t + plan_.retryDelay(d.attempts);
-            retryCount_ += static_cast<uint64_t>(d.attempts);
-            ++nextDrop_[i];
-            NSE_ASSERT(active_ > 0, "active count underflow");
-            --active_;
-            ++suspended_;
-            emit(ObsKind::StreamDrop, t, static_cast<int>(i),
-                 d.offsetBytes, resumeAt_[i]);
-        }
-    }
-    // Retries that succeeded by now resume transferring.
-    for (size_t i = 0; i < streams_.size(); ++i) {
-        Stream &s = streams_[i];
-        if (s.state == StreamState::Suspended && resumeAt_[i] <= t) {
-            s.state = StreamState::Active;
-            resumeAt_[i] = UINT64_MAX;
-            NSE_ASSERT(suspended_ > 0, "suspended count underflow");
-            --suspended_;
-            ++active_;
-            emit(ObsKind::StreamResume, t, static_cast<int>(i),
-                 static_cast<uint64_t>(s.arrivedBytes));
+    if (active_ > 0 && dropsPending_ > 0) {
+        // Drops: a stream whose cursor reached its next drop offset
+        // loses its connection and retries with exponential backoff;
+        // it resumes from the drop offset (bytes already arrived are
+        // kept).
+        for (size_t i = 0; i < streams_.size(); ++i) {
+            Stream &s = streams_[i];
+            if (s.state != StreamState::Active ||
+                nextDrop_[i] >= drops_[i].size()) {
+                continue;
+            }
+            const DropEvent &d = drops_[i][nextDrop_[i]];
+            if (s.arrivedBytes + kEps >=
+                static_cast<double>(d.offsetBytes)) {
+                s.state = StreamState::Suspended;
+                resumeAt_[i] = t + plan_.retryDelay(d.attempts);
+                retryCount_ += static_cast<uint64_t>(d.attempts);
+                ++nextDrop_[i];
+                --dropsPending_;
+                NSE_ASSERT(active_ > 0, "active count underflow");
+                --active_;
+                ++suspended_;
+                emit(ObsKind::StreamDrop, t, static_cast<int>(i),
+                     d.offsetBytes, resumeAt_[i]);
+            }
         }
     }
-    // Scheduled starts due by now.
-    for (size_t i = 0; i < streams_.size(); ++i) {
-        Stream &s = streams_[i];
-        if (s.state == StreamState::Idle &&
-            s.scheduledStart != UINT64_MAX && s.scheduledStart <= t) {
-            activateOrQueue(static_cast<int>(i), t, /*front=*/false);
+    if (suspended_ > 0) {
+        // Retries that succeeded by now resume transferring.
+        for (size_t i = 0; i < streams_.size(); ++i) {
+            Stream &s = streams_[i];
+            if (s.state == StreamState::Suspended &&
+                resumeAt_[i] <= t) {
+                s.state = StreamState::Active;
+                resumeAt_[i] = UINT64_MAX;
+                NSE_ASSERT(suspended_ > 0,
+                           "suspended count underflow");
+                --suspended_;
+                ++active_;
+                emit(ObsKind::StreamResume, t, static_cast<int>(i),
+                     static_cast<uint64_t>(s.arrivedBytes));
+            }
         }
+    }
+    if (pendingStarts_ > 0 && nextStart_ <= t) {
+        // Scheduled starts due by now.
+        for (size_t i = 0; i < streams_.size(); ++i) {
+            Stream &s = streams_[i];
+            if (s.state == StreamState::Idle &&
+                s.scheduledStart != UINT64_MAX &&
+                s.scheduledStart <= t) {
+                activateOrQueue(static_cast<int>(i), t,
+                                /*front=*/false);
+            }
+        }
+        recomputeNextStart();
     }
     // Fill freed slots from the queue, FIFO.
     while (!queue_.empty() && slotFree()) {
@@ -375,6 +441,7 @@ TransferEngine::scheduleStart(int stream, uint64_t cycle)
     NSE_CHECK(s.state == StreamState::Idle,
               "scheduleStart on started stream ", s.name);
     s.scheduledStart = cycle;
+    recomputeNextStart();
 }
 
 void
@@ -399,6 +466,7 @@ TransferEngine::demandStart(int stream, uint64_t now)
       }
       case StreamState::Idle:
         s.scheduledStart = UINT64_MAX;
+        recomputeNextStart();
         // Start at the engine clock, not the caller's: advanceTo
         // above may have moved time_ past `now`, and a stream must
         // never record startedAt in the engine's past.

@@ -165,6 +165,20 @@ class TransferEngine
      *  bytes of the stream arrived (within the engine's epsilon)? */
     bool hasArrived(int stream, uint64_t offset) const;
 
+    /**
+     * End of the engine's current *quiet window*: the earliest future
+     * cycle at which its state can change at all. While any stream is
+     * in flight (active, suspended, or queued) there is no window and
+     * the current time is returned; otherwise no bytes move, no watch
+     * can cross, and no accounting accumulates until the next
+     * scheduled start, so every cycle strictly before the returned
+     * value observes exactly the current state. UINT64_MAX = nothing
+     * pending ever (all streams done or unscheduled). Pure query —
+     * the batched replay integrator uses it to answer whole runs of
+     * first-use waits arithmetically, without stepping the engine.
+     */
+    uint64_t quietUntil() const;
+
     /** Total retry attempts across all drop events triggered so far. */
     uint64_t retryCount() const { return retryCount_; }
 
@@ -188,6 +202,8 @@ class TransferEngine
     uint64_t nextEventAfter(uint64_t t) const;
     void progressTo(uint64_t t);
     void processEventsAt(uint64_t t);
+    /** Rebuild the pending-start index (count + exact next cycle). */
+    void recomputeNextStart();
     void activateOrQueue(int stream, uint64_t now, bool front);
     void markActive(size_t idx, uint64_t now);
     /** Byte cursor cap for a stream: its end, or its next pending
@@ -210,6 +226,22 @@ class TransferEngine
     uint64_t degradedCycles_ = 0;
     std::vector<Stream> streams_;
     std::deque<int> queue_;
+    /**
+     * Event-loop fast-path index. The integrator's hot path
+     * (advanceTo / waitFor, once or more per replayed first-use)
+     * scans every stream in each of its bookkeeping passes; these
+     * counters let the passes that cannot fire exit before touching
+     * any stream. They are pure control flow — when a pass does run
+     * it performs exactly the arithmetic it always did, so results
+     * stay bit-identical. `nextStart_` is kept *exact* (recomputed
+     * whenever the scheduled-start set changes) because it bounds
+     * integration steps: an approximate bound would split
+     * constant-rate segments at different points and perturb float
+     * rounding.
+     */
+    size_t pendingStarts_ = 0;
+    uint64_t nextStart_ = UINT64_MAX;
+    uint64_t dropsPending_ = 0;
     /** Per-stream pending drop events and the next one's index. */
     std::vector<std::vector<DropEvent>> drops_;
     std::vector<size_t> nextDrop_;

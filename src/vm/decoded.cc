@@ -1,0 +1,260 @@
+#include "vm/decoded.h"
+
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+bool
+isPush(Opcode op)
+{
+    return op == Opcode::PUSH_I8 || op == Opcode::PUSH_I32;
+}
+
+/** True when the decoded op is a (base) branch opcode. */
+bool
+isBranchDOp(DOp op)
+{
+    return static_cast<size_t>(op) < kNumOpcodes &&
+           isBranch(static_cast<Opcode>(op));
+}
+
+/**
+ * Lower verified.insts[i] one-to-one. Branch operands become
+ * instruction indices in the *original* index space (the fused stream
+ * remaps them afterwards); LDC specializes on the entry's tag; NEW
+ * pre-resolves its class index (a failed lookup stays a runtime fatal,
+ * preserving lazy-resolution semantics for NEW sites that never run).
+ */
+DInst
+lowerOne(const Program &prog, const ClassFile &cf,
+         const VerifiedMethod &vm, size_t i, uint32_t bdc)
+{
+    const Instruction &inst = vm.insts[i];
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    DInst d;
+    d.op = static_cast<DOp>(static_cast<uint8_t>(inst.op));
+    d.count = 1;
+    d.cost = info.cycleCost;
+    if (bdc && (isBranch(inst.op) || isReturn(inst.op)))
+        d.cost += bdc;
+    if (info.operand == OperandKind::Branch)
+        d.a = static_cast<int32_t>(
+            vm.indexOf(static_cast<uint32_t>(inst.operand)));
+    else if (info.operand != OperandKind::None)
+        d.a = inst.operand;
+
+    if (inst.op == Opcode::LDC) {
+        // The verifier guarantees the tag is Integer or String.
+        const CpEntry &e =
+            cf.cpool.at(static_cast<uint16_t>(inst.operand));
+        if (e.tag == CpTag::Integer) {
+            auto v = static_cast<uint64_t>(e.value);
+            d.op = DOp::LdcInt;
+            d.a = static_cast<int32_t>(static_cast<uint32_t>(v));
+            d.b = static_cast<int32_t>(static_cast<uint32_t>(v >> 32));
+        } else {
+            d.op = DOp::LdcStr;
+        }
+    } else if (inst.op == Opcode::NEW) {
+        const std::string &cls_name =
+            cf.cpool.className(static_cast<uint16_t>(inst.operand));
+        d.b = prog.classIndex(cls_name);
+    }
+    return d;
+}
+
+} // namespace
+
+DecodedMethod
+decodeMethod(const Program &prog, MethodId id, const VerifiedMethod &vm,
+             uint32_t block_delimiter_cost)
+{
+    const ClassFile &cf = prog.classAt(id.classIdx);
+    DecodedMethod out;
+    out.verified = vm;
+    out.maxLocals = prog.method(id).maxLocals;
+    const std::vector<Instruction> &ins = out.verified.insts;
+    size_t n = ins.size();
+
+    out.plain.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.plain.push_back(lowerOne(prog, cf, out.verified, i,
+                                     block_delimiter_cost));
+
+    // Branch-target map: a fused group may *begin* at a target (a jump
+    // re-enters the whole group) but never contain one in its interior
+    // (a jump would skip part of the group's effect).
+    std::vector<uint8_t> is_target(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (isBranch(ins[i].op))
+            is_target[out.verified.indexOf(
+                static_cast<uint32_t>(ins[i].operand))] = 1;
+    }
+    auto interior_free = [&](size_t i, size_t k) {
+        for (size_t c = 1; c < k; ++c)
+            if (is_target[i + c])
+                return false;
+        return true;
+    };
+    auto cost_of = [&](size_t j) {
+        return opcodeInfo(ins[j].op).cycleCost;
+    };
+
+    // Greedy longest-first fusion. Components are pure stack/local
+    // ops — never branches, returns, invokes, or anything that can
+    // observe the clock — so summing their costs into one charge and
+    // one budget check is exact at every instruction-group boundary.
+    std::vector<int32_t> orig_to_fast(n, -1);
+    size_t i = 0;
+    while (i < n) {
+        orig_to_fast[i] = static_cast<int32_t>(out.fast.size());
+        if (i + 4 <= n && ins[i].op == Opcode::ILOAD &&
+            isPush(ins[i + 1].op) && ins[i + 2].op == Opcode::IADD &&
+            ins[i + 3].op == Opcode::ISTORE &&
+            ins[i + 3].operand == ins[i].operand &&
+            interior_free(i, 4)) {
+            DInst d;
+            d.op = DOp::IncLocal;
+            d.count = 4;
+            d.cost = cost_of(i) + cost_of(i + 1) + cost_of(i + 2) +
+                     cost_of(i + 3);
+            d.a = ins[i].operand;
+            d.b = ins[i + 1].operand;
+            out.fast.push_back(d);
+            i += 4;
+            continue;
+        }
+        if (i + 3 <= n && ins[i].op == Opcode::ILOAD &&
+            isPush(ins[i + 1].op) && ins[i + 2].op == Opcode::IADD &&
+            interior_free(i, 3)) {
+            DInst d;
+            d.op = DOp::LoadAddConst;
+            d.count = 3;
+            d.cost = cost_of(i) + cost_of(i + 1) + cost_of(i + 2);
+            d.a = ins[i].operand;
+            d.b = ins[i + 1].operand;
+            out.fast.push_back(d);
+            i += 3;
+            continue;
+        }
+        if (i + 3 <= n && ins[i].op == Opcode::ILOAD &&
+            ins[i + 1].op == Opcode::ILOAD &&
+            (ins[i + 2].op == Opcode::IADD ||
+             ins[i + 2].op == Opcode::ISUB ||
+             ins[i + 2].op == Opcode::IMUL) &&
+            interior_free(i, 3)) {
+            DInst d;
+            d.op = ins[i + 2].op == Opcode::IADD   ? DOp::Load2Add
+                   : ins[i + 2].op == Opcode::ISUB ? DOp::Load2Sub
+                                                   : DOp::Load2Mul;
+            d.count = 3;
+            d.cost = cost_of(i) + cost_of(i + 1) + cost_of(i + 2);
+            d.a = ins[i].operand;
+            d.b = ins[i + 1].operand;
+            out.fast.push_back(d);
+            i += 3;
+            continue;
+        }
+        if (i + 2 <= n && interior_free(i, 2)) {
+            // Two-instruction fusions, most frequent pairs first.
+            DOp op = DOp::NOP;
+            int32_t a = 0, b = 0;
+            if (isPush(ins[i].op) && ins[i + 1].op == Opcode::ISTORE) {
+                op = DOp::StoreConst;
+                a = ins[i + 1].operand;
+                b = ins[i].operand;
+            } else if (isPush(ins[i].op) &&
+                       ins[i + 1].op == Opcode::IADD) {
+                op = DOp::AddConst;
+                b = ins[i].operand;
+            } else if (ins[i].op == Opcode::IADD &&
+                       ins[i + 1].op == Opcode::ISTORE) {
+                op = DOp::AddStore;
+                a = ins[i + 1].operand;
+            } else if (ins[i].op == Opcode::ILOAD &&
+                       ins[i + 1].op == Opcode::IALOAD) {
+                op = DOp::LoadIdxALoad;
+                a = ins[i].operand;
+            } else if (ins[i].op == Opcode::GETSTATIC &&
+                       ins[i + 1].op == Opcode::ILOAD) {
+                op = DOp::GsLoad;
+                a = ins[i].operand;
+                b = ins[i + 1].operand;
+            } else if (ins[i].op == Opcode::ILOAD &&
+                       ins[i + 1].op == Opcode::GETSTATIC) {
+                op = DOp::LoadGs;
+                a = ins[i].operand;
+                b = ins[i + 1].operand;
+            } else if (ins[i].op == Opcode::ISTORE &&
+                       ins[i + 1].op == Opcode::GOTO) {
+                // The only fusion ending in a branch: its target heads
+                // the next group, and the delimiter cost rides along.
+                op = DOp::StoreGoto;
+                a = ins[i].operand;
+                b = static_cast<int32_t>(out.verified.indexOf(
+                    static_cast<uint32_t>(ins[i + 1].operand)));
+            } else if (ins[i].op == Opcode::ILOAD &&
+                       ins[i + 1].op == Opcode::ILOAD) {
+                op = DOp::LoadLoad;
+                a = ins[i].operand;
+                b = ins[i + 1].operand;
+            }
+            if (op != DOp::NOP) {
+                DInst d;
+                d.op = op;
+                d.count = 2;
+                d.cost = cost_of(i) + cost_of(i + 1);
+                if (op == DOp::StoreGoto)
+                    d.cost += block_delimiter_cost;
+                d.a = a;
+                d.b = b;
+                out.fast.push_back(d);
+                i += 2;
+                continue;
+            }
+        }
+        out.fast.push_back(lowerOne(prog, cf, out.verified, i,
+                                    block_delimiter_cost));
+        ++i;
+    }
+
+    // Remap fused-stream branch operands into fused indices. Targets
+    // always head a group, so the map is defined exactly where needed.
+    for (DInst &d : out.fast) {
+        if (isBranchDOp(d.op)) {
+            int32_t mapped = orig_to_fast[static_cast<size_t>(d.a)];
+            NSE_ASSERT(mapped >= 0, "branch into a fused interior in ",
+                       prog.methodLabel(id));
+            d.a = mapped;
+        } else if (d.op == DOp::StoreGoto) {
+            int32_t mapped = orig_to_fast[static_cast<size_t>(d.b)];
+            NSE_ASSERT(mapped >= 0, "branch into a fused interior in ",
+                       prog.methodLabel(id));
+            d.b = mapped;
+        }
+    }
+    return out;
+}
+
+const DecodedMethod &
+DecodedCache::get(MethodId id) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(id);
+        if (it != cache_.end())
+            return *it->second;
+    }
+    // Verify + decode outside the lock (they can be expensive); a
+    // racing duplicate loses the emplace and is discarded.
+    auto dm = std::make_unique<DecodedMethod>(decodeMethod(
+        prog_, id, verifier_.verifyMethod(id), blockDelimiterCost_));
+    std::lock_guard<std::mutex> lock(mu_);
+    return *cache_.emplace(id, std::move(dm)).first->second;
+}
+
+} // namespace nse

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The pre-decoded instruction representation behind the fast
+ * interpreter loops (the translate-once half of the valgrind idiom:
+ * translate a verified method body once into a dense internal form,
+ * execute that form many times).
+ *
+ * A DInst is 16 bytes: the operation, how many source bytecodes it
+ * covers, the cycle cost to charge (opcodeInfo() already folded in,
+ * block-delimiter cost baked into branches/returns), and two inlined
+ * operands. Lowering resolves everything resolvable from constant
+ * program data at decode time — branch targets become instruction
+ * indices, LDC splits into LdcInt/LdcStr on the entry's verified tag,
+ * NEW pre-resolves its class index — and fuses common adjacent pairs
+ * and triples into superinstructions. Nothing observable moves: costs
+ * are summed exactly, fused sequences never cross a branch-target
+ * boundary, and calls/branches/returns are never fused, so clock,
+ * bytecode count, heap effects, and every hook firing are bit-exact
+ * against the classic one-bytecode-at-a-time interpreter.
+ *
+ * Each method decodes to two streams over the same body: `fast`
+ * (fused; run when no instruction hook observes the run) and `plain`
+ * (1:1 with the verified instructions; run under an instruction hook
+ * so the hook sees every source bytecode exactly as before).
+ */
+
+#ifndef NSE_VM_DECODED_H
+#define NSE_VM_DECODED_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bytecode/opcode.h"
+#include "program/program.h"
+#include "vm/verifier.h"
+
+namespace nse
+{
+
+/**
+ * Decoded operations. The first kNumOpcodes values mirror Opcode
+ * one-to-one (same numeric encoding); the tail adds decode-time
+ * specializations and superinstructions.
+ */
+enum class DOp : uint8_t
+{
+#define NSE_DOP_ENUM(name, kind, cost) name,
+    NSE_OPCODE_LIST(NSE_DOP_ENUM)
+#undef NSE_DOP_ENUM
+    /** LDC of an Integer entry; value = (b << 32) | (uint32)a. */
+    LdcInt,
+    /** LDC of a String entry; a = constant-pool index. */
+    LdcStr,
+    /** PUSH imm; ISTORE slot — a = slot, b = imm. */
+    StoreConst,
+    /** ILOAD a; ILOAD b; IADD. */
+    Load2Add,
+    /** ILOAD a; ILOAD b; ISUB. */
+    Load2Sub,
+    /** ILOAD a; ILOAD b; IMUL. */
+    Load2Mul,
+    /** ILOAD a; PUSH b; IADD; ISTORE a (same slot). */
+    IncLocal,
+    /** ILOAD a; PUSH b; IADD (no same-slot store follows). */
+    LoadAddConst,
+    /** PUSH b; IADD — add an immediate to the stack top. */
+    AddConst,
+    /** IADD; ISTORE a — pop two, store their sum into a local. */
+    AddStore,
+    /** ILOAD a; IALOAD — array load with the index from a local. */
+    LoadIdxALoad,
+    /** GETSTATIC a; ILOAD b — push a static, then a local. */
+    GsLoad,
+    /** ILOAD a; GETSTATIC b — push a local, then a static. */
+    LoadGs,
+    /** ISTORE a; GOTO b — store, then jump (delimiter cost baked in). */
+    StoreGoto,
+    /** ILOAD a; ILOAD b (no arith follows). */
+    LoadLoad,
+};
+
+/** Number of DOp values (= label-table size of the threaded loop). */
+constexpr size_t kNumDOps = kNumOpcodes + 15;
+
+/** One decoded instruction. Dense, fixed-size, cache-friendly. */
+struct DInst
+{
+    DOp op = DOp::NOP;
+    /** Source bytecodes this instruction covers (1 unless fused). */
+    uint8_t count = 1;
+    uint16_t pad = 0;
+    /** Cycles charged on dispatch (cost sum + delimiter surcharge). */
+    uint32_t cost = 0;
+    /** First inlined operand (slot / cp index / target index / imm). */
+    int32_t a = 0;
+    /** Second inlined operand (superinstructions, LdcInt high half). */
+    int32_t b = 0;
+};
+
+static_assert(sizeof(DInst) == 16, "DInst must stay dense");
+
+/** A verified method body lowered for the fast interpreter loops. */
+struct DecodedMethod
+{
+    /** The verified body (kept for hooks and differential tests). */
+    VerifiedMethod verified;
+    /** Fused stream; branch operands index into this stream. */
+    std::vector<DInst> fast;
+    /** Unfused stream, element i covering verified.insts[i] exactly. */
+    std::vector<DInst> plain;
+    /** Local-slot count (cached off MethodInfo for frame setup). */
+    uint16_t maxLocals = 0;
+};
+
+/** Reconstruct the 64-bit constant of an LdcInt instruction. */
+inline int64_t
+ldcIntValue(const DInst &d)
+{
+    return static_cast<int64_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(d.b)) << 32) |
+        static_cast<uint32_t>(d.a));
+}
+
+/**
+ * Lower one verified method. `block_delimiter_cost` is baked into
+ * every branch/return DInst, matching the classic interpreter's extra
+ * charge at basic-block boundaries.
+ */
+DecodedMethod decodeMethod(const Program &prog, MethodId id,
+                           const VerifiedMethod &vm,
+                           uint32_t block_delimiter_cost);
+
+/**
+ * Lazily verifies + decodes method bodies, memoized for the life of
+ * the cache. Thread-safe (mutex-guarded, like SimContext's layout and
+ * schedule memos); returned references are stable. One cache serves
+ * every Vm run over the same program with the same delimiter cost —
+ * this is what makes decode a once-per-workload cost instead of a
+ * once-per-run cost.
+ */
+class DecodedCache
+{
+  public:
+    explicit DecodedCache(const Program &prog,
+                          uint32_t block_delimiter_cost = 0)
+        : prog_(prog), verifier_(prog),
+          blockDelimiterCost_(block_delimiter_cost)
+    {
+    }
+
+    DecodedCache(const DecodedCache &) = delete;
+    DecodedCache &operator=(const DecodedCache &) = delete;
+
+    /** Verify + decode on first request; memoized thereafter. */
+    const DecodedMethod &get(MethodId id) const;
+
+    uint32_t blockDelimiterCost() const { return blockDelimiterCost_; }
+
+  private:
+    const Program &prog_;
+    Verifier verifier_;
+    uint32_t blockDelimiterCost_;
+    mutable std::mutex mu_;
+    mutable std::map<MethodId, std::unique_ptr<DecodedMethod>> cache_;
+};
+
+} // namespace nse
+
+#endif // NSE_VM_DECODED_H

@@ -40,62 +40,4 @@ Heap::allocRefArray(size_t length)
     return static_cast<Ref>(objects_.size() - 1);
 }
 
-HeapObject &
-Heap::deref(Ref ref)
-{
-    if (ref == kNullRef)
-        fatal("null dereference");
-    if (ref >= objects_.size())
-        fatal("dangling heap handle: ", ref);
-    return objects_[ref];
-}
-
-const HeapObject &
-Heap::deref(Ref ref) const
-{
-    if (ref == kNullRef)
-        fatal("null dereference");
-    if (ref >= objects_.size())
-        fatal("dangling heap handle: ", ref);
-    return objects_[ref];
-}
-
-const HeapObject &
-Heap::checkedArray(Ref ref, int64_t index) const
-{
-    const HeapObject &obj = deref(ref);
-    if (obj.kind == ObjKind::Instance)
-        fatal("array access on a non-array object");
-    if (index < 0 || static_cast<size_t>(index) >= obj.slots.size()) {
-        fatal("array index out of bounds: ", index, " of ",
-              obj.slots.size());
-    }
-    return obj;
-}
-
-Value
-Heap::arrayGet(Ref ref, int64_t index) const
-{
-    return checkedArray(ref, index).slots[static_cast<size_t>(index)];
-}
-
-void
-Heap::arraySet(Ref ref, int64_t index, Value v)
-{
-    const HeapObject &obj = checkedArray(ref, index);
-    bool want_int = obj.kind == ObjKind::IntArray;
-    if (want_int != v.isInt())
-        fatal("array element kind mismatch");
-    const_cast<HeapObject &>(obj).slots[static_cast<size_t>(index)] = v;
-}
-
-int64_t
-Heap::arrayLength(Ref ref) const
-{
-    const HeapObject &obj = deref(ref);
-    if (obj.kind == ObjKind::Instance)
-        fatal("arraylength on a non-array object");
-    return static_cast<int64_t>(obj.slots.size());
-}
-
 } // namespace nse

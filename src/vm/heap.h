@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/error.h"
 #include "vm/value.h"
 
 namespace nse
@@ -51,21 +52,73 @@ class Heap
     /** Allocate a reference array of the given length (null filled). */
     Ref allocRefArray(size_t length);
 
-    /** Object accessor; fatal()s on null or dangling handles. */
-    HeapObject &deref(Ref ref);
-    const HeapObject &deref(Ref ref) const;
+    /** Object accessor; fatal()s on null or dangling handles.
+     *  Inline: these sit on the interpreter's per-instruction path. */
+    HeapObject &
+    deref(Ref ref)
+    {
+        if (ref == kNullRef)
+            fatal("null dereference");
+        if (ref >= objects_.size())
+            fatal("dangling heap handle: ", ref);
+        return objects_[ref];
+    }
+
+    const HeapObject &
+    deref(Ref ref) const
+    {
+        if (ref == kNullRef)
+            fatal("null dereference");
+        if (ref >= objects_.size())
+            fatal("dangling heap handle: ", ref);
+        return objects_[ref];
+    }
 
     /** Bounds-checked array element access. */
-    Value arrayGet(Ref ref, int64_t index) const;
-    void arraySet(Ref ref, int64_t index, Value v);
+    Value
+    arrayGet(Ref ref, int64_t index) const
+    {
+        return checkedArray(ref, index)
+            .slots[static_cast<size_t>(index)];
+    }
+
+    void
+    arraySet(Ref ref, int64_t index, Value v)
+    {
+        const HeapObject &obj = checkedArray(ref, index);
+        bool want_int = obj.kind == ObjKind::IntArray;
+        if (want_int != v.isInt())
+            fatal("array element kind mismatch");
+        const_cast<HeapObject &>(obj)
+            .slots[static_cast<size_t>(index)] = v;
+    }
 
     /** Array length; fatal()s when ref is not an array. */
-    int64_t arrayLength(Ref ref) const;
+    int64_t
+    arrayLength(Ref ref) const
+    {
+        const HeapObject &obj = deref(ref);
+        if (obj.kind == ObjKind::Instance)
+            fatal("arraylength on a non-array object");
+        return static_cast<int64_t>(obj.slots.size());
+    }
 
     size_t objectCount() const { return objects_.size() - 1; }
 
   private:
-    const HeapObject &checkedArray(Ref ref, int64_t index) const;
+    const HeapObject &
+    checkedArray(Ref ref, int64_t index) const
+    {
+        const HeapObject &obj = deref(ref);
+        if (obj.kind == ObjKind::Instance)
+            fatal("array access on a non-array object");
+        if (index < 0 ||
+            static_cast<size_t>(index) >= obj.slots.size()) {
+            fatal("array index out of bounds: ", index, " of ",
+                  obj.slots.size());
+        }
+        return obj;
+    }
 
     std::vector<HeapObject> objects_;
 };

@@ -2,6 +2,16 @@
 
 #include "support/error.h"
 
+// Computed-goto direct threading needs the GNU address-of-label
+// extension; NSE_FORCE_SWITCH_DISPATCH compiles it out so the
+// portable switch loop can be differentially tested on any compiler.
+#if !defined(NSE_FORCE_SWITCH_DISPATCH) &&                              \
+    (defined(__GNUC__) || defined(__clang__))
+#define NSE_THREADED_DISPATCH 1
+#else
+#define NSE_THREADED_DISPATCH 0
+#endif
+
 namespace nse
 {
 
@@ -40,11 +50,24 @@ wrapNeg(int64_t a)
 } // namespace
 
 Vm::Vm(const Program &prog, const NativeRegistry &natives,
-       std::vector<int64_t> input, VmOptions opts)
+       std::vector<int64_t> input, VmOptions opts,
+       const DecodedCache *decoded)
     : prog_(prog), natives_(natives), input_(std::move(input)),
       opts_(opts), verifier_(prog), linker_(prog)
 {
     linker_.prepareAll();
+    methodBase_.resize(prog_.classCount());
+    uint32_t total = 0;
+    for (uint16_t c = 0; c < prog_.classCount(); ++c) {
+        methodBase_[c] = total;
+        total += static_cast<uint32_t>(prog_.classAt(c).methods.size());
+    }
+    seen_.assign(total, 0);
+    // A shared cache decoded with a different delimiter cost carries
+    // different baked-in branch costs; fall back to a private decode.
+    if (decoded &&
+        decoded->blockDelimiterCost() == opts_.blockDelimiterCost)
+        decoded_ = decoded;
 }
 
 void
@@ -57,7 +80,12 @@ Vm::charge(uint64_t cycles)
 void
 Vm::noteFirstUse(MethodId id)
 {
-    if (seen_.insert(id).second && firstUse_) {
+    uint8_t &flag = seen_[denseIndex(id)];
+    if (flag)
+        return;
+    flag = 1;
+    ++seenCount_;
+    if (firstUse_) {
         uint64_t advanced = firstUse_(id, result_.clock);
         NSE_ASSERT(advanced >= result_.clock,
                    "first-use hook moved the clock backwards");
@@ -515,22 +543,313 @@ Vm::step()
     f.pc = next_pc;
 }
 
+void
+Vm::runClassic()
+{
+    pushFrame(prog_.entry(), {});
+    while (!frames_.empty()) {
+        if (result_.bytecodes >= opts_.maxBytecodes)
+            fatal("bytecode budget exceeded (", opts_.maxBytecodes, ")");
+        step();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoded-IR execution: frames carry offsets into one Value arena,
+// operands are inlined, costs pre-summed. The handler bodies live in
+// exec_loop.inc and are compiled twice — once under computed-goto
+// direct threading, once as a portable switch.
+// ---------------------------------------------------------------------
+
+void
+Vm::pushDFrame(MethodId id, const DecodedMethod &dm, size_t args_off,
+               uint32_t n_args)
+{
+    NSE_ASSERT(n_args <= dm.maxLocals, "argument overflow in ",
+               prog_.methodLabel(id));
+    size_t need =
+        static_cast<size_t>(dm.maxLocals) + dm.verified.maxStack;
+    if (arena_.size() < arenaTop_ + need)
+        arena_.resize(std::max(arena_.size() * 2, arenaTop_ + need));
+    Value *loc = arena_.data() + arenaTop_;
+    const Value *args = arena_.data() + args_off;
+    for (uint32_t i = 0; i < n_args; ++i)
+        loc[i] = args[i];
+    for (uint32_t i = n_args; i < dm.maxLocals; ++i)
+        loc[i] = Value::makeInt(0);
+    DFrame f;
+    f.id = id;
+    f.dm = &dm;
+    f.code = instr_ ? dm.plain.data() : dm.fast.data();
+    f.base = static_cast<uint32_t>(arenaTop_);
+    f.stackBase = f.base + dm.maxLocals;
+    arenaTop_ += need;
+    dframes_.push_back(f);
+}
+
+void
+Vm::doInvoke(uint16_t cp_idx, bool is_virtual)
+{
+    DFrame &f = dframes_.back();
+    const CallRef &ref = linker_.resolveCall(f.id.classIdx, cp_idx);
+    auto n_params = static_cast<uint32_t>(ref.sig.params.size());
+    uint32_t n_args = n_params + (is_virtual ? 1u : 0u);
+    // The args are the top n_args stack slots, already in call order.
+    size_t args_off = f.stackBase + static_cast<size_t>(f.sp) - n_args;
+    f.sp -= static_cast<int32_t>(n_args);
+
+    MethodId target;
+    if (is_virtual) {
+        Ref receiver = arena_[args_off].ref;
+        if (receiver == kNullRef)
+            fatal("null receiver calling ", ref.className, ".",
+                  ref.name);
+        target =
+            linker_.virtualTarget(heap_.deref(receiver).classIdx, ref);
+    } else {
+        target = linker_.staticTarget(ref);
+    }
+
+    Callee &ce = callees_[denseIndex(target)];
+    if (!ce.known) {
+        ce.isNative = prog_.method(target).isNative();
+        ce.known = true;
+    }
+    if (!ce.isNative) {
+        noteFirstUse(target);
+        if (!ce.dm)
+            ce.dm = &decoded_->get(target);
+        pushDFrame(target, *ce.dm, args_off, n_args);
+        return;
+    }
+
+    NSE_CHECK(!is_virtual, "virtual dispatch to native method ",
+              prog_.methodLabel(target));
+    noteFirstUse(target);
+    if (!ce.native) {
+        const ClassFile &cf = prog_.classAt(target.classIdx);
+        const MethodInfo &m = prog_.method(target);
+        ce.native =
+            &natives_.lookup(cat(cf.name(), ".", cf.methodName(m)));
+        ce.nativeRet =
+            parseMethodDescriptor(cf.methodDescriptor(m)).ret;
+    }
+    charge(ce.native->cycleCost);
+    ++result_.nativeCalls;
+    std::vector<Value> args(
+        arena_.begin() + static_cast<std::ptrdiff_t>(args_off),
+        arena_.begin() + static_cast<std::ptrdiff_t>(args_off + n_args));
+    NativeContext nctx{heap_, result_.output, input_};
+    Value ret = ce.native->fn(nctx, args);
+    if (ce.nativeRet != TypeKind::Void) {
+        arena_[f.stackBase + static_cast<size_t>(f.sp)] =
+            ce.nativeRet == TypeKind::Int ? Value::makeInt(ret.asInt())
+                                          : Value::makeRef(ret.asRef());
+        ++f.sp;
+    }
+}
+
+// Execution registers shared by both compiled loops. The clock /
+// exec-cycle / bytecode accumulators live in locals so the hot path
+// never touches result_; VM_SAVE flushes them (and pc/sp) before
+// anything that can observe result_ or move the frame stack, and
+// VM_RELOAD refetches everything afterwards. VM_FETCH mirrors the
+// classic run()/step() preamble exactly: budget check first, then
+// charge the (pre-summed) cost, count the covered bytecodes, and fire
+// the instruction hook (only ever set with the 1:1 plain stream).
+/** Frame-register reload only; the accounting locals stay live. */
+#define VM_POP_RELOAD()                                                 \
+    do {                                                                \
+        fr = &dframes_.back();                                          \
+        code = fr->code;                                                \
+        pc = fr->pc;                                                    \
+        sp = fr->sp;                                                    \
+        loc = arena_.data() + fr->base;                                 \
+        stk = arena_.data() + fr->stackBase;                            \
+    } while (0)
+
+/** Spill the accounting locals into result_. */
+#define VM_FLUSH()                                                      \
+    do {                                                                \
+        result_.clock = lclock;                                         \
+        result_.execCycles = lexec;                                     \
+        result_.bytecodes = lbc;                                        \
+    } while (0)
+
+#define VM_RELOAD()                                                     \
+    do {                                                                \
+        VM_POP_RELOAD();                                                \
+        lclock = result_.clock;                                         \
+        lexec = result_.execCycles;                                     \
+        lbc = result_.bytecodes;                                        \
+    } while (0)
+
+#define VM_SAVE()                                                       \
+    do {                                                                \
+        fr->pc = pc;                                                    \
+        fr->sp = sp;                                                    \
+        VM_FLUSH();                                                     \
+    } while (0)
+
+#define VM_FETCH()                                                      \
+    do {                                                                \
+        if (lbc >= opts_.maxBytecodes) {                                \
+            VM_SAVE();                                                  \
+            fatal("bytecode budget exceeded (", opts_.maxBytecodes,     \
+                  ")");                                                 \
+        }                                                               \
+        d = &code[pc];                                                  \
+        ++pc;                                                           \
+        lclock += d->cost;                                              \
+        lexec += d->cost;                                               \
+        lbc += d->count;                                                \
+        if constexpr (kHooked) {                                        \
+            result_.clock = lclock;                                     \
+            result_.execCycles = lexec;                                 \
+            result_.bytecodes = lbc;                                    \
+            instr_(fr->id, fr->dm->verified.insts[pc - 1], lclock);     \
+        }                                                               \
+    } while (0)
+
+#if NSE_THREADED_DISPATCH
+
+template <bool kHooked>
+void
+Vm::execThreaded()
+{
+    static const void *const kLabels[] = {
+#define NSE_DOP_LABEL(name, kind, cost) &&L_##name,
+        NSE_OPCODE_LIST(NSE_DOP_LABEL)
+#undef NSE_DOP_LABEL
+        &&L_LdcInt,       &&L_LdcStr,       &&L_StoreConst,
+        &&L_Load2Add,     &&L_Load2Sub,     &&L_Load2Mul,
+        &&L_IncLocal,     &&L_LoadAddConst, &&L_AddConst,
+        &&L_AddStore,     &&L_LoadIdxALoad, &&L_GsLoad,
+        &&L_LoadGs,       &&L_StoreGoto,    &&L_LoadLoad,
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumDOps,
+                  "label table must cover every DOp");
+
+    DFrame *fr = nullptr;
+    const DInst *code = nullptr;
+    uint32_t pc = 0;
+    int32_t sp = 0;
+    Value *loc = nullptr;
+    Value *stk = nullptr;
+    const DInst *d = nullptr;
+    uint64_t lclock = 0, lexec = 0, lbc = 0;
+    VM_RELOAD();
+
+#define VM_NEXT()                                                       \
+    do {                                                                \
+        VM_FETCH();                                                     \
+        goto *kLabels[static_cast<size_t>(d->op)];                      \
+    } while (0)
+#define VM_CASE(name) L_##name:
+#define VM_BREAK VM_NEXT()
+
+    VM_NEXT();
+
+#include "vm/exec_loop.inc"
+
+#undef VM_BREAK
+#undef VM_CASE
+#undef VM_NEXT
+}
+
+#else
+
+template <bool kHooked>
+void
+Vm::execThreaded()
+{
+    // Unreachable: run() routes Threaded to Switch on this build.
+    execSwitch<kHooked>();
+}
+
+#endif // NSE_THREADED_DISPATCH
+
+template <bool kHooked>
+void
+Vm::execSwitch()
+{
+    DFrame *fr = nullptr;
+    const DInst *code = nullptr;
+    uint32_t pc = 0;
+    int32_t sp = 0;
+    Value *loc = nullptr;
+    Value *stk = nullptr;
+    const DInst *d = nullptr;
+    uint64_t lclock = 0, lexec = 0, lbc = 0;
+    VM_RELOAD();
+
+#define VM_CASE(name) case DOp::name:
+#define VM_BREAK break
+
+    for (;;) {
+        VM_FETCH();
+        switch (d->op) {
+#include "vm/exec_loop.inc"
+        }
+    }
+
+#undef VM_BREAK
+#undef VM_CASE
+}
+
+#undef VM_FETCH
+#undef VM_SAVE
+#undef VM_RELOAD
+
+void
+Vm::runDecoded(bool threaded)
+{
+    if (!decoded_) {
+        ownedDecoded_ = std::make_unique<DecodedCache>(
+            prog_, opts_.blockDelimiterCost);
+        decoded_ = ownedDecoded_.get();
+    }
+    callees_.assign(seen_.size(), Callee{});
+    arena_.resize(1024);
+    dframes_.reserve(64);
+
+    MethodId entry = prog_.entry();
+    noteFirstUse(entry);
+    const DecodedMethod &dm = decoded_->get(entry);
+    pushDFrame(entry, dm, /*args_off=*/0, /*n_args=*/0);
+    if (threaded) {
+        if (instr_)
+            execThreaded<true>();
+        else
+            execThreaded<false>();
+    } else {
+        if (instr_)
+            execSwitch<true>();
+        else
+            execSwitch<false>();
+    }
+}
+
 VmResult
 Vm::run()
 {
     NSE_CHECK(!ran_, "Vm::run() called twice; construct a fresh Vm");
     ran_ = true;
 
-    MethodId entry = prog_.entry();
-    pushFrame(entry, {});
+    DispatchMode mode = opts_.dispatch;
+#if NSE_THREADED_DISPATCH
+    if (mode == DispatchMode::Auto)
+        mode = DispatchMode::Threaded;
+#else
+    if (mode == DispatchMode::Auto || mode == DispatchMode::Threaded)
+        mode = DispatchMode::Switch;
+#endif
+    if (mode == DispatchMode::Classic)
+        runClassic();
+    else
+        runDecoded(mode == DispatchMode::Threaded);
 
-    while (!frames_.empty()) {
-        if (result_.bytecodes >= opts_.maxBytecodes)
-            fatal("bytecode budget exceeded (", opts_.maxBytecodes, ")");
-        step();
-    }
-
-    result_.methodsExecuted = seen_.size();
+    result_.methodsExecuted = seenCount_;
     return std::move(result_);
 }
 

@@ -15,6 +15,13 @@
  *    engine stalls execution until the method's delimiter arrives);
  *  - the *instruction hook* observes every executed instruction
  *    (first-use profiling, executed-bytes accounting).
+ *
+ * Three dispatch strategies execute the same semantics bit-exactly:
+ * computed-goto direct threading over the pre-decoded IR (vm/decoded.h;
+ * GCC/Clang), a portable switch over the same decoded IR, and the
+ * classic one-Instruction-at-a-time switch retained as the equivalence
+ * oracle. Define NSE_FORCE_SWITCH_DISPATCH at build time to compile
+ * out the computed-goto loop (differential testing / odd compilers).
  */
 
 #ifndef NSE_VM_INTERPRETER_H
@@ -22,10 +29,11 @@
 
 #include <functional>
 #include <map>
-#include <set>
+#include <memory>
 #include <vector>
 
 #include "program/program.h"
+#include "vm/decoded.h"
 #include "vm/heap.h"
 #include "vm/linker.h"
 #include "vm/natives.h"
@@ -33,6 +41,20 @@
 
 namespace nse
 {
+
+/** How Vm::run() dispatches instructions. Results are bit-identical
+ *  across all modes; only wall-clock speed differs. */
+enum class DispatchMode : uint8_t
+{
+    /** Threaded when the compiler supports it, else Switch. */
+    Auto,
+    /** Computed-goto direct threading on the decoded IR. */
+    Threaded,
+    /** Portable switch on the decoded IR. */
+    Switch,
+    /** The original per-Instruction switch (the oracle). */
+    Classic,
+};
 
 /** Interpreter limits and switches. */
 struct VmOptions
@@ -46,6 +68,7 @@ struct VmOptions
      * (paper §4's rejected design; used by the granularity ablation).
      */
     uint32_t blockDelimiterCost = 0;
+    DispatchMode dispatch = DispatchMode::Auto;
 };
 
 /** Result of one complete program execution. */
@@ -81,9 +104,13 @@ class Vm
      * @param prog    the program to execute
      * @param natives native bodies (see standardNatives())
      * @param input   workload input stream, readable via Sys natives
+     * @param decoded optional shared decode cache (SimContext::decoded)
+     *                — used when its delimiter cost matches the
+     *                options; otherwise the Vm decodes privately
      */
     Vm(const Program &prog, const NativeRegistry &natives,
-       std::vector<int64_t> input = {}, VmOptions opts = {});
+       std::vector<int64_t> input = {}, VmOptions opts = {},
+       const DecodedCache *decoded = nullptr);
 
     /**
      * Called before the first execution of each method with the current
@@ -114,6 +141,29 @@ class Vm
         size_t pc = 0;
     };
 
+    /** Decoded-IR frame: locals + operand stack live in arena_. */
+    struct DFrame
+    {
+        MethodId id;
+        const DecodedMethod *dm;
+        const DInst *code;
+        /** arena_ offset of the locals (stack follows at stackBase). */
+        uint32_t base = 0;
+        uint32_t stackBase = 0;
+        uint32_t pc = 0;
+        int32_t sp = 0;
+    };
+
+    /** Per-target invoke memo (dense-indexed by method). */
+    struct Callee
+    {
+        const DecodedMethod *dm = nullptr;
+        const NativeMethod *native = nullptr;
+        TypeKind nativeRet = TypeKind::Void;
+        bool isNative = false;
+        bool known = false;
+    };
+
     void step();
     void charge(uint64_t cycles);
     void noteFirstUse(MethodId id);
@@ -129,6 +179,22 @@ class Vm
     Ref popRef(Frame &f);
     void push(Frame &f, Value v);
 
+    /** Dense method index for the seen_ bitmap / callee memo. */
+    size_t denseIndex(MethodId id) const
+    {
+        return methodBase_[id.classIdx] + id.methodIdx;
+    }
+
+    void runClassic();
+    void runDecoded(bool threaded);
+    void pushDFrame(MethodId id, const DecodedMethod &dm,
+                    size_t args_off, uint32_t n_args);
+    void doInvoke(uint16_t cp_idx, bool is_virtual);
+    /** kHooked compiles the instruction-hook dispatch in or out, so
+     *  unobserved runs carry no per-fetch hook check at all. */
+    template <bool kHooked> void execThreaded();
+    template <bool kHooked> void execSwitch();
+
     const Program &prog_;
     const NativeRegistry &natives_;
     std::vector<int64_t> input_;
@@ -142,10 +208,23 @@ class Vm
     InstrHook instr_;
 
     std::map<MethodId, VerifiedMethod> codeCache_;
-    std::set<MethodId> seen_;
     std::map<std::pair<uint16_t, uint16_t>, Ref> stringCache_;
 
+    /** First-use bitmap over dense method indices (replaces a set). */
+    std::vector<uint32_t> methodBase_;
+    std::vector<uint8_t> seen_;
+    uint64_t seenCount_ = 0;
+
     std::vector<Frame> frames_;
+
+    /** Decoded-dispatch state. */
+    const DecodedCache *decoded_ = nullptr;
+    std::unique_ptr<DecodedCache> ownedDecoded_;
+    std::vector<Callee> callees_;
+    std::vector<DFrame> dframes_;
+    std::vector<Value> arena_;
+    size_t arenaTop_ = 0;
+
     VmResult result_;
     bool ran_ = false;
 };

@@ -64,13 +64,9 @@ Linker::instanceSlotCount(uint16_t class_idx) const
 }
 
 const FieldSlot &
-Linker::resolveField(uint16_t from_class, uint16_t cp_idx)
+Linker::resolveFieldSlow(uint16_t from_class, uint16_t cp_idx)
 {
     ClassRuntime &rt = runtime_[from_class];
-    auto it = rt.fieldCache.find(cp_idx);
-    if (it != rt.fieldCache.end())
-        return it->second;
-
     const ClassFile &cf = prog_.classAt(from_class);
     auto ref = cf.cpool.memberRef(cp_idx);
 
@@ -98,7 +94,10 @@ Linker::resolveField(uint16_t from_class, uint16_t cp_idx)
             else
                 fs.slot = owner_rt.instanceSlots.at(ref.name);
             ++resolutions_;
-            return rt.fieldCache.emplace(cp_idx, fs).first->second;
+            if (cp_idx >= rt.fieldCache.size())
+                rt.fieldCache.resize(cp_idx + 1);
+            rt.fieldCache[cp_idx] = std::make_unique<FieldSlot>(fs);
+            return *rt.fieldCache[cp_idx];
         }
         walk = prog_.superOf(static_cast<uint16_t>(walk));
     }
@@ -106,60 +105,54 @@ Linker::resolveField(uint16_t from_class, uint16_t cp_idx)
 }
 
 const CallRef &
-Linker::resolveCall(uint16_t from_class, uint16_t cp_idx)
+Linker::resolveCallSlow(uint16_t from_class, uint16_t cp_idx)
 {
     ClassRuntime &rt = runtime_[from_class];
-    auto it = rt.callCache.find(cp_idx);
-    if (it != rt.callCache.end())
-        return it->second;
-
     const ClassFile &cf = prog_.classAt(from_class);
     auto ref = cf.cpool.memberRef(cp_idx);
-    CallRef call;
-    call.className = ref.className;
-    call.name = ref.name;
-    call.descriptor = ref.descriptor;
-    call.sig = parseMethodDescriptor(ref.descriptor);
+    auto call = std::make_unique<CallRef>();
+    call->className = ref.className;
+    call->name = ref.name;
+    call->descriptor = ref.descriptor;
+    call->sig = parseMethodDescriptor(ref.descriptor);
+    call->token = nextToken_++;
     ++resolutions_;
-    return rt.callCache.emplace(cp_idx, std::move(call)).first->second;
+    if (cp_idx >= rt.callCache.size())
+        rt.callCache.resize(cp_idx + 1);
+    rt.callCache[cp_idx] = std::move(call);
+    return *rt.callCache[cp_idx];
 }
 
 MethodId
 Linker::staticTarget(const CallRef &ref) const
 {
-    return prog_.resolveStatic(ref.className, ref.name, ref.descriptor);
+    // Name-based resolution once per call site; the memo lives on the
+    // CallRef so the hot invoke path skips the string lookups.
+    if (!ref.staticCached) {
+        ref.staticCache =
+            prog_.resolveStatic(ref.className, ref.name, ref.descriptor);
+        ref.staticCached = true;
+    }
+    return ref.staticCache;
 }
 
 MethodId
 Linker::virtualTarget(uint16_t receiver_class, const CallRef &ref)
 {
-    auto key = std::make_pair(receiver_class,
-                              cat(ref.name, ref.descriptor));
+    // Hand-built CallRefs (no linker token) dispatch without caching.
+    if (ref.token == UINT32_MAX) {
+        return prog_.resolveVirtual(prog_.classAt(receiver_class).name(),
+                                    ref.name, ref.descriptor);
+    }
+    uint64_t key =
+        (static_cast<uint64_t>(receiver_class) << 32) | ref.token;
     auto it = dispatchCache_.find(key);
     if (it != dispatchCache_.end())
         return it->second;
     MethodId id = prog_.resolveVirtual(
         prog_.classAt(receiver_class).name(), ref.name, ref.descriptor);
-    dispatchCache_.emplace(std::move(key), id);
+    dispatchCache_.emplace(key, id);
     return id;
-}
-
-Value
-Linker::getStatic(const FieldSlot &fs) const
-{
-    NSE_ASSERT(fs.isStatic, "getStatic on instance slot");
-    return runtime_[fs.ownerClass].statics[fs.slot];
-}
-
-void
-Linker::setStatic(const FieldSlot &fs, Value v)
-{
-    NSE_ASSERT(fs.isStatic, "setStatic on instance slot");
-    if ((v.isInt() && fs.kind != TypeKind::Int) ||
-        (v.isRef() && fs.kind != TypeKind::Ref)) {
-        fatal("static field kind mismatch");
-    }
-    runtime_[fs.ownerClass].statics[fs.slot] = v;
 }
 
 } // namespace nse

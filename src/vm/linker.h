@@ -17,11 +17,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "classfile/descriptor.h"
 #include "program/program.h"
+#include "support/error.h"
 #include "vm/value.h"
 
 namespace nse
@@ -45,6 +48,15 @@ struct CallRef
     std::string name;
     std::string descriptor;
     MethodSig sig;
+    /**
+     * Linker-assigned identity of this call site, used as half of the
+     * integer key into the virtual-dispatch cache (hand-built CallRefs
+     * keep the sentinel and dispatch without caching).
+     */
+    uint32_t token = UINT32_MAX;
+    /** Lazily memoised static-dispatch target (resolved by name once). */
+    mutable MethodId staticCache{};
+    mutable bool staticCached = false;
 };
 
 /** Prepares classes and resolves symbolic references on demand. */
@@ -59,11 +71,26 @@ class Linker
     /** Number of instance-field slots an object of this class carries. */
     size_t instanceSlotCount(uint16_t class_idx) const;
 
-    /** Resolve a FieldRef used from `from_class`; cached per cp slot. */
-    const FieldSlot &resolveField(uint16_t from_class, uint16_t cp_idx);
+    /** Resolve a FieldRef used from `from_class`; cached per cp slot.
+     *  The cache-hit path is inline — it runs per field instruction. */
+    const FieldSlot &
+    resolveField(uint16_t from_class, uint16_t cp_idx)
+    {
+        const ClassRuntime &rt = runtime_[from_class];
+        if (cp_idx < rt.fieldCache.size() && rt.fieldCache[cp_idx])
+            return *rt.fieldCache[cp_idx];
+        return resolveFieldSlow(from_class, cp_idx);
+    }
 
     /** Resolve a Method/InterfaceMethodRef; cached per cp slot. */
-    const CallRef &resolveCall(uint16_t from_class, uint16_t cp_idx);
+    const CallRef &
+    resolveCall(uint16_t from_class, uint16_t cp_idx)
+    {
+        const ClassRuntime &rt = runtime_[from_class];
+        if (cp_idx < rt.callCache.size() && rt.callCache[cp_idx])
+            return *rt.callCache[cp_idx];
+        return resolveCallSlow(from_class, cp_idx);
+    }
 
     /** Exact static-dispatch target of a resolved call. */
     MethodId staticTarget(const CallRef &ref) const;
@@ -71,8 +98,23 @@ class Linker
     /** Virtual dispatch from the receiver's dynamic class; memoised. */
     MethodId virtualTarget(uint16_t receiver_class, const CallRef &ref);
 
-    Value getStatic(const FieldSlot &fs) const;
-    void setStatic(const FieldSlot &fs, Value v);
+    Value
+    getStatic(const FieldSlot &fs) const
+    {
+        NSE_ASSERT(fs.isStatic, "getStatic on instance slot");
+        return runtime_[fs.ownerClass].statics[fs.slot];
+    }
+
+    void
+    setStatic(const FieldSlot &fs, Value v)
+    {
+        NSE_ASSERT(fs.isStatic, "setStatic on instance slot");
+        if ((v.isInt() && fs.kind != TypeKind::Int) ||
+            (v.isRef() && fs.kind != TypeKind::Ref)) {
+            fatal("static field kind mismatch");
+        }
+        runtime_[fs.ownerClass].statics[fs.slot] = v;
+    }
 
     /** Number of distinct symbolic references resolved so far. */
     uint64_t resolutionCount() const { return resolutions_; }
@@ -87,16 +129,25 @@ class Linker
         /** Instance layout: name->slot across the super chain. */
         std::map<std::string, uint16_t> instanceSlots;
         size_t instanceCount = 0;
-        /** Lazy per-cp-index resolution caches. */
-        std::map<uint16_t, FieldSlot> fieldCache;
-        std::map<uint16_t, CallRef> callCache;
+        /**
+         * Lazy resolution caches, flat-indexed by constant-pool slot so
+         * the interpreter's per-execution lookups are O(1) array loads.
+         * unique_ptr keeps returned references stable across growth.
+         */
+        std::vector<std::unique_ptr<FieldSlot>> fieldCache;
+        std::vector<std::unique_ptr<CallRef>> callCache;
     };
 
     void prepare(uint16_t class_idx);
+    const FieldSlot &resolveFieldSlow(uint16_t from_class,
+                                      uint16_t cp_idx);
+    const CallRef &resolveCallSlow(uint16_t from_class, uint16_t cp_idx);
 
     const Program &prog_;
     std::vector<ClassRuntime> runtime_;
-    std::map<std::pair<uint16_t, std::string>, MethodId> dispatchCache_;
+    /** (receiver class << 32 | call-site token) -> dispatch target. */
+    std::unordered_map<uint64_t, MethodId> dispatchCache_;
+    uint32_t nextToken_ = 0;
     uint64_t resolutions_ = 0;
 };
 

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Structural invariants of the pre-decoded instruction streams
+ * (vm/decoded.h) and of the shared decode cache.
+ *
+ * The dispatch-equivalence sweeps (vm_test.cc, fuzz_test.cc) pin that
+ * decoded execution is observably identical to the classic
+ * interpreter; these tests pin *why* that holds: every fused stream
+ * covers its verified body exactly once, charges exactly the same
+ * cycles, never fuses across a branch target, and bakes the
+ * block-delimiter surcharge into exactly the branch/return
+ * instructions. The cache half pins the concurrency contract:
+ * DecodedCache::get() memoizes once and returns stable references
+ * under contention, and SimContext::decoded() hands every consumer
+ * (profile runs, live references, experiment grids) one shared
+ * instance — a k-thread ExperimentRunner grid over *fresh* contexts
+ * serializes byte-identically to a 1-thread run.
+ */
+
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "report/json.h"
+#include "sim/runner.h"
+#include "vm/decoded.h"
+#include "workloads/common.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+/** Apply `fn(id)` to every non-native method of the program. */
+template <typename Fn>
+void
+forEachBody(const Program &prog, Fn &&fn)
+{
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        const ClassFile &cf = prog.classAt(c);
+        for (uint16_t m = 0; m < cf.methods.size(); ++m) {
+            if (!cf.methods[m].code.empty())
+                fn(MethodId{c, m});
+        }
+    }
+}
+
+/** Instruction indices that are targets of any branch in the body. */
+std::vector<uint8_t>
+branchTargets(const VerifiedMethod &vm)
+{
+    std::vector<uint8_t> target(vm.insts.size(), 0);
+    for (const Instruction &inst : vm.insts) {
+        if (!isBranch(inst.op))
+            continue;
+        int32_t idx = vm.offsetToIndex.at(
+            static_cast<size_t>(inst.operand));
+        EXPECT_GE(idx, 0);
+        if (idx >= 0)
+            target[static_cast<size_t>(idx)] = 1;
+    }
+    return target;
+}
+
+void
+checkStreams(const Program &prog, const DecodedCache &dc,
+             uint32_t delimiter_cost)
+{
+    forEachBody(prog, [&](MethodId id) {
+        const DecodedMethod &d = dc.get(id);
+        const std::vector<Instruction> &insts = d.verified.insts;
+        std::string label = prog.methodLabel(id);
+
+        // The plain stream is 1:1 with the verified body, and each
+        // element charges its source opcode's cost (plus the
+        // delimiter surcharge on branches and returns only).
+        ASSERT_EQ(d.plain.size(), insts.size()) << label;
+        uint64_t plain_cost = 0;
+        for (size_t i = 0; i < d.plain.size(); ++i) {
+            EXPECT_EQ(d.plain[i].count, 1u) << label << " @" << i;
+            uint32_t want = opcodeInfo(insts[i].op).cycleCost;
+            if (isBranch(insts[i].op) || isReturn(insts[i].op))
+                want += delimiter_cost;
+            EXPECT_EQ(d.plain[i].cost, want) << label << " @" << i;
+            plain_cost += d.plain[i].cost;
+        }
+
+        // The fast stream covers every source instruction exactly
+        // once, charges the same total, and never fuses *across* a
+        // branch target (a jump must be able to land between two
+        // decoded instructions exactly where the source allowed it).
+        std::vector<uint8_t> target = branchTargets(d.verified);
+        uint64_t fast_cost = 0;
+        size_t src = 0;
+        for (const DInst &f : d.fast) {
+            ASSERT_GE(f.count, 1u) << label;
+            for (size_t k = 1; k < f.count; ++k)
+                EXPECT_FALSE(target.at(src + k))
+                    << label << ": fusion spans the branch target at "
+                    << "source index " << (src + k);
+            fast_cost += f.cost;
+            src += f.count;
+        }
+        EXPECT_EQ(src, insts.size()) << label;
+        EXPECT_EQ(fast_cost, plain_cost) << label;
+        EXPECT_EQ(d.maxLocals, prog.method(id).maxLocals) << label;
+    });
+}
+
+TEST(Decoded, StreamInvariantsHoldOnEveryWorkload)
+{
+    for (const Workload &wl : allWorkloads()) {
+        DecodedCache dc(wl.program);
+        checkStreams(wl.program, dc, /*delimiter_cost=*/0);
+    }
+}
+
+TEST(Decoded, StreamInvariantsHoldOnSyntheticPrograms)
+{
+    for (uint64_t seed : {3u, 91u, 2026u}) {
+        SyntheticSpec spec;
+        spec.seed = seed;
+        spec.classCount = 5;
+        spec.methodsPerClass = 6;
+        Program prog = makeSyntheticProgram(spec);
+        DecodedCache dc(prog);
+        checkStreams(prog, dc, /*delimiter_cost=*/0);
+    }
+}
+
+TEST(Decoded, DelimiterCostBakedIntoBranchesAndReturnsOnly)
+{
+    Workload wl = makeZipper();
+    DecodedCache dc(wl.program, /*block_delimiter_cost=*/7);
+    EXPECT_EQ(dc.blockDelimiterCost(), 7u);
+    checkStreams(wl.program, dc, /*delimiter_cost=*/7);
+}
+
+TEST(Decoded, LdcIntRoundTripsSignedConstants)
+{
+    ProgramBuilder pb;
+    addRuntimeClasses(pb);
+    ClassBuilder &t = pb.addClass("T");
+    MethodBuilder &m = t.addMethod("main", "()V");
+    m.ldcInt(-123456789);
+    m.ldcInt(2147483647);
+    m.emit(Opcode::ISUB);
+    m.invokeStatic("Sys", "print", "(I)V");
+    m.emit(Opcode::RETURN);
+    Program prog = pb.build("T");
+
+    DecodedCache dc(prog);
+    const DecodedMethod &d = dc.get(prog.entry());
+    std::vector<int64_t> values;
+    for (const DInst &inst : d.plain) {
+        if (inst.op == DOp::LdcInt)
+            values.push_back(ldcIntValue(inst));
+    }
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_EQ(values[0], -123456789);
+    EXPECT_EQ(values[1], 2147483647);
+}
+
+TEST(Decoded, ConcurrentGetMemoizesOnceWithStableReferences)
+{
+    Workload wl = makeZipper();
+    DecodedCache dc(wl.program);
+    std::vector<MethodId> ids;
+    forEachBody(wl.program, [&](MethodId id) { ids.push_back(id); });
+    ASSERT_FALSE(ids.empty());
+
+    // Every thread walks the ids from a different starting rotation,
+    // so first touches race on different methods.
+    constexpr int kThreads = 8;
+    std::vector<std::vector<const DecodedMethod *>> seen(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            seen[t].resize(ids.size());
+            for (size_t i = 0; i < ids.size(); ++i) {
+                size_t j = (i + static_cast<size_t>(t) * 3) % ids.size();
+                seen[t][j] = &dc.get(ids[j]);
+            }
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const DecodedMethod *canonical = &dc.get(ids[i]);
+        for (int t = 0; t < kThreads; ++t)
+            EXPECT_EQ(seen[t][i], canonical)
+                << wl.program.methodLabel(ids[i]) << " thread " << t;
+    }
+}
+
+TEST(Decoded, ContextSharesOneCacheAcrossThreads)
+{
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    constexpr size_t kCalls = 32;
+    std::vector<const DecodedCache *> got(kCalls, nullptr);
+    ExperimentRunner(4).parallelFor(
+        kCalls, [&](size_t i) { got[i] = &ctx.decoded(); });
+    for (size_t i = 1; i < kCalls; ++i)
+        EXPECT_EQ(got[i], got[0]);
+    EXPECT_EQ(got[0], &ctx.decoded());
+}
+
+std::string
+gridJson(const std::vector<GridRow> &grid)
+{
+    Table t({"Workload", "Cell", "Total", "Stall", "Latency", "Pct"});
+    for (const GridRow &row : grid) {
+        for (size_t c = 0; c < row.cells.size(); ++c) {
+            const CellResult &cell = row.cells[c];
+            t.addRow({row.workload, std::to_string(c),
+                      std::to_string(cell.result.totalCycles),
+                      std::to_string(cell.result.stallCycles),
+                      std::to_string(cell.result.invocationLatency),
+                      fmtF(cell.pct, 6)});
+        }
+    }
+    BenchJson json("decoded-grid");
+    json.addTable("grid", t);
+    return json.str();
+}
+
+std::string
+runFreshGrid(unsigned threads)
+{
+    // Fresh contexts per runner: the profile runs, trace recording,
+    // and decoded-body memoization all first-touch *inside* the pool,
+    // exercising SimContext::decoded()'s concurrent path.
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    SyntheticSpec spec;
+    spec.seed = 58;
+    spec.classCount = 6;
+    spec.methodsPerClass = 4;
+    Program prog = makeSyntheticProgram(spec);
+    NativeRegistry natives = standardNatives();
+    SimContext synth_ctx(prog, natives, {1, 2}, {5, 4, 3});
+
+    std::vector<GridWorkload> workloads{{"Zipper", &ctx},
+                                        {"Synthetic", &synth_ctx}};
+    std::vector<GridCell> cells;
+    for (OrderingSource ord :
+         {OrderingSource::Static, OrderingSource::Train,
+          OrderingSource::Test}) {
+        GridCell cell;
+        cell.label = cat("par-", orderingName(ord));
+        cell.config.mode = SimConfig::Mode::Parallel;
+        cell.config.ordering = ord;
+        cell.config.link = kT1Link;
+        cell.config.parallelLimit = 4;
+        cells.push_back(std::move(cell));
+    }
+    return gridJson(ExperimentRunner(threads).runGrid(workloads, cells));
+}
+
+TEST(Decoded, GridSerializesIdenticallyAcrossWorkerCounts)
+{
+    EXPECT_EQ(runFreshGrid(1), runFreshGrid(4));
+}
+
+} // namespace
+} // namespace nse

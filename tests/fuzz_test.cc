@@ -6,6 +6,11 @@
  * decoder. (A PanicError here would mean an internal invariant can be
  * violated by untrusted input — exactly what a mobile-code loader
  * cannot afford.)
+ *
+ * Plus a dispatch differential sweep: randomized verified program
+ * shapes and inputs must produce bit-identical results (clock,
+ * counts, output) under direct-threaded, decoded-switch, and classic
+ * dispatch.
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +21,7 @@
 #include "bytecode/instruction.h"
 #include "classfile/parser.h"
 #include "classfile/writer.h"
+#include "vm/interpreter.h"
 #include "vm/streaming_loader.h"
 #include "workloads/synthetic.h"
 
@@ -118,6 +124,56 @@ TEST_P(CorruptionSweep, DecoderNeverPanicsOnJunk)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep,
                          ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------
+// Dispatch differential fuzzing: randomized verified program shapes
+// must execute bit-identically under every dispatch strategy.
+// ---------------------------------------------------------------------
+
+class DispatchSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DispatchSweep, RandomProgramsAgreeAcrossDispatchModes)
+{
+    Rng rng(GetParam() ^ 0xd15);
+    NativeRegistry natives = standardNatives();
+    for (int round = 0; round < 6; ++round) {
+        SyntheticSpec spec;
+        spec.seed = rng.next();
+        spec.classCount = 2 + static_cast<int>(rng.below(6));
+        spec.methodsPerClass = 2 + static_cast<int>(rng.below(8));
+        spec.reachablePct = 50 + static_cast<int>(rng.below(51));
+        spec.workScale = 1 + static_cast<int>(rng.below(48));
+        Program prog = makeSyntheticProgram(spec);
+
+        std::vector<int64_t> input(rng.below(24));
+        for (int64_t &v : input)
+            v = static_cast<int64_t>(rng.below(20001)) - 10000;
+
+        DecodedCache dc(prog);
+        auto run = [&](DispatchMode mode, const DecodedCache *cache) {
+            VmOptions opts;
+            opts.dispatch = mode;
+            Vm vm(prog, natives, input, opts, cache);
+            return vm.run();
+        };
+        VmResult oracle = run(DispatchMode::Classic, nullptr);
+        for (DispatchMode mode :
+             {DispatchMode::Threaded, DispatchMode::Switch}) {
+            VmResult got = run(mode, &dc);
+            EXPECT_EQ(got.clock, oracle.clock);
+            EXPECT_EQ(got.execCycles, oracle.execCycles);
+            EXPECT_EQ(got.bytecodes, oracle.bytecodes);
+            EXPECT_EQ(got.nativeCalls, oracle.nativeCalls);
+            EXPECT_EQ(got.methodsExecuted, oracle.methodsExecuted);
+            EXPECT_EQ(got.output, oracle.output);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchSweep,
+                         ::testing::Values(11, 12, 13, 14));
 
 } // namespace
 } // namespace nse

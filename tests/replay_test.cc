@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/event.h"
 #include "sim/replay.h"
 #include "sim/simulator.h"
 #include "workloads/synthetic.h"
@@ -159,6 +160,49 @@ TEST(Replay, FacadeRunIsReplay)
     cfg.parallelLimit = 2;
     expectIdentical(sim.run(cfg), runReplay(sim.context(), cfg),
                     "facade");
+}
+
+TEST(Replay, BatchedIntegratorMatchesForcedPerEventPath)
+{
+    // Attaching a sink (even one that records nothing) forces
+    // runReplay onto the exact per-event integration path; without
+    // one the quiet-window fast path may answer whole runs of
+    // first-uses arithmetically. Both must return field-for-field
+    // identical results on every sampled configuration.
+    class NullSink : public EventSink
+    {
+      public:
+        void record(const ObsEvent &) override {}
+    };
+
+    Workload wl = makeZipper();
+    SimContext ctx(wl.program, wl.natives, wl.trainInput,
+                   wl.testInput);
+    const SimConfig::Mode modes[] = {SimConfig::Mode::Parallel,
+                                     SimConfig::Mode::Interleaved};
+    const OrderingSource orders[] = {OrderingSource::Static,
+                                     OrderingSource::Train,
+                                     OrderingSource::Test};
+    for (const Variant &v : variants()) {
+        for (SimConfig::Mode mode : modes) {
+            for (OrderingSource ord : orders) {
+                SimConfig cfg;
+                cfg.mode = mode;
+                cfg.ordering = ord;
+                cfg.link = v.link;
+                cfg.parallelLimit = v.limit;
+                cfg.dataPartition = v.partition;
+                cfg.classStrict = v.classStrict;
+                cfg.faults = v.faults;
+                NullSink sink;
+                expectIdentical(
+                    runReplay(ctx, cfg), runReplay(ctx, cfg, &sink),
+                    cat("forced ", v.name,
+                        " mode=", static_cast<int>(mode),
+                        " ord=", orderingName(ord)));
+            }
+        }
+    }
 }
 
 TEST(Replay, TraceIsConfigInvariant)

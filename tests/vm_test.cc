@@ -9,8 +9,11 @@
 #include <functional>
 #include <gtest/gtest.h>
 
+#include "support/error.h"
 #include "vm/interpreter.h"
 #include "workloads/common.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
 
 namespace nse
 {
@@ -566,6 +569,118 @@ TEST(VmHooks, InputNativesReadArgs)
         },
         {7, 11});
     EXPECT_EQ(got, 22); // arg(1)=11 times argCount=2
+}
+
+// ---------------------------------------------------------------------
+// Dispatch equivalence: every decoded mode against the Classic oracle.
+// ---------------------------------------------------------------------
+
+VmResult
+runWith(const Workload &wl, DispatchMode mode, const DecodedCache *dc,
+        uint32_t block_delimiter_cost = 0)
+{
+    VmOptions opts;
+    opts.dispatch = mode;
+    opts.blockDelimiterCost = block_delimiter_cost;
+    Vm vm(wl.program, wl.natives, wl.testInput, opts, dc);
+    return vm.run();
+}
+
+void
+expectSameRun(const VmResult &a, const VmResult &oracle,
+              const std::string &what)
+{
+    EXPECT_EQ(a.clock, oracle.clock) << what;
+    EXPECT_EQ(a.execCycles, oracle.execCycles) << what;
+    EXPECT_EQ(a.bytecodes, oracle.bytecodes) << what;
+    EXPECT_EQ(a.nativeCalls, oracle.nativeCalls) << what;
+    EXPECT_EQ(a.methodsExecuted, oracle.methodsExecuted) << what;
+    EXPECT_EQ(a.output, oracle.output) << what;
+}
+
+TEST(VmDispatch, ModesAgreeOnEveryWorkload)
+{
+    for (const Workload &wl : allWorkloads()) {
+        DecodedCache dc(wl.program);
+        VmResult oracle = runWith(wl, DispatchMode::Classic, nullptr);
+        for (DispatchMode mode :
+             {DispatchMode::Threaded, DispatchMode::Switch,
+              DispatchMode::Auto}) {
+            expectSameRun(runWith(wl, mode, &dc), oracle,
+                          cat(wl.name, " mode=",
+                              static_cast<int>(mode)));
+        }
+    }
+}
+
+TEST(VmDispatch, ModesAgreeUnderBlockDelimiterCost)
+{
+    // The delimiter surcharge is baked into decoded branch/return
+    // costs; clocks must still match the classic per-boundary charge.
+    // The shared cache was built with cost 0, so the Vm must detect
+    // the mismatch and decode privately at cost 9.
+    Workload wl = makeZipper();
+    DecodedCache dc(wl.program, /*block_delimiter_cost=*/0);
+    VmResult oracle = runWith(wl, DispatchMode::Classic, nullptr, 9);
+    for (DispatchMode mode :
+         {DispatchMode::Threaded, DispatchMode::Switch}) {
+        expectSameRun(runWith(wl, mode, &dc, 9), oracle,
+                      cat("bdc mode=", static_cast<int>(mode)));
+    }
+}
+
+TEST(VmDispatch, HookSequencesAreBitIdenticalAcrossModes)
+{
+    // Under an instruction hook the decoded loops run the plain
+    // (unfused) stream: the hook must see every source bytecode with
+    // the same offsets and clocks as the classic interpreter, and the
+    // first-use hook the same methods in the same order at the same
+    // clocks.
+    SyntheticSpec spec;
+    spec.seed = 21;
+    spec.classCount = 4;
+    spec.methodsPerClass = 5;
+    Program prog = makeSyntheticProgram(spec);
+    NativeRegistry natives = standardNatives();
+
+    struct Seq
+    {
+        std::vector<uint64_t> instrs;
+        std::vector<uint64_t> firstUses;
+    };
+    auto record = [&](DispatchMode mode) {
+        VmOptions opts;
+        opts.dispatch = mode;
+        Vm vm(prog, natives, {3, 1, 4}, opts);
+        Seq seq;
+        vm.setInstructionHook(
+            [&](MethodId id, const Instruction &inst, uint64_t clock) {
+                seq.instrs.push_back(
+                    (static_cast<uint64_t>(id.classIdx) << 48) ^
+                    (static_cast<uint64_t>(id.methodIdx) << 32) ^
+                    (static_cast<uint64_t>(inst.offset) << 20) ^
+                    clock);
+            });
+        vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+            seq.firstUses.push_back(
+                (static_cast<uint64_t>(id.classIdx) << 48) ^
+                (static_cast<uint64_t>(id.methodIdx) << 32) ^ clock);
+            return clock;
+        });
+        vm.run();
+        return seq;
+    };
+
+    Seq oracle = record(DispatchMode::Classic);
+    ASSERT_FALSE(oracle.instrs.empty());
+    for (DispatchMode mode :
+         {DispatchMode::Threaded, DispatchMode::Switch}) {
+        Seq got = record(mode);
+        EXPECT_EQ(got.instrs, oracle.instrs)
+            << "mode=" << static_cast<int>(mode);
+        EXPECT_EQ(got.firstUses, oracle.firstUses)
+            << "mode=" << static_cast<int>(mode);
+    }
 }
 
 } // namespace
