@@ -179,6 +179,17 @@ writeChromeTrace(const EventTrace &trace, std::ostream &os)
                  instant(cat("mispredict m", ev.cls, ".", ev.method),
                          kExecPid, 1, ev.cycle));
             break;
+          case ObsKind::RunaheadPromote:
+          case ObsKind::RunaheadDefer:
+            if (ev.stream >= 0)
+                emit(out, ev.cycle,
+                     instant(ev.kind == ObsKind::RunaheadPromote
+                                 ? "runahead-promote"
+                                 : "runahead-defer",
+                             kTransferPid, tidOf(ev.stream), ev.cycle,
+                             cat("{\"newStart\":", ev.a,
+                                 ",\"wasStart\":", ev.b, "}")));
+            break;
           case ObsKind::RunEnd:
             emit(out, ev.cycle,
                  instant("run-end", kExecPid, 1, ev.cycle,

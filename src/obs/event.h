@@ -44,6 +44,8 @@ enum class ObsKind : uint8_t
     WatchCross,     ///< a watched byte offset arrived
     MethodWait,     ///< a first use waited for its method's bytes
     Mispredict,     ///< first use of a class neither active nor due
+    RunaheadPromote, ///< runahead pulled an idle stream's start to now
+    RunaheadDefer,  ///< runahead pushed an unpredicted idle start later
     RunEnd,         ///< replay finished (cycle = SimResult::totalCycles)
 };
 
@@ -62,6 +64,9 @@ const char *obsKindName(ObsKind kind);
  *   MethodWait      a = resume cycle (>= cycle; difference = stall),
  *                   b = availability offset awaited; cls/method set
  *   Mispredict      cls/method set
+ *   RunaheadPromote a = new start cycle, b = displaced scheduled start
+ *                   (cycle = the stall instant that triggered it)
+ *   RunaheadDefer   a = new start cycle, b = displaced scheduled start
  *   RunEnd          a = execute cycles of the run
  */
 struct ObsEvent

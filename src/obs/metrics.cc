@@ -20,6 +20,8 @@ RunMetrics::add(const EventTrace &t)
 {
     ++tracedRuns;
     eventCount += t.size();
+    runaheadPromotions += t.count(ObsKind::RunaheadPromote);
+    runaheadDeferrals += t.count(ObsKind::RunaheadDefer);
 }
 
 RunMetrics
@@ -47,6 +49,8 @@ setBenchMetrics(BenchJson &json, const RunMetrics &m)
     json.setMetric("mispredictions", m.mispredictions);
     json.setMetric("eventCount", m.eventCount);
     json.setMetric("tracedRuns", m.tracedRuns);
+    json.setMetric("runaheadPromotions", m.runaheadPromotions);
+    json.setMetric("runaheadDeferrals", m.runaheadDeferrals);
 }
 
 } // namespace nse

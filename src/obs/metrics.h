@@ -33,6 +33,9 @@ struct RunMetrics
     /** Observability events recorded (0 when tracing was off). */
     uint64_t eventCount = 0;
     uint64_t tracedRuns = 0;
+    /** Runahead reprioritizations (counted from recorded traces). */
+    uint64_t runaheadPromotions = 0;
+    uint64_t runaheadDeferrals = 0;
 
     void add(const SimResult &r);
     void add(const EventTrace &t);

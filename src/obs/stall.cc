@@ -20,13 +20,37 @@ buildStallReport(const EventTrace &trace, const SimResult &result)
 
     std::map<int, StallBucket> buckets;
     std::map<std::pair<int32_t, int32_t>, MethodStall> methods;
+    // A Mispredict is emitted at the same (cycle, cls, method) as the
+    // MethodWait of the demand fetch it opens; engine events may be
+    // recorded between the two, so the pending mispredict survives
+    // until its wait shows up.
+    bool pendingMispredict = false;
+    ObsEvent mis;
     for (const ObsEvent &ev : trace.events()) {
+        if (ev.kind == ObsKind::Mispredict) {
+            pendingMispredict = true;
+            mis = ev;
+            continue;
+        }
+        if (ev.kind == ObsKind::RunaheadPromote) {
+            ++rep.runaheadPromotions;
+            continue;
+        }
+        if (ev.kind == ObsKind::RunaheadDefer) {
+            ++rep.runaheadDeferrals;
+            continue;
+        }
         if (ev.kind != ObsKind::MethodWait)
             continue;
         NSE_ASSERT(ev.a >= ev.cycle,
                    "method-wait resumes before it starts");
         uint64_t stall = ev.a - ev.cycle;
         rep.attributedStallCycles += stall;
+        if (pendingMispredict && ev.cycle == mis.cycle &&
+            ev.cls == mis.cls && ev.method == mis.method) {
+            rep.recoveryStallCycles += stall;
+            pendingMispredict = false;
+        }
 
         StallBucket &b = buckets[ev.stream];
         b.stream = ev.stream;
@@ -71,6 +95,9 @@ mergeStallReports(const std::vector<StallReport> &parts)
         rep.drainCycles += p.drainCycles;
         rep.totalCycles += p.totalCycles;
         rep.mispredictions += p.mispredictions;
+        rep.recoveryStallCycles += p.recoveryStallCycles;
+        rep.runaheadPromotions += p.runaheadPromotions;
+        rep.runaheadDeferrals += p.runaheadDeferrals;
         for (const StallBucket &b : p.byStream) {
             StallBucket &m = buckets[{b.stream, b.name}];
             m.stream = b.stream;
@@ -108,9 +135,13 @@ StallReport::render() const
     std::ostringstream os;
     os << "stall attribution: total=" << totalCycles
        << " exec=" << execCycles << " stall=" << attributedStallCycles
+       << " (recovery=" << recoveryStallCycles << ")"
        << " drain=" << drainCycles
-       << " mispredict=" << mispredictions
-       << (reconstructs() ? "" : "  [DOES NOT RECONSTRUCT]") << "\n";
+       << " mispredict=" << mispredictions;
+    if (runaheadPromotions || runaheadDeferrals)
+        os << " runahead=+" << runaheadPromotions << "/-"
+           << runaheadDeferrals;
+    os << (reconstructs() ? "" : "  [DOES NOT RECONSTRUCT]") << "\n";
     for (const StallBucket &b : byStream) {
         double pct =
             totalCycles

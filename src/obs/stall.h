@@ -66,13 +66,26 @@ struct StallReport
     uint64_t drainCycles = 0; ///< post-exec transfer drain (see @file)
     uint64_t totalCycles = 0;
     uint64_t mispredictions = 0;
+    /**
+     * Misprediction-recovery cost: the slice of attributedStallCycles
+     * spent in waits that a Mispredict event opened (the demand fetch
+     * of a class the schedule never predicted). Always a subset of
+     * attributedStallCycles — the reconstruction identity is
+     * unchanged; this splits the stall term by *cause* so runahead's
+     * effect (fewer/cheaper recoveries) is directly observable.
+     */
+    uint64_t recoveryStallCycles = 0;
+    /** Runahead reprioritizations observed in the run's events. */
+    uint64_t runaheadPromotions = 0;
+    uint64_t runaheadDeferrals = 0;
 
     /** The reconstruction identity the whole layer is built around. */
     bool
     reconstructs() const
     {
         return attributedStallCycles + execCycles + drainCycles ==
-               totalCycles;
+                   totalCycles &&
+               recoveryStallCycles <= attributedStallCycles;
     }
 
     /** Human-readable breakdown (one line per stream bucket). */

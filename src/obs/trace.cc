@@ -15,6 +15,8 @@ obsKindName(ObsKind kind)
       case ObsKind::WatchCross: return "watch-cross";
       case ObsKind::MethodWait: return "method-wait";
       case ObsKind::Mispredict: return "mispredict";
+      case ObsKind::RunaheadPromote: return "runahead-promote";
+      case ObsKind::RunaheadDefer: return "runahead-defer";
       case ObsKind::RunEnd: return "run-end";
     }
     return "unknown";

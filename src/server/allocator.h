@@ -61,9 +61,14 @@ struct ClientDemand
     double weight = 1.0;
     /**
      * Global cycle of the client's next (or current) first-use wait:
-     * for a blocked client, the cycle it blocked — already in the
-     * past, maximally urgent; for an executing client, the known next
-     * first-use instant of its recorded trace. UINT64_MAX = unknown.
+     * for a client blocked on the static plan's own slack, the cycle
+     * it blocked — already in the past, maximally urgent; for a
+     * client blocked by a *misprediction*, the corrected horizon (its
+     * next recorded first use) — the plan said nothing about this
+     * fetch, so a stale past deadline must not hold it at the head of
+     * the deadline order for the whole demand fetch; for an executing
+     * client, the known next first-use instant of its recorded trace
+     * (kept live by runahead when enabled). UINT64_MAX = unknown.
      */
     uint64_t nextFirstUse = UINT64_MAX;
     /** True when the client's engine is actively moving bytes. */
@@ -140,7 +145,11 @@ class WeightedShareAllocator : public BandwidthAllocator
  * cross-client form of first-use ordering. A blocked client (whose
  * deadline is already in the past) therefore preempts prefetching
  * ones; late-deadline clients may be starved for a while, which is
- * safe because every allocation instant re-ranks.
+ * safe *only because* every allocation instant re-ranks on fresh
+ * deadlines — the server refreshes a blocked client's deadline on
+ * misprediction (ClientDemand::nextFirstUse above), since a stale
+ * past deadline would pin the mispredicting client first in rank for
+ * its entire demand fetch and starve punctual clients outright.
  */
 class DeadlineAllocator : public BandwidthAllocator
 {

@@ -7,6 +7,7 @@
 
 #include "support/error.h"
 #include "support/saturate.h"
+#include "transfer/runahead.h"
 
 namespace nse
 {
@@ -111,6 +112,20 @@ struct ClientRt
     uint64_t blockOffset = 0;
     uint64_t blockClock = 0;
     MethodId blockMethod{};
+    /** True when the current block was opened by a misprediction. The
+     *  static plan said nothing useful about this first use, so its
+     *  deadline (blockClock, already in the past) carries no ranking
+     *  information — the allocator ranks on the corrected horizon
+     *  below instead (see refreshDemand). */
+    bool blockMispredict = false;
+    /** Corrected demand horizon for a mispredict-opened block: the
+     *  global cycle of the client's *next* recorded first use (a lower
+     *  bound — the open block only adds stalls). UINT64_MAX when the
+     *  blocked event is the last. */
+    uint64_t blockNextUseGlobal = UINT64_MAX;
+    /** Online runahead scheduler (transfer/runahead.h); null unless
+     *  the client's config enables it. */
+    std::unique_ptr<RunaheadScheduler> runahead;
 
     EventSink *sink = nullptr;
     double nominalRate = 0.0;
@@ -270,6 +285,8 @@ progressClient(ClientRt &rt, uint64_t T)
             completeWait(rt, rt.blockClock, resume, rt.blockObsStream,
                          rt.blockMethod, rt.blockOffset);
             rt.phase = ClientRt::Phase::Executing;
+            rt.blockMispredict = false;
+            rt.blockNextUseGlobal = UINT64_MAX;
             ++rt.eventIdx;
             continue;
         }
@@ -299,6 +316,7 @@ progressClient(ClientRt &rt, uint64_t T)
                    "server loop missed a first-use instant");
         rt.engine->advanceTo(clock);
         const MethodPlacement &pl = rt.layout->of(te.method);
+        bool mispredicted = false;
         if (rt.parallel) {
             const Stream &s = rt.engine->stream(pl.streamIdx);
             if (s.state == StreamState::Idle &&
@@ -308,7 +326,12 @@ progressClient(ClientRt &rt, uint64_t T)
                 ++rt.out.sim.mispredictions;
                 emitMispredict(rt.sink, clock, pl.streamIdx, te.method);
                 rt.engine->demandStart(pl.streamIdx, clock);
+                mispredicted = true;
             }
+            if (rt.runahead && mispredicted &&
+                !rt.engine->hasArrived(pl.streamIdx, pl.availOffset))
+                rt.runahead->onStall(*rt.engine, rt.eventIdx, clock,
+                                     rt.sink);
         }
         if (rt.engine->hasArrived(pl.streamIdx, pl.availOffset)) {
             uint64_t resume = std::max(clock, rt.engine->time());
@@ -323,6 +346,14 @@ progressClient(ClientRt &rt, uint64_t T)
         rt.blockObsStream = pl.streamIdx;
         rt.blockOffset = pl.availOffset;
         rt.blockMethod = te.method;
+        rt.blockMispredict = mispredicted;
+        rt.blockNextUseGlobal =
+            rt.eventIdx + 1 < rt.trace->events.size()
+                ? satAdd(rt.epoch,
+                         satAdd(rt.trace->events[rt.eventIdx + 1]
+                                    .execClock,
+                                rt.stalls))
+                : UINT64_MAX;
         return;
     }
 }
@@ -358,6 +389,10 @@ setupClient(ClientRt &rt, size_t idx, const ServerOptions &opts)
         rt.engine->setSink(rt.sink);
         rt.trace = &ctx.trace();
         rt.phase = ClientRt::Phase::Executing;
+        if (rt.parallel && cfg.runaheadDepth > 0)
+            rt.runahead = std::make_unique<RunaheadScheduler>(
+                *rt.trace, *rt.layout, &ctx.callGraph(),
+                RunaheadConfig{cfg.runaheadDepth, cfg.runaheadK});
     }
     // Fire cycle-0 scheduled starts so the demand refresh below sees
     // the streams active (runReplay gets this from its first waitFor
@@ -502,7 +537,16 @@ runServer(const std::vector<ClientSpec> &clients,
                          rt.engine->activeCount() > 0;
         uint64_t nfu;
         if (rt.phase == ClientRt::Phase::Blocked)
-            nfu = satAdd(rt.epoch, rt.blockClock);
+            // A block from the static plan's own slack is maximally
+            // urgent (its deadline is already in the past). A block
+            // the plan never predicted is not: ranking it on the past
+            // blockClock would hold it at the head of the deadline
+            // order for the whole demand fetch and starve punctual
+            // clients, so mispredict-opened blocks rank on the
+            // corrected next-first-use horizon instead
+            // (tests/runahead_test.cc pins the non-starvation).
+            nfu = rt.blockMispredict ? rt.blockNextUseGlobal
+                                     : satAdd(rt.epoch, rt.blockClock);
         else if (rt.phase == ClientRt::Phase::Executing)
             nfu = rt.nextAction;
         else

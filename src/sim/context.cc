@@ -223,44 +223,11 @@ touchCacheFile(const std::filesystem::path &path)
         path, std::filesystem::file_time_type::clock::now(), ec);
 }
 
-/** Evict oldest-mtime .bin entries until the directory fits the cap. */
+/** Evict under the env-configured cap (internal store-path hook). */
 void
 evictCacheOverCap(const std::string &dir)
 {
-    uint64_t cap = cacheCapBytes();
-    if (cap == 0)
-        return;
-    struct Entry
-    {
-        std::filesystem::file_time_type mtime;
-        uint64_t size;
-        std::filesystem::path path;
-    };
-    std::vector<Entry> entries;
-    uint64_t total = 0;
-    std::error_code ec;
-    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file(ec) ||
-            de.path().extension() != ".bin")
-            continue;
-        uint64_t size = de.file_size(ec);
-        if (ec)
-            continue;
-        entries.push_back({de.last_write_time(ec), size, de.path()});
-        total += size;
-    }
-    if (total <= cap)
-        return;
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry &a, const Entry &b) {
-                  return a.mtime < b.mtime;
-              });
-    for (const Entry &e : entries) {
-        if (total <= cap)
-            break;
-        if (std::filesystem::remove(e.path, ec))
-            total -= e.size;
-    }
+    evictBenchCache(dir, cacheCapBytes());
 }
 
 std::optional<FirstUseProfile>
@@ -373,6 +340,72 @@ cachedProfileRun(const Program &prog, const NativeRegistry &natives,
 }
 
 } // namespace
+
+void
+evictBenchCache(const std::string &dir, uint64_t cap_bytes)
+{
+    if (cap_bytes == 0)
+        return;
+    struct Entry
+    {
+        std::filesystem::file_time_type mtime;
+        uint64_t size;
+        std::filesystem::path path;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        // A leftover ".evicting.<pid>" tombstone means an evictor died
+        // between rename and unlink; finish the job. Tombstones never
+        // end in ".bin", so they are invisible to the size scan and to
+        // loads, and a crashed evictor cannot resurrect an entry.
+        if (de.path().filename().string().find(".evicting.") !=
+            std::string::npos) {
+            std::filesystem::remove(de.path(), ec);
+            continue;
+        }
+        if (de.path().extension() != ".bin")
+            continue;
+        uint64_t size = de.file_size(ec);
+        if (ec)
+            continue;
+        entries.push_back({de.last_write_time(ec), size, de.path()});
+        total += size;
+    }
+    if (total <= cap_bytes)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= cap_bytes)
+            break;
+        // Concurrent benches race this scan: another process may have
+        // touched the entry (a load bumped its mtime — it is hot, not
+        // LRU anymore), evicted it already, or be mid-load on an open
+        // handle. Re-stat first and skip touched entries; then claim
+        // the victim with an atomic rename (exactly one racing evictor
+        // wins; ENOENT means the other one did) and unlink the
+        // tombstone. A reader that already opened the original keeps
+        // reading its handle; a reader that lost the race sees a clean
+        // miss instead of a torn file. Every failure is tolerated —
+        // the cache is an optimization.
+        auto mtime_now = std::filesystem::last_write_time(e.path, ec);
+        if (ec || mtime_now != e.mtime)
+            continue;
+        std::filesystem::path tomb = e.path;
+        tomb += cat(".evicting.", ::getpid());
+        std::filesystem::rename(e.path, tomb, ec);
+        if (ec)
+            continue;
+        std::filesystem::remove(tomb, ec);
+        total -= e.size;
+    }
+}
 
 ExecTrace
 recordTrace(const Program &prog, const NativeRegistry &natives,

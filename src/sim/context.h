@@ -96,6 +96,21 @@ ExecTrace recordTrace(const Program &prog, const NativeRegistry &natives,
                       const std::string &cache_dir = "",
                       const DecodedCache *decoded = nullptr);
 
+/**
+ * Bench-cache LRU maintenance: evict oldest-mtime `.bin` entries from
+ * `dir` until the directory fits under `cap_bytes` (0 = no cap, no-op).
+ * Safe to run concurrently from many processes sharing one cache
+ * directory: victims are re-statted (an mtime bump since the scan
+ * means a racing load made the entry hot — skip it) and claimed with
+ * an atomic rename to a non-`.bin` tombstone before the unlink, so
+ * exactly one racing evictor wins, a concurrent reader sees either the
+ * whole entry or a clean miss (never a torn file), and a crashed
+ * evictor's tombstone is swept by the next scan. Every store-path
+ * caller applies this automatically under NSE_BENCH_CACHE_MAX_MB
+ * (default 256 MiB); exposed for tests and offline maintenance.
+ */
+void evictBenchCache(const std::string &dir, uint64_t cap_bytes);
+
 /** Identity of a memoized transfer layout. */
 struct LayoutKey
 {

@@ -1,6 +1,10 @@
 #include "sim/replay.h"
 
+#include <optional>
+
+#include "analysis/callgraph.h"
 #include "transfer/engine.h"
+#include "transfer/runahead.h"
 #include "transfer/schedule.h"
 #include "vm/interpreter.h"
 
@@ -172,25 +176,36 @@ runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
     SimResult r;
     bool entry_seen = false;
     const ExecTrace &trace = ctx.trace();
+    std::optional<RunaheadScheduler> runahead;
+    if (parallel && cfg.runaheadDepth > 0)
+        runahead.emplace(trace, layout, &ctx.callGraph(),
+                         RunaheadConfig{cfg.runaheadDepth, cfg.runaheadK});
     // Batched integration: inside a quiet window (nothing in flight,
     // next scheduled start still ahead) the engine's state is frozen,
     // so a first-use whose needed prefix has already arrived resolves
     // to `resume == clock` by pure arithmetic — whole runs of events
     // between watch crossings cost one predicate each instead of an
-    // engine advance. Any event the fast path cannot answer (stream
-    // mid-flight, prefix missing, possible misprediction, or an
-    // observer that must see engine-time-ordered events) falls back to
-    // the exact per-event sequence, then re-arms the window. The
-    // final advanceTo below restores the engine clock the per-event
-    // integrator would have left, keeping retry/degraded accounting
-    // and the returned SimResult field-for-field identical
+    // engine advance. Sinked runs take the same fast path: the elided
+    // MethodWait is synthesized directly (zero stall, by the window
+    // predicate), and every event the frozen engine would eventually
+    // emit carries a cycle at or past the window bound, so the
+    // recorded stream respects the EventSink ordering contract —
+    // pinned event-for-event against the forced path by
+    // tests/runahead_test.cc. Any event the fast path cannot answer
+    // (stream mid-flight, prefix missing, possible misprediction)
+    // falls back to the exact per-event sequence, then re-arms the
+    // window. The final advanceTo below restores the engine clock the
+    // per-event integrator would have left, keeping retry/degraded
+    // accounting and the returned SimResult field-for-field identical
     // (tests/replay_test.cc pins this against runLiveReference).
-    uint64_t quiet = obs ? 0 : engine.quietUntil();
+    uint64_t quiet = cfg.forceExactReplay ? 0 : engine.quietUntil();
     uint64_t last_resume = 0;
+    size_t ev_idx = 0;
     uint64_t final_clock =
         replayTrace(trace, [&](MethodId id, uint64_t clock) {
+            size_t idx = ev_idx++;
             const MethodPlacement &pl = layout.of(id);
-            if (!obs && clock < quiet &&
+            if (clock < quiet &&
                 engine.hasArrived(pl.streamIdx, pl.availOffset) &&
                 !(parallel && engine.stream(pl.streamIdx).state ==
                                   StreamState::Idle)) {
@@ -198,12 +213,15 @@ runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
                     entry_seen = true;
                     r.invocationLatency = clock;
                 }
+                observeWait(obs, clock, clock, pl.streamIdx, id,
+                            pl.availOffset);
                 last_resume = clock;
                 return clock;
             }
             if (parallel) {
                 engine.advanceTo(clock);
                 const Stream &s = engine.stream(pl.streamIdx);
+                bool mispredicted = false;
                 if (s.state == StreamState::Idle &&
                     s.scheduledStart > clock) {
                     // Misprediction (§5.1): the class is needed but
@@ -212,7 +230,11 @@ runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
                     ++r.mispredictions;
                     observeMispredict(obs, clock, pl.streamIdx, id);
                     engine.demandStart(pl.streamIdx, clock);
+                    mispredicted = true;
                 }
+                if (runahead && mispredicted &&
+                    !engine.hasArrived(pl.streamIdx, pl.availOffset))
+                    runahead->onStall(engine, idx, clock, obs);
             }
             uint64_t resume =
                 engine.waitFor(pl.streamIdx, pl.availOffset, clock);
@@ -223,8 +245,7 @@ runReplay(const SimContext &ctx, const SimConfig &cfg, EventSink *obs)
                 entry_seen = true;
                 r.invocationLatency = resume;
             }
-            if (!obs)
-                quiet = engine.quietUntil();
+            quiet = cfg.forceExactReplay ? 0 : engine.quietUntil();
             last_resume = resume;
             return resume;
         });
@@ -257,19 +278,34 @@ runLiveReference(const SimContext &ctx, const SimConfig &cfg,
 
     SimResult r;
     bool entry_seen = false;
+    // The live run's first-use sequence is identical to the recorded
+    // trace's (that is the record-once/replay-many invariant), so the
+    // runahead scheduler may run ahead in the recorded trace indexed
+    // by a plain hook counter.
+    std::optional<RunaheadScheduler> runahead;
+    if (parallel && cfg.runaheadDepth > 0)
+        runahead.emplace(ctx.trace(), layout, &ctx.callGraph(),
+                         RunaheadConfig{cfg.runaheadDepth, cfg.runaheadK});
+    size_t hook_idx = 0;
     Vm vm(ctx.program(), ctx.natives(), ctx.testInput(), {},
           &ctx.decoded());
     vm.setFirstUseHook([&](MethodId id, uint64_t clock) {
+        size_t idx = hook_idx++;
         const MethodPlacement &pl = layout.of(id);
         if (parallel) {
             engine.advanceTo(clock);
             const Stream &s = engine.stream(pl.streamIdx);
+            bool mispredicted = false;
             if (s.state == StreamState::Idle &&
                 s.scheduledStart > clock) {
                 ++r.mispredictions;
                 observeMispredict(obs, clock, pl.streamIdx, id);
                 engine.demandStart(pl.streamIdx, clock);
+                mispredicted = true;
             }
+            if (runahead && mispredicted &&
+                !engine.hasArrived(pl.streamIdx, pl.availOffset))
+                runahead->onStall(engine, idx, clock, obs);
         }
         uint64_t resume = engine.waitFor(pl.streamIdx, pl.availOffset,
                                          clock);

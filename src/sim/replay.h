@@ -59,6 +59,25 @@ struct SimConfig
      * all-nominal and reproduces the constant-rate engine exactly.
      */
     FaultPlan faults;
+    /**
+     * Online runahead transfer scheduling (transfer/runahead.h),
+     * Parallel mode only: at every stalled first use, look this many
+     * trace events ahead (bounded by the RTA call graph for paths
+     * beyond the window) and reorder the remaining idle transfer
+     * units toward the predicted first-uses. 0 (the default) disables
+     * runahead entirely; the run is then bit-identical to the static
+     * schedule (pinned by tests/runahead_test.cc).
+     */
+    uint32_t runaheadDepth = 0;
+    /** Max streams runahead may promote per stall. */
+    uint32_t runaheadK = 4;
+    /**
+     * Test-only: force the exact per-event integration path, never
+     * the quiet-window batched fast path. Results and observed events
+     * are identical either way — this knob exists so the equality is
+     * testable (tests/replay_test.cc, tests/runahead_test.cc).
+     */
+    bool forceExactReplay = false;
 };
 
 /** Measurements of one simulated run. */

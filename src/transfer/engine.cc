@@ -475,6 +475,28 @@ TransferEngine::demandStart(int stream, uint64_t now)
     }
 }
 
+bool
+TransferEngine::reschedule(int stream, uint64_t cycle)
+{
+    Stream &s = streams_[static_cast<size_t>(stream)];
+    if (s.state != StreamState::Idle)
+        return false; // bytes-already-sent invariant: never re-plan
+    if (cycle <= time_) {
+        // Promotion: behave like a planned start that is already due.
+        // Queue at the *back* so demand fetches (the stream execution
+        // is blocked on right now) keep absolute priority.
+        s.scheduledStart = UINT64_MAX;
+        recomputeNextStart();
+        activateOrQueue(stream, time_, /*front=*/false);
+        return true;
+    }
+    if (s.scheduledStart == cycle)
+        return false;
+    s.scheduledStart = cycle;
+    recomputeNextStart();
+    return true;
+}
+
 uint64_t
 TransferEngine::waitFor(int stream, uint64_t offset, uint64_t now)
 {

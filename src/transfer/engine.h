@@ -91,6 +91,17 @@ class TransferEngine
      */
     void demandStart(int stream, uint64_t now);
 
+    /**
+     * Runahead reprioritization: move an *idle* stream's planned start
+     * to `cycle`. A cycle at or before the engine clock promotes the
+     * stream (it starts now, or queues behind already-waiting streams
+     * when the concurrency limit is saturated); a later cycle defers
+     * it. Streams that have started keep their bytes-already-sent:
+     * only Idle streams are touched, so no transferred byte is ever
+     * re-planned. Returns whether the plan changed.
+     */
+    bool reschedule(int stream, uint64_t cycle);
+
     /** Process all starts/completions up to and including `cycle`. */
     void advanceTo(uint64_t cycle);
 

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Concurrency gate of the bench trace cache (src/sim/context.cc):
+ * two processes hammering the same cache directory — recording
+ * traces, re-loading them, and evicting under a deliberately tiny
+ * byte cap — must never crash, never observe a torn cache file, and
+ * always end with correct traces. The eviction protocol under test:
+ * atomic rename to a pid-suffixed ".evicting." tombstone (invisible
+ * to scans and loads) before unlink, re-stat skip of files touched
+ * since the scan, and ENOENT tolerance everywhere — the regression
+ * was two evictors racing remove() on the same victim while a reader
+ * held a half-written view.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "sim/context.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
+
+namespace nse
+{
+namespace
+{
+
+/** A scratch cache directory under the build tree, wiped per test. */
+std::string
+scratchDir(const char *name)
+{
+    std::filesystem::path dir =
+        std::filesystem::current_path() /
+        (std::string("nse-cache-test-") + name + "-" +
+         std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+/** One worker's share of the stress loop: alternate recording traces
+ *  for a few distinct programs (distinct cache keys) with aggressive
+ *  evictions at a cap small enough that every round evicts. Returns
+ *  the number of rounds whose reloaded trace mismatched. */
+int
+stressLoop(const std::string &dir, uint64_t seedBase, int rounds)
+{
+    NativeRegistry natives = standardNatives();
+    int mismatches = 0;
+    for (int r = 0; r < rounds; ++r) {
+        SyntheticSpec spec;
+        spec.seed = seedBase + static_cast<uint64_t>(r % 3);
+        spec.classCount = 4;
+        spec.methodsPerClass = 3;
+        spec.workScale = 2;
+        Program prog = makeSyntheticProgram(spec);
+        ExecTrace fresh =
+            recordTrace(prog, natives, {1, 2}, {}, /*cache_dir=*/"");
+        ExecTrace cached =
+            recordTrace(prog, natives, {1, 2}, {}, dir);
+        if (cached.events.size() != fresh.events.size() ||
+            cached.totals.clock != fresh.totals.clock)
+            ++mismatches;
+        // Cap far below one trace file: every pass must evict
+        // something another pass may be evicting or reading.
+        evictBenchCache(dir, /*cap_bytes=*/1);
+    }
+    return mismatches;
+}
+
+TEST(BenchCache, TwoProcessEvictionStress)
+{
+    const std::string dir = scratchDir("stress");
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0) << "fork failed";
+    if (child == 0) {
+        // Child: same keys, different interleaving. Exit code carries
+        // the mismatch count (0 = clean).
+        int bad = stressLoop(dir, /*seedBase=*/50, /*rounds=*/40);
+        _exit(bad > 125 ? 125 : bad);
+    }
+    int parentBad = stressLoop(dir, /*seedBase=*/50, /*rounds=*/40);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status))
+        << "child crashed (signal " << WTERMSIG(status) << ")";
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "child observed torn traces";
+    EXPECT_EQ(parentBad, 0) << "parent observed torn traces";
+
+    // No tombstones may survive: every ".evicting." rename is followed
+    // by a remove in the same pass, and the next scan sweeps any left
+    // by a crashed evictor.
+    evictBenchCache(dir, 1);
+    for (const auto &ent : std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(ent.path().filename().string().find(".evicting."),
+                  std::string::npos)
+            << ent.path();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchCache, EvictionHonorsCapAndKeepsNewest)
+{
+    // Single-process contract: after eviction the directory totals at
+    // most the cap, and the newest entries are the survivors.
+    const std::string dir = scratchDir("cap");
+    NativeRegistry natives = standardNatives();
+    uint64_t oneSize = 0;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        SyntheticSpec spec;
+        spec.seed = seed;
+        spec.classCount = 4;
+        spec.methodsPerClass = 3;
+        spec.workScale = 2;
+        Program prog = makeSyntheticProgram(spec);
+        recordTrace(prog, natives, {1, 2}, {}, dir);
+        if (seed == 1) {
+            for (const auto &ent :
+                 std::filesystem::directory_iterator(dir))
+                oneSize = std::max<uint64_t>(
+                    oneSize, ent.file_size());
+            ASSERT_GT(oneSize, 0u);
+        }
+    }
+    // Cap to roughly two files; at least one must go, none may be
+    // half-deleted, and a zero cap disables eviction entirely.
+    evictBenchCache(dir, 2 * oneSize + oneSize / 2);
+    uint64_t total = 0;
+    size_t files = 0;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        total += ent.file_size();
+        ++files;
+    }
+    EXPECT_LE(total, 2 * oneSize + oneSize / 2);
+    EXPECT_GE(files, 1u);
+    EXPECT_LT(files, 4u);
+
+    size_t before = files;
+    evictBenchCache(dir, 0); // 0 = unlimited, must be a no-op
+    size_t after = 0;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        (void)ent;
+        ++after;
+    }
+    EXPECT_EQ(before, after);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace nse

@@ -164,10 +164,12 @@ TEST(Replay, FacadeRunIsReplay)
 
 TEST(Replay, BatchedIntegratorMatchesForcedPerEventPath)
 {
-    // Attaching a sink (even one that records nothing) forces
-    // runReplay onto the exact per-event integration path; without
-    // one the quiet-window fast path may answer whole runs of
-    // first-uses arithmetically. Both must return field-for-field
+    // forceExactReplay pins runReplay to the exact per-event
+    // integration path; by default the quiet-window fast path may
+    // answer whole runs of first-uses arithmetically, with or without
+    // a sink attached (sinked runs synthesize the elided MethodWait
+    // events — tests/runahead_test.cc pins the recorded streams equal
+    // event for event). All three must return field-for-field
     // identical results on every sampled configuration.
     class NullSink : public EventSink
     {
@@ -194,10 +196,18 @@ TEST(Replay, BatchedIntegratorMatchesForcedPerEventPath)
                 cfg.dataPartition = v.partition;
                 cfg.classStrict = v.classStrict;
                 cfg.faults = v.faults;
+                SimConfig forced = cfg;
+                forced.forceExactReplay = true;
+                SimResult batched = runReplay(ctx, cfg);
+                expectIdentical(
+                    batched, runReplay(ctx, forced),
+                    cat("forced ", v.name,
+                        " mode=", static_cast<int>(mode),
+                        " ord=", orderingName(ord)));
                 NullSink sink;
                 expectIdentical(
-                    runReplay(ctx, cfg), runReplay(ctx, cfg, &sink),
-                    cat("forced ", v.name,
+                    batched, runReplay(ctx, cfg, &sink),
+                    cat("sinked ", v.name,
                         " mode=", static_cast<int>(mode),
                         " ord=", orderingName(ord)));
             }

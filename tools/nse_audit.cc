@@ -33,7 +33,9 @@
 #include <vector>
 
 #include "analysis/audit.h"
+#include "obs/trace.h"
 #include "sim/context.h"
+#include "sim/replay.h"
 #include "workloads/workload.h"
 
 using namespace nse;
@@ -86,6 +88,54 @@ auditCell(const SimContext &ctx, const LayoutKey &key,
                                 part, &sin);
 }
 
+/**
+ * Audit the *effective* schedule an online-runahead run produces:
+ * replay the workload with runahead enabled and the run's events
+ * recorded, fold every RunaheadPromote / RunaheadDefer into a copy of
+ * the static greedy schedule (last reprioritization of a stream
+ * wins — exactly the start the engine ended up honoring; demand
+ * fetches are misprediction recovery, present in the static runs
+ * too), and audit the result. Runahead only moves *stream start
+ * cycles*; every offset-level obligation (constant pool, GMD, callee
+ * arrival before the delimiter) is a property of the layout and must
+ * hold unchanged, so a nonzero error count here means the
+ * reprioritization hook broke a safety invariant.
+ */
+AuditReport
+auditRunaheadCell(const SimContext &ctx, const LayoutKey &key,
+                  const LinkModel &link)
+{
+    const Program &prog = ctx.program();
+    const FirstUseOrder &order = ctx.ordering(key.ordering);
+    const TransferLayout &layout = ctx.layout(key);
+    const DataPartition *part =
+        key.partitioned ? &ctx.partition(key.ordering) : nullptr;
+
+    StreamDemand demand = deriveStreamDemand(
+        prog, order, layout, ctx.methodCycles(key.ordering));
+    TransferSchedule sched = buildGreedySchedule(
+        layout, demand, link, /*limit=*/4);
+
+    SimConfig cfg;
+    cfg.mode = SimConfig::Mode::Parallel;
+    cfg.ordering = key.ordering;
+    cfg.link = link;
+    cfg.dataPartition = key.partitioned;
+    cfg.runaheadDepth = 32;
+    cfg.runaheadK = 4;
+    EventTrace trace;
+    runReplay(ctx, cfg, &trace);
+    for (const ObsEvent &ev : trace.events()) {
+        if (ev.kind != ObsKind::RunaheadPromote &&
+            ev.kind != ObsKind::RunaheadDefer)
+            continue;
+        sched.startCycle[static_cast<size_t>(ev.stream)] = ev.a;
+    }
+    ScheduleAuditInput sin{sched, demand, link};
+    return auditNonStrictSafety(prog, ctx.callGraph(), order, layout,
+                                part, &sin);
+}
+
 int
 runGrid(bool json)
 {
@@ -101,17 +151,31 @@ runGrid(bool json)
                 key.parallel = true;
                 key.ordering = src;
                 key.partitioned = partitioned;
+                const char *mode =
+                    partitioned ? "partitioned" : "reordered";
                 AuditReport report = auditCell(ctx, key, kT1Link);
                 std::cout << w.name << " " << orderingName(src) << " "
-                          << (partitioned ? "partitioned" : "reordered")
-                          << ": " << report.errorCount << " error(s), "
-                          << report.warningCount << " warning(s), "
-                          << report.infoCount << " info(s)\n";
+                          << mode << ": " << report.errorCount
+                          << " error(s), " << report.warningCount
+                          << " warning(s), " << report.infoCount
+                          << " info(s)\n";
                 if (!report.ok()) {
                     ++failures;
                     std::cout << report.render();
                     if (json)
                         std::cout << report.toJson();
+                }
+                AuditReport ra = auditRunaheadCell(ctx, key, kT1Link);
+                std::cout << w.name << " " << orderingName(src) << " "
+                          << mode << " runahead: " << ra.errorCount
+                          << " error(s), " << ra.warningCount
+                          << " warning(s), " << ra.infoCount
+                          << " info(s)\n";
+                if (!ra.ok()) {
+                    ++failures;
+                    std::cout << ra.render();
+                    if (json)
+                        std::cout << ra.toJson();
                 }
             }
         }
