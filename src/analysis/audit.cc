@@ -35,6 +35,7 @@ kindName(AuditDepKind k)
     case AuditDepKind::CpOwnedEntry: return "cp-owned-entry";
     case AuditDepKind::CpUnusedEntry: return "cp-unused-entry";
     case AuditDepKind::Callee: return "callee-order";
+    case AuditDepKind::CrossClass: return "cross-class";
     case AuditDepKind::SchedulePrefix: return "schedule-prefix";
     case AuditDepKind::Placement: return "placement";
     }
@@ -149,6 +150,60 @@ checkCalleeOrder(const Program &prog, const CallGraph &cg,
                                "placed later in the stream");
                 d.fixHint = "rebuild the layout from the ordering it "
                             "claims to follow";
+                report.diags.push_back(std::move(d));
+            }
+        }
+    });
+}
+
+void
+checkCrossClassDeps(const Program &prog, const CallGraph &cg,
+                    const FirstUseOrder &order,
+                    const TransferLayout &layout, AuditReport &report)
+{
+    // Only meaningful for the interleaved virtual file: parallel
+    // layouts carry every class on its own stream, so a late class
+    // prefix there surfaces as a runtime demand fetch (a stall, cost
+    // already modeled). With one wire stream there is no second
+    // channel to pull a missing prefix from out of order — a
+    // non-strict start of the caller would fault at the invoke.
+    if (layout.streams.size() != 1 || layout.streams[0].classIdx >= 0)
+        return;
+    auto rank = order.ranks(prog);
+    std::set<std::pair<MethodId, int>> reported;
+    prog.forEachMethod([&](MethodId id, const ClassFile &,
+                           const MethodInfo &m) {
+        if (m.isNative() || !cg.rtaReachable(id))
+            return;
+        const MethodPlacement &caller = layout.of(id);
+        for (const CallSite &site : cg.node(id).sites) {
+            for (const MethodId &t : site.rtaTargets) {
+                if (t.classIdx == id.classIdx)
+                    continue; // own prefix: checkCpDependencies' job
+                if (rank[t.classIdx][t.methodIdx] >=
+                    rank[id.classIdx][id.methodIdx])
+                    continue; // callee predicted after caller: fine
+                uint64_t arrive = layout.classPrefixEnd[t.classIdx];
+                if (arrive <= caller.availOffset)
+                    continue;
+                if (!reported.emplace(id, int{t.classIdx}).second)
+                    continue;
+                AuditDiagnostic d;
+                d.severity = AuditSeverity::Error;
+                d.kind = AuditDepKind::CrossClass;
+                d.method = id;
+                d.methodLabel = prog.methodLabel(id);
+                d.needOffset = caller.availOffset;
+                d.arriveOffset = arrive;
+                d.detail = cat("callee ", prog.methodLabel(t),
+                               " is predicted first-used earlier but "
+                               "its class's structural prefix is "
+                               "placed after the caller in the "
+                               "interleaved stream");
+                d.fixHint = "emit each class's global prefix before "
+                            "its first transfer unit in the global "
+                            "first-use order the layout claims to "
+                            "follow";
                 report.diags.push_back(std::move(d));
             }
         }
@@ -303,6 +358,7 @@ auditNonStrictSafety(const Program &prog, const CallGraph &cg,
     AuditReport report;
     checkCpDependencies(prog, layout, part, report);
     checkCalleeOrder(prog, cg, order, layout, report);
+    checkCrossClassDeps(prog, cg, order, layout, report);
     if (sched)
         checkSchedule(prog, layout, *sched, report);
     checkPlacement(prog, cg, layout, report);

@@ -21,6 +21,12 @@
  *    entries assigned to a *later* method's GMD chunk and entries the
  *    partitioner classed as unused — both arise when the partition or
  *    layout was built from a different ordering than the other.
+ *  - Error: in an interleaved layout, a cross-class call edge whose
+ *    callee the ordering predicts first-used before its caller, yet
+ *    whose class's structural prefix is placed after the caller's
+ *    delimiter. The single virtual file has no second channel to
+ *    demand-fetch a missing class prefix from, so a non-strict start
+ *    of the caller would fault at the invoke instead of stalling.
  *  - Warning: a call edge whose callee the ordering predicts to be
  *    first-used before its caller, yet the layout delivers after the
  *    caller (layout contradicts the ordering it supposedly follows).
@@ -67,6 +73,7 @@ enum class AuditDepKind : uint8_t
     CpOwnedEntry,   ///< entry owned by another method's GMD chunk
     CpUnusedEntry,  ///< entry the partitioner classed as unused
     Callee,         ///< predicted-earlier callee
+    CrossClass,     ///< callee class's prefix after the caller
     SchedulePrefix, ///< stream prefix vs first-use deadline
     Placement,      ///< cold/dead method ahead of hot ones
 };

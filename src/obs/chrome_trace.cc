@@ -190,6 +190,18 @@ writeChromeTrace(const EventTrace &trace, std::ostream &os)
                              cat("{\"newStart\":", ev.a,
                                  ",\"wasStart\":", ev.b, "}")));
             break;
+          case ObsKind::CacheHit:
+          case ObsKind::CacheMiss:
+          case ObsKind::CacheEvict:
+            // Edge-cache tier events (cache/edge_cache.h): rendered on
+            // the transfer process' thread 0 (the "link" lane) since
+            // they time-stamp artifact movement, not execution.
+            emit(out, ev.cycle,
+                 instant(obsKindName(ev.kind), kTransferPid, 0,
+                         ev.cycle,
+                         cat("{\"bytes\":", ev.a, ",\"key\":\"",
+                             ev.b, "\"}")));
+            break;
           case ObsKind::RunEnd:
             emit(out, ev.cycle,
                  instant("run-end", kExecPid, 1, ev.cycle,

@@ -46,6 +46,9 @@ enum class ObsKind : uint8_t
     Mispredict,     ///< first use of a class neither active nor due
     RunaheadPromote, ///< runahead pulled an idle stream's start to now
     RunaheadDefer,  ///< runahead pushed an unpredicted idle start later
+    CacheHit,       ///< edge cache served a resident artifact instantly
+    CacheMiss,      ///< artifact absent at the edge; origin fetch owed
+    CacheEvict,     ///< capacity pressure evicted a resident artifact
     RunEnd,         ///< replay finished (cycle = SimResult::totalCycles)
 };
 
@@ -67,6 +70,10 @@ const char *obsKindName(ObsKind kind);
  *   RunaheadPromote a = new start cycle, b = displaced scheduled start
  *                   (cycle = the stall instant that triggered it)
  *   RunaheadDefer   a = new start cycle, b = displaced scheduled start
+ *   CacheHit        a = artifact bytes, b = EdgeKey hash
+ *   CacheMiss       a = artifact bytes, b = EdgeKey hash; stream = the
+ *                   origin-uplink fetch stream (joiners share it)
+ *   CacheEvict      a = evicted artifact bytes, b = EdgeKey hash
  *   RunEnd          a = execute cycles of the run
  */
 struct ObsEvent

@@ -22,6 +22,9 @@ RunMetrics::add(const EventTrace &t)
     eventCount += t.size();
     runaheadPromotions += t.count(ObsKind::RunaheadPromote);
     runaheadDeferrals += t.count(ObsKind::RunaheadDefer);
+    cacheHits += t.count(ObsKind::CacheHit);
+    cacheMisses += t.count(ObsKind::CacheMiss);
+    cacheEvictions += t.count(ObsKind::CacheEvict);
 }
 
 RunMetrics
@@ -51,6 +54,9 @@ setBenchMetrics(BenchJson &json, const RunMetrics &m)
     json.setMetric("tracedRuns", m.tracedRuns);
     json.setMetric("runaheadPromotions", m.runaheadPromotions);
     json.setMetric("runaheadDeferrals", m.runaheadDeferrals);
+    json.setMetric("cacheHits", m.cacheHits);
+    json.setMetric("cacheMisses", m.cacheMisses);
+    json.setMetric("cacheEvictions", m.cacheEvictions);
 }
 
 } // namespace nse

@@ -36,6 +36,10 @@ struct RunMetrics
     /** Runahead reprioritizations (counted from recorded traces). */
     uint64_t runaheadPromotions = 0;
     uint64_t runaheadDeferrals = 0;
+    /** Edge-cache tier outcomes (counted from recorded traces). */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
 
     void add(const SimResult &r);
     void add(const EventTrace &t);

@@ -17,6 +17,9 @@ obsKindName(ObsKind kind)
       case ObsKind::Mispredict: return "mispredict";
       case ObsKind::RunaheadPromote: return "runahead-promote";
       case ObsKind::RunaheadDefer: return "runahead-defer";
+      case ObsKind::CacheHit: return "cache-hit";
+      case ObsKind::CacheMiss: return "cache-miss";
+      case ObsKind::CacheEvict: return "cache-evict";
       case ObsKind::RunEnd: return "run-end";
     }
     return "unknown";

@@ -83,6 +83,7 @@ struct ClientRt
     {
         Pending,   ///< not arrived yet
         AtDoor,    ///< arrived, waiting for an admission slot
+        FetchWait, ///< admitted; edge cache is fetching the artifact
         Executing, ///< replaying between first-use waits
         Blocked,   ///< a first use is waiting on stream bytes
         Finished,
@@ -126,6 +127,11 @@ struct ClientRt
     /** Online runahead scheduler (transfer/runahead.h); null unless
      *  the client's config enables it. */
     std::unique_ptr<RunaheadScheduler> runahead;
+
+    /** Edge-cache origin-fetch handle while in FetchWait, and the
+     *  global cycle the fetch wait began (the cache request). */
+    int fetch = -1;
+    uint64_t fetchStart = 0;
 
     EventSink *sink = nullptr;
     double nominalRate = 0.0;
@@ -400,9 +406,12 @@ setupClient(ClientRt &rt, size_t idx, const ServerOptions &opts)
     rt.engine->advanceTo(0);
 }
 
-/** Recompute the client's cached event candidates (global cycles). */
+/** Recompute the client's cached event candidates (global cycles).
+ *  `cache` is the run's edge cache (null = cacheless); only the
+ *  FetchWait case consults it, through const pure queries, so the
+ *  sharded candidate pass stays race-free. */
 void
-computeCandidates(ClientRt &rt)
+computeCandidates(ClientRt &rt, const EdgeCache *cache)
 {
     switch (rt.phase) {
       case ClientRt::Phase::Pending:
@@ -412,6 +421,15 @@ computeCandidates(ClientRt &rt)
       case ClientRt::Phase::AtDoor:
         // Woken by an admission slot freeing, not by the clock.
         rt.nextAction = UINT64_MAX;
+        rt.nextEngineEv = UINT64_MAX;
+        return;
+      case ClientRt::Phase::FetchWait:
+        // The origin uplink's own step bound toward the artifact's
+        // last byte (already a global cycle). It is capped by every
+        // concurrent fetch's events, so the arrival cannot be missed;
+        // fetches starting later only slow rates, so the only error
+        // direction is a safe early wake that re-polls.
+        rt.nextAction = cache->nextFetchStep(rt.fetch);
         rt.nextEngineEv = UINT64_MAX;
         return;
       case ClientRt::Phase::Blocked:
@@ -489,7 +507,7 @@ runServer(const std::vector<ClientSpec> &clients,
         rts[i].out.name = clients[i].name.empty()
                               ? cat("client-", i)
                               : clients[i].name;
-        computeCandidates(rts[i]);
+        computeCandidates(rts[i], opts.edgeCache);
     }
 
     bool shard = opts.pool != nullptr && n >= opts.parallelThreshold;
@@ -581,13 +599,35 @@ runServer(const std::vector<ClientSpec> &clients,
     size_t admittedCount = 0;
     size_t finished = 0;
 
-    auto admit = [&](size_t i, uint64_t T) {
+    // Begin the client's replay epoch at global cycle T: its artifact
+    // is at the edge (or the run is cacheless, which models the same
+    // thing). Client-local cycle 0 is here, so the SimResult stays
+    // solo-comparable whatever delayed the start.
+    auto start = [&](size_t i, uint64_t T) {
         ClientRt &rt = rts[i];
         rt.epoch = T;
         rt.out.admitted = T;
         setupClient(rt, i, opts);
         engineAdvance(rt, T);
+    };
+    // Admission: claim the slot, then either start immediately (cache
+    // hit, or no cache) or hold the client in FetchWait — slot kept —
+    // until the origin uplink delivers its artifact.
+    auto admit = [&](size_t i, uint64_t T) {
+        ClientRt &rt = rts[i];
         ++admittedCount;
+        if (opts.edgeCache) {
+            EdgeCache::Request rq = opts.edgeCache->request(
+                *rt.spec->ctx, rt.spec->config, T);
+            rt.out.cacheHit = rq.hit;
+            if (!rq.hit) {
+                rt.phase = ClientRt::Phase::FetchWait;
+                rt.fetch = rq.fetch;
+                rt.fetchStart = T;
+                return;
+            }
+        }
+        start(i, T);
     };
 
     while (finished < n) {
@@ -659,6 +699,15 @@ runServer(const std::vector<ClientSpec> &clients,
                 }
                 admit(i, T);
             }
+            if (rt.phase == ClientRt::Phase::FetchWait) {
+                opts.edgeCache->advanceTo(T);
+                if (!opts.edgeCache->fetchReady(rt.fetch))
+                    continue; // early wake: recomputed candidates
+                              // below re-arm the next poll
+                rt.out.cacheWait = T - rt.fetchStart;
+                rt.fetch = -1;
+                start(i, T);
+            }
             progressClient(rt, T);
             if (rt.phase == ClientRt::Phase::Finished) {
                 ++finished;
@@ -683,7 +732,9 @@ runServer(const std::vector<ClientSpec> &clients,
 
         // Fresh candidates for everyone who acted, so the demand
         // refresh below sees current next-first-use instants.
-        forEach(actors, [&](size_t i) { computeCandidates(rts[i]); });
+        forEach(actors, [&](size_t i) {
+            computeCandidates(rts[i], opts.edgeCache);
+        });
 
         // Incremental demand: refresh only touched clients, and call
         // the allocator only when its output could actually change.
@@ -755,7 +806,9 @@ runServer(const std::vector<ClientSpec> &clients,
         std::sort(actors.begin(), actors.end());
         actors.erase(std::unique(actors.begin(), actors.end()),
                      actors.end());
-        forEach(actors, [&](size_t i) { computeCandidates(rts[i]); });
+        forEach(actors, [&](size_t i) {
+            computeCandidates(rts[i], opts.edgeCache);
+        });
         if (!linear)
             for (size_t i : actors)
                 pushCandidate(i);

@@ -72,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/edge_cache.h"
 #include "server/allocator.h"
 #include "server/arrivals.h"
 #include "sim/replay.h"
@@ -122,6 +123,22 @@ struct ServerOptions
      * admission wait is `admitted - arrival` in the result.
      */
     size_t admissionLimit = 0;
+    /**
+     * Edge-cache tier between origin and the fleet (cache/edge_cache.h);
+     * null = cacheless — every artifact is assumed already at the
+     * edge, which reproduces the cache-free server bit-for-bit. When
+     * set, each admission requests the client's restructured artifact
+     * from the cache: a hit (or a prewarmed entry) is free; a miss
+     * holds the client in FetchWait — occupying its admission slot —
+     * until the shared origin uplink delivers the artifact, and only
+     * then does the client's replay epoch begin. The client-local
+     * SimResult therefore stays field-for-field solo-comparable; the
+     * delay is visible as ServerClientResult::cacheWait (and inside
+     * finished - arrival). The cache is mutated only from the event
+     * loop's serial transition section, so one cache may serve many
+     * sequential runServer calls but never concurrent ones.
+     */
+    EdgeCache *edgeCache = nullptr;
     /** Optional pool for sharding per-client work; null = serial. */
     const ExperimentRunner *pool = nullptr;
     /** Minimum client count before the pool engages (per-event
@@ -152,10 +169,17 @@ struct ServerClientResult
 {
     std::string name;
     uint64_t arrival = 0;  ///< global arrival cycle
-    /** Global cycle the client was admitted (== arrival unless an
-     *  admission limit queued it at the door). */
+    /** Global cycle the client's replay epoch began: its arrival,
+     *  plus any admission-door wait, plus any edge-cache fetch wait —
+     *  admitted - arrival == door wait + cacheWait. */
     uint64_t admitted = 0;
     uint64_t finished = 0; ///< global cycle the replay completed
+    /** Global cycles spent waiting on the edge cache's origin fetch
+     *  (0 on a cache hit, and always 0 without a cache). */
+    uint64_t cacheWait = 0;
+    /** The edge cache served this client's artifact from residency
+     *  (meaningful only when the run had a cache). */
+    bool cacheHit = false;
     SimResult sim;
 };
 

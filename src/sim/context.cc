@@ -450,6 +450,28 @@ SimContext::SimContext(const Program &prog, const NativeRegistry &natives,
         layoutOf(prog_.classByName(prog_.entryClass())).totalSize;
 }
 
+uint64_t
+SimContext::contentKey() const
+{
+    std::call_once(contentKeyOnce_, [&] {
+        Fnv1a f;
+        for (uint16_t c = 0; c < prog_.classCount(); ++c) {
+            SerializedClass sc = writeClassFile(prog_.classAt(c));
+            f.u64(sc.bytes.size());
+            f.bytes(sc.bytes.data(), sc.bytes.size());
+        }
+        f.str(prog_.entryClass());
+        f.u64(trainInput_.size());
+        for (int64_t v : trainInput_)
+            f.u64(static_cast<uint64_t>(v));
+        f.u64(testInput_.size());
+        for (int64_t v : testInput_)
+            f.u64(static_cast<uint64_t>(v));
+        contentKey_ = f.h;
+    });
+    return contentKey_;
+}
+
 const FirstUseProfile &
 SimContext::trainProfile() const
 {

@@ -176,6 +176,18 @@ class SimContext
     /** Serialized size of the class file holding main. */
     uint64_t entryClassBytes() const { return entryClassBytes_; }
 
+    /**
+     * Content address of the workload this context restructures: an
+     * FNV-1a hash over every serialized class file, the entry class,
+     * and both inputs — everything a derived artifact (ordering,
+     * partition, layout, schedule) can depend on. Two contexts with
+     * equal contentKey() produce byte-identical artifacts for any
+     * LayoutKey/ScheduleKey, so this is the workload half of the edge
+     * cache's key (cache/edge_cache.h); the on-disk profile cache
+     * uses the same hashing scheme per (input, options) pair.
+     */
+    uint64_t contentKey() const;
+
     const FirstUseProfile &trainProfile() const;
     const FirstUseProfile &testProfile() const;
 
@@ -228,7 +240,8 @@ class SimContext
     uint64_t entryClassBytes_ = 0;
 
     mutable std::once_flag trainOnce_, testOnce_, traceOnce_, cgOnce_,
-        decodedOnce_;
+        decodedOnce_, contentKeyOnce_;
+    mutable uint64_t contentKey_ = 0;
     mutable std::optional<FirstUseProfile> trainProfile_;
     mutable std::optional<FirstUseProfile> testProfile_;
     mutable std::optional<ExecTrace> trace_;

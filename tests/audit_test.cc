@@ -173,6 +173,86 @@ TEST(Audit, LayoutContradictingClaimedOrderWarns)
     EXPECT_NE(warn->detail.find("T.b"), std::string::npos);
 }
 
+/**
+ * Two classes: A.main calls A.a, which calls B.b. Exercises the
+ * interleaved cross-class prefix check (the call edge crosses class
+ * files, so in a single virtual stream B's structural prefix must
+ * precede A.a's delimiter whenever B.b is predicted earlier).
+ */
+Program
+crossClassProgram()
+{
+    ProgramBuilder pb;
+    ClassBuilder &a = pb.addClass("A");
+    MethodBuilder &m = a.addMethod("main", "()V");
+    m.invokeStatic("A", "a", "()V");
+    m.emit(Opcode::RETURN);
+    MethodBuilder &am = a.addMethod("a", "()V");
+    am.invokeStatic("B", "b", "()V");
+    am.emit(Opcode::RETURN);
+    ClassBuilder &b = pb.addClass("B");
+    MethodBuilder &bm = b.addMethod("b", "()V");
+    bm.ldcString("payload constant carried by the callee class");
+    bm.emit(Opcode::POP);
+    bm.emit(Opcode::RETURN);
+    return pb.build("A");
+}
+
+TEST(Audit, InterleavedConsistentConfigurationIsSafe)
+{
+    Program p = crossClassProgram();
+    CallGraph cg = buildCallGraph(p);
+    FirstUseOrder order = staticFirstUse(p);
+
+    for (bool partitioned : {false, true}) {
+        DataPartition part = partitionGlobalData(p, order);
+        TransferLayout layout = makeInterleavedLayout(
+            p, order, partitioned ? &part : nullptr);
+        AuditReport report = auditNonStrictSafety(
+            p, cg, order, layout, partitioned ? &part : nullptr);
+        EXPECT_TRUE(report.ok()) << report.render();
+        EXPECT_EQ(report.warningCount, 0u) << report.render();
+    }
+}
+
+TEST(Audit, InterleavedLateCrossClassPrefixIsError)
+{
+    // Layout built from o1 (A.a before B.b: B's prefix is emitted
+    // after a's unit) but audited against claimed o2 (B.b before
+    // A.a). The cross-class edge a -> B.b then has its callee
+    // predicted earlier while B's structural prefix is placed after
+    // the caller — an error, because the single interleaved stream
+    // cannot demand-fetch the prefix out of order.
+    Program p = crossClassProgram();
+    CallGraph cg = buildCallGraph(p);
+    MethodId a_id = p.resolveStatic("A", "a", "()V");
+    MethodId b_id = p.resolveStatic("B", "b", "()V");
+    FirstUseOrder o1 = staticFirstUse(p); // main, A.a, B.b
+    FirstUseOrder o2 = swapped(o1, a_id, b_id);
+
+    TransferLayout layout = makeInterleavedLayout(p, o1, nullptr);
+    AuditReport report =
+        auditNonStrictSafety(p, cg, o2, layout, nullptr);
+
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.errorCount, 1u) << report.render();
+    const AuditDiagnostic &d = report.diags.front(); // errors first
+    EXPECT_EQ(d.kind, AuditDepKind::CrossClass);
+    EXPECT_EQ(d.methodLabel, "A.a");
+    EXPECT_NE(d.detail.find("B.b"), std::string::npos);
+    EXPECT_GT(d.arriveOffset, d.needOffset);
+    EXPECT_NE(report.toJson().find("\"kind\": \"cross-class\""),
+              std::string::npos);
+
+    // The same ordering mismatch on a *parallel* layout is not an
+    // error: B travels on its own stream and a late prefix there is
+    // a modeled demand-fetch stall, not a fault.
+    TransferLayout par = makeParallelLayout(p, o1, nullptr);
+    AuditReport preport =
+        auditNonStrictSafety(p, cg, o2, par, nullptr);
+    EXPECT_TRUE(preport.ok()) << preport.render();
+}
+
 TEST(Audit, DeadMethodAheadOfHotIsInfoOnly)
 {
     ProgramBuilder pb;
@@ -218,8 +298,9 @@ TEST(Audit, ScheduleCheckNeverEscalatesAboveInfo)
     EXPECT_TRUE(report.ok()) << report.render();
     EXPECT_EQ(report.warningCount, 0u) << report.render();
     for (const AuditDiagnostic &d : report.diags) {
-        if (d.kind == AuditDepKind::SchedulePrefix)
+        if (d.kind == AuditDepKind::SchedulePrefix) {
             EXPECT_EQ(d.severity, AuditSeverity::Info);
+        }
     }
 }
 

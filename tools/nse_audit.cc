@@ -12,10 +12,13 @@
  * Usage:
  *   nse_audit --grid [--json]
  *       Audit all six workloads under every {scg, rta, train} x
- *       {reordered, partitioned} configuration (parallel layouts; the
- *       CI safety gate). One summary line per cell; diagnostics are
- *       printed for failing cells. --json additionally dumps each
- *       failing cell's report as JSON to stdout.
+ *       {reordered, partitioned} x {parallel, interleaved}
+ *       configuration (the CI safety gate) — every layout the edge
+ *       cache can serve. Parallel cells additionally audit the
+ *       effective online-runahead schedule. One summary line per
+ *       cell; diagnostics are printed for failing cells. --json
+ *       additionally dumps each failing cell's report as JSON to
+ *       stdout.
  *
  *   nse_audit <workload> [options]
  *       Audit one configuration and print its full report.
@@ -176,6 +179,24 @@ runGrid(bool json)
                     std::cout << ra.render();
                     if (json)
                         std::cout << ra.toJson();
+                }
+                // The same cell as a single interleaved virtual file —
+                // the other layout family the edge cache serves.
+                // Runahead reprioritization is a parallel-stream
+                // concept, so no runahead audit here.
+                LayoutKey ikey = key;
+                ikey.parallel = false;
+                AuditReport ir = auditCell(ctx, ikey, kT1Link);
+                std::cout << w.name << " " << orderingName(src) << " "
+                          << mode << " interleaved: " << ir.errorCount
+                          << " error(s), " << ir.warningCount
+                          << " warning(s), " << ir.infoCount
+                          << " info(s)\n";
+                if (!ir.ok()) {
+                    ++failures;
+                    std::cout << ir.render();
+                    if (json)
+                        std::cout << ir.toJson();
                 }
             }
         }
