@@ -1,12 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 verify under ASan+UBSan (CMake option NSE_SANITIZE): builds
-# the whole tree with both sanitizers and runs the full test suite, so
-# the transfer engine's floating-point byte accounting is exercised
-# with memory and UB checking on.
+# Tier-1 verify under sanitizers (CMake option NSE_SANITIZE).
+#
+#   scripts/sanitize_verify.sh [build-dir]          ASan+UBSan, full
+#       test suite — the transfer engine's floating-point byte
+#       accounting is exercised with memory and UB checking on.
+#   scripts/sanitize_verify.sh thread [build-dir]   TSan over the
+#       concurrency-bearing tests: the replay runner pool, the server
+#       event loop (both strategies, sharded), the decoded dispatch
+#       cache, and the edge-cache tier.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-asan}"
-cmake -B "$BUILD_DIR" -S . -DNSE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+MODE=address
+if [ "${1:-}" = "thread" ] || [ "${1:-}" = "address" ]; then
+    MODE="$1"
+    shift
+fi
+
+if [ "$MODE" = "thread" ]; then
+    BUILD_DIR="${1:-build-tsan}"
+    cmake -B "$BUILD_DIR" -S . -DNSE_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" -j -- runner_test server_test \
+          decoded_test cache_tier_test
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+          -R '^(runner_test|server_test|decoded_test|cache_tier_test)$' \
+          -j
+else
+    BUILD_DIR="${1:-build-asan}"
+    cmake -B "$BUILD_DIR" -S . -DNSE_SANITIZE=ON \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" -j
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+fi

@@ -38,6 +38,7 @@ kindName(AuditDepKind k)
     case AuditDepKind::CrossClass: return "cross-class";
     case AuditDepKind::SchedulePrefix: return "schedule-prefix";
     case AuditDepKind::Placement: return "placement";
+    case AuditDepKind::ProvableStall: return "provable-stall";
     }
     panic("bad dep kind");
 }

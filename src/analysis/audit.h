@@ -76,6 +76,7 @@ enum class AuditDepKind : uint8_t
     CrossClass,     ///< callee class's prefix after the caller
     SchedulePrefix, ///< stream prefix vs first-use deadline
     Placement,      ///< cold/dead method ahead of hot ones
+    ProvableStall,  ///< guaranteed use unsatisfiable at nominal rate
 };
 
 /** One finding. Offsets are stream-local byte positions. */

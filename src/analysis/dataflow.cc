@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Use-distance analysis: the UseDistanceProblem instantiation of the
+ * generic solver, plus the interprocedural RTA fixpoint.
+ *
+ * Soundness shape (full derivation in DESIGN.md §14):
+ *
+ *  - The replay clock charges each decoded instruction's cost at
+ *    dispatch, before its handler runs, so the first-use hook of a
+ *    callee fires at exactly (cycles before the invoke) + (invoke
+ *    instruction cost) — for bytecode and native callees alike. Path
+ *    sums over the `plain` stream therefore *are* hook clocks.
+ *  - mayMin is a shortest-distance fixpoint over the full CFG
+ *    (back edges included): any concrete execution walk costs at
+ *    least the min-fixpoint distance, loops or not.
+ *  - must facts are killed across back edges and their mustMax
+ *    bounds saturate to infinity through loops and recursion: a
+ *    finite mustMax survives only along loop-free guaranteed
+ *    prefixes, which is exactly where a bound is provable (loop trip
+ *    counts are statically unbounded).
+ *  - The interprocedural fixpoint starts pessimistic (no facts,
+ *    maxExec = inf) and is monotone per component — may memberships
+ *    grow and min distances only fall; must memberships grow only as
+ *    callee maxExec bounds become finite, and every intermediate
+ *    max-side value over-approximates the truth — so the fixpoint is
+ *    sound and iteration terminates.
+ */
+
+#include "analysis/dataflow.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "vm/decoded.h"
+#include "vm/natives.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/** Summary lookup shared by the per-method problems: the fixpoint's
+ *  current (pessimistic-side) view of every method. */
+using SummaryMap = std::map<MethodId, MethodUseSummary>;
+
+const MethodUseSummary &
+pessimisticSummary()
+{
+    // No uses, exec interval [0, inf): the sound "know nothing"
+    // placeholder for methods not yet solved (or RTA-unreachable
+    // dispatch leftovers).
+    static const MethodUseSummary kUnknown = [] {
+        MethodUseSummary s;
+        s.minExec = 0;
+        s.maxExec = kDistInf;
+        return s;
+    }();
+    return kUnknown;
+}
+
+/**
+ * Backward use-distance problem for one method body. State at a
+ * program point = facts about everything used from that point to the
+ * method's return, plus the exec-cost interval of getting to the
+ * return.
+ */
+struct UseDistanceProblem
+{
+    struct State
+    {
+        std::map<MethodId, UseFact> uses;
+        uint64_t minExit = 0;
+        uint64_t maxExit = 0;
+
+        bool
+        operator==(const State &o) const
+        {
+            return uses == o.uses && minExit == o.minExit &&
+                   maxExit == o.maxExit;
+        }
+    };
+
+    static constexpr DataflowDir dir = DataflowDir::Backward;
+
+    const Program &prog;
+    const CallGraph &cg;
+    const SummaryMap &summaries;
+    const std::vector<DInst> &plain;
+    /** Call sites of this method keyed by instruction index. */
+    std::map<uint32_t, const CallSite *> siteAt;
+
+    UseDistanceProblem(const Program &p, const CallGraph &g,
+                       const SummaryMap &sums, MethodId id,
+                       const std::vector<DInst> &plain_stream)
+        : prog(p), cg(g), summaries(sums), plain(plain_stream)
+    {
+        for (const CallSite &s : cg.node(id).sites)
+            siteAt.emplace(s.instIndex, &s);
+    }
+
+    const MethodUseSummary &
+    summaryOf(MethodId id) const
+    {
+        auto it = summaries.find(id);
+        return it == summaries.end() ? pessimisticSummary()
+                                     : it->second;
+    }
+
+    State
+    boundary() const
+    {
+        return State{}; // at a return: nothing more used, zero cost
+    }
+
+    State
+    init() const
+    {
+        // Pre-fixpoint seed read only through back edges before the
+        // source block settles: must claim nothing (no facts) and
+        // keep the min side at infinity so it cannot leak a
+        // too-small distance into an early meet.
+        State s;
+        s.minExit = kDistInf;
+        s.maxExit = kDistInf;
+        return s;
+    }
+
+    void
+    meet(State &into, const State &from) const
+    {
+        // Path join: may = union/min, must = intersection/max.
+        for (auto &[id, f] : from.uses) {
+            auto [it, fresh] = into.uses.emplace(id, f);
+            if (fresh)
+                it->second.must = false; // absent on the other branch
+            else {
+                UseFact &g = it->second;
+                g.mayMin = std::min(g.mayMin, f.mayMin);
+                if (g.must && f.must)
+                    g.mustMax = std::max(g.mustMax, f.mustMax);
+                else
+                    g.must = false;
+            }
+        }
+        for (auto &[id, f] : into.uses)
+            if (f.must && from.uses.find(id) == from.uses.end())
+                f.must = false;
+        into.minExit = std::min(into.minExit, from.minExit);
+        into.maxExit = std::max(into.maxExit, from.maxExit);
+    }
+
+    std::optional<State>
+    acrossBackEdge(const State &from) const
+    {
+        // Loops: the min side flows (shortest-distance fixpoint over
+        // the cyclic graph — sound for every walk); the must side is
+        // killed and the exit upper bound saturates (trip counts are
+        // statically unbounded).
+        State s;
+        for (auto &[id, f] : from.uses) {
+            UseFact g;
+            g.mayMin = f.mayMin;
+            s.uses.emplace(id, g);
+        }
+        s.minExit = from.minExit;
+        s.maxExit = kDistInf;
+        return s;
+    }
+
+    /** Fold one call site (invoke cost already handled by caller:
+     *  the hook fires `cost` cycles after the pre-call point). */
+    void
+    applyCall(State &state, const CallSite &site, uint64_t cost) const
+    {
+        const std::vector<MethodId> &cands = site.rtaTargets;
+        if (cands.empty()) {
+            // RTA-impossible dispatch: site can never execute a call;
+            // treat as a plain instruction.
+            shift(state, cost);
+            return;
+        }
+        uint64_t min_exec = kDistInf, max_exec = 0;
+        for (MethodId c : cands) {
+            const MethodUseSummary &s = summaryOf(c);
+            min_exec = std::min(min_exec, s.minExec);
+            max_exec = std::max(max_exec, s.maxExec);
+        }
+
+        State out; // state at the pre-call point
+        out.minExit = distAdd(cost, distAdd(min_exec, state.minExit));
+        out.maxExit = distAdd(cost, distAdd(max_exec, state.maxExit));
+
+        // Everything reachable at or through the call, plus the
+        // continuation shifted by the call's exec interval.
+        auto &uses = out.uses;
+        auto mergeMay = [&](MethodId id, uint64_t may_min) {
+            auto [it, fresh] = uses.emplace(id, UseFact{});
+            if (fresh || may_min < it->second.mayMin)
+                it->second.mayMin = may_min;
+        };
+        for (MethodId c : cands) {
+            mergeMay(c, cost); // the callee's own hook
+            for (auto &[id, f] : summaryOf(c).uses)
+                mergeMay(id, distAdd(cost, f.mayMin));
+        }
+        for (auto &[id, f] : state.uses)
+            mergeMay(id, distAdd(cost, distAdd(min_exec, f.mayMin)));
+
+        // Must side: a target is guaranteed here if every dispatch
+        // candidate guarantees it (being the candidate counts), or if
+        // the continuation guarantees it and every candidate provably
+        // returns. Take the tighter of the two bounds when both hold.
+        auto considerMust = [&](MethodId id, uint64_t must_max) {
+            auto it = uses.find(id);
+            NSE_ASSERT(it != uses.end(),
+                       "must fact without matching may fact");
+            UseFact &g = it->second;
+            if (!g.must || must_max < g.mustMax) {
+                g.must = true;
+                g.mustMax = std::min(g.mustMax, must_max);
+            }
+        };
+        // ... via the callee(s):
+        {
+            std::map<MethodId, uint64_t> by_all;
+            bool first = true;
+            for (MethodId c : cands) {
+                const MethodUseSummary &s = summaryOf(c);
+                std::map<MethodId, uint64_t> mine;
+                mine.emplace(c, 0);
+                for (auto &[id, f] : s.uses)
+                    if (f.must)
+                        mine.emplace(id, f.mustMax);
+                if (first) {
+                    by_all = std::move(mine);
+                    first = false;
+                } else {
+                    for (auto it = by_all.begin();
+                         it != by_all.end();) {
+                        auto jt = mine.find(it->first);
+                        if (jt == mine.end()) {
+                            it = by_all.erase(it);
+                        } else {
+                            it->second =
+                                std::max(it->second, jt->second);
+                            ++it;
+                        }
+                    }
+                }
+            }
+            for (auto &[id, m] : by_all)
+                considerMust(id, distAdd(cost, m));
+        }
+        // ... via the continuation:
+        for (auto &[id, f] : state.uses)
+            if (f.must)
+                considerMust(
+                    id, distAdd(cost, distAdd(max_exec, f.mustMax)));
+
+        state = std::move(out);
+    }
+
+    void
+    shift(State &state, uint64_t cost) const
+    {
+        state.minExit = distAdd(state.minExit, cost);
+        state.maxExit = distAdd(state.maxExit, cost);
+        for (auto &[id, f] : state.uses) {
+            f.mayMin = distAdd(f.mayMin, cost);
+            if (f.must)
+                f.mustMax = distAdd(f.mustMax, cost);
+        }
+    }
+
+    State
+    transfer(const Cfg &cfg, uint32_t block, const State &flow_in) const
+    {
+        State state = flow_in;
+        const BasicBlock &b = cfg.blocks[block];
+        for (uint32_t i = b.last + 1; i-- > b.first;) {
+            uint64_t cost = plain[i].cost;
+            auto site = siteAt.find(i);
+            if (site != siteAt.end())
+                applyCall(state, *site->second, cost);
+            else
+                shift(state, cost);
+        }
+        return state;
+    }
+};
+
+MethodUseSummary
+solveMethod(const Program &prog, const CallGraph &cg,
+            const SummaryMap &summaries, MethodId id, const Cfg &cfg,
+            const DecodedMethod &dm)
+{
+    NSE_ASSERT(dm.plain.size() == cfg.insts.size(),
+               "decoded plain stream out of step with the CFG");
+    UseDistanceProblem prob(prog, cg, summaries, id, dm.plain);
+    auto solved = solveDataflow(cfg, prob);
+    MethodUseSummary s;
+    s.uses = std::move(solved.in[0].uses);
+    s.minExec = solved.in[0].minExit;
+    s.maxExec = solved.in[0].maxExit;
+    return s;
+}
+
+MethodUseSummary
+nativeSummary(const Program &prog, MethodId id,
+              const NativeRegistry *natives)
+{
+    MethodUseSummary s;
+    if (!natives) {
+        s.minExec = 0;
+        s.maxExec = kDistInf;
+        return s;
+    }
+    const ClassFile &cf = prog.classAt(id.classIdx);
+    std::string qualified =
+        cf.name() + "." + cf.methodName(prog.method(id));
+    if (!natives->has(qualified)) {
+        s.minExec = 0;
+        s.maxExec = kDistInf;
+        return s;
+    }
+    uint64_t cost = natives->lookup(qualified).cycleCost;
+    s.minExec = cost;
+    s.maxExec = cost;
+    return s;
+}
+
+} // namespace
+
+const MethodUseSummary &
+UseAnalysis::summary(MethodId id) const
+{
+    auto it = summaries_.find(id);
+    return it == summaries_.end() ? pessimisticSummary() : it->second;
+}
+
+UseFact
+UseAnalysis::globalOf(MethodId id) const
+{
+    auto it = global_.find(id);
+    return it == global_.end() ? UseFact{} : it->second;
+}
+
+std::string
+UseAnalysis::render(const Program &prog) const
+{
+    std::ostringstream os;
+    auto dist = [](uint64_t d) {
+        return d == kDistInf ? std::string("inf") : std::to_string(d);
+    };
+    for (const auto &[id, f] : global_) {
+        const ClassFile &cf = prog.classAt(id.classIdx);
+        os << cf.name() << "." << cf.methodName(prog.method(id))
+           << ": mayMin=" << dist(f.mayMin)
+           << (f.must ? " must<=" + dist(f.mustMax) : " may") << "\n";
+    }
+    return os.str();
+}
+
+UseAnalysis
+analyzeUse(const Program &prog, const CallGraph &cg,
+           const DecodedCache &decoded, const NativeRegistry *natives)
+{
+    UseAnalysis ua;
+
+    // RTA-reachable methods only: everything else can never fire a
+    // first-use hook in any run, so it needs no summary (and the
+    // property `may subset-of RTA-reachable` holds by construction).
+    std::vector<MethodId> methods;
+    std::map<MethodId, Cfg> cfgs;
+    for (uint16_t c = 0; c < prog.classCount(); ++c) {
+        uint16_t mcount =
+            static_cast<uint16_t>(prog.classAt(c).methods.size());
+        for (uint16_t m = 0; m < mcount; ++m) {
+            MethodId id{c, m};
+            if (!cg.rtaReachable(id))
+                continue;
+            methods.push_back(id);
+            if (cg.node(id).native)
+                ua.summaries_.emplace(id,
+                                      nativeSummary(prog, id, natives));
+            else
+                cfgs.emplace(id, buildCfg(prog, id));
+        }
+    }
+
+    // Interprocedural fixpoint: re-solve every bytecode method until
+    // no summary moves. Monotone per component (see file comment), so
+    // this terminates; bodies are small and methods few, so the naive
+    // round-robin is cheap.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++ua.iterations_;
+        for (MethodId id : methods) {
+            auto cfg_it = cfgs.find(id);
+            if (cfg_it == cfgs.end())
+                continue; // native: summary is constant
+            MethodUseSummary next =
+                solveMethod(prog, cg, ua.summaries_, id,
+                            cfg_it->second, decoded.get(id));
+            auto [it, fresh] =
+                ua.summaries_.emplace(id, MethodUseSummary{});
+            if (fresh || !(it->second == next)) {
+                it->second = std::move(next);
+                changed = true;
+            }
+        }
+    }
+
+    // Global view: the entry method's summary, plus the entry itself
+    // (its hook fires at clock 0 before any instruction runs).
+    MethodId entry = prog.entry();
+    ua.global_ = ua.summary(entry).uses;
+    UseFact self;
+    self.mayMin = 0;
+    self.must = true;
+    self.mustMax = 0;
+    auto [it, fresh] = ua.global_.emplace(entry, self);
+    if (!fresh)
+        it->second = self;
+    return ua;
+}
+
+} // namespace nse

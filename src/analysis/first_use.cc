@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/cfg.h"
+#include "analysis/dataflow.h"
 #include "analysis/reach.h"
 #include "support/error.h"
 
@@ -203,6 +204,34 @@ staticFirstUse(const Program &prog, const CallGraph &cg)
     }
     NSE_ASSERT(out.order.size() == prog.methodCount(),
                "RTA first-use order does not cover the program");
+    return out;
+}
+
+FirstUseOrder
+mustUseFirstUse(const Program &prog, const CallGraph &cg,
+                const UseAnalysis &use)
+{
+    FirstUseOrder out = staticFirstUse(prog, cg);
+    // Collect the hot-prefix slots holding a method with a proved
+    // guaranteed-use deadline and re-sort just those methods among
+    // just those slots. The permutation is deliberately minimal:
+    // everything the analysis cannot bound keeps its RTA position.
+    std::vector<size_t> slots;
+    std::vector<MethodId> proved;
+    for (size_t i = 0; i < out.usedCount; ++i) {
+        UseFact f = use.globalOf(out.order[i]);
+        if (f.must && f.mustMax != kDistInf) {
+            slots.push_back(i);
+            proved.push_back(out.order[i]);
+        }
+    }
+    std::stable_sort(proved.begin(), proved.end(),
+                     [&](const MethodId &a, const MethodId &b) {
+                         return use.globalOf(a).mustMax <
+                                use.globalOf(b).mustMax;
+                     });
+    for (size_t k = 0; k < slots.size(); ++k)
+        out.order[slots[k]] = proved[k];
     return out;
 }
 

@@ -31,6 +31,7 @@ namespace nse
 {
 
 class CallGraph;
+class UseAnalysis;
 
 /** A predicted or measured first-use ordering over methods. */
 struct FirstUseOrder
@@ -62,6 +63,19 @@ FirstUseOrder staticFirstUse(const Program &prog);
  * prefix.
  */
 FirstUseOrder staticFirstUse(const Program &prog, const CallGraph &cg);
+
+/**
+ * The `mustuse` predictor: the RTA-pruned static estimate refined by
+ * the use-distance analysis (dataflow.h). Hot methods with a proved
+ * guaranteed-use deadline (must-used, finite mustMax) are re-sorted
+ * among the slots they already occupy, ascending by that deadline;
+ * may-only methods keep their RTA positions, so the DFS encounter
+ * heuristic stays authoritative wherever the analysis proves nothing
+ * (it "breaks RTA ties by guaranteed-use distance", never overrules
+ * RTA with a weaker fact).
+ */
+FirstUseOrder mustUseFirstUse(const Program &prog, const CallGraph &cg,
+                              const UseAnalysis &use);
 
 /**
  * Complete a partial (e.g. profiled) ordering: methods missing from

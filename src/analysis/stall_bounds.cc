@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Static stall prover implementation. See stall_bounds.h for the
+ * bound statements and DESIGN.md §14 for the full derivation.
+ */
+
+#include "analysis/stall_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace nse
+{
+
+namespace
+{
+
+/**
+ * Cycles that *must* have elapsed before `bytes` can have arrived on
+ * a stream transferring alone at the full nominal rate, minus a
+ * one-cycle margin for the engine's byte epsilon. A lower bound on
+ * any waitFor() resume for that offset, measured from stream start.
+ */
+uint64_t
+earliestTransfer(uint64_t bytes, const LinkModel &link)
+{
+    double cycles = static_cast<double>(bytes) * link.cyclesPerByte;
+    if (cycles <= 1.0)
+        return 0;
+    return static_cast<uint64_t>(cycles) - 1;
+}
+
+/**
+ * Cycles by which `bytes` have certainly arrived when the stream's
+ * equal share never drops below 1/`active_cap` of the link, plus a
+ * one-cycle epsilon margin.
+ */
+uint64_t
+latestTransfer(uint64_t bytes, const LinkModel &link, int active_cap)
+{
+    double cycles = static_cast<double>(bytes) * link.cyclesPerByte *
+                    static_cast<double>(active_cap);
+    if (cycles >= 9e18)
+        return kDistInf;
+    return static_cast<uint64_t>(std::ceil(cycles)) + 1;
+}
+
+} // namespace
+
+StallBoundReport
+computeStallBounds(const StallBoundInput &in)
+{
+    const TransferLayout &layout = in.layout;
+    size_t n_streams = layout.streams.size();
+
+    // Earliest possible activation per stream: the greedy start, or
+    // the earliest exec clock at which any of the stream's may-used
+    // methods could demand-fetch it — whichever is smaller. Demand
+    // starts are the only mechanism that moves a start *earlier* (a
+    // replay without runahead never reprioritizes), and a demand
+    // fetch of method m fires at wall clock >= exec clock >=
+    // mayMin(m).
+    std::vector<uint64_t> earliest_start(n_streams, kDistInf);
+    for (size_t s = 0; s < n_streams; ++s)
+        if (s < in.schedule.startCycle.size())
+            earliest_start[s] = in.schedule.startCycle[s];
+    for (const auto &[id, fact] : in.use.global()) {
+        const MethodPlacement &pl = layout.of(id);
+        if (pl.streamIdx < 0)
+            continue;
+        auto s = static_cast<size_t>(pl.streamIdx);
+        earliest_start[s] = std::min(earliest_start[s], fact.mayMin);
+    }
+
+    // Latest-arrival machinery. The drain bound holds regardless of
+    // queueing: every start has fired by the latest scheduled start
+    // (demand fetches only move starts earlier), and the engine is
+    // work-conserving from then on, so the whole layout has drained
+    // after one full-layout transfer time. The tighter per-stream
+    // equal-share bound additionally needs "no start can ever queue",
+    // i.e. the concurrency limit cannot bind.
+    uint64_t max_sched_start = 0;
+    for (size_t s = 0; s < n_streams; ++s)
+        if (s < in.schedule.startCycle.size())
+            max_sched_start =
+                std::max(max_sched_start, in.schedule.startCycle[s]);
+    uint64_t drain_arrival = distAdd(
+        max_sched_start,
+        latestTransfer(layout.totalBytes, in.link, /*active_cap=*/1));
+    bool no_queueing = in.parallelLimit <= 0 ||
+                       n_streams <= static_cast<size_t>(in.parallelLimit);
+    int active_cap =
+        in.parallelLimit <= 0
+            ? static_cast<int>(n_streams)
+            : std::min(in.parallelLimit, static_cast<int>(n_streams));
+    if (active_cap < 1)
+        active_cap = 1;
+
+    StallBoundReport report;
+    for (const auto &[id, fact] : in.use.global()) {
+        const MethodPlacement &pl = layout.of(id);
+        if (pl.streamIdx < 0)
+            continue;
+        auto s = static_cast<size_t>(pl.streamIdx);
+
+        MethodStallBound b;
+        b.method = id;
+        b.label = in.prog.methodLabel(id);
+        b.mustUsed = fact.must;
+        b.mayMin = fact.mayMin;
+        b.mustMax = fact.must ? fact.mustMax : kDistInf;
+
+        // Earliest arrival: stream start plus full-rate transfer of
+        // the needed prefix. An empty prefix is "arrived" the moment
+        // the use asks, wherever the stream is.
+        if (pl.availOffset == 0)
+            b.earliestArrival = 0;
+        else
+            b.earliestArrival =
+                distAdd(earliest_start[s],
+                        earliestTransfer(pl.availOffset, in.link));
+
+        // Latest arrival: drain bound, or the equal-share bound when
+        // no queueing is possible.
+        b.latestArrival = drain_arrival;
+        if (no_queueing && s < in.schedule.startCycle.size()) {
+            uint64_t per_stream = distAdd(
+                in.schedule.startCycle[s],
+                latestTransfer(pl.availOffset, in.link, active_cap));
+            b.latestArrival = std::min(b.latestArrival, per_stream);
+        }
+
+        if (b.mustUsed && b.mustMax != kDistInf &&
+            b.earliestArrival != kDistInf &&
+            b.earliestArrival > b.mustMax)
+            b.lowerStall = b.earliestArrival - b.mustMax;
+        if (b.mayMin != kDistInf && b.latestArrival > b.mayMin)
+            b.upperStall = b.latestArrival - b.mayMin;
+
+        report.runLowerBound =
+            std::max(report.runLowerBound, b.lowerStall);
+        report.runUpperBound =
+            distAdd(report.runUpperBound, b.upperStall);
+        if (b.lowerStall > 0)
+            ++report.provableStalls;
+        report.methods.push_back(std::move(b));
+    }
+    return report;
+}
+
+std::string
+StallBoundReport::render() const
+{
+    std::ostringstream os;
+    auto dist = [](uint64_t d) {
+        return d == kDistInf ? std::string("inf") : std::to_string(d);
+    };
+    for (const MethodStallBound &b : methods) {
+        if (b.lowerStall == 0 && b.upperStall == 0)
+            continue;
+        os << "  " << b.label << ": "
+           << (b.mustUsed ? "must" : "may")
+           << " use in [" << dist(b.mayMin) << ", " << dist(b.mustMax)
+           << "], arrival in [" << dist(b.earliestArrival) << ", "
+           << dist(b.latestArrival) << "] -> stall in ["
+           << b.lowerStall << ", " << b.upperStall << "]\n";
+    }
+    os << "run stall bounds: [" << runLowerBound << ", "
+       << dist(runUpperBound) << "], " << provableStalls
+       << " provable stall(s)\n";
+    return os.str();
+}
+
+void
+appendStallDiagnostics(const StallBoundReport &report,
+                       AuditReport &audit)
+{
+    for (const MethodStallBound &b : report.methods) {
+        if (b.lowerStall == 0)
+            continue;
+        AuditDiagnostic d;
+        d.severity = AuditSeverity::Warning;
+        d.kind = AuditDepKind::ProvableStall;
+        d.method = b.method;
+        d.methodLabel = b.label;
+        d.needOffset = b.mustMax;
+        d.arriveOffset = b.earliestArrival;
+        d.detail = cat("guaranteed use by cycle ", b.mustMax,
+                       " cannot be satisfied before cycle ",
+                       b.earliestArrival, " at nominal bandwidth (>=",
+                       b.lowerStall, " stall cycles)");
+        d.fixHint = "move the method earlier in its stream, start the "
+                    "stream sooner, or accept the demand-fetch wait";
+        audit.diags.push_back(std::move(d));
+        ++audit.warningCount;
+    }
+}
+
+} // namespace nse

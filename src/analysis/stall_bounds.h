@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Static stall prover: turn the use-distance analysis (dataflow.h)
+ * plus a concrete (layout, schedule, link) triple into provable
+ * lower/upper bounds on the replay's measured stall cycles.
+ *
+ * The measured quantity being bounded is `SimResult::stallCycles` of
+ * a parallel-mode replay with runahead disabled: the sum over
+ * first-use events of `resume - clock`, including the entry method's
+ * initial wait (the invocation latency). The bounds sandwich it:
+ *
+ *     report.runLowerBound <= stallCycles <= report.runUpperBound
+ *
+ *  - Upper side: each may-used method t sits at `availOffset(t)` on
+ *    its stream; every byte of every stream has arrived by the
+ *    work-conserving drain bound (max scheduled start + whole-layout
+ *    transfer time), or the tighter per-stream equal-share bound when
+ *    no start can be queued behind the concurrency limit. A use of t
+ *    fires at exec clock >= mayMin(t), so its wait costs at most
+ *    latestArrival(t) - mayMin(t). Summing over the may set bounds
+ *    the run (traced first-use events are a subset of the may set —
+ *    the property the sandwich bench and property tests pin).
+ *  - Lower side: a must-used method t with a finite mustMax fires its
+ *    hook at exec clock <= mustMax(t) on every terminating run. Its
+ *    stream cannot start before min(scheduled start, earliest
+ *    possible demand-fetch = min mayMin over the stream's may-used
+ *    methods), and bytes cannot beat the full nominal rate, so t's
+ *    offset cannot arrive before earliestArrival(t). Since the hook's
+ *    wall clock is execClock + (stalls so far), the run's total stall
+ *    is >= earliestArrival(t) - mustMax(t) for *each* such t — the
+ *    bound is the max over them, not the sum.
+ *
+ * Both sides absorb the transfer engine's double-arithmetic epsilon
+ * with a one-cycle safety margin. A method whose lower bound is
+ * positive at the nominal link is a *provable stall*: no schedule
+ * honoring the layout can hide that wait, which the auditor surfaces
+ * as a `provable-stall` Warning (machine-readable in nse-audit-v1).
+ */
+
+#ifndef NSE_ANALYSIS_STALL_BOUNDS_H
+#define NSE_ANALYSIS_STALL_BOUNDS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "analysis/dataflow.h"
+#include "restructure/layout.h"
+#include "transfer/link.h"
+#include "transfer/schedule.h"
+
+namespace nse
+{
+
+/** Everything the prover needs about one configuration. */
+struct StallBoundInput
+{
+    const Program &prog;
+    const UseAnalysis &use;
+    const TransferLayout &layout;
+    const TransferSchedule &schedule;
+    const LinkModel &link;
+    /** Concurrent-transfer limit the replay runs under (<=0 = none). */
+    int parallelLimit = 4;
+};
+
+/** Provable bounds for one may-used method. */
+struct MethodStallBound
+{
+    MethodId method;
+    std::string label;
+    bool mustUsed = false;
+    /** Distances from the global use analysis (kDistInf = none). */
+    uint64_t mayMin = kDistInf;
+    uint64_t mustMax = kDistInf;
+    /** Earliest / latest possible arrival of the method's delimiter
+     *  offset, in cycles. */
+    uint64_t earliestArrival = 0;
+    uint64_t latestArrival = 0;
+    /** Provable minimum run stall implied by this method (0 unless
+     *  must-used with a finite mustMax). */
+    uint64_t lowerStall = 0;
+    /** Provable maximum wait this method's first use can cost. */
+    uint64_t upperStall = 0;
+};
+
+/** The proof artifact: per-method bounds plus the run sandwich. */
+struct StallBoundReport
+{
+    std::vector<MethodStallBound> methods;
+    /** max over methods of lowerStall. */
+    uint64_t runLowerBound = 0;
+    /** saturating sum over methods of upperStall. */
+    uint64_t runUpperBound = 0;
+    /** Methods with lowerStall > 0 (the provable stalls). */
+    size_t provableStalls = 0;
+
+    /** Human-readable rendering (one line per nonzero-bound method,
+     *  then the run sandwich). */
+    std::string render() const;
+};
+
+/** Prove bounds for one configuration. */
+StallBoundReport computeStallBounds(const StallBoundInput &in);
+
+/**
+ * Append one `provable-stall` Warning per method whose lower bound is
+ * positive to an audit report (kind AuditDepKind::ProvableStall,
+ * needOffset = mustMax deadline, arriveOffset = earliest arrival),
+ * updating the severity tallies.
+ */
+void appendStallDiagnostics(const StallBoundReport &report,
+                            AuditReport &audit);
+
+} // namespace nse
+
+#endif // NSE_ANALYSIS_STALL_BOUNDS_H

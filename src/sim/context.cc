@@ -23,6 +23,7 @@ orderingName(OrderingSource src)
       case OrderingSource::RtaStatic: return "RTA";
       case OrderingSource::Train: return "Train";
       case OrderingSource::Test: return "Test";
+      case OrderingSource::MustUse: return "MustUse";
     }
     return "?";
 }
@@ -526,6 +527,16 @@ SimContext::callGraph() const
     return *callGraph_;
 }
 
+const UseAnalysis &
+SimContext::useAnalysis() const
+{
+    std::call_once(useOnce_, [&] {
+        useAnalysis_ =
+            analyzeUse(prog_, callGraph(), decoded(), &natives_);
+    });
+    return *useAnalysis_;
+}
+
 const DecodedCache &
 SimContext::decoded() const
 {
@@ -558,6 +569,9 @@ SimContext::ordering(OrderingSource src) const
       case OrderingSource::Train:
       case OrderingSource::Test:
         order = completeWithStatic(prog_, profileFor(src).order);
+        break;
+      case OrderingSource::MustUse:
+        order = mustUseFirstUse(prog_, callGraph(), useAnalysis());
         break;
     }
     std::lock_guard<std::mutex> lock(orderMu_);
@@ -632,6 +646,18 @@ SimContext::methodCycles(OrderingSource src) const
     if (src == OrderingSource::Static ||
         src == OrderingSource::RtaStatic) {
         cycles = staticFirstUseCycles(prog_, order);
+    } else if (src == OrderingSource::MustUse) {
+        // Deadlines from the use-distance analysis: mayMin is a sound
+        // lower bound on each method's first-use clock, so scheduling
+        // against it errs toward starting streams early — the safe
+        // side for stalls (contention is bounded by the concurrency
+        // limit). Appended never-used methods keep the "never" mark.
+        const UseAnalysis &ua = useAnalysis();
+        cycles.reserve(order.order.size());
+        for (size_t i = 0; i < order.order.size(); ++i)
+            cycles.push_back(i < order.usedCount
+                                 ? ua.globalOf(order.order[i]).mayMin
+                                 : UINT64_MAX);
     } else {
         const FirstUseProfile &profile = profileFor(src);
         cycles.reserve(order.order.size());

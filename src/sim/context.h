@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "analysis/callgraph.h"
+#include "analysis/dataflow.h"
 #include "analysis/first_use.h"
 #include "profile/first_use_profile.h"
 #include "program/program.h"
@@ -56,6 +57,8 @@ enum class OrderingSource : uint8_t
     RtaStatic, ///< SCG with RTA-pruned dispatch + cold/dead demotion
     Train,     ///< train-input profile, evaluated on the test input
     Test,      ///< test-input profile (perfect prediction)
+    MustUse,   ///< RTA refined by proved guaranteed-use deadlines
+               ///< (dataflow.h), scheduled against mayMin lower bounds
 };
 
 const char *orderingName(OrderingSource src);
@@ -202,6 +205,14 @@ class SimContext
     const CallGraph &callGraph() const;
 
     /**
+     * Memoized must/may use-distance analysis (analysis/dataflow.h)
+     * over the RTA call graph, priced with this context's decode
+     * cache and native registry — the input to the `mustuse` ordering
+     * and the static stall prover (analysis/stall_bounds.h).
+     */
+    const UseAnalysis &useAnalysis() const;
+
+    /**
      * Memoized decode cache (vm/decoded.h) shared by every Vm the
      * context spawns — profile runs, trace recording, the live
      * reference co-simulation — and by callers wanting fast repeated
@@ -240,12 +251,13 @@ class SimContext
     uint64_t entryClassBytes_ = 0;
 
     mutable std::once_flag trainOnce_, testOnce_, traceOnce_, cgOnce_,
-        decodedOnce_, contentKeyOnce_;
+        useOnce_, decodedOnce_, contentKeyOnce_;
     mutable uint64_t contentKey_ = 0;
     mutable std::optional<FirstUseProfile> trainProfile_;
     mutable std::optional<FirstUseProfile> testProfile_;
     mutable std::optional<ExecTrace> trace_;
     mutable std::optional<CallGraph> callGraph_;
+    mutable std::optional<UseAnalysis> useAnalysis_;
     mutable std::unique_ptr<DecodedCache> decoded_;
 
     mutable std::mutex orderMu_;

@@ -11,21 +11,28 @@
  *
  * Usage:
  *   nse_audit --grid [--json]
- *       Audit all six workloads under every {scg, rta, train} x
- *       {reordered, partitioned} x {parallel, interleaved}
+ *       Audit all six workloads under every {scg, rta, train, mustuse}
+ *       x {reordered, partitioned} x {parallel, interleaved}
  *       configuration (the CI safety gate) — every layout the edge
  *       cache can serve. Parallel cells additionally audit the
- *       effective online-runahead schedule. One summary line per
+ *       effective online-runahead schedule, and each workload gets an
+ *       edge-cached-fleet cell: a cold-cache fleet is run and every
+ *       client's FetchWait epoch shift (admitted - arrival) is folded
+ *       into its schedule-vs-deadline check. One summary line per
  *       cell; diagnostics are printed for failing cells. --json
  *       additionally dumps each failing cell's report as JSON to
  *       stdout.
  *
  *   nse_audit <workload> [options]
  *       Audit one configuration and print its full report.
- *       --order scg|rta|train|test   ordering (default scg)
+ *       --order scg|rta|train|mustuse|test   ordering (default scg)
  *       --interleaved                single-stream layout
  *       --partition                  partition global data
  *       --link t1|modem              schedule check link (default t1)
+ *       --stall-bounds               run the static stall prover too:
+ *                                    provable stalls become Warning
+ *                                    diagnostics (kind provable-stall)
+ *                                    and the bound table is printed
  *       --json                       print the JSON report instead
  *
  * workloads: BIT Hanoi JavaCup Jess JHLZip TestDes
@@ -36,7 +43,10 @@
 #include <vector>
 
 #include "analysis/audit.h"
+#include "analysis/stall_bounds.h"
+#include "cache/edge_cache.h"
 #include "obs/trace.h"
+#include "server/server_sim.h"
 #include "sim/context.h"
 #include "sim/replay.h"
 #include "workloads/workload.h"
@@ -51,8 +61,8 @@ usage()
 {
     std::cerr << "usage: nse_audit --grid [--json]\n"
                  "       nse_audit <workload> [--order scg|rta|train|"
-                 "test] [--interleaved] [--partition] [--link t1|"
-                 "modem] [--json]\n"
+                 "mustuse|test] [--interleaved] [--partition] [--link "
+                 "t1|modem] [--stall-bounds] [--json]\n"
                  "workloads: BIT Hanoi JavaCup Jess JHLZip TestDes\n";
     return 2;
 }
@@ -66,6 +76,8 @@ parseOrder(const std::string &s)
         return OrderingSource::RtaStatic;
     if (s == "train")
         return OrderingSource::Train;
+    if (s == "mustuse")
+        return OrderingSource::MustUse;
     if (s == "test")
         return OrderingSource::Test;
     fatal("unknown ordering: ", s);
@@ -139,12 +151,95 @@ auditRunaheadCell(const SimContext &ctx, const LayoutKey &key,
                                 part, &sin);
 }
 
+/** a + b, saturating at UINT64_MAX (never-used deadlines stay never). */
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/**
+ * Audit the schedule a cache-served fleet member effectively runs
+ * under. A cold edge cache holds each client in FetchWait until the
+ * origin delivers its artifact; the client's replay epoch then starts
+ * at its admission, so in global cycles its entire schedule — stream
+ * starts *and* first-use deadlines — shifts by `admitted - arrival`
+ * (door wait + cache wait). We fold that epoch shift into a copy of
+ * the static plan per client, exactly as the runahead audit folds
+ * promote/defer events, and audit the result: the shift is uniform,
+ * so any error means the cache tier de-synchronized transfer from
+ * execution. Diagnostics from every client merge into one report.
+ */
+AuditReport
+auditEdgeCacheCell(const SimContext &ctx, const LayoutKey &key,
+                   const LinkModel &link)
+{
+    const Program &prog = ctx.program();
+    const FirstUseOrder &order = ctx.ordering(key.ordering);
+    const TransferLayout &layout = ctx.layout(key);
+    const DataPartition *part =
+        key.partitioned ? &ctx.partition(key.ordering) : nullptr;
+
+    StreamDemand demand = deriveStreamDemand(
+        prog, order, layout, ctx.methodCycles(key.ordering));
+    TransferSchedule sched = buildGreedySchedule(
+        layout, demand, link, /*limit=*/4);
+
+    SimConfig cfg;
+    cfg.mode = key.parallel ? SimConfig::Mode::Parallel
+                            : SimConfig::Mode::Interleaved;
+    cfg.ordering = key.ordering;
+    cfg.link = link;
+    cfg.dataPartition = key.partitioned;
+
+    // A small staggered fleet against a cold cache: the first client
+    // pays the origin fetch, later ones hit or join the in-flight
+    // fetch, and an admission limit of 1 adds door waits on top.
+    EdgeCacheOptions copts;
+    EdgeCache cache(copts);
+    EqualShareAllocator equal;
+    ServerOptions opts;
+    opts.uplinkBytesPerCycle = 2.0 * linkRate(link);
+    opts.allocator = &equal;
+    opts.arrivals.kind = ArrivalKind::Uniform;
+    opts.arrivals.seed = 7;
+    opts.arrivals.windowCycles = 100'000;
+    opts.admissionLimit = 1;
+    opts.edgeCache = &cache;
+    std::vector<ClientSpec> fleet(3);
+    for (ClientSpec &spec : fleet) {
+        spec.ctx = &ctx;
+        spec.config = cfg;
+    }
+    ServerResult server = runServer(fleet, opts);
+
+    AuditReport merged;
+    for (const ServerClientResult &client : server.clients) {
+        uint64_t shift = client.admitted - client.arrival;
+        TransferSchedule shifted = sched;
+        for (uint64_t &start : shifted.startCycle)
+            start = satAdd(start, shift);
+        StreamDemand sdemand = demand;
+        for (uint64_t &deadline : sdemand.deadline)
+            deadline = satAdd(deadline, shift);
+        ScheduleAuditInput sin{shifted, sdemand, link};
+        AuditReport one = auditNonStrictSafety(
+            prog, ctx.callGraph(), order, layout, part, &sin);
+        merged.diags.insert(merged.diags.end(), one.diags.begin(),
+                            one.diags.end());
+        merged.errorCount += one.errorCount;
+        merged.warningCount += one.warningCount;
+        merged.infoCount += one.infoCount;
+    }
+    return merged;
+}
+
 int
 runGrid(bool json)
 {
-    const OrderingSource kOrders[] = {OrderingSource::Static,
-                                      OrderingSource::RtaStatic,
-                                      OrderingSource::Train};
+    const OrderingSource kOrders[] = {
+        OrderingSource::Static, OrderingSource::RtaStatic,
+        OrderingSource::Train, OrderingSource::MustUse};
     size_t failures = 0;
     for (Workload &w : allWorkloads()) {
         SimContext ctx(w.program, w.natives, w.trainInput, w.testInput);
@@ -200,6 +295,22 @@ runGrid(bool json)
                 }
             }
         }
+        // One edge-cached-fleet cell per workload: cold cache,
+        // admission-limited, every client's epoch shift folded into
+        // its schedule check.
+        LayoutKey ckey;
+        ckey.parallel = true;
+        ckey.ordering = OrderingSource::Train;
+        AuditReport ec = auditEdgeCacheCell(ctx, ckey, kT1Link);
+        std::cout << w.name << " train reordered edge-cache fleet: "
+                  << ec.errorCount << " error(s), " << ec.warningCount
+                  << " warning(s), " << ec.infoCount << " info(s)\n";
+        if (!ec.ok()) {
+            ++failures;
+            std::cout << ec.render();
+            if (json)
+                std::cout << ec.toJson();
+        }
     }
     if (failures) {
         std::cout << failures << " configuration(s) failed the audit\n";
@@ -211,7 +322,8 @@ runGrid(bool json)
 
 int
 runSingle(const std::string &name, OrderingSource src, bool interleaved,
-          bool partitioned, const LinkModel &link, bool json)
+          bool partitioned, const LinkModel &link, bool stall_bounds,
+          bool json)
 {
     Workload w = makeWorkload(name);
     SimContext ctx(w.program, w.natives, w.trainInput, w.testInput);
@@ -220,10 +332,23 @@ runSingle(const std::string &name, OrderingSource src, bool interleaved,
     key.ordering = src;
     key.partitioned = partitioned;
     AuditReport report = auditCell(ctx, key, link);
+    std::string bounds;
+    if (stall_bounds) {
+        ScheduleKey skey;
+        skey.layout = key;
+        skey.cyclesPerByte = link.cyclesPerByte;
+        skey.limit = 4;
+        StallBoundInput in{ctx.program(),   ctx.useAnalysis(),
+                           ctx.layout(key), ctx.schedule(skey),
+                           link,            /*parallelLimit=*/4};
+        StallBoundReport proof = computeStallBounds(in);
+        appendStallDiagnostics(proof, report);
+        bounds = proof.render();
+    }
     if (json)
         std::cout << report.toJson();
     else
-        std::cout << report.render();
+        std::cout << report.render() << bounds;
     return report.ok() ? 0 : 1;
 }
 
@@ -237,7 +362,7 @@ main(int argc, char **argv)
         return usage();
     try {
         bool json = false, grid = false, interleaved = false,
-             partitioned = false;
+             partitioned = false, stall_bounds = false;
         OrderingSource src = OrderingSource::Static;
         LinkModel link = kT1Link;
         std::string workload;
@@ -251,6 +376,8 @@ main(int argc, char **argv)
                 interleaved = true;
             } else if (a == "--partition") {
                 partitioned = true;
+            } else if (a == "--stall-bounds") {
+                stall_bounds = true;
             } else if (a == "--order" && i + 1 < args.size()) {
                 src = parseOrder(args[++i]);
             } else if (a == "--link" && i + 1 < args.size()) {
@@ -274,7 +401,7 @@ main(int argc, char **argv)
         if (workload.empty())
             return usage();
         return runSingle(workload, src, interleaved, partitioned, link,
-                         json);
+                         stall_bounds, json);
     } catch (const FatalError &e) {
         std::cerr << "nse_audit: " << e.what() << "\n";
         return 1;
